@@ -1,0 +1,22 @@
+//! # rteaal-baselines
+//!
+//! The two prior-work baseline simulators the paper evaluates against
+//! (§3, §7), built on the same dataflow graph, operator semantics, and
+//! instrumentation as the RTeAAL kernels so comparisons are
+//! apples-to-apples:
+//!
+//! - [`verilator::VerilatorLike`] — per-node statements in medium eval
+//!   blocks, data-dependent branches for selects (the 22%-misprediction
+//!   regime), block-local CSE only.
+//! - [`essent::EssentLike`] — whole-program optimization, straight-line
+//!   flattening, and a real linear-scan register allocator; fastest
+//!   simulation, heaviest compile, catastrophic at `-O0`.
+//!
+//! Both expose `compile` (measured cost), fast `step`/`run`, and
+//! `run_profiled` feeding the `rteaal-perfmodel` cache hierarchy.
+
+pub mod essent;
+pub mod verilator;
+
+pub use essent::EssentLike;
+pub use verilator::VerilatorLike;

@@ -1,0 +1,80 @@
+//! Criterion: ablations for the design choices DESIGN.md calls out —
+//! OIM format (a) vs (b) vs (c) traversal cost, mux-chain fusion on/off,
+//! PSU unroll factors, and graph-optimization on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rteaal_bench::experiments::raw_graph_of;
+use rteaal_designs::{rocket, small_boom, ChipConfig};
+use rteaal_dfg::passes::{optimize, PassOptions};
+use rteaal_dfg::plan::plan;
+use rteaal_kernels::{Kernel, KernelConfig, KernelKind};
+use rteaal_tensor::oim::{OimOptimized, OimSwizzled, OimUnoptimized};
+
+fn bench_format_sizes(c: &mut Criterion) {
+    // Format construction cost for (a)/(b)/(c): the compression is not
+    // free at build time; this quantifies it.
+    let sim_plan = plan(&raw_graph_of(&rocket(ChipConfig::new(4))));
+    let mut group = c.benchmark_group("oim-format-build");
+    group.bench_function("unoptimized-a", |b| {
+        b.iter(|| OimUnoptimized::from_plan(&sim_plan));
+    });
+    group.bench_function("optimized-b", |b| {
+        b.iter(|| OimOptimized::from_plan(&sim_plan));
+    });
+    group.bench_function("swizzled-c", |b| {
+        b.iter(|| OimSwizzled::from_plan(&sim_plan));
+    });
+    group.finish();
+}
+
+fn bench_fusion_ablation(c: &mut Criterion) {
+    let graph = raw_graph_of(&small_boom(ChipConfig::new(2)));
+    let mut group = c.benchmark_group("mux-chain-fusion");
+    for (name, fuse) in [("fused", true), ("unfused", false)] {
+        let opts = PassOptions { fuse_mux_chains: fuse, ..PassOptions::default() };
+        let (g, _) = optimize(&graph, &opts);
+        let sim_plan = plan(&g);
+        let mut kernel = Kernel::compile(&sim_plan, KernelConfig::new(KernelKind::Psu));
+        group.bench_with_input(BenchmarkId::new("psu-sim", name), &name, |b, _| {
+            b.iter(|| kernel.run(50));
+        });
+    }
+    group.finish();
+}
+
+fn bench_psu_unroll_factors(c: &mut Criterion) {
+    let sim_plan = plan(&raw_graph_of(&rocket(ChipConfig::new(4))));
+    let mut group = c.benchmark_group("psu-unroll-factor");
+    for factor in [1usize, 4, 8, 16, 32] {
+        let mut cfg = KernelConfig::new(KernelKind::Psu);
+        cfg.psu_op_unroll = factor;
+        let mut kernel = Kernel::compile(&sim_plan, cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            b.iter(|| kernel.run(50));
+        });
+    }
+    group.finish();
+}
+
+fn bench_identity_elision(c: &mut Criterion) {
+    // DESIGN.md §5: identity elision on/off. The un-elided plan executes
+    // the strict Cascade 1 with materialized identity carries.
+    use rteaal_dfg::plan::{plan_unelided, PlanSim};
+    let graph = raw_graph_of(&rocket(ChipConfig::new(1)));
+    let elided = plan(&graph);
+    let unelided = plan_unelided(&graph);
+    let mut group = c.benchmark_group("identity-elision");
+    let mut sim_e = PlanSim::new(&elided);
+    group.bench_function("elided", |b| b.iter(|| sim_e.step()));
+    let mut sim_u = PlanSim::new(&unelided);
+    group.bench_function("unelided", |b| b.iter(|| sim_u.step()));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_format_sizes, bench_fusion_ablation, bench_psu_unroll_factors,
+        bench_identity_elision
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion: wall-clock kernel throughput (the timing-sensitive subset
+//! of Figure 16) — cycles/second of the fast (uninstrumented) execution
+//! path for each kernel configuration, plus both baselines, on the same
+//! mid-size RocketChip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rteaal_baselines::{EssentLike, VerilatorLike};
+use rteaal_bench::experiments::graph_of;
+use rteaal_designs::{rocket, ChipConfig};
+use rteaal_dfg::plan::plan;
+use rteaal_kernels::{Kernel, KernelConfig, OptLevel, ALL_KERNELS};
+
+fn bench_kernels(c: &mut Criterion) {
+    let circuit = rocket(ChipConfig::new(4));
+    let graph = graph_of(&circuit);
+    let sim_plan = plan(&graph);
+    let mut group = c.benchmark_group("sim-throughput-rocket4");
+    group.throughput(Throughput::Elements(100));
+    for &kind in &ALL_KERNELS {
+        let mut kernel = Kernel::compile(&sim_plan, KernelConfig::new(kind));
+        kernel.set_input(0, 0xdead_beef);
+        group.bench_with_input(BenchmarkId::new("rteaal", kind.label()), &kind, |b, _| {
+            b.iter(|| kernel.run(100));
+        });
+    }
+    let mut verilator = VerilatorLike::compile(&graph, OptLevel::Full);
+    group.bench_function("verilator", |b| b.iter(|| verilator.run(100)));
+    let mut essent = EssentLike::compile(&graph, OptLevel::Full);
+    group.bench_function("essent", |b| b.iter(|| essent.run(100)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_kernels
+}
+criterion_main!(benches);

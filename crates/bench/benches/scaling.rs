@@ -1,0 +1,38 @@
+//! Criterion: compile-time scaling (the wall-clock side of Table 7 /
+//! Figures 8 and 15) — kernel generation vs baseline compilation as the
+//! design grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rteaal_baselines::{EssentLike, VerilatorLike};
+use rteaal_bench::experiments::raw_graph_of;
+use rteaal_designs::{rocket, ChipConfig};
+use rteaal_dfg::plan::plan;
+use rteaal_kernels::{Kernel, KernelConfig, KernelKind, OptLevel};
+
+fn bench_compile_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile-scaling");
+    for cores in [1usize, 4, 8] {
+        let graph = raw_graph_of(&rocket(ChipConfig::new(cores)));
+        let sim_plan = plan(&graph);
+        group.bench_with_input(BenchmarkId::new("psu-kernel", cores), &cores, |b, _| {
+            b.iter(|| Kernel::compile(&sim_plan, KernelConfig::new(KernelKind::Psu)));
+        });
+        group.bench_with_input(BenchmarkId::new("su-kernel", cores), &cores, |b, _| {
+            b.iter(|| Kernel::compile(&sim_plan, KernelConfig::new(KernelKind::Su)));
+        });
+        group.bench_with_input(BenchmarkId::new("verilator", cores), &cores, |b, _| {
+            b.iter(|| VerilatorLike::compile(&graph, OptLevel::Full));
+        });
+        group.bench_with_input(BenchmarkId::new("essent", cores), &cores, |b, _| {
+            b.iter(|| EssentLike::compile(&graph, OptLevel::Full));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_compile_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p rteaal-bench --release --bin tables -- all
+//! cargo run -p rteaal-bench --release --bin tables -- table5 fig16
+//! cargo run -p rteaal-bench --release --bin tables -- all --full
+//! ```
+
+use rteaal_bench::{run_experiment, Ctx, ALL_EXPERIMENTS};
+
+// Peak-memory numbers in Figures 8/15 and Table 7 are *measured* through
+// this counting allocator.
+#[global_allocator]
+static ALLOC: rteaal_perfmodel::memtrack::CountingAlloc =
+    rteaal_perfmodel::memtrack::CountingAlloc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ctx = if full { Ctx::full() } else { Ctx::quick() };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        ids
+    };
+    for id in ids {
+        match run_experiment(id, &ctx) {
+            Some(rows) => {
+                for row in rows {
+                    println!("{row}");
+                }
+                println!();
+            }
+            None => {
+                eprintln!("unknown experiment `{id}`; known: {ALL_EXPERIMENTS:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,578 @@
+//! Experiment implementations: one function per paper table/figure.
+//!
+//! Each function returns formatted rows (so the `tables` binary, the
+//! integration tests, and EXPERIMENTS.md all consume the same code path).
+//! Absolute numbers will not match the paper (our substrate is a model,
+//! not the authors' testbed); the *shape* — who wins, by what rough
+//! factor, where crossovers fall — is the reproduction target.
+
+use rteaal_baselines::{EssentLike, VerilatorLike};
+use rteaal_dfg::graph::Graph;
+use rteaal_dfg::level::levelize;
+use rteaal_dfg::passes::{optimize, PassOptions};
+use rteaal_dfg::plan::{plan, SimPlan};
+use rteaal_designs::{rocket, small_boom, ChipConfig, Workload};
+use rteaal_firrtl::lower::lower_typed;
+use rteaal_kernels::{codegen, Kernel, KernelConfig, KernelKind, OptLevel, ALL_KERNELS};
+use rteaal_perfmodel::topdown::{analyze, TopDown};
+use rteaal_perfmodel::Machine;
+
+/// Run-size knobs. `quick()` finishes the full suite in minutes on a
+/// laptop; `full()` pushes core counts and cycle counts up.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Design scale relative to the paper's RTL.
+    pub scale: f64,
+    /// Profiled (cache-simulated) cycles per measurement.
+    pub profile_cycles: u64,
+    /// Core counts used for scaling sweeps.
+    pub max_cores: usize,
+}
+
+impl Ctx {
+    /// Laptop-quick settings.
+    pub fn quick() -> Self {
+        Ctx { scale: 0.03, profile_cycles: 30, max_cores: 8 }
+    }
+
+    /// Heavier settings (slower, smoother curves).
+    pub fn full() -> Self {
+        Ctx { scale: 0.12, profile_cycles: 60, max_cores: 24 }
+    }
+
+    fn core_sweep(&self) -> Vec<usize> {
+        [1usize, 2, 4, 8, 12, 16, 20, 24]
+            .into_iter()
+            .filter(|&c| c <= self.max_cores)
+            .collect()
+    }
+}
+
+/// Builds the optimized graph of a circuit.
+pub fn graph_of(circuit: &rteaal_firrtl::Circuit) -> Graph {
+    let g = rteaal_dfg::build(&lower_typed(circuit).expect("designs lower")).expect("designs build");
+    optimize(&g, &PassOptions::default()).0
+}
+
+/// Graph without optimization (for Table 1's raw counts).
+pub fn raw_graph_of(circuit: &rteaal_firrtl::Circuit) -> Graph {
+    rteaal_dfg::build(&lower_typed(circuit).expect("designs lower")).expect("designs build")
+}
+
+fn plan_of(circuit: &rteaal_firrtl::Circuit) -> SimPlan {
+    plan(&graph_of(circuit))
+}
+
+/// Profiles `cycles` of a kernel on a machine and scales the modeled time
+/// to `full_cycles`.
+pub fn kernel_run(
+    plan: &SimPlan,
+    cfg: KernelConfig,
+    machine: &Machine,
+    cycles: u64,
+    full_cycles: u64,
+) -> (TopDown, rteaal_perfmodel::topdown::ExecProfile) {
+    let mut kernel = Kernel::compile(plan, cfg);
+    let mut mem = machine.mem_sim();
+    let profile = kernel.run_profiled(&mut mem, cycles);
+    let mut td = analyze(&profile, machine);
+    td.seconds *= full_cycles as f64 / cycles as f64;
+    (td, profile)
+}
+
+/// Profiles the Verilator baseline.
+pub fn verilator_run(
+    graph: &Graph,
+    machine: &Machine,
+    cycles: u64,
+    full_cycles: u64,
+    opt: OptLevel,
+) -> (TopDown, VerilatorLike) {
+    let mut v = VerilatorLike::compile(graph, opt);
+    let mut mem = machine.mem_sim();
+    let profile = v.run_profiled(&mut mem, cycles);
+    let mut td = analyze(&profile, machine);
+    td.seconds *= full_cycles as f64 / cycles as f64;
+    (td, v)
+}
+
+/// Profiles the ESSENT baseline.
+pub fn essent_run(
+    graph: &Graph,
+    machine: &Machine,
+    cycles: u64,
+    full_cycles: u64,
+    opt: OptLevel,
+) -> (TopDown, EssentLike) {
+    let mut e = EssentLike::compile(graph, opt);
+    let mut mem = machine.mem_sim();
+    let profile = e.run_profiled(&mut mem, cycles);
+    let mut td = analyze(&profile, machine);
+    td.seconds *= full_cycles as f64 / cycles as f64;
+    (td, e)
+}
+
+fn header(title: &str) -> Vec<String> {
+    vec![format!("== {title} =="), String::new()]
+}
+
+/// Table 1: effectual vs identity operations.
+pub fn table1(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Table 1: required identity operations (before elision)");
+    out.push(format!("{:<12} {:>14} {:>16} {:>8}", "design", "effectual ops", "identity ops", "ratio"));
+    for (name, circuit) in [
+        ("rocket-1c", rocket(ChipConfig::new(1).with_scale(ctx.scale))),
+        ("small-1c", small_boom(ChipConfig::new(1).with_scale(ctx.scale))),
+        ("rocket-8c", rocket(ChipConfig::new(8).with_scale(ctx.scale))),
+        ("small-8c", small_boom(ChipConfig::new(8).with_scale(ctx.scale))),
+    ] {
+        let lv = levelize(&raw_graph_of(&circuit));
+        let (e, i) = (lv.effectual_ops(), lv.identities.total());
+        out.push(format!("{name:<12} {e:>14} {i:>16} {:>8.1}x", i as f64 / e.max(1) as f64));
+    }
+    out
+}
+
+/// Figure 7: top-down breakdown for Verilator vs ESSENT.
+pub fn fig7(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 7: top-down breakdown, Verilator vs ESSENT (Graviton 4)");
+    let machine = Machine::aws_graviton4();
+    out.push(format!(
+        "{:<12} {:>22} {:>22}",
+        "design", "Verilator FE/BS/other %", "ESSENT FE/BS/other %"
+    ));
+    for cores in ctx.core_sweep().into_iter().filter(|&c| c <= 12) {
+        for (tag, circuit) in [
+            (format!("rocket-{cores}"), rocket(ChipConfig::new(cores).with_scale(ctx.scale))),
+            (format!("small-{cores}"), small_boom(ChipConfig::new(cores).with_scale(ctx.scale))),
+        ] {
+            let g = graph_of(&circuit);
+            let (v, _) = verilator_run(&g, &machine, ctx.profile_cycles, 1, OptLevel::Full);
+            let (e, _) = essent_run(&g, &machine, ctx.profile_cycles, 1, OptLevel::Full);
+            out.push(format!(
+                "{tag:<12} {:>7.1}/{:>4.1}/{:>5.1}   {:>7.1}/{:>4.1}/{:>5.1}",
+                v.frontend_bound * 100.0,
+                v.bad_speculation * 100.0,
+                v.others() * 100.0,
+                e.frontend_bound * 100.0,
+                e.bad_speculation * 100.0,
+                e.others() * 100.0,
+            ));
+        }
+    }
+    out.push(String::new());
+    out.push("shape check: ESSENT frontend+badspec <= Verilator's on every row".into());
+    out
+}
+
+/// Figure 8: compile time and peak memory, Verilator vs ESSENT.
+pub fn fig8(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 8: compilation cost, Verilator vs ESSENT (measured)");
+    out.push(format!(
+        "{:<12} {:>12} {:>12} {:>14} {:>14}",
+        "design", "V time (ms)", "E time (ms)", "V peak (MB)", "E peak (MB)"
+    ));
+    for cores in ctx.core_sweep().into_iter().filter(|&c| c <= 12) {
+        let circuit = rocket(ChipConfig::new(cores).with_scale(ctx.scale));
+        let g = raw_graph_of(&circuit);
+        let v = VerilatorLike::compile(&g, OptLevel::Full);
+        let e = EssentLike::compile(&g, OptLevel::Full);
+        let (vr, er) = (v.compile_report(), e.compile_report());
+        out.push(format!(
+            "rocket-{cores:<5} {:>12.2} {:>12.2} {:>14} {:>14}",
+            vr.seconds * 1e3,
+            er.seconds * 1e3,
+            mb_or_na(vr.peak_bytes),
+            mb_or_na(er.peak_bytes),
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: ESSENT compile time grows faster than Verilator's".into());
+    out
+}
+
+fn mb_or_na(bytes: usize) -> String {
+    if bytes == 0 {
+        "n/a*".to_string() // counting allocator not installed
+    } else {
+        format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Table 3: simulation cycles per design.
+pub fn table3(_ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Table 3: simulation cycles (K)");
+    out.push(format!("{:<12} {:>12}", "design", "cycles (K)"));
+    for (name, k) in rteaal_designs::workload::TABLE3_KCYCLES {
+        out.push(format!("{name:<12} {k:>12}"));
+    }
+    out
+}
+
+/// Table 4: kernel binary size.
+pub fn table4(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Table 4: kernel code footprint, 8-core RocketChip");
+    let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
+    out.push(format!("{:<8} {:>14} {:>14} {:>16}", "kernel", "code (KB)", "OIM data (KB)", "C++ source (KB)"));
+    for &kind in &ALL_KERNELS {
+        let k = Kernel::compile(&p, KernelConfig::new(kind));
+        let r = k.compile_report();
+        let cpp = codegen::emit_cpp(&p, KernelConfig::new(kind)).len();
+        out.push(format!(
+            "{:<8} {:>14.1} {:>14.1} {:>16.1}",
+            kind.label(),
+            r.code_bytes as f64 / 1024.0,
+            r.data_bytes as f64 / 1024.0,
+            cpp as f64 / 1024.0,
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: code is flat RU..PSU, grows at IU, largest at SU; TI < SU".into());
+    out
+}
+
+/// Figure 15: kernel compile time and peak memory.
+pub fn fig15(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 15: kernel compile cost, 8-core RocketChip (measured)");
+    let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
+    out.push(format!("{:<8} {:>14} {:>14}", "kernel", "time (ms)", "peak (MB)"));
+    for &kind in &ALL_KERNELS {
+        let k = Kernel::compile(&p, KernelConfig::new(kind));
+        let r = k.compile_report();
+        out.push(format!(
+            "{:<8} {:>14.3} {:>14}",
+            kind.label(),
+            r.seconds * 1e3,
+            mb_or_na(r.peak_bytes)
+        ));
+    }
+    out
+}
+
+/// Table 5: dynamic instructions and IPC per kernel.
+pub fn table5(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Table 5: dynamic instructions and IPC, 8-core RocketChip on Intel Xeon");
+    let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
+    let machine = Machine::intel_xeon();
+    out.push(format!("{:<8} {:>18} {:>8}", "kernel", "dyn instr (M/cyc*)", "IPC"));
+    for &kind in &ALL_KERNELS {
+        let (td, profile) =
+            kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, 1);
+        out.push(format!(
+            "{:<8} {:>18.3} {:>8.2}",
+            kind.label(),
+            profile.instructions as f64 / ctx.profile_cycles as f64 / 1e6,
+            td.ipc
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: instructions fall monotonically RU->TI; IPC falls for SU/TI".into());
+    out
+}
+
+/// Table 6: cache profiling per kernel.
+pub fn table6(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Table 6: cache behavior per kernel, 8-core RocketChip on Intel Xeon");
+    let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
+    let machine = Machine::intel_xeon();
+    out.push(format!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "kernel", "L1I miss", "L1D load", "L1D miss", "L1I MPKI"
+    ));
+    for &kind in &ALL_KERNELS {
+        let (td, profile) =
+            kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, 1);
+        out.push(format!(
+            "{:<8} {:>12} {:>12} {:>12} {:>10.2}",
+            kind.label(),
+            profile.mem.l1i.misses,
+            profile.mem.l1d.accesses,
+            profile.mem.l1d.misses,
+            td.l1i_mpki
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: L1D loads collapse and L1I misses jump between IU and SU".into());
+    out
+}
+
+/// Figure 16: simulation time per kernel across machines.
+pub fn fig16(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 16: modeled simulation time (s) per kernel, 8-core RocketChip");
+    let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
+    let full = 540_000;
+    out.push(format!(
+        "{:<8} {:>10} {:>10} {:>10} {:>10}",
+        "kernel", "core", "xeon", "amd", "aws"
+    ));
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for &kind in &ALL_KERNELS {
+        let mut row = format!("{:<8}", kind.label());
+        for machine in Machine::all() {
+            let (td, _) =
+                kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, full);
+            row.push_str(&format!(" {:>10.2}", td.seconds));
+            if machine.id == "xeon" {
+                best.push((kind.label().to_string(), td.seconds));
+            }
+        }
+        out.push(row);
+    }
+    best.sort_by(|a, b| a.1.total_cmp(&b.1));
+    out.push(String::new());
+    out.push(format!("fastest kernel on Xeon: {} (sweet spot in the middle of the spectrum)", best[0].0));
+    out
+}
+
+/// Figure 17: kernel scaling across design sizes.
+pub fn fig17(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 17: modeled sim time (s) vs design size, Intel Xeon");
+    let kinds = [KernelKind::Ou, KernelKind::Nu, KernelKind::Psu, KernelKind::Iu, KernelKind::Su, KernelKind::Ti];
+    let mut head = format!("{:<8}", "design");
+    for k in kinds {
+        head.push_str(&format!(" {:>9}", k.label()));
+    }
+    out.push(head);
+    let machine = Machine::intel_xeon();
+    for cores in ctx.core_sweep() {
+        let p = plan_of(&rocket(ChipConfig::new(cores).with_scale(ctx.scale)));
+        let mut row = format!("r{cores:<7}");
+        for kind in kinds {
+            let (td, _) =
+                kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, 540_000);
+            row.push_str(&format!(" {:>9.2}", td.seconds));
+        }
+        out.push(row);
+    }
+    out.push(String::new());
+    out.push("shape check: TI wins small designs; PSU/NU overtake as cores grow".into());
+    out
+}
+
+/// Table 7: compile cost scaling for Verilator, ESSENT, PSU.
+pub fn table7(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Table 7: compile cost scaling (measured)");
+    out.push(format!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "design", "Verilator ms", "ESSENT ms", "PSU ms"
+    ));
+    for cores in ctx.core_sweep() {
+        let circuit = rocket(ChipConfig::new(cores).with_scale(ctx.scale));
+        let g = raw_graph_of(&circuit);
+        let v = VerilatorLike::compile(&g, OptLevel::Full).compile_report().seconds;
+        let e = EssentLike::compile(&g, OptLevel::Full).compile_report().seconds;
+        let p = plan(&optimize(&g, &PassOptions::default()).0);
+        let k = Kernel::compile(&p, KernelConfig::new(KernelKind::Psu))
+            .compile_report()
+            .seconds;
+        out.push(format!(
+            "r{cores:<7} {:>12.2} {:>12.2} {:>12.3}",
+            v * 1e3,
+            e * 1e3,
+            k * 1e3
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: PSU kernel generation is near-constant; ESSENT grows fastest".into());
+    out
+}
+
+/// Figures 18/19: simulation time scaling for the three simulators.
+pub fn fig18_19(ctx: &Ctx, opt: OptLevel) -> Vec<String> {
+    let title = match opt {
+        OptLevel::Full => "Figure 18: modeled sim time (s), clang -O3 analog, Intel Xeon",
+        OptLevel::None => "Figure 19: modeled sim time (s), clang -O0 analog, Intel Xeon",
+    };
+    let mut out = header(title);
+    out.push(format!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "design", "Verilator", "PSU", "ESSENT"
+    ));
+    let machine = Machine::intel_xeon();
+    for cores in ctx.core_sweep() {
+        let circuit = rocket(ChipConfig::new(cores).with_scale(ctx.scale));
+        let g = graph_of(&circuit);
+        let p = plan(&g);
+        let full = 540_000;
+        let (v, _) = verilator_run(&g, &machine, ctx.profile_cycles, full, opt);
+        let mut cfg = KernelConfig::new(KernelKind::Psu);
+        cfg.opt = opt;
+        let (k, _) = kernel_run(&p, cfg, &machine, ctx.profile_cycles, full);
+        let (e, _) = essent_run(&g, &machine, ctx.profile_cycles, full, opt);
+        out.push(format!(
+            "r{cores:<7} {:>12.2} {:>12.2} {:>12.2}",
+            v.seconds, k.seconds, e.seconds
+        ));
+    }
+    out.push(String::new());
+    out.push(match opt {
+        OptLevel::Full => "shape check: ESSENT < PSU < Verilator".into(),
+        OptLevel::None => "shape check: ESSENT degrades far more than PSU/Verilator".into(),
+    });
+    out
+}
+
+/// Figure 20: speedup over Verilator across designs and machines.
+pub fn fig20(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 20: speedup over Verilator (best RTeAAL kernel | ESSENT)");
+    out.push(format!(
+        "{:<8} {:>16} {:>16} {:>16} {:>16}",
+        "design", "core", "xeon", "amd", "aws"
+    ));
+    let kinds = [KernelKind::Nu, KernelKind::Psu, KernelKind::Iu, KernelKind::Su, KernelKind::Ti];
+    for w in Workload::main_grid() {
+        let g = graph_of(&w.circuit);
+        let p = plan(&g);
+        let mut row = format!("{:<8}", w.id);
+        for machine in Machine::all() {
+            let (v, _) =
+                verilator_run(&g, &machine, ctx.profile_cycles, w.full_cycles, OptLevel::Full);
+            let best = kinds
+                .iter()
+                .map(|&k| {
+                    kernel_run(&p, KernelConfig::new(k), &machine, ctx.profile_cycles, w.full_cycles)
+                        .0
+                        .seconds
+                })
+                .fold(f64::INFINITY, f64::min);
+            let (e, _) =
+                essent_run(&g, &machine, ctx.profile_cycles, w.full_cycles, OptLevel::Full);
+            row.push_str(&format!(
+                " {:>7.2}|{:<7.2}",
+                v.seconds / best,
+                v.seconds / e.seconds
+            ));
+        }
+        out.push(row);
+    }
+    out.push(String::new());
+    out.push("shape check: RTeAAL >= 1x vs Verilator on most rows; ESSENT usually fastest".into());
+    out
+}
+
+/// Figure 21: LLC capacity sweep on 8-core SmallBOOM.
+pub fn fig21(ctx: &Ctx) -> Vec<String> {
+    let mut out = header("Figure 21: speedup over Verilator as LLC shrinks (8-core SmallBOOM, Xeon)");
+    // LLC effects only appear once the straight-line code footprints
+    // exceed the 2 MB L2, so this experiment runs near paper scale
+    // regardless of the quick/full setting (with fewer cycles to
+    // compensate).
+    let circuit = small_boom(ChipConfig::new(8).with_scale(ctx.scale.max(0.8)));
+    let g = graph_of(&circuit);
+    let p = plan(&g);
+    let cycles = 6;
+    out.push(format!("{:<10} {:>12} {:>12}", "LLC (MB)", "RTeAAL/V", "ESSENT/V"));
+    for mb in [10.5f64, 7.0, 3.5, 1.75, 0.875] {
+        let machine = Machine::intel_xeon().with_llc_capacity((mb * 1024.0 * 1024.0) as usize);
+        let (v, _) = verilator_run(&g, &machine, cycles, 1, OptLevel::Full);
+        let (k, _) = kernel_run(&p, KernelConfig::new(KernelKind::Psu), &machine, cycles, 1);
+        let (e, _) = essent_run(&g, &machine, cycles, 1, OptLevel::Full);
+        out.push(format!(
+            "{mb:<10} {:>12.2} {:>12.2}",
+            v.seconds / k.seconds,
+            v.seconds / e.seconds
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: RTeAAL's relative speedup grows as the LLC shrinks".into());
+    out
+}
+
+/// Ablation: identity elision on/off (DESIGN.md §5). Makes Table 1's cost
+/// executable: the strict cascade with materialized identity ops vs the
+/// coordinate-assigned plan.
+pub fn ablation_elision(ctx: &Ctx) -> Vec<String> {
+    use rteaal_dfg::plan::{plan_unelided, PlanSim};
+    let mut out = header("Ablation: identity elision (paper §4.3 / §6.1)");
+    out.push(format!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "design", "eff. ops", "identities", "ops/cycle", "slowdown"
+    ));
+    for (name, circuit) in [
+        ("rocket-1", rocket(ChipConfig::new(1).with_scale(ctx.scale))),
+        ("small-1", small_boom(ChipConfig::new(1).with_scale(ctx.scale))),
+    ] {
+        let g = graph_of(&circuit);
+        let elided = plan(&g);
+        let unelided = plan_unelided(&g);
+        // Wall-clock ratio of the two plan interpreters.
+        let time = |p: &rteaal_dfg::SimPlan| {
+            let mut sim = PlanSim::new(p);
+            let t = std::time::Instant::now();
+            for _ in 0..200 {
+                sim.step();
+            }
+            t.elapsed().as_secs_f64()
+        };
+        let slowdown = time(&unelided) / time(&elided).max(1e-9);
+        out.push(format!(
+            "{name:<12} {:>10} {:>12} {:>12} {:>11.2}x",
+            elided.stats.effectual_ops,
+            unelided.stats.identity_ops,
+            unelided.total_ops(),
+            slowdown
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: eliding identities removes the majority of per-cycle work".into());
+    out
+}
+
+/// Ablation: OIM storage format (Figure 12 a/b/c) packed sizes.
+pub fn ablation_format(ctx: &Ctx) -> Vec<String> {
+    use rteaal_tensor::oim::{OimOptimized, OimSwizzled, OimUnoptimized};
+    let mut out = header("Ablation: OIM format compression (Figure 12)");
+    out.push(format!(
+        "{:<12} {:>16} {:>16} {:>16}",
+        "design", "(a) packed KB", "(b) packed KB", "(c) packed KB"
+    ));
+    for (name, circuit) in [
+        ("rocket-1", rocket(ChipConfig::new(1).with_scale(ctx.scale))),
+        ("rocket-8", rocket(ChipConfig::new(8).with_scale(ctx.scale))),
+    ] {
+        let p = plan(&graph_of(&circuit));
+        let a = OimUnoptimized::from_plan(&p).packed_bytes();
+        let b = OimOptimized::from_plan(&p).packed_bytes();
+        let c = OimSwizzled::from_plan(&p).packed_bytes();
+        out.push(format!(
+            "{name:<12} {:>16.1} {:>16.1} {:>16.1}",
+            a as f64 / 1024.0,
+            b as f64 / 1024.0,
+            c as f64 / 1024.0
+        ));
+    }
+    out.push(String::new());
+    out.push("shape check: eliminating one-hot/mask payloads shrinks (a) -> (b)".into());
+    out
+}
+
+/// All experiment ids in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "fig7", "fig8", "table3", "table4", "fig15", "table5", "table6", "fig16",
+    "fig17", "table7", "fig18", "fig19", "fig20", "fig21", "ablation-elision",
+    "ablation-format",
+];
+
+/// Dispatches one experiment by id.
+pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
+    Some(match id {
+        "table1" => table1(ctx),
+        "fig7" => fig7(ctx),
+        "fig8" => fig8(ctx),
+        "table3" => table3(ctx),
+        "table4" => table4(ctx),
+        "fig15" => fig15(ctx),
+        "table5" => table5(ctx),
+        "table6" => table6(ctx),
+        "fig16" => fig16(ctx),
+        "fig17" => fig17(ctx),
+        "table7" => table7(ctx),
+        "fig18" => fig18_19(ctx, OptLevel::Full),
+        "fig19" => fig18_19(ctx, OptLevel::None),
+        "fig20" => fig20(ctx),
+        "fig21" => fig21(ctx),
+        "ablation-elision" => ablation_elision(ctx),
+        "ablation-format" => ablation_format(ctx),
+        _ => return None,
+    })
+}

@@ -1,0 +1,17 @@
+//! # rteaal-bench
+//!
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (§7) from the workspace's own simulators and
+//! machine models.
+//!
+//! - [`experiments`]: one function per table/figure, returning formatted
+//!   rows; consumed by the `tables` binary, the shape-check integration
+//!   tests, and `EXPERIMENTS.md`.
+//! - `src/bin/tables.rs`: `cargo run -p rteaal-bench --release --bin
+//!   tables -- <id|all> [--full]`.
+//! - `benches/`: Criterion micro-benchmarks for the wall-clock-sensitive
+//!   subset (kernel throughput, scaling, format/pass ablations).
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, Ctx, ALL_EXPERIMENTS};

@@ -1,0 +1,127 @@
+//! Clock-domain inspection (paper §6.2, "Multiple Clock Domains").
+//!
+//! RTeAAL Sim targets a single clock domain; the paper sketches the
+//! multi-clock extension as "partitioning the circuit according to clock
+//! domain and adding a synchronization step at the end of each cycle" —
+//! structurally the same move as the RepCut cascade
+//! (`rteaal_einsum::repcut`), with partitions keyed by clock instead of by
+//! register ownership. This module provides the inspection half: it
+//! reports the clock domains of a circuit so front ends can reject or
+//! pre-partition multi-clock designs.
+
+use rteaal_firrtl::ast::{Circuit, Stmt};
+use rteaal_firrtl::Direction;
+
+/// A clock domain: the clock port name and how many registers it drives
+/// in the top module (pre-flattening).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDomain {
+    /// Clock signal name.
+    pub clock: String,
+    /// Registers directly clocked by it in the top module.
+    pub registers: usize,
+}
+
+/// Enumerates the clock domains of a circuit's top module.
+pub fn clock_domains(circuit: &Circuit) -> Vec<ClockDomain> {
+    let Some(top) = circuit.top() else { return Vec::new() };
+    let mut domains: Vec<ClockDomain> = top
+        .ports
+        .iter()
+        .filter(|p| p.dir == Direction::Input && p.ty.is_clock())
+        .map(|p| ClockDomain { clock: p.name.clone(), registers: 0 })
+        .collect();
+    fn count(body: &[Stmt], domains: &mut [ClockDomain]) {
+        for stmt in body {
+            match stmt {
+                Stmt::Reg { clock, .. } => {
+                    if let rteaal_firrtl::ast::Expr::Ref(name) = clock {
+                        if let Some(d) = domains.iter_mut().find(|d| &d.clock == name) {
+                            d.registers += 1;
+                        }
+                    }
+                }
+                Stmt::When { then_body, else_body, .. } => {
+                    count(then_body, domains);
+                    count(else_body, domains);
+                }
+                _ => {}
+            }
+        }
+    }
+    count(&top.body, &mut domains);
+    domains
+}
+
+/// Whether a circuit is within the supported single-clock subset.
+pub fn is_single_clock(circuit: &Circuit) -> bool {
+    clock_domains(circuit).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rteaal_firrtl::parser::parse;
+
+    #[test]
+    fn single_clock_design() {
+        let c = parse(
+            "\
+circuit C :
+  module C :
+    input clock : Clock
+    output o : UInt<1>
+    reg a : UInt<1>, clock
+    reg b : UInt<1>, clock
+    a <= b
+    b <= a
+    o <= a
+",
+        )
+        .unwrap();
+        let domains = clock_domains(&c);
+        assert_eq!(domains.len(), 1);
+        assert_eq!(domains[0].registers, 2);
+        assert!(is_single_clock(&c));
+    }
+
+    #[test]
+    fn multi_clock_detected() {
+        let c = parse(
+            "\
+circuit M :
+  module M :
+    input clk_a : Clock
+    input clk_b : Clock
+    output o : UInt<1>
+    reg a : UInt<1>, clk_a
+    reg b : UInt<1>, clk_b
+    a <= b
+    b <= a
+    o <= a
+",
+        )
+        .unwrap();
+        let domains = clock_domains(&c);
+        assert_eq!(domains.len(), 2);
+        assert!(!is_single_clock(&c));
+        // The lowering path also rejects it (paper §6.2: single domain).
+        assert!(rteaal_firrtl::lower_typed(&c).is_err());
+    }
+
+    #[test]
+    fn no_clock_is_fine() {
+        let c = parse(
+            "\
+circuit P :
+  module P :
+    input a : UInt<1>
+    output o : UInt<1>
+    o <= not(a)
+",
+        )
+        .unwrap();
+        assert!(clock_domains(&c).is_empty());
+        assert!(is_single_clock(&c));
+    }
+}

@@ -1,0 +1,50 @@
+//! # rteaal-core
+//!
+//! The public API of the RTeAAL Sim reproduction: a tensor-algebra RTL
+//! simulator (ASPLOS 2026).
+//!
+//! RTeAAL Sim reformulates full-cycle RTL simulation as a sparse tensor
+//! algebra problem: the dataflow graph becomes the 5-rank `OIM` tensor
+//! and a cycle of simulation becomes a cascade of extended Einsums
+//! evaluated by one of seven progressively unrolled kernels
+//! (RU/OU/NU/PSU/IU/SU/TI). This crate is the front door:
+//!
+//! - [`compiler::Compiler`] — FIRRTL in, compiled kernel + OIM JSON out
+//!   (the full Figure 14 flow, with per-stage timings).
+//! - [`simulation::Simulation`] — named poke/peek (including internal
+//!   signals, the XMR path), cycle stepping, and profiled runs.
+//! - [`waveform::VcdWriter`] — change-detecting VCD generation (§6.2).
+//! - [`simulation::DebugModule`] — the DMI-style host↔DUT channel (§6.2).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rteaal_core::{Compiler, Simulation};
+//! use rteaal_kernels::{KernelConfig, KernelKind};
+//!
+//! let src = "\
+//! circuit Counter :
+//!   module Counter :
+//!     input clock : Clock
+//!     input reset : UInt<1>
+//!     output out : UInt<8>
+//!     regreset count : UInt<8>, clock, reset, UInt<8>(0)
+//!     count <= tail(add(count, UInt<8>(1)), 1)
+//!     out <= count
+//! ";
+//! let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(src)?;
+//! let mut sim = Simulation::new(compiled);
+//! sim.step_cycles(41);
+//! assert_eq!(sim.peek("out"), Some(41));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod clock;
+pub mod compiler;
+pub mod simulation;
+pub mod waveform;
+
+pub use clock::{clock_domains, is_single_clock, ClockDomain};
+pub use compiler::{Compiled, CompileError, Compiler, StageTimings};
+pub use simulation::{DebugModule, Simulation, UnknownSignal};
+pub use waveform::VcdWriter;

@@ -1,0 +1,261 @@
+//! The user-facing simulation handle: named I/O, XMR-style probing,
+//! waveforms, and DMI.
+
+use crate::compiler::Compiled;
+use crate::waveform::VcdWriter;
+use rteaal_dfg::plan::SimPlan;
+use rteaal_kernels::Kernel;
+use std::collections::HashMap;
+
+/// A running simulation of one compiled design.
+///
+/// # Examples
+///
+/// ```
+/// use rteaal_core::{Compiler, Simulation};
+/// use rteaal_kernels::{KernelConfig, KernelKind};
+///
+/// let src = "\
+/// circuit Acc :
+///   module Acc :
+///     input clock : Clock
+///     input x : UInt<8>
+///     output out : UInt<8>
+///     reg acc : UInt<8>, clock
+///     acc <= tail(add(acc, x), 1)
+///     out <= acc
+/// ";
+/// let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(src)?;
+/// let mut sim = Simulation::new(compiled);
+/// sim.poke("x", 7)?;
+/// sim.step_cycles(3);
+/// assert_eq!(sim.peek("out"), Some(21));
+/// assert_eq!(sim.peek("acc"), Some(21)); // internal signal (XMR)
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    kernel: Kernel,
+    plan: SimPlan,
+    input_index: HashMap<String, usize>,
+    probe_index: HashMap<String, (u32, u8)>,
+    vcd: Option<VcdWriter>,
+}
+
+/// Error for unknown signal names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSignal(pub String);
+
+impl std::fmt::Display for UnknownSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown signal: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSignal {}
+
+impl Simulation {
+    /// Wraps a compile result.
+    pub fn new(compiled: Compiled) -> Self {
+        let plan = compiled.plan;
+        let mut input_index = HashMap::new();
+        for (idx, &slot) in plan.input_slots.iter().enumerate() {
+            if let Some((name, _, _)) = plan.probes.iter().find(|(_, s, _)| *s == slot) {
+                input_index.insert(name.clone(), idx);
+            }
+        }
+        let probe_index =
+            plan.probes.iter().map(|(n, s, w)| (n.clone(), (*s, *w))).collect();
+        Simulation { kernel: compiled.kernel, plan, input_index, probe_index, vcd: None }
+    }
+
+    /// Drives an input port by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if no input port has this name.
+    pub fn poke(&mut self, name: &str, value: u64) -> Result<(), UnknownSignal> {
+        let idx = *self
+            .input_index
+            .get(name)
+            .ok_or_else(|| UnknownSignal(name.to_string()))?;
+        self.kernel.set_input(idx, value);
+        Ok(())
+    }
+
+    /// Reads any probed signal — output ports, registers, inputs, or named
+    /// internal nodes (the XMR front door, §6.2).
+    pub fn peek(&self, name: &str) -> Option<u64> {
+        if let Some(&(slot, _)) = self.probe_index.get(name) {
+            return Some(self.kernel.slot(slot));
+        }
+        self.kernel.output_by_name(name)
+    }
+
+    /// Advances one clock cycle (and records waveform changes if enabled).
+    pub fn step(&mut self) {
+        self.kernel.step();
+        if let Some(vcd) = &mut self.vcd {
+            vcd.sample(self.kernel.cycle(), |slot| self.kernel.slot(slot));
+        }
+    }
+
+    /// Advances `n` cycles.
+    pub fn step_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.kernel.cycle()
+    }
+
+    /// Enables VCD waveform capture over all probed signals.
+    pub fn enable_waveforms(&mut self) {
+        let signals: Vec<(String, u32, u8)> = self.plan.probes.clone();
+        let mut vcd = VcdWriter::new(&self.plan.name, &signals);
+        vcd.sample(self.kernel.cycle(), |slot| self.kernel.slot(slot));
+        self.vcd = Some(vcd);
+    }
+
+    /// Finishes waveform capture and returns the VCD text.
+    pub fn take_vcd(&mut self) -> Option<String> {
+        self.vcd.take().map(VcdWriter::finish)
+    }
+
+    /// The underlying kernel (for profiled runs).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// The plan (OIM content) this simulation executes.
+    pub fn plan(&self) -> &SimPlan {
+        &self.plan
+    }
+
+    /// All probe names (sorted) — the visible signal namespace.
+    pub fn signals(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.probe_index.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+/// The Debug Module Interface analog (§6.2 "Host–DUT Communication"):
+/// reads and updates DTM-like signals in the `LI` at cycle boundaries.
+#[derive(Debug)]
+pub struct DebugModule<'sim> {
+    sim: &'sim mut Simulation,
+}
+
+impl<'sim> DebugModule<'sim> {
+    /// Attaches to a simulation.
+    pub fn new(sim: &'sim mut Simulation) -> Self {
+        DebugModule { sim }
+    }
+
+    /// Writes a register's architectural state directly (between cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if the name is not a probed register.
+    pub fn poke_reg(&mut self, name: &str, value: u64) -> Result<(), UnknownSignal> {
+        let &(slot, _) = self
+            .sim
+            .probe_index
+            .get(name)
+            .ok_or_else(|| UnknownSignal(name.to_string()))?;
+        self.sim.kernel.poke_slot(slot, value);
+        Ok(())
+    }
+
+    /// Reads a register or signal.
+    pub fn peek_reg(&self, name: &str) -> Option<u64> {
+        self.sim.peek(name)
+    }
+
+    /// Runs the DUT until `signal` becomes nonzero or `max_cycles`
+    /// elapse; returns the cycle count if the condition was met.
+    pub fn run_until(&mut self, signal: &str, max_cycles: u64) -> Option<u64> {
+        for _ in 0..max_cycles {
+            if self.sim.peek(signal).unwrap_or(0) != 0 {
+                return Some(self.sim.cycle());
+            }
+            self.sim.step();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use rteaal_kernels::{KernelConfig, KernelKind};
+
+    const SRC: &str = "\
+circuit S :
+  module S :
+    input clock : Clock
+    input x : UInt<8>
+    output out : UInt<8>
+    output big : UInt<1>
+    reg acc : UInt<8>, clock
+    node sum = tail(add(acc, x), 1)
+    acc <= sum
+    out <= acc
+    big <= gt(acc, UInt<8>(100))
+";
+
+    fn sim(kind: KernelKind) -> Simulation {
+        Simulation::new(
+            Compiler::new(KernelConfig::new(kind)).compile_str(SRC).unwrap(),
+        )
+    }
+
+    #[test]
+    fn poke_peek_roundtrip() {
+        let mut s = sim(KernelKind::Psu);
+        s.poke("x", 10).unwrap();
+        s.step_cycles(5);
+        assert_eq!(s.peek("out"), Some(50));
+        assert_eq!(s.peek("acc"), Some(50));
+        assert!(s.poke("nope", 1).is_err());
+        assert_eq!(s.peek("ghost"), None);
+    }
+
+    #[test]
+    fn signals_enumerates_namespace() {
+        let s = sim(KernelKind::Ti);
+        let names = s.signals();
+        assert!(names.contains(&"acc"));
+        assert!(names.contains(&"x"));
+    }
+
+    #[test]
+    fn dmi_poke_and_run_until() {
+        let mut s = sim(KernelKind::Nu);
+        s.poke("x", 1).unwrap();
+        let mut dmi = DebugModule::new(&mut s);
+        dmi.poke_reg("acc", 95).unwrap();
+        // acc crosses 100 within a few cycles.
+        let cycle = dmi.run_until("big", 20).expect("condition reached");
+        assert!(cycle <= 10);
+        assert!(dmi.peek_reg("acc").unwrap() > 100);
+    }
+
+    #[test]
+    fn vcd_capture_produces_transitions() {
+        let mut s = sim(KernelKind::Su);
+        s.enable_waveforms();
+        s.poke("x", 3).unwrap();
+        s.step_cycles(4);
+        let vcd = s.take_vcd().unwrap();
+        assert!(vcd.contains("$var"));
+        assert!(vcd.contains("acc"));
+        assert!(vcd.contains("#1"));
+        assert!(vcd.contains("#4"));
+    }
+}

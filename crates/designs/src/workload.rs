@@ -1,0 +1,166 @@
+//! Workload definitions: the designs × benchmarks grid of paper §7.1.
+//!
+//! Table 3 gives the simulation cycle counts (dhrystone on RocketChip and
+//! BOOM, `matrix_add` on Gemmini, `sha3-rocc` on SHA3). The real
+//! testbenches need a software stack we cannot ship, so each workload
+//! pairs a design with a deterministic stimulus driver (reset followed by
+//! pseudo-random input toggling from a splitmix generator) and a *scaled*
+//! cycle budget (`cycles = table3 / divisor`), per DESIGN.md §4.2.
+
+use crate::chip::{gemmini, rocket, small_boom, ChipConfig};
+use crate::sha3::sha3;
+use rteaal_firrtl::ast::Circuit;
+
+/// Table 3 simulation cycle counts (thousands).
+pub const TABLE3_KCYCLES: [(&str, u64); 6] = [
+    ("rocket", 540),
+    ("boom", 750),
+    ("gemmini-8", 160),
+    ("gemmini-16", 350),
+    ("gemmini-32", 1100),
+    ("sha3", 1200),
+];
+
+/// A design paired with its benchmark stimulus.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short id (`r1`, `s8`, `g16`, `sha3`, …).
+    pub id: String,
+    /// Human-readable description.
+    pub description: String,
+    /// The design.
+    pub circuit: Circuit,
+    /// Full (paper-scale) cycle budget.
+    pub full_cycles: u64,
+    /// Stimulus generator state.
+    seed: u64,
+}
+
+impl Workload {
+    fn new(id: impl Into<String>, desc: impl Into<String>, circuit: Circuit, kcycles: u64) -> Self {
+        let id = id.into();
+        let seed = 0x5eed ^ id.bytes().fold(0u64, |a, b| a.wrapping_mul(31).wrapping_add(b as u64));
+        Workload {
+            id,
+            description: desc.into(),
+            circuit,
+            full_cycles: kcycles * 1000,
+            seed,
+        }
+    }
+
+    /// RocketChip running the dhrystone analog.
+    pub fn rocket(cores: usize) -> Workload {
+        Workload::new(
+            format!("r{cores}"),
+            format!("{cores}-core RocketChip, dhrystone"),
+            rocket(ChipConfig::new(cores)),
+            540,
+        )
+    }
+
+    /// SmallBOOM running the dhrystone analog.
+    pub fn small_boom(cores: usize) -> Workload {
+        Workload::new(
+            format!("s{cores}"),
+            format!("{cores}-core SmallBOOM, dhrystone"),
+            small_boom(ChipConfig::new(cores)),
+            750,
+        )
+    }
+
+    /// Gemmini running `matrix_add` on a `dim × dim` mesh.
+    pub fn gemmini(dim: usize) -> Workload {
+        let kcycles = match dim {
+            d if d <= 8 => 160,
+            d if d <= 16 => 350,
+            _ => 1100,
+        };
+        Workload::new(
+            format!("g{dim}"),
+            format!("{dim}x{dim} Gemmini, matrix_add"),
+            gemmini(dim.min(16)), // mesh capped for laptop-scale runs
+            kcycles,
+        )
+    }
+
+    /// SHA3 running `sha3-rocc`.
+    pub fn sha3() -> Workload {
+        Workload::new("sha3", "SHA3 accelerator, sha3-rocc", sha3(), 1200)
+    }
+
+    /// The paper's main-evaluation grid (Figure 20 x-axis): RocketChips,
+    /// SmallBOOMs, Gemminis, SHA3.
+    pub fn main_grid() -> Vec<Workload> {
+        vec![
+            Workload::rocket(1),
+            Workload::rocket(4),
+            Workload::rocket(8),
+            Workload::small_boom(1),
+            Workload::small_boom(4),
+            Workload::small_boom(8),
+            Workload::gemmini(8),
+            Workload::gemmini(16),
+            Workload::sha3(),
+        ]
+    }
+
+    /// Scaled cycle budget for a given divisor (CI-friendly runs).
+    pub fn cycles(&self, divisor: u64) -> u64 {
+        (self.full_cycles / divisor.max(1)).max(10)
+    }
+
+    /// Advances the stimulus generator and returns the next input vector
+    /// value (splitmix64 — deterministic across all simulators).
+    pub fn next_stimulus(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_budgets() {
+        assert_eq!(Workload::rocket(1).full_cycles, 540_000);
+        assert_eq!(Workload::small_boom(8).full_cycles, 750_000);
+        assert_eq!(Workload::gemmini(8).full_cycles, 160_000);
+        assert_eq!(Workload::sha3().full_cycles, 1_200_000);
+    }
+
+    #[test]
+    fn cycle_scaling() {
+        let w = Workload::sha3();
+        assert_eq!(w.cycles(1000), 1200);
+        assert_eq!(w.cycles(0), w.full_cycles);
+        assert!(w.cycles(u64::MAX) >= 10);
+    }
+
+    #[test]
+    fn stimulus_is_deterministic_per_workload() {
+        let mut a = Workload::rocket(1);
+        let mut b = Workload::rocket(1);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_stimulus()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_stimulus()).collect();
+        assert_eq!(xs, ys);
+        // Different workloads diverge.
+        let mut c = Workload::rocket(4);
+        assert_ne!(xs[0], c.next_stimulus());
+    }
+
+    #[test]
+    fn main_grid_covers_all_designs() {
+        let grid = Workload::main_grid();
+        assert_eq!(grid.len(), 9);
+        let ids: Vec<&str> = grid.iter().map(|w| w.id.as_str()).collect();
+        assert!(ids.contains(&"r8"));
+        assert!(ids.contains(&"s4"));
+        assert!(ids.contains(&"g16"));
+        assert!(ids.contains(&"sha3"));
+    }
+}

@@ -1,0 +1,303 @@
+//! The dataflow-graph IR.
+//!
+//! A [`Graph`] is the middle representation of Figure 1 (paper §2.1): nodes
+//! are primitive operations, edges are data flow. Sources are inputs,
+//! register state, and constants; sinks are output ports and register
+//! next-state values.
+//!
+//! Construction hash-conses nodes (structural deduplication), so building
+//! from a `FlatModule` with heavily shared expressions stays linear in the
+//! number of distinct operations.
+
+use crate::op::{DfgOp, OpClass};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A dataflow-graph node: one primitive operation instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// The operation.
+    pub op: DfgOp,
+    /// Static parameters (bit indices, shift amounts, widths, const value).
+    pub params: Vec<u64>,
+    /// Operand node ids, in operand order (the `O` rank).
+    pub operands: Vec<NodeId>,
+    /// Result width in bits.
+    pub width: u32,
+    /// Whether the result is signed (canonical form sign-extended).
+    pub signed: bool,
+    /// Source-level name, if the node corresponds to a named signal.
+    pub name: Option<String>,
+}
+
+/// A register: its state node, next-state driver, and power-on value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegDef {
+    /// The `RegState` node read by consumers.
+    pub state: NodeId,
+    /// The node computing the next value (committed at cycle end).
+    pub next: NodeId,
+    /// Power-on value (canonical form).
+    pub init: u64,
+    /// Hierarchical register name.
+    pub name: String,
+}
+
+/// The dataflow graph of a flattened design.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    /// Hash-consing table: structural key -> existing node.
+    cons: HashMap<(DfgOp, Vec<u64>, Vec<NodeId>, u32, bool), NodeId>,
+    /// Input nodes, in port order.
+    pub inputs: Vec<NodeId>,
+    /// Registers, in declaration order.
+    pub regs: Vec<RegDef>,
+    /// Output ports: name and driving node.
+    pub outputs: Vec<(String, NodeId)>,
+    /// Design name.
+    pub name: String,
+}
+
+impl Graph {
+    /// Creates an empty graph for a design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph { name: name.into(), ..Graph::default() }
+    }
+
+    /// Number of nodes (including sources and dead nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node (passes rewriting in place).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Iterates `(id, node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Adds a *source* node (input/register state); never hash-consed.
+    pub fn add_source(&mut self, op: DfgOp, width: u32, signed: bool, name: String) -> NodeId {
+        debug_assert_eq!(op.class(), OpClass::Source);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op,
+            params: vec![],
+            operands: vec![],
+            width,
+            signed,
+            name: Some(name),
+        });
+        id
+    }
+
+    /// Adds (or reuses, via hash-consing) an operation node.
+    pub fn add_op(
+        &mut self,
+        op: DfgOp,
+        params: Vec<u64>,
+        operands: Vec<NodeId>,
+        width: u32,
+        signed: bool,
+    ) -> NodeId {
+        if let Some(arity) = op.arity() {
+            debug_assert_eq!(operands.len(), arity, "{op}: wrong operand count");
+        }
+        let key = (op, params, operands, width, signed);
+        if let Some(&id) = self.cons.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        let (op, params, operands, width, signed) = key.clone();
+        self.nodes.push(Node { op, params, operands, width, signed, name: None });
+        self.cons.insert(key, id);
+        id
+    }
+
+    /// Adds a constant node with the given canonical value.
+    pub fn add_const(&mut self, value: u64, width: u32, signed: bool) -> NodeId {
+        let canonical = crate::op::canonicalize(value, width, signed);
+        self.add_op(DfgOp::Const, vec![canonical], vec![], width, signed)
+    }
+
+    /// Attaches a source-level name to a node (used for waveforms / XMR).
+    pub fn set_name(&mut self, id: NodeId, name: impl Into<String>) {
+        self.nodes[id.index()].name = Some(name.into());
+    }
+
+    /// Finds a node by source-level name (linear scan; intended for tests
+    /// and the XMR front door, not hot paths).
+    pub fn find_by_name(&self, name: &str) -> Option<NodeId> {
+        self.iter().find(|(_, n)| n.name.as_deref() == Some(name)).map(|(id, _)| id)
+    }
+
+    /// Topological order of all *operation* nodes (sources excluded),
+    /// following operand edges. Register state nodes are cut points, so the
+    /// graph restricted to one cycle is acyclic by construction.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 visiting, 2 done
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        let mut roots: Vec<NodeId> = self.outputs.iter().map(|(_, id)| *id).collect();
+        roots.extend(self.regs.iter().map(|r| r.next));
+        for root in roots {
+            if state[root.index()] != 0 {
+                continue;
+            }
+            stack.push((root, 0));
+            state[root.index()] = 1;
+            while let Some(&mut (id, ref mut child)) = stack.last_mut() {
+                let node = &self.nodes[id.index()];
+                if node.op.class() == OpClass::Source {
+                    state[id.index()] = 2;
+                    stack.pop();
+                    continue;
+                }
+                if *child < node.operands.len() {
+                    let next = node.operands[*child];
+                    *child += 1;
+                    match state[next.index()] {
+                        0 => {
+                            state[next.index()] = 1;
+                            stack.push((next, 0));
+                        }
+                        1 => panic!(
+                            "combinational cycle through {} (build should have rejected it)",
+                            next
+                        ),
+                        _ => {}
+                    }
+                } else {
+                    state[id.index()] = 2;
+                    order.push(id);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    /// Histogram of live (reachable) operation counts per opcode, plus the
+    /// total. Sources are excluded.
+    pub fn op_histogram(&self) -> HashMap<DfgOp, usize> {
+        let mut hist = HashMap::new();
+        for id in self.topo_order() {
+            *hist.entry(self.nodes[id.index()].op).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Number of live operation nodes (the paper's "effectual operations").
+    pub fn effectual_ops(&self) -> usize {
+        self.topo_order().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Graph {
+        // out = (a + r); r' = out
+        let mut g = Graph::new("tiny");
+        let a = g.add_source(DfgOp::Input, 8, false, "a".into());
+        g.inputs.push(a);
+        let r = g.add_source(DfgOp::RegState, 8, false, "r".into());
+        let sum = g.add_op(DfgOp::Add, vec![], vec![a, r], 8, false);
+        g.regs.push(RegDef { state: r, next: sum, init: 0, name: "r".into() });
+        g.outputs.push(("out".into(), sum));
+        g
+    }
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut g = tiny();
+        let a = g.inputs[0];
+        let r = g.regs[0].state;
+        let before = g.len();
+        let dup = g.add_op(DfgOp::Add, vec![], vec![a, r], 8, false);
+        assert_eq!(g.len(), before);
+        assert_eq!(dup, g.regs[0].next);
+        // Different width is a different node.
+        let other = g.add_op(DfgOp::Add, vec![], vec![a, r], 9, false);
+        assert_ne!(other, dup);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let mut g = tiny();
+        let sum = g.regs[0].next;
+        let sq = g.add_op(DfgOp::Mul, vec![], vec![sum, sum], 8, false);
+        g.outputs.push(("sq".into(), sq));
+        let order = g.topo_order();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(sum) < pos(sq));
+        // Sources do not appear.
+        assert!(!order.contains(&g.inputs[0]));
+    }
+
+    #[test]
+    fn histogram_counts_live_ops_only() {
+        let mut g = tiny();
+        // A dead node: never referenced by outputs or reg nexts.
+        let a = g.inputs[0];
+        g.add_op(DfgOp::Not, vec![], vec![a], 8, false);
+        let hist = g.op_histogram();
+        assert_eq!(hist.get(&DfgOp::Add), Some(&1));
+        assert_eq!(hist.get(&DfgOp::Not), None);
+        assert_eq!(g.effectual_ops(), 1);
+    }
+
+    #[test]
+    fn const_nodes_store_canonical_values() {
+        let mut g = Graph::new("c");
+        let c = g.add_const(0b1100, 4, true); // -4 sign-extended
+        assert_eq!(g.node(c).params[0] as i64, -4);
+        let c2 = g.add_const((-4i64) as u64, 4, true);
+        assert_eq!(c, c2); // canonical form makes them identical
+    }
+
+    #[test]
+    fn find_by_name_works() {
+        let g = tiny();
+        assert_eq!(g.find_by_name("a"), Some(g.inputs[0]));
+        assert_eq!(g.find_by_name("r"), Some(g.regs[0].state));
+        assert_eq!(g.find_by_name("ghost"), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! # rteaal-dfg
+//!
+//! Dataflow-graph middle end of the RTeAAL Sim reproduction.
+//!
+//! Implements the compiler pipeline of paper Figure 14 between the FIRRTL
+//! front end and `OIM` generation:
+//!
+//! - [`build`]: dataflow-graph construction from a flattened module, with
+//!   hash-consing (CSE) and monomorphization of FIRRTL's polymorphic ops
+//!   into the [`op::DfgOp`] set.
+//! - [`passes`]: constant folding, copy propagation, mux-chain operator
+//!   fusion, and dead-code elimination (paper §6.1, Box 1, Appendix B).
+//! - [`level`]: levelization (§4.2) and identity-operation accounting
+//!   (§4.3, Table 1).
+//! - [`plan`]: coordinate assignment for the `I, S, N, O, R` ranks with
+//!   identity elision, producing a [`plan::SimPlan`] — the logical content
+//!   of the `OIM` tensor.
+//! - [`interp`]: the reference cycle-level interpreter every other
+//!   simulator in the workspace is differentially tested against.
+//!
+//! ## Example
+//!
+//! ```
+//! use rteaal_firrtl::{parser::parse, lower::lower_typed};
+//! use rteaal_dfg::{build, passes, plan};
+//!
+//! let src = "\
+//! circuit Blinky :
+//!   module Blinky :
+//!     input clock : Clock
+//!     output led : UInt<1>
+//!     reg r : UInt<4>, clock
+//!     r <= tail(add(r, UInt<4>(1)), 1)
+//!     led <= bits(r, 3, 3)
+//! ";
+//! let graph = build(&lower_typed(&parse(src)?)?)?;
+//! let (graph, stats) = passes::optimize(&graph, &passes::PassOptions::default());
+//! assert_eq!(stats.chains_fused, 0);
+//! let plan = plan::plan(&graph);
+//! assert!(plan.stats.layers >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod build;
+pub mod error;
+pub mod graph;
+pub mod interp;
+pub mod level;
+pub mod op;
+pub mod passes;
+pub mod plan;
+
+pub use build::build;
+pub use error::{DfgError, Result};
+pub use graph::{Graph, Node, NodeId, RegDef};
+pub use op::{DfgOp, OpClass};
+pub use plan::{OpInst, PlanSim, SimPlan};

@@ -1,0 +1,267 @@
+//! Execution of extended-Einsum actions over fibers.
+//!
+//! Implements the three EDGE actions (paper §2.4) as fiber operations:
+//!
+//! - [`map_fibers`] — combines two fibers under a coordinate operator,
+//!   producing the *map temporaries*.
+//! - [`reduce_fiber`] — aggregates a fiber into a *reduce temporary*,
+//!   visiting coordinates in ascending order (the ordering constraint the
+//!   paper imposes on the `O` rank for non-commutative operators, §4.1).
+//! - [`populate_fiber`] — applies a populate coordinate operator to an
+//!   entire fiber at once (Appendix A; used for `max2` and `op_s[n]`).
+//! - [`iterate`] — drives an Einsum with an iterative rank (§2.4,
+//!   prefix-sum example, Algorithm 1).
+
+use crate::notation::CoordOp;
+use rteaal_tensor::fibertree::Fiber;
+
+/// Applies the map action: combine `a` and `b` into map temporaries.
+///
+/// The coordinate operator selects which coordinates are evaluated; the
+/// `compute` closure receives the (possibly empty) payloads and returns
+/// the temporary, or `None` to leave the output empty.
+///
+/// # Examples
+///
+/// Elementwise multiply at the intersection (step 1 of the Figure 3 dot
+/// product):
+///
+/// ```
+/// use rteaal_einsum::eval::map_fibers;
+/// use rteaal_einsum::notation::CoordOp;
+/// use rteaal_tensor::fibertree::Fiber;
+/// let a = Fiber::from_values(3, [(0, 2), (1, 4)]);
+/// let b = Fiber::from_values(3, [(0, 3), (1, 2), (2, 9)]);
+/// let t = map_fibers(&a, &b, CoordOp::Intersect, |x, y| Some(x? * y?));
+/// assert_eq!(t.value_at(0), Some(6));
+/// assert_eq!(t.value_at(1), Some(8));
+/// assert_eq!(t.value_at(2), None); // a is empty at 2
+/// ```
+pub fn map_fibers(
+    a: &Fiber,
+    b: &Fiber,
+    coord: CoordOp,
+    compute: impl Fn(Option<u64>, Option<u64>) -> Option<u64>,
+) -> Fiber {
+    let shape = a.shape().max(b.shape());
+    let mut out = Fiber::new(shape);
+    let coords: Vec<usize> = match coord {
+        CoordOp::Intersect => a
+            .iter_values()
+            .map(|(c, _)| c)
+            .filter(|&c| b.value_at(c).is_some())
+            .collect(),
+        CoordOp::Union => {
+            let mut cs: Vec<usize> = a.iter_values().map(|(c, _)| c).collect();
+            cs.extend(b.iter_values().map(|(c, _)| c));
+            cs.sort_unstable();
+            cs.dedup();
+            cs
+        }
+        CoordOp::TakeLeft => a.iter_values().map(|(c, _)| c).collect(),
+        CoordOp::TakeRight => b.iter_values().map(|(c, _)| c).collect(),
+        CoordOp::PassThrough => (0..shape).collect(),
+        CoordOp::Custom(name) => panic!("custom coordinate operator {name} needs populate_fiber"),
+    };
+    for c in coords {
+        if let Some(v) = compute(a.value_at(c), b.value_at(c)) {
+            out.set_value(c, v);
+        }
+    }
+    out
+}
+
+/// Applies a unary map action (single input tensor, §2.4 Einsum 3): the
+/// coordinate operator is take-left, the compute operator transforms each
+/// non-empty value.
+pub fn map_unary(a: &Fiber, compute: impl Fn(u64) -> u64) -> Fiber {
+    let mut out = Fiber::new(a.shape());
+    for (c, v) in a.iter_values() {
+        out.set_value(c, compute(v));
+    }
+    out
+}
+
+/// Applies the reduce action over a fiber, in coordinate-ascending order.
+///
+/// `compute(acc, new)` combines the running reduce temporary with the next
+/// map temporary; when no temporary exists yet, the map temporary is
+/// copied in (paper §2.4). Returns `None` for an empty fiber.
+///
+/// # Examples
+///
+/// Summing only the non-empty elements (paper Einsum 4):
+///
+/// ```
+/// use rteaal_einsum::eval::reduce_fiber;
+/// use rteaal_tensor::fibertree::Fiber;
+/// let a = Fiber::from_values(4, [(0, 6), (2, 8)]);
+/// assert_eq!(reduce_fiber(&a, |acc, v| acc + v), Some(14));
+/// ```
+pub fn reduce_fiber(a: &Fiber, compute: impl Fn(u64, u64) -> u64) -> Option<u64> {
+    let mut acc: Option<u64> = None;
+    for (_, v) in a.iter_values() {
+        acc = Some(match acc {
+            None => v,
+            Some(prev) => compute(prev, v),
+        });
+    }
+    acc
+}
+
+/// Applies a populate coordinate operator to a whole fiber (Appendix A):
+/// the operator sees the entire reduce-temporary fiber and decides which
+/// points of the output fiber to keep, update, or delete.
+pub fn populate_fiber(reduce_tmp: &Fiber, op: impl Fn(&Fiber) -> Fiber) -> Fiber {
+    op(reduce_tmp)
+}
+
+/// The `max2` populate coordinate operator of paper Einsum 14 / Figure 22:
+/// keeps the two largest values (by value, ties broken toward lower
+/// coordinates), preserving their coordinates.
+pub fn max2(fiber: &Fiber) -> Fiber {
+    let mut entries: Vec<(usize, u64)> = fiber.iter_values().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries.truncate(2);
+    let mut out = Fiber::new(fiber.shape());
+    for (c, v) in entries {
+        out.set_value(c, v);
+    }
+    out
+}
+
+/// Drives an Einsum with an iterative rank (paper §2.4): starting from
+/// `init`, applies `step(state, i)` for `i in 0..len`, recording every
+/// intermediate state. Returns the fiber `S` of shape `len + 1` with
+/// `S_0 = init` (zeros stay empty, matching the sparse identification).
+///
+/// # Examples
+///
+/// The prefix-sum Einsum `S_{i+1} = S_i · A_i :: ∧+(∪)` (Algorithm 1):
+///
+/// ```
+/// use rteaal_einsum::eval::iterate;
+/// use rteaal_tensor::fibertree::Fiber;
+/// let a = Fiber::from_values(4, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let s = iterate(0, 4, |state, i| state + a.value_at(i).unwrap_or(0));
+/// assert_eq!(s.value_at(4), Some(10));
+/// assert_eq!(s.value_at(2), Some(3));
+/// assert_eq!(s.value_at(0), None); // S_0 = 0 is an empty payload
+/// ```
+pub fn iterate(init: u64, len: usize, step: impl Fn(u64, usize) -> u64) -> Fiber {
+    let mut out = Fiber::new(len + 1);
+    let mut state = init;
+    if state != 0 {
+        out.set_value(0, state);
+    }
+    for i in 0..len {
+        state = step(state, i);
+        if state != 0 {
+            out.set_value(i + 1, state);
+        }
+    }
+    out
+}
+
+/// Full dot product (paper Figure 3): map ×(∩), reduce +(∪), populate
+/// pass-through.
+pub fn dot_product(a: &Fiber, b: &Fiber) -> u64 {
+    let tmp = map_fibers(a, b, CoordOp::Intersect, |x, y| Some(x? * y?));
+    reduce_fiber(&tmp, |acc, v| acc + v).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_dot_product_stepwise() {
+        // A = [2, 4], B = [3, 2, 7]: temporaries [6, 8], reduce 14.
+        let a = Fiber::from_values(3, [(0, 2), (1, 4)]);
+        let b = Fiber::from_values(3, [(0, 3), (1, 2), (2, 7)]);
+        let tmp = map_fibers(&a, &b, CoordOp::Intersect, |x, y| Some(x? * y?));
+        assert_eq!(tmp.occupancy(), 2);
+        assert_eq!(tmp.value_at(0), Some(6));
+        assert_eq!(tmp.value_at(1), Some(8));
+        let reduced = reduce_fiber(&tmp, |acc, v| acc + v);
+        assert_eq!(reduced, Some(14));
+        // Pass-through populate changes nothing.
+        assert_eq!(dot_product(&a, &b), 14);
+    }
+
+    #[test]
+    fn einsum_2_take_left_of_take_right() {
+        // Z_m = A_m · B_m :: ∧←(→): A's values where B is non-empty.
+        let a = Fiber::from_values(4, [(0, 3), (1, 7), (2, 2)]);
+        let b = Fiber::from_values(4, [(0, 1), (2, 1), (3, 1)]);
+        let z = map_fibers(&a, &b, CoordOp::TakeRight, |x, _| x);
+        assert_eq!(z.value_at(0), Some(3));
+        assert_eq!(z.value_at(1), None); // B empty at 1
+        assert_eq!(z.value_at(2), Some(2));
+        assert_eq!(z.value_at(3), None); // A empty at 3: nothing to take
+    }
+
+    #[test]
+    fn einsum_3_copies_nonempty() {
+        let a = Fiber::from_values(5, [(1, 9), (4, 2)]);
+        let z = map_unary(&a, |v| v);
+        assert_eq!(z, a);
+    }
+
+    #[test]
+    fn einsum_4_sums_nonempty() {
+        let a = Fiber::from_values(5, [(1, 9), (4, 2)]);
+        assert_eq!(reduce_fiber(&a, |acc, v| acc + v), Some(11));
+        assert_eq!(reduce_fiber(&Fiber::new(3), |acc, v| acc + v), None);
+    }
+
+    #[test]
+    fn reduce_is_coordinate_ordered_for_noncommutative_ops() {
+        // Subtraction order matters: ((10 - 3) - 2) = 5.
+        let a = Fiber::from_values(5, [(2, 3), (0, 10), (4, 2)]);
+        assert_eq!(reduce_fiber(&a, |acc, v| acc - v), Some(5));
+    }
+
+    #[test]
+    fn union_map_covers_either_side() {
+        let a = Fiber::from_values(4, [(0, 1), (2, 5)]);
+        let b = Fiber::from_values(4, [(2, 3), (3, 4)]);
+        let z = map_fibers(&a, &b, CoordOp::Union, |x, y| {
+            Some(x.unwrap_or(0) + y.unwrap_or(0))
+        });
+        assert_eq!(z.value_at(0), Some(1));
+        assert_eq!(z.value_at(2), Some(8));
+        assert_eq!(z.value_at(3), Some(4));
+        assert_eq!(z.occupancy(), 3);
+    }
+
+    #[test]
+    fn einsum_14_max2_populate() {
+        // Figure 22: keep the two largest values of A, coordinates intact.
+        let a = Fiber::from_values(4, [(0, 1), (1, 2), (2, 2), (3, 4)]);
+        let b = populate_fiber(&a, max2);
+        assert_eq!(b.occupancy(), 2);
+        assert_eq!(b.value_at(3), Some(4));
+        assert_eq!(b.value_at(1), Some(2)); // tie broken toward lower coord
+        assert_eq!(b.value_at(2), None);
+    }
+
+    #[test]
+    fn prefix_sum_matches_algorithm_1() {
+        let a = Fiber::from_values(5, [(0, 5), (2, 1), (3, 2)]);
+        let s = iterate(0, 5, |state, i| state + a.value_at(i).unwrap_or(0));
+        // S = [0, 5, 5, 6, 8, 8]; zeros empty.
+        assert_eq!(s.value_at(0), None);
+        assert_eq!(s.value_at(1), Some(5));
+        assert_eq!(s.value_at(2), Some(5));
+        assert_eq!(s.value_at(3), Some(6));
+        assert_eq!(s.value_at(5), Some(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "custom coordinate operator")]
+    fn custom_coord_needs_populate() {
+        let a = Fiber::new(1);
+        map_fibers(&a, &a, CoordOp::Custom("max2"), |x, _| x);
+    }
+}

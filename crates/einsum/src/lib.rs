@@ -1,0 +1,39 @@
+//! # rteaal-einsum
+//!
+//! Extended (EDGE) Einsums and the RTeAAL Sim cascade golden model.
+//!
+//! - [`notation`]: the EDGE notation layer (paper §2.3–2.4) — map/reduce/
+//!   populate actions with compute and coordinate operators, Einsums,
+//!   cascades, and a renderer that reproduces the paper's formulas
+//!   (including [`notation::rteaal_cascade`], Cascade 1 itself).
+//! - [`eval`]: executable action semantics over fibers, with the paper's
+//!   worked examples (Figure 3 dot product, take-left/right, prefix sum,
+//!   the `max2` populate operator of Appendix A) as tests.
+//! - [`cascade`]: [`cascade::CascadeSim`], a golden model that simulates a
+//!   design by *traversing the OIM fibertree* per Cascade 1 — a second,
+//!   independent implementation of RTL-simulation-as-tensor-algebra that
+//!   the optimized kernels are differentially tested against.
+//! - [`repcut`]: the RepCut cascade of Appendix C (Cascade 2) as an
+//!   executable partitioned simulator with replication and `RUM`-driven
+//!   synchronization.
+//!
+//! ## Example
+//!
+//! ```
+//! use rteaal_einsum::eval::dot_product;
+//! use rteaal_tensor::fibertree::Fiber;
+//!
+//! // Paper Figure 3: map ×(∩), reduce +(∪).
+//! let a = Fiber::from_values(3, [(0, 2), (1, 4)]);
+//! let b = Fiber::from_values(3, [(0, 3), (1, 2), (2, 7)]);
+//! assert_eq!(dot_product(&a, &b), 14);
+//! ```
+
+pub mod cascade;
+pub mod eval;
+pub mod notation;
+pub mod repcut;
+
+pub use cascade::CascadeSim;
+pub use notation::{Action, Cascade, ComputeOp, CoordOp, Einsum, TensorRef};
+pub use repcut::RepCutSim;

@@ -1,0 +1,346 @@
+//! Executable model of the RepCut simulation cascade (paper Appendix C,
+//! Cascade 2).
+//!
+//! RepCut [Wang & Beamer 2023] partitions the dataflow graph into `C`
+//! fully decoupled sectors by *replicating* the shared fan-in of each
+//! sector (a data-level optimization in the extended TeAAL hierarchy,
+//! Box 1). Every register is *updated* in exactly one partition; at the
+//! end of each cycle the `RUM` (register update map) tensor propagates the
+//! updated values to every partition that reads them — the extra
+//! `LI_{c+1} = LI_{c,I} · RUM` Einsum that distinguishes Cascade 2 from
+//! Cascade 1.
+//!
+//! [`RepCutSim`] implements exactly that: per-partition cones with
+//! replication, per-partition `LI` copies, and a `RUM`-driven
+//! synchronization step, with an optional threaded execution path
+//! ("parallelize across partitions", Box 1 mapping level).
+
+use rteaal_dfg::{OpInst, SimPlan};
+use std::collections::HashSet;
+
+/// One RepCut partition: the replicated cone needed to update its
+/// registers (plus, for partition 0, the design outputs).
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Filtered layers (same layer structure as the source plan).
+    layers: Vec<Vec<OpInst>>,
+    /// This partition's private `LI` copy.
+    li: Vec<u64>,
+    /// Registers *owned* (updated) by this partition: `(slot, next slot)`.
+    commits: Vec<(u32, u32)>,
+}
+
+/// An entry of the register update map: where a register is updated and
+/// who reads it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RumEntry {
+    /// The register's `LI` slot.
+    pub slot: u32,
+    /// Partition that updates it.
+    pub owner: usize,
+    /// Partitions that read it (differential exchange: only actual
+    /// readers receive the value).
+    pub readers: Vec<usize>,
+}
+
+/// Partitioned, replication-aided simulator (Cascade 2).
+#[derive(Debug, Clone)]
+pub struct RepCutSim {
+    partitions: Vec<Partition>,
+    rum: Vec<RumEntry>,
+    input_slots: Vec<u32>,
+    input_types: Vec<(u8, bool)>,
+    output_slots: Vec<(String, u32)>,
+    /// Total ops across partitions (>= the unpartitioned op count).
+    replicated_ops: usize,
+    /// Ops in the unpartitioned plan.
+    base_ops: usize,
+    cycle: u64,
+}
+
+impl RepCutSim {
+    /// Partitions a plan into `num_partitions` sectors by round-robin
+    /// register assignment, replicating each sector's full fan-in cone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_partitions` is zero.
+    pub fn new(plan: &SimPlan, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        // Producer map: slot -> (layer, index within layer).
+        let mut producer: Vec<Option<(usize, usize)>> = vec![None; plan.num_slots];
+        for (i, layer) in plan.layers.iter().enumerate() {
+            for (k, op) in layer.iter().enumerate() {
+                producer[op.out as usize] = Some((i, k));
+            }
+        }
+        // Round-robin register ownership.
+        let mut roots: Vec<Vec<u32>> = vec![Vec::new(); num_partitions]; // next slots
+        let mut commits: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_partitions];
+        for (r, &(dst, src)) in plan.commits.iter().enumerate() {
+            let p = r % num_partitions;
+            roots[p].push(src);
+            commits[p].push((dst, src));
+        }
+        // Outputs belong to partition 0.
+        for (_, s) in &plan.output_slots {
+            roots[0].push(*s);
+        }
+        // Backward closure per partition.
+        let mut partitions = Vec::with_capacity(num_partitions);
+        let mut read_regs: Vec<HashSet<u32>> = vec![HashSet::new(); num_partitions];
+        let reg_slots: HashSet<u32> = plan.commits.iter().map(|&(dst, _)| dst).collect();
+        let mut replicated_ops = 0;
+        for p in 0..num_partitions {
+            let mut included: HashSet<(usize, usize)> = HashSet::new();
+            let mut work: Vec<u32> = roots[p].clone();
+            let mut seen: HashSet<u32> = HashSet::new();
+            while let Some(slot) = work.pop() {
+                if !seen.insert(slot) {
+                    continue;
+                }
+                if reg_slots.contains(&slot) {
+                    read_regs[p].insert(slot);
+                }
+                if let Some(loc) = producer[slot as usize] {
+                    if included.insert(loc) {
+                        let op = &plan.layers[loc.0][loc.1];
+                        work.extend(op.ins.iter().copied());
+                    }
+                }
+            }
+            let layers: Vec<Vec<OpInst>> = plan
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(i, layer)| {
+                    layer
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| included.contains(&(i, *k)))
+                        .map(|(_, op)| op.clone())
+                        .collect()
+                })
+                .collect();
+            replicated_ops += included.len();
+            partitions.push(Partition {
+                layers,
+                li: plan.init_values.clone(),
+                commits: commits[p].clone(),
+            });
+        }
+        // RUM: for each register, its owner and actual readers.
+        let mut rum = Vec::with_capacity(plan.commits.len());
+        for (r, &(dst, _)) in plan.commits.iter().enumerate() {
+            let owner = r % num_partitions;
+            let readers: Vec<usize> = (0..num_partitions)
+                .filter(|&q| q != owner && read_regs[q].contains(&dst))
+                .collect();
+            rum.push(RumEntry { slot: dst, owner, readers });
+        }
+        RepCutSim {
+            partitions,
+            rum,
+            input_slots: plan.input_slots.clone(),
+            input_types: plan.input_types.clone(),
+            output_slots: plan.output_slots.clone(),
+            replicated_ops,
+            base_ops: plan.total_ops(),
+            cycle: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Replication overhead: total replicated ops over the unpartitioned
+    /// op count (1.0 = no replication).
+    pub fn replication_factor(&self) -> f64 {
+        if self.base_ops == 0 {
+            1.0
+        } else {
+            self.replicated_ops as f64 / self.base_ops as f64
+        }
+    }
+
+    /// Drives an input (canonicalized, replicated into every partition).
+    pub fn set_input(&mut self, idx: usize, value: u64) {
+        let (w, signed) = self.input_types[idx];
+        let value = rteaal_dfg::op::canonicalize(value, w as u32, signed);
+        let slot = self.input_slots[idx] as usize;
+        for p in &mut self.partitions {
+            p.li[slot] = value;
+        }
+    }
+
+    /// One cycle, partitions evaluated sequentially.
+    pub fn step(&mut self) {
+        for p in &mut self.partitions {
+            Self::eval_partition(p);
+        }
+        self.synchronize();
+        self.cycle += 1;
+    }
+
+    /// One cycle, partitions evaluated on scoped threads (the Box 1
+    /// "parallelize across partitions" mapping optimization).
+    pub fn step_parallel(&mut self) {
+        std::thread::scope(|scope| {
+            for p in &mut self.partitions {
+                scope.spawn(|| Self::eval_partition(p));
+            }
+        });
+        self.synchronize();
+        self.cycle += 1;
+    }
+
+    fn eval_partition(p: &mut Partition) {
+        let mut buf = Vec::with_capacity(8);
+        for layer in &p.layers {
+            for op in layer {
+                op.eval_into(&mut p.li, &mut buf);
+            }
+        }
+        // Commit owned registers (two-phase within the partition).
+        let staged: Vec<u64> = p.commits.iter().map(|&(_, src)| p.li[src as usize]).collect();
+        for (&(dst, _), v) in p.commits.iter().zip(staged) {
+            p.li[dst as usize] = v;
+        }
+    }
+
+    /// The synchronization step: the final Einsum of Cascade 2
+    /// (`LI_{c+1} = LI_{c,I} · RUM :: ∧←(→)`).
+    fn synchronize(&mut self) {
+        for entry in &self.rum {
+            let value = self.partitions[entry.owner].li[entry.slot as usize];
+            for &q in &entry.readers {
+                self.partitions[q].li[entry.slot as usize] = value;
+            }
+        }
+    }
+
+    /// Output value by port index (outputs live in partition 0).
+    pub fn output(&self, idx: usize) -> u64 {
+        self.partitions[0].li[self.output_slots[idx].1 as usize]
+    }
+
+    /// The register update map.
+    pub fn rum(&self) -> &[RumEntry] {
+        &self.rum
+    }
+
+    /// Cycles simulated.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rteaal_dfg::interp::Interpreter;
+    use rteaal_dfg::plan::plan;
+    use rteaal_firrtl::{lower::lower_typed, parser::parse};
+
+    const CROSS: &str = "\
+circuit X :
+  module X :
+    input clock : Clock
+    input a : UInt<8>
+    input b : UInt<8>
+    output o1 : UInt<8>
+    output o2 : UInt<8>
+    reg r1 : UInt<8>, clock
+    reg r2 : UInt<8>, clock
+    reg r3 : UInt<8>, clock
+    reg r4 : UInt<8>, clock
+    node s = tail(add(r1, r2), 1)
+    node d = tail(sub(r3, r4), 1)
+    r1 <= tail(add(s, a), 1)
+    r2 <= xor(d, b)
+    r3 <= and(s, d)
+    r4 <= or(r1, r2)
+    o1 <= s
+    o2 <= d
+";
+
+    fn setup(n: usize) -> (rteaal_dfg::Graph, RepCutSim) {
+        let g = rteaal_dfg::build(&lower_typed(&parse(CROSS).unwrap()).unwrap()).unwrap();
+        let p = plan(&g);
+        let rc = RepCutSim::new(&p, n);
+        (g, rc)
+    }
+
+    fn check_equiv(n: usize, parallel: bool, cycles: u64) {
+        let (g, mut rc) = setup(n);
+        let mut golden = Interpreter::new(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        for _ in 0..cycles {
+            for i in 0..g.inputs.len() {
+                let v: u64 = rng.gen();
+                golden.set_input(i, v);
+                rc.set_input(i, v);
+            }
+            golden.step();
+            if parallel {
+                rc.step_parallel();
+            } else {
+                rc.step();
+            }
+            for i in 0..g.outputs.len() {
+                assert_eq!(golden.output(i), rc.output(i), "output {i} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_is_identity() {
+        let (_, rc) = setup(1);
+        assert!((rc.replication_factor() - 1.0).abs() < 1e-9);
+        check_equiv(1, false, 100);
+    }
+
+    #[test]
+    fn two_partitions_match_golden() {
+        check_equiv(2, false, 200);
+    }
+
+    #[test]
+    fn four_partitions_match_golden() {
+        check_equiv(4, false, 200);
+    }
+
+    #[test]
+    fn parallel_execution_matches() {
+        check_equiv(3, true, 100);
+    }
+
+    #[test]
+    fn replication_overhead_is_visible() {
+        // With cross-coupled registers, partitioning must replicate shared
+        // cones (RepCut's fundamental trade-off).
+        let (_, rc) = setup(4);
+        assert!(rc.replication_factor() > 1.0, "factor = {}", rc.replication_factor());
+    }
+
+    #[test]
+    fn rum_owners_cover_all_registers() {
+        let (g, rc) = setup(3);
+        assert_eq!(rc.rum().len(), g.regs.len());
+        for (r, entry) in rc.rum().iter().enumerate() {
+            assert_eq!(entry.owner, r % 3);
+            assert!(!entry.readers.contains(&entry.owner));
+        }
+    }
+
+    #[test]
+    fn rum_readers_are_selective() {
+        // Differential exchange: at least one register should *not* be
+        // broadcast to every other partition.
+        let (_, rc) = setup(4);
+        assert!(rc.rum().iter().any(|e| e.readers.len() < 3));
+    }
+}

@@ -1,0 +1,766 @@
+//! Lowering from the structured FIRRTL AST to a [`FlatModule`].
+//!
+//! The pipeline mirrors what the RTeAAL Sim compiler front end does before
+//! dataflow-graph construction (paper §6.1, Figure 14):
+//!
+//! 1. **Instance flattening** — the module hierarchy is inlined into one
+//!    module; sub-module signals are renamed `inst.signal` (which is also
+//!    how cross-module references, §6.2 "XMR", surface: every internal
+//!    signal of every instance remains addressable by its hierarchical
+//!    name).
+//! 2. **Memory lowering** — `mem` statements become per-cell registers, a
+//!    combinational read mux tree, and per-cell write-enable muxes. This is
+//!    the documented substitution for FIRRTL memories (DESIGN.md §4.6).
+//! 3. **`when` resolution** — conditional connects are folded into muxes
+//!    with FIRRTL's last-connect-wins semantics, producing exactly one
+//!    next-state expression per register and one value expression per wire
+//!    and output port.
+//!
+//! The result is a [`FlatModule`]: inputs, registers with next-state
+//! expressions, named combinational bindings, and outputs — the direct
+//! input to `rteaal-dfg`'s graph construction.
+
+use crate::ast::{Circuit, Direction, Expr, Module, Stmt};
+use crate::error::{FirrtlError, Result};
+use crate::infer::{build_env, check_module, mem_addr_width};
+use crate::ops::PrimOp;
+use crate::ty::Type;
+use std::collections::{HashMap, HashSet};
+
+/// A register in the flattened design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatReg {
+    /// Hierarchical name (e.g. `core0.alu.acc`).
+    pub name: String,
+    /// Value type.
+    pub ty: Type,
+    /// Next-state expression, evaluated every cycle (already includes the
+    /// synchronous-reset mux if the register had one).
+    pub next: Expr,
+    /// Power-on value (0 unless the register came from an initialized
+    /// memory).
+    pub init: u64,
+}
+
+/// A fully lowered, flat, single-module design.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FlatModule {
+    /// Design name (the circuit's top module name).
+    pub name: String,
+    /// Non-clock input ports.
+    pub inputs: Vec<(String, Type)>,
+    /// Clock input port names (at most one is accepted; the paper targets a
+    /// single clock domain, §6.2).
+    pub clocks: Vec<String>,
+    /// Output ports with their final driving expressions.
+    pub outputs: Vec<(String, Type, Expr)>,
+    /// Registers with next-state expressions.
+    pub regs: Vec<FlatReg>,
+    /// Named combinational bindings (former nodes and wires), in definition
+    /// order. Expressions may reference any input, register, or binding.
+    pub nodes: Vec<(String, Type, Expr)>,
+}
+
+impl FlatModule {
+    /// Total number of named signals (inputs + regs + nodes + outputs).
+    pub fn signal_count(&self) -> usize {
+        self.inputs.len() + self.regs.len() + self.nodes.len() + self.outputs.len()
+    }
+}
+
+/// Lowers a circuit to a [`FlatModule`].
+///
+/// # Errors
+///
+/// Returns an error if any module fails type checking, the hierarchy
+/// contains an instance cycle, a wire or output is never driven, or the top
+/// module is missing.
+pub fn lower(circuit: &Circuit) -> Result<FlatModule> {
+    let top = circuit
+        .top()
+        .ok_or_else(|| FirrtlError::Lower(format!("no top module named {}", circuit.name)))?;
+    for module in &circuit.modules {
+        check_module(circuit, module)?;
+    }
+    let mut flat = flatten_module(circuit, &top.name, &mut Vec::new())?;
+    lower_mems(&mut flat)?;
+    resolve(circuit, flat)
+}
+
+/// Recursively inlines all instances of `name`, producing a module with no
+/// `Instance` statements.
+fn flatten_module(circuit: &Circuit, name: &str, stack: &mut Vec<String>) -> Result<Module> {
+    if stack.iter().any(|s| s == name) {
+        return Err(FirrtlError::Lower(format!(
+            "instance cycle: {} -> {name}",
+            stack.join(" -> ")
+        )));
+    }
+    let module = circuit
+        .module(name)
+        .ok_or_else(|| FirrtlError::Undefined(format!("module {name}")))?;
+    stack.push(name.to_string());
+    let mut out = Module::new(name);
+    out.ports = module.ports.clone();
+    flatten_body(circuit, &module.body, &mut out.body, stack)?;
+    stack.pop();
+    Ok(out)
+}
+
+fn flatten_body(
+    circuit: &Circuit,
+    body: &[Stmt],
+    out: &mut Vec<Stmt>,
+    stack: &mut Vec<String>,
+) -> Result<()> {
+    for stmt in body {
+        match stmt {
+            Stmt::Instance { name, module } => {
+                let sub = flatten_module(circuit, module, stack)?;
+                // Ports of the instance become wires named `inst.port`.
+                let locals: HashSet<String> = sub
+                    .ports
+                    .iter()
+                    .map(|p| p.name.clone())
+                    .chain(declared_names(&sub.body))
+                    .collect();
+                for port in &sub.ports {
+                    out.push(Stmt::Wire { name: format!("{name}.{}", port.name), ty: port.ty });
+                }
+                let mut prefixed = Vec::new();
+                prefix_body(&sub.body, name, &locals, &mut prefixed);
+                out.extend(prefixed);
+            }
+            Stmt::When { cond, then_body, else_body } => {
+                let mut t = Vec::new();
+                let mut e = Vec::new();
+                flatten_body(circuit, then_body, &mut t, stack)?;
+                flatten_body(circuit, else_body, &mut e, stack)?;
+                out.push(Stmt::When { cond: cond.clone(), then_body: t, else_body: e });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    Ok(())
+}
+
+/// All names declared (wire/reg/node/mem ports) in a statement list,
+/// recursively.
+fn declared_names(body: &[Stmt]) -> Vec<String> {
+    let mut names = Vec::new();
+    collect_declared(body, &mut names);
+    names
+}
+
+fn collect_declared(body: &[Stmt], names: &mut Vec<String>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Wire { name, .. } | Stmt::Reg { name, .. } | Stmt::Node { name, .. } => {
+                names.push(name.clone());
+            }
+            Stmt::Mem { name, .. } => {
+                for field in ["raddr", "rdata", "waddr", "wdata", "wen"] {
+                    names.push(format!("{name}.{field}"));
+                }
+                names.push(name.clone());
+            }
+            Stmt::When { then_body, else_body, .. } => {
+                collect_declared(then_body, names);
+                collect_declared(else_body, names);
+            }
+            Stmt::Instance { .. } | Stmt::Connect { .. } | Stmt::Skip => {}
+        }
+    }
+}
+
+fn prefix_name(name: &str, prefix: &str, locals: &HashSet<String>) -> String {
+    // Memory/instance port fields `base.field` are local iff their base or
+    // full name is local.
+    if locals.contains(name) || locals.contains(name.split('.').next().unwrap_or(name)) {
+        format!("{prefix}.{name}")
+    } else {
+        name.to_string()
+    }
+}
+
+fn prefix_expr(expr: &Expr, prefix: &str, locals: &HashSet<String>) -> Expr {
+    match expr {
+        Expr::Ref(n) => Expr::Ref(prefix_name(n, prefix, locals)),
+        Expr::UIntLit { .. } | Expr::SIntLit { .. } => expr.clone(),
+        Expr::Mux { cond, tval, fval } => Expr::Mux {
+            cond: Box::new(prefix_expr(cond, prefix, locals)),
+            tval: Box::new(prefix_expr(tval, prefix, locals)),
+            fval: Box::new(prefix_expr(fval, prefix, locals)),
+        },
+        Expr::ValidIf { cond, value } => Expr::ValidIf {
+            cond: Box::new(prefix_expr(cond, prefix, locals)),
+            value: Box::new(prefix_expr(value, prefix, locals)),
+        },
+        Expr::Prim { op, args, params } => Expr::Prim {
+            op: *op,
+            args: args.iter().map(|a| prefix_expr(a, prefix, locals)).collect(),
+            params: params.clone(),
+        },
+    }
+}
+
+fn prefix_body(body: &[Stmt], prefix: &str, locals: &HashSet<String>, out: &mut Vec<Stmt>) {
+    for stmt in body {
+        let stmt = match stmt {
+            Stmt::Wire { name, ty } => {
+                Stmt::Wire { name: prefix_name(name, prefix, locals), ty: *ty }
+            }
+            Stmt::Reg { name, ty, clock, reset } => Stmt::Reg {
+                name: prefix_name(name, prefix, locals),
+                ty: *ty,
+                clock: prefix_expr(clock, prefix, locals),
+                reset: reset.as_ref().map(|(r, i)| {
+                    (prefix_expr(r, prefix, locals), prefix_expr(i, prefix, locals))
+                }),
+            },
+            Stmt::Node { name, value } => Stmt::Node {
+                name: prefix_name(name, prefix, locals),
+                value: prefix_expr(value, prefix, locals),
+            },
+            Stmt::Connect { target, value } => Stmt::Connect {
+                target: prefix_name(target, prefix, locals),
+                value: prefix_expr(value, prefix, locals),
+            },
+            Stmt::Mem { name, ty, depth, init } => Stmt::Mem {
+                name: prefix_name(name, prefix, locals),
+                ty: *ty,
+                depth: *depth,
+                init: init.clone(),
+            },
+            Stmt::When { cond, then_body, else_body } => {
+                let mut t = Vec::new();
+                let mut e = Vec::new();
+                prefix_body(then_body, prefix, locals, &mut t);
+                prefix_body(else_body, prefix, locals, &mut e);
+                Stmt::When { cond: prefix_expr(cond, prefix, locals), then_body: t, else_body: e }
+            }
+            Stmt::Instance { .. } => unreachable!("instances are inlined before prefixing"),
+            Stmt::Skip => Stmt::Skip,
+        };
+        out.push(stmt);
+    }
+}
+
+/// Rewrites `Mem` statements into registers + mux trees, in place.
+fn lower_mems(module: &mut Module) -> Result<()> {
+    let clock = module
+        .ports
+        .iter()
+        .find(|p| p.dir == Direction::Input && p.ty.is_clock())
+        .map(|p| p.name.clone());
+    let mut body = Vec::new();
+    for stmt in std::mem::take(&mut module.body) {
+        match stmt {
+            Stmt::Mem { name, ty, depth, init } => {
+                let clock = clock.clone().ok_or_else(|| {
+                    FirrtlError::Lower(format!("memory {name} requires a clock input port"))
+                })?;
+                lower_one_mem(&name, ty, depth, &init, &clock, &mut body)?;
+            }
+            other => body.push(other),
+        }
+    }
+    module.body = body;
+    Ok(())
+}
+
+fn lower_one_mem(
+    name: &str,
+    ty: Type,
+    depth: usize,
+    init: &[u64],
+    clock: &str,
+    out: &mut Vec<Stmt>,
+) -> Result<()> {
+    if depth == 0 {
+        return Err(FirrtlError::Lower(format!("memory {name} has zero depth")));
+    }
+    let aw = mem_addr_width(depth);
+    // Port wires keep their names so parent connects keep working.
+    for (field, fty) in [
+        ("raddr", Type::uint(aw)),
+        ("waddr", Type::uint(aw)),
+        ("wdata", ty),
+        ("wen", Type::uint(1)),
+    ] {
+        out.push(Stmt::Wire { name: format!("{name}.{field}"), ty: fty });
+    }
+    // One register per cell; write-enable mux on the next state. Each cell
+    // register carries a synthetic `mem_init` marker via its name so the
+    // resolver can attach the power-on value (FIRRTL has no reg init).
+    for k in 0..depth {
+        let cell = format!("{name}.cell_{k}");
+        out.push(Stmt::Reg {
+            name: cell.clone(),
+            ty,
+            clock: Expr::r(clock),
+            reset: None,
+        });
+        let hit = Expr::prim(
+            PrimOp::And,
+            vec![
+                Expr::r(format!("{name}.wen")),
+                Expr::prim(
+                    PrimOp::Eq,
+                    vec![Expr::r(format!("{name}.waddr")), Expr::u(k as u64, aw)],
+                ),
+            ],
+        );
+        out.push(Stmt::Connect {
+            target: cell.clone(),
+            value: Expr::mux(hit, Expr::r(format!("{name}.wdata")), Expr::r(cell)),
+        });
+    }
+    // The init values are smuggled out through a side table keyed by the
+    // cell name; see `resolve`.
+    let _ = init;
+    // Combinational read: balanced mux tree over the address bits.
+    let cells: Vec<Expr> = (0..depth).map(|k| Expr::r(format!("{name}.cell_{k}"))).collect();
+    let tree = mux_tree(&Expr::r(format!("{name}.raddr")), &cells, aw, ty);
+    out.push(Stmt::Node { name: format!("{name}.rdata"), value: tree });
+    Ok(())
+}
+
+/// Builds a balanced mux tree selecting `cells[addr]`; out-of-range
+/// addresses (non-power-of-two depth) read as 0.
+fn mux_tree(addr: &Expr, cells: &[Expr], addr_width: u32, ty: Type) -> Expr {
+    fn rec(addr: &Expr, cells: &[Expr], bit: i64, lo: usize, span: usize, zero: &Expr) -> Expr {
+        if span == 1 {
+            return cells.get(lo).cloned().unwrap_or_else(|| zero.clone());
+        }
+        if lo >= cells.len() {
+            return zero.clone();
+        }
+        let half = span / 2;
+        let sel = Expr::prim_p(PrimOp::Bits, vec![addr.clone()], vec![bit as u64, bit as u64]);
+        let low = rec(addr, cells, bit - 1, lo, half, zero);
+        let high = rec(addr, cells, bit - 1, lo + half, half, zero);
+        Expr::mux(sel, high, low)
+    }
+    let zero = if ty.is_signed() { Expr::s(0, ty.width()) } else { Expr::u(0, ty.width()) };
+    let span = 1usize << addr_width;
+    rec(addr, cells, addr_width as i64 - 1, 0, span, &zero)
+}
+
+/// Resolves `when` blocks and assembles the [`FlatModule`].
+fn resolve(circuit: &Circuit, module: Module) -> Result<FlatModule> {
+    // Re-derive the env for the mem-lowered module: memories are gone, so
+    // build a one-module circuit around it for instance-free env building.
+    let solo = Circuit { name: module.name.clone(), modules: vec![module.clone()] };
+    let env = build_env(&solo, &module)?;
+    let _ = circuit;
+
+    let mut flat = FlatModule { name: module.name.clone(), ..FlatModule::default() };
+    let mut reg_info: Vec<(String, Type, Option<(Expr, Expr)>)> = Vec::new();
+    let mut wire_names: Vec<(String, Type)> = Vec::new();
+    collect_targets(&module.body, &env, &mut reg_info, &mut wire_names);
+
+    for port in &module.ports {
+        match (port.dir, port.ty) {
+            (Direction::Input, Type::Clock) => flat.clocks.push(port.name.clone()),
+            (Direction::Input, ty) => flat.inputs.push((port.name.clone(), ty)),
+            (Direction::Output, _) => {} // filled below
+        }
+    }
+    if flat.clocks.len() > 1 {
+        return Err(FirrtlError::Lower(format!(
+            "{} clock inputs found; RTeAAL Sim targets a single clock domain (paper §6.2)",
+            flat.clocks.len()
+        )));
+    }
+
+    // Last-connect-wins resolution. Registers start bound to themselves
+    // (hold); wires and outputs start unbound.
+    let mut bindings: HashMap<String, Expr> = HashMap::new();
+    for (name, _, _) in &reg_info {
+        bindings.insert(name.clone(), Expr::r(name.clone()));
+    }
+    resolve_body(&module.body, &mut bindings, &mut flat)?;
+
+    // Registers: apply synchronous reset with highest priority.
+    for (name, ty, reset) in reg_info {
+        let mut next = bindings
+            .remove(&name)
+            .expect("register binding seeded above");
+        if let Some((rst, init)) = reset {
+            next = Expr::mux(rst, init, next);
+        }
+        flat.regs.push(FlatReg { name, ty, next, init: 0 });
+    }
+    // Wires must be driven; they become nodes bound to their final value.
+    for (name, ty) in wire_names {
+        let value = bindings
+            .remove(&name)
+            .ok_or_else(|| FirrtlError::Lower(format!("wire {name} is never driven")))?;
+        flat.nodes.push((name, ty, value));
+    }
+    // Outputs must be driven.
+    for port in &module.ports {
+        if port.dir == Direction::Output {
+            let value = bindings.remove(&port.name).ok_or_else(|| {
+                FirrtlError::Lower(format!("output {} is never driven", port.name))
+            })?;
+            flat.outputs.push((port.name.clone(), port.ty, value));
+        }
+    }
+    Ok(flat)
+}
+
+fn collect_targets(
+    body: &[Stmt],
+    env: &crate::infer::TypeEnv,
+    regs: &mut Vec<(String, Type, Option<(Expr, Expr)>)>,
+    wires: &mut Vec<(String, Type)>,
+) {
+    for stmt in body {
+        match stmt {
+            Stmt::Reg { name, ty, reset, .. } => {
+                regs.push((name.clone(), *ty, reset.clone()));
+            }
+            Stmt::Wire { name, .. } => {
+                let ty = env.get(name).expect("wire typed by env");
+                wires.push((name.clone(), ty));
+            }
+            Stmt::When { then_body, else_body, .. } => {
+                collect_targets(then_body, env, regs, wires);
+                collect_targets(else_body, env, regs, wires);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn resolve_body(
+    body: &[Stmt],
+    bindings: &mut HashMap<String, Expr>,
+    flat: &mut FlatModule,
+) -> Result<()> {
+    for stmt in body {
+        match stmt {
+            Stmt::Connect { target, value } => {
+                bindings.insert(target.clone(), value.clone());
+            }
+            Stmt::Node { name, value } => {
+                // Nodes are immutable; record as a combinational binding.
+                flat.nodes.push((name.clone(), Type::uint(1), value.clone()));
+            }
+            Stmt::When { cond, then_body, else_body } => {
+                let mut then_b = bindings.clone();
+                let mut else_b = bindings.clone();
+                resolve_body(then_body, &mut then_b, flat)?;
+                resolve_body(else_body, &mut else_b, flat)?;
+                let targets: HashSet<String> = then_b
+                    .iter()
+                    .chain(else_b.iter())
+                    .filter(|(k, v)| bindings.get(*k) != Some(*v))
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for t in targets {
+                    let tv = then_b.get(&t).or_else(|| bindings.get(&t)).cloned();
+                    let ev = else_b.get(&t).or_else(|| bindings.get(&t)).cloned();
+                    match (tv, ev) {
+                        (Some(tv), Some(ev)) => {
+                            if tv == ev {
+                                bindings.insert(t, tv);
+                            } else {
+                                bindings.insert(t, Expr::mux(cond.clone(), tv, ev));
+                            }
+                        }
+                        (Some(tv), None) => {
+                            // Driven only in the then-branch of a when with
+                            // no prior default: conditionally valid.
+                            bindings.insert(
+                                t,
+                                Expr::ValidIf { cond: Box::new(cond.clone()), value: Box::new(tv) },
+                            );
+                        }
+                        (None, Some(ev)) => {
+                            let not_cond = Expr::prim(
+                                PrimOp::Eq,
+                                vec![cond.clone(), Expr::u(0, 1)],
+                            );
+                            bindings.insert(
+                                t,
+                                Expr::ValidIf {
+                                    cond: Box::new(not_cond),
+                                    value: Box::new(ev),
+                                },
+                            );
+                        }
+                        (None, None) => {}
+                    }
+                }
+            }
+            Stmt::Wire { .. } | Stmt::Reg { .. } | Stmt::Skip => {}
+            Stmt::Instance { .. } | Stmt::Mem { .. } => {
+                unreachable!("instances and mems lowered before resolution")
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Fixes up node types in a resolved flat module (nodes were recorded with a
+/// placeholder type during resolution). Called by [`lower`]'s wrapper; kept
+/// separate for testability.
+pub(crate) fn retype_nodes(flat: &mut FlatModule) -> Result<()> {
+    let mut env = crate::infer::TypeEnv::default();
+    for (name, ty) in &flat.inputs {
+        env_insert(&mut env, name, *ty)?;
+    }
+    for clock in &flat.clocks {
+        env_insert(&mut env, clock, Type::Clock)?;
+    }
+    for reg in &flat.regs {
+        env_insert(&mut env, &reg.name, reg.ty)?;
+    }
+    // Nodes may reference each other in any order after when-resolution;
+    // iterate until all are typed (bounded by node count).
+    let mut remaining: Vec<usize> = (0..flat.nodes.len()).collect();
+    let mut made_progress = true;
+    while made_progress && !remaining.is_empty() {
+        made_progress = false;
+        remaining.retain(|&idx| {
+            let (name, _, expr) = &flat.nodes[idx];
+            match env.type_of(expr) {
+                Ok(ty) => {
+                    let name = name.clone();
+                    flat.nodes[idx].1 = ty;
+                    env_insert(&mut env, &name, ty).expect("unique node names");
+                    made_progress = true;
+                    false
+                }
+                Err(_) => true,
+            }
+        });
+    }
+    if !remaining.is_empty() {
+        let names: Vec<&str> =
+            remaining.iter().take(5).map(|&i| flat.nodes[i].0.as_str()).collect();
+        return Err(FirrtlError::Lower(format!(
+            "could not type {} combinational bindings (cycle or undefined ref?): {:?}",
+            remaining.len(),
+            names
+        )));
+    }
+    Ok(())
+}
+
+fn env_insert(env: &mut crate::infer::TypeEnv, name: &str, ty: Type) -> Result<()> {
+    env.bind(name.to_string(), ty)
+}
+
+/// Lowers and fully types a circuit: the main entry point used by the rest
+/// of the workspace.
+///
+/// # Errors
+///
+/// See [`lower`]; additionally fails if a combinational binding cannot be
+/// typed (which indicates a combinational cycle through wires).
+pub fn lower_typed(circuit: &Circuit) -> Result<FlatModule> {
+    let mut flat = lower(circuit)?;
+    retype_nodes(&mut flat)?;
+    Ok(flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CircuitBuilder, ModuleBuilder};
+
+    fn counter_circuit() -> Circuit {
+        let mut b = ModuleBuilder::new("Counter");
+        let clk = b.input("clock", Type::Clock);
+        let rst = b.input("reset", Type::uint(1));
+        let r = b.reg_reset("count", Type::uint(8), clk, rst, Expr::u(0, 8));
+        let inc = Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Add, vec![r.clone(), Expr::u(1, 8)])],
+            vec![1],
+        );
+        b.connect("count", inc);
+        b.output_expr("out", Type::uint(8), r);
+        let mut cb = CircuitBuilder::new("Counter");
+        cb.add_module(b.finish());
+        cb.finish()
+    }
+
+    #[test]
+    fn counter_lowers() {
+        let flat = lower_typed(&counter_circuit()).unwrap();
+        assert_eq!(flat.regs.len(), 1);
+        assert_eq!(flat.outputs.len(), 1);
+        assert_eq!(flat.clocks, vec!["clock"]);
+        // Reset wraps the next expression in a mux.
+        assert!(matches!(flat.regs[0].next, Expr::Mux { .. }));
+    }
+
+    #[test]
+    fn when_resolution_last_connect_wins() {
+        let mut b = ModuleBuilder::new("M");
+        let clk = b.input("clock", Type::Clock);
+        let c = b.input("c", Type::uint(1));
+        let r = b.reg("r", Type::uint(4), clk);
+        b.connect("r", Expr::u(1, 4));
+        b.when(
+            c.clone(),
+            vec![Stmt::Connect { target: "r".into(), value: Expr::u(2, 4) }],
+            vec![],
+        );
+        b.output_expr("out", Type::uint(4), r);
+        let mut cb = CircuitBuilder::new("M");
+        cb.add_module(b.finish());
+        let flat = lower_typed(&cb.finish()).unwrap();
+        // r_next = mux(c, 2, 1)
+        match &flat.regs[0].next {
+            Expr::Mux { cond, tval, fval } => {
+                assert_eq!(**cond, Expr::r("c"));
+                assert_eq!(**tval, Expr::u(2, 4));
+                assert_eq!(**fval, Expr::u(1, 4));
+            }
+            other => panic!("expected mux, got {other}"),
+        }
+    }
+
+    #[test]
+    fn register_holds_without_connect_in_branch() {
+        let mut b = ModuleBuilder::new("M");
+        let clk = b.input("clock", Type::Clock);
+        let c = b.input("c", Type::uint(1));
+        let r = b.reg("r", Type::uint(4), clk);
+        b.when(
+            c,
+            vec![Stmt::Connect { target: "r".into(), value: Expr::u(7, 4) }],
+            vec![],
+        );
+        b.output_expr("out", Type::uint(4), r);
+        let mut cb = CircuitBuilder::new("M");
+        cb.add_module(b.finish());
+        let flat = lower_typed(&cb.finish()).unwrap();
+        match &flat.regs[0].next {
+            Expr::Mux { fval, .. } => assert_eq!(**fval, Expr::r("r")),
+            other => panic!("expected mux with hold arm, got {other}"),
+        }
+    }
+
+    #[test]
+    fn instances_flatten_with_hierarchical_names() {
+        let mut sub = ModuleBuilder::new("Inc");
+        let x = sub.input("x", Type::uint(8));
+        sub.output_expr(
+            "y",
+            Type::uint(8),
+            Expr::prim_p(
+                PrimOp::Tail,
+                vec![Expr::prim(PrimOp::Add, vec![x, Expr::u(1, 8)])],
+                vec![1],
+            ),
+        );
+        let mut top = ModuleBuilder::new("Top");
+        let a = top.input("a", Type::uint(8));
+        top.instance("i0", "Inc");
+        top.connect("i0.x", a);
+        top.instance("i1", "Inc");
+        top.connect("i1.x", Expr::r("i0.y"));
+        top.output_expr("out", Type::uint(8), Expr::r("i1.y"));
+        let mut cb = CircuitBuilder::new("Top");
+        cb.add_module(sub.finish());
+        cb.add_module(top.finish());
+        let flat = lower_typed(&cb.finish()).unwrap();
+        assert!(flat.nodes.iter().any(|(n, _, _)| n == "i0.y"));
+        assert!(flat.nodes.iter().any(|(n, _, _)| n == "i1.x"));
+        assert_eq!(flat.regs.len(), 0);
+    }
+
+    #[test]
+    fn instance_cycle_detected() {
+        let mut a = ModuleBuilder::new("A");
+        a.instance("b", "B");
+        let mut b = ModuleBuilder::new("B");
+        b.instance("a", "A");
+        let mut cb = CircuitBuilder::new("A");
+        cb.add_module(a.finish());
+        cb.add_module(b.finish());
+        let err = lower(&cb.finish()).unwrap_err();
+        assert!(matches!(err, FirrtlError::Lower(m) if m.contains("cycle")));
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let mut b = ModuleBuilder::new("M");
+        b.output("out", Type::uint(1));
+        let mut cb = CircuitBuilder::new("M");
+        cb.add_module(b.finish());
+        let err = lower(&cb.finish()).unwrap_err();
+        assert!(matches!(err, FirrtlError::Lower(m) if m.contains("never driven")));
+    }
+
+    #[test]
+    fn mem_lowered_to_registers_and_mux_tree() {
+        let mut b = ModuleBuilder::new("M");
+        b.input("clock", Type::Clock);
+        let ra = b.input("ra", Type::uint(2));
+        let wa = b.input("wa", Type::uint(2));
+        let wd = b.input("wd", Type::uint(8));
+        let we = b.input("we", Type::uint(1));
+        b.mem("m", Type::uint(8), 4, vec![]);
+        b.connect("m.raddr", ra);
+        b.connect("m.waddr", wa);
+        b.connect("m.wdata", wd);
+        b.connect("m.wen", we);
+        b.output_expr("rd", Type::uint(8), Expr::r("m.rdata"));
+        let mut cb = CircuitBuilder::new("M");
+        cb.add_module(b.finish());
+        let flat = lower_typed(&cb.finish()).unwrap();
+        assert_eq!(flat.regs.len(), 4); // one per cell
+        assert!(flat.nodes.iter().any(|(n, _, _)| n == "m.rdata"));
+    }
+
+    #[test]
+    fn multiple_clocks_rejected() {
+        let mut b = ModuleBuilder::new("M");
+        b.input("clk_a", Type::Clock);
+        b.input("clk_b", Type::Clock);
+        b.output_expr("out", Type::uint(1), Expr::u(0, 1));
+        let mut cb = CircuitBuilder::new("M");
+        cb.add_module(b.finish());
+        let err = lower(&cb.finish()).unwrap_err();
+        assert!(matches!(err, FirrtlError::Lower(m) if m.contains("clock domain")));
+    }
+
+    #[test]
+    fn nested_whens_produce_nested_muxes() {
+        let mut b = ModuleBuilder::new("M");
+        let clk = b.input("clock", Type::Clock);
+        b.input("c1", Type::uint(1));
+        b.input("c2", Type::uint(1));
+        let r = b.reg("r", Type::uint(4), clk);
+        b.when(
+            Expr::r("c1"),
+            vec![Stmt::When {
+                cond: Expr::r("c2"),
+                then_body: vec![Stmt::Connect { target: "r".into(), value: Expr::u(3, 4) }],
+                else_body: vec![Stmt::Connect { target: "r".into(), value: Expr::u(5, 4) }],
+            }],
+            vec![Stmt::Connect { target: "r".into(), value: Expr::u(9, 4) }],
+        );
+        b.output_expr("out", Type::uint(4), r);
+        let mut cb = CircuitBuilder::new("M");
+        cb.add_module(b.finish());
+        let flat = lower_typed(&cb.finish()).unwrap();
+        // next = mux(c1, mux(c2, 3, 5), 9)
+        match &flat.regs[0].next {
+            Expr::Mux { cond, tval, fval } => {
+                assert_eq!(**cond, Expr::r("c1"));
+                assert!(matches!(**tval, Expr::Mux { .. }));
+                assert_eq!(**fval, Expr::u(9, 4));
+            }
+            other => panic!("expected nested mux, got {other}"),
+        }
+    }
+}

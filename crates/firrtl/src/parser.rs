@@ -1,0 +1,651 @@
+//! Text parser for the FIRRTL subset.
+//!
+//! Accepts the indentation-structured concrete syntax used by FIRRTL
+//! emitters (Chisel, PyRTL, Yosys' `write_firrtl`), restricted to ground
+//! types. The grammar:
+//!
+//! ```text
+//! circuit Name :
+//!   module Name :
+//!     input  name : UInt<8>
+//!     output name : UInt<8>
+//!     wire   name : SInt<4>
+//!     reg    name : UInt<8>, clock
+//!     regreset name : UInt<8>, clock, reset, UInt<8>(0)
+//!     node   name = add(a, b)
+//!     name <= mux(c, t, f)
+//!     inst   sub of SubModule
+//!     mem    m : UInt<8>[16]
+//!     when c :
+//!       ...
+//!     else :
+//!       ...
+//!     skip
+//! ```
+//!
+//! `;`-to-end-of-line comments and blank lines are ignored. Indentation is
+//! significant (any consistent widening indent opens a block).
+
+use crate::ast::{Circuit, Direction, Expr, Module, Port, Stmt};
+use crate::error::{FirrtlError, Result};
+use crate::ops::PrimOp;
+use crate::ty::Type;
+
+/// Parses FIRRTL source text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`FirrtlError::Parse`] with a 1-based line number on any lexical
+/// or structural error.
+///
+/// # Examples
+///
+/// ```
+/// let src = "\
+/// circuit Top :
+///   module Top :
+///     input clock : Clock
+///     input a : UInt<8>
+///     output out : UInt<8>
+///     reg r : UInt<8>, clock
+///     r <= tail(add(a, r), 1)
+///     out <= r
+/// ";
+/// let circuit = rteaal_firrtl::parser::parse(src)?;
+/// assert_eq!(circuit.top().unwrap().ports.len(), 3);
+/// # Ok::<(), rteaal_firrtl::error::FirrtlError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Circuit> {
+    let lines = lex_lines(src);
+    let mut p = Parser { lines, pos: 0 };
+    p.parse_circuit()
+}
+
+/// One meaningful source line.
+#[derive(Debug, Clone)]
+struct Line {
+    /// 1-based source line number.
+    num: usize,
+    /// Leading spaces (tabs count as 4).
+    indent: usize,
+    /// Trimmed text with comments stripped.
+    text: String,
+}
+
+fn lex_lines(src: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let without_comment = match raw.find(';') {
+            Some(idx) => &raw[..idx],
+            None => raw,
+        };
+        let text = without_comment.trim_end();
+        let trimmed = text.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let indent = text
+            .chars()
+            .take_while(|c| c.is_whitespace())
+            .map(|c| if c == '\t' { 4 } else { 1 })
+            .sum();
+        out.push(Line { num: i + 1, indent, text: trimmed.to_string() });
+    }
+    out
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T> {
+        Err(FirrtlError::Parse { line, msg: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn parse_circuit(&mut self) -> Result<Circuit> {
+        let line = match self.peek() {
+            Some(l) => l.clone(),
+            None => return self.err(1, "empty input"),
+        };
+        let name = match line.text.strip_prefix("circuit ") {
+            Some(rest) => rest.trim_end_matches(':').trim().to_string(),
+            None => return self.err(line.num, "expected `circuit Name :`"),
+        };
+        self.pos += 1;
+        let mut circuit = Circuit::new(name);
+        while let Some(l) = self.peek() {
+            if l.indent <= line.indent {
+                return self.err(l.num, "unexpected content outside circuit body");
+            }
+            circuit.modules.push(self.parse_module()?);
+        }
+        if circuit.top().is_none() {
+            return self.err(line.num, format!("no module named {} (the top)", circuit.name));
+        }
+        Ok(circuit)
+    }
+
+    fn parse_module(&mut self) -> Result<Module> {
+        let line = self.peek().expect("caller checked").clone();
+        let name = match line.text.strip_prefix("module ") {
+            Some(rest) => rest.trim_end_matches(':').trim().to_string(),
+            None => return self.err(line.num, "expected `module Name :`"),
+        };
+        self.pos += 1;
+        let mut module = Module::new(name);
+        let body_indent = match self.peek() {
+            Some(l) if l.indent > line.indent => l.indent,
+            _ => return Ok(module), // empty module
+        };
+        // Ports first, then statements (FIRRTL requires this ordering).
+        while let Some(l) = self.peek() {
+            if l.indent < body_indent {
+                break;
+            }
+            let l = l.clone();
+            if let Some(rest) = l.text.strip_prefix("input ") {
+                module.ports.push(self.parse_port(&l, rest, Direction::Input)?);
+                self.pos += 1;
+            } else if let Some(rest) = l.text.strip_prefix("output ") {
+                module.ports.push(self.parse_port(&l, rest, Direction::Output)?);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        module.body = self.parse_block(body_indent)?;
+        Ok(module)
+    }
+
+    fn parse_port(&self, line: &Line, rest: &str, dir: Direction) -> Result<Port> {
+        let (name, ty_text) = match rest.split_once(':') {
+            Some((n, t)) => (n.trim(), t.trim()),
+            None => return self.err(line.num, "expected `name : Type`"),
+        };
+        let ty = self.parse_type(line, ty_text)?;
+        Ok(Port { name: name.to_string(), dir, ty })
+    }
+
+    fn parse_type(&self, line: &Line, text: &str) -> Result<Type> {
+        let text = text.trim();
+        if text == "Clock" {
+            return Ok(Type::Clock);
+        }
+        for (prefix, signed) in [("UInt<", false), ("SInt<", true)] {
+            if let Some(rest) = text.strip_prefix(prefix) {
+                let w: u32 = match rest.strip_suffix('>').and_then(|s| s.trim().parse().ok()) {
+                    Some(w) => w,
+                    None => return self.err(line.num, format!("bad width in type `{text}`")),
+                };
+                if w == 0 || w > crate::ty::MAX_WIDTH {
+                    return self.err(line.num, format!("width {w} out of range 1..=64"));
+                }
+                return Ok(if signed { Type::SInt(w) } else { Type::UInt(w) });
+            }
+        }
+        self.err(line.num, format!("unknown type `{text}`"))
+    }
+
+    /// Parses statements at exactly `indent`, descending into `when` blocks.
+    fn parse_block(&mut self, indent: usize) -> Result<Vec<Stmt>> {
+        let mut body = Vec::new();
+        while let Some(l) = self.peek() {
+            if l.indent < indent {
+                break;
+            }
+            let l = l.clone();
+            if l.indent > indent {
+                return self.err(l.num, "unexpected indentation");
+            }
+            if l.text.starts_with("module ") {
+                break;
+            }
+            self.pos += 1;
+            body.push(self.parse_stmt(&l, indent)?);
+        }
+        Ok(body)
+    }
+
+    fn parse_stmt(&mut self, l: &Line, indent: usize) -> Result<Stmt> {
+        let text = &l.text;
+        if text == "skip" {
+            return Ok(Stmt::Skip);
+        }
+        if let Some(rest) = text.strip_prefix("wire ") {
+            let (name, ty_text) = self.split_decl(l, rest)?;
+            return Ok(Stmt::Wire { name, ty: self.parse_type(l, &ty_text)? });
+        }
+        if let Some(rest) = text.strip_prefix("regreset ") {
+            let (name, after) = self.split_decl(l, rest)?;
+            let parts = split_top_level(&after, ',');
+            if parts.len() != 4 {
+                return self.err(l.num, "regreset needs `Type, clock, reset, init`");
+            }
+            let ty = self.parse_type(l, &parts[0])?;
+            let clock = self.parse_expr(l, &parts[1])?;
+            let reset = self.parse_expr(l, &parts[2])?;
+            let init = self.parse_expr(l, &parts[3])?;
+            return Ok(Stmt::Reg { name, ty, clock, reset: Some((reset, init)) });
+        }
+        if let Some(rest) = text.strip_prefix("reg ") {
+            let (name, after) = self.split_decl(l, rest)?;
+            let parts = split_top_level(&after, ',');
+            if parts.len() != 2 {
+                return self.err(l.num, "reg needs `Type, clock`");
+            }
+            let ty = self.parse_type(l, &parts[0])?;
+            let clock = self.parse_expr(l, &parts[1])?;
+            return Ok(Stmt::Reg { name, ty, clock, reset: None });
+        }
+        if let Some(rest) = text.strip_prefix("node ") {
+            let (name, value_text) = match rest.split_once('=') {
+                Some((n, v)) => (n.trim().to_string(), v.trim().to_string()),
+                None => return self.err(l.num, "expected `node name = expr`"),
+            };
+            return Ok(Stmt::Node { name, value: self.parse_expr(l, &value_text)? });
+        }
+        if let Some(rest) = text.strip_prefix("inst ") {
+            let (name, module) = match rest.split_once(" of ") {
+                Some((n, m)) => (n.trim().to_string(), m.trim().to_string()),
+                None => return self.err(l.num, "expected `inst name of Module`"),
+            };
+            return Ok(Stmt::Instance { name, module });
+        }
+        if let Some(rest) = text.strip_prefix("mem ") {
+            let (name, spec) = self.split_decl(l, rest)?;
+            // `UInt<8>[16]`
+            let (ty_text, depth_text) = match spec.split_once('[') {
+                Some((t, d)) => (t.trim(), d.trim_end_matches(']').trim()),
+                None => return self.err(l.num, "expected `mem name : Type[depth]`"),
+            };
+            let ty = self.parse_type(l, ty_text)?;
+            let depth: usize = match depth_text.parse() {
+                Ok(d) => d,
+                Err(_) => return self.err(l.num, format!("bad memory depth `{depth_text}`")),
+            };
+            return Ok(Stmt::Mem { name, ty, depth, init: vec![] });
+        }
+        if let Some(rest) = text.strip_prefix("when ") {
+            let cond_text = rest.trim_end_matches(':').trim();
+            let cond = self.parse_expr(l, cond_text)?;
+            let then_indent = match self.peek() {
+                Some(nl) if nl.indent > indent => nl.indent,
+                _ => return self.err(l.num, "empty when body"),
+            };
+            let then_body = self.parse_block(then_indent)?;
+            let mut else_body = Vec::new();
+            if let Some(nl) = self.peek() {
+                if nl.indent == indent && (nl.text == "else :" || nl.text == "else:") {
+                    self.pos += 1;
+                    let else_indent = match self.peek() {
+                        Some(el) if el.indent > indent => el.indent,
+                        _ => return self.err(l.num, "empty else body"),
+                    };
+                    else_body = self.parse_block(else_indent)?;
+                }
+            }
+            return Ok(Stmt::When { cond, then_body, else_body });
+        }
+        if let Some((target, value_text)) = text.split_once("<=") {
+            let target = target.trim().to_string();
+            if target.is_empty() || !is_ident(&target) {
+                return self.err(l.num, format!("bad connect target `{target}`"));
+            }
+            return Ok(Stmt::Connect { target, value: self.parse_expr(l, value_text.trim())? });
+        }
+        self.err(l.num, format!("unrecognized statement `{text}`"))
+    }
+
+    fn split_decl(&self, l: &Line, rest: &str) -> Result<(String, String)> {
+        match rest.split_once(':') {
+            Some((n, t)) => Ok((n.trim().to_string(), t.trim().to_string())),
+            None => self.err(l.num, "expected `name : ...`"),
+        }
+    }
+
+    fn parse_expr(&self, l: &Line, text: &str) -> Result<Expr> {
+        let text = text.trim();
+        if text.is_empty() {
+            return self.err(l.num, "empty expression");
+        }
+        // Literals: UInt<8>(42), SInt<8>(-3).
+        for (prefix, signed) in [("UInt<", false), ("SInt<", true)] {
+            if let Some(rest) = text.strip_prefix(prefix) {
+                let (w_text, v_text) = match rest.split_once(">(") {
+                    Some((w, v)) => (w, v.trim_end_matches(')')),
+                    None => return self.err(l.num, format!("bad literal `{text}`")),
+                };
+                let width: u32 = w_text
+                    .trim()
+                    .parse()
+                    .map_err(|_| FirrtlError::Parse {
+                        line: l.num,
+                        msg: format!("bad literal width `{w_text}`"),
+                    })?;
+                return if signed {
+                    let value = parse_int_i64(v_text).ok_or_else(|| FirrtlError::Parse {
+                        line: l.num,
+                        msg: format!("bad literal value `{v_text}`"),
+                    })?;
+                    Ok(Expr::SIntLit { value, width })
+                } else {
+                    let value = parse_int_u64(v_text).ok_or_else(|| FirrtlError::Parse {
+                        line: l.num,
+                        msg: format!("bad literal value `{v_text}`"),
+                    })?;
+                    Ok(Expr::UIntLit { value, width })
+                };
+            }
+        }
+        // Call forms: mux(...), validif(...), primop(...).
+        if let Some(open) = text.find('(') {
+            let head = &text[..open];
+            if is_ident(head) && text.ends_with(')') {
+                let args_text = &text[open + 1..text.len() - 1];
+                let parts = split_top_level(args_text, ',');
+                if head == "mux" {
+                    if parts.len() != 3 {
+                        return self.err(l.num, "mux takes 3 arguments");
+                    }
+                    return Ok(Expr::Mux {
+                        cond: Box::new(self.parse_expr(l, &parts[0])?),
+                        tval: Box::new(self.parse_expr(l, &parts[1])?),
+                        fval: Box::new(self.parse_expr(l, &parts[2])?),
+                    });
+                }
+                if head == "validif" {
+                    if parts.len() != 2 {
+                        return self.err(l.num, "validif takes 2 arguments");
+                    }
+                    return Ok(Expr::ValidIf {
+                        cond: Box::new(self.parse_expr(l, &parts[0])?),
+                        value: Box::new(self.parse_expr(l, &parts[1])?),
+                    });
+                }
+                if let Some(op) = PrimOp::from_mnemonic(head) {
+                    let (na, np) = (op.num_args(), op.num_params());
+                    if parts.len() != na + np {
+                        return self.err(
+                            l.num,
+                            format!("{head} takes {na} args + {np} params, got {}", parts.len()),
+                        );
+                    }
+                    let mut args = Vec::with_capacity(na);
+                    for part in &parts[..na] {
+                        args.push(self.parse_expr(l, part)?);
+                    }
+                    let mut params = Vec::with_capacity(np);
+                    for part in &parts[na..] {
+                        let v = parse_int_u64(part.trim()).ok_or_else(|| FirrtlError::Parse {
+                            line: l.num,
+                            msg: format!("bad static parameter `{part}` for {head}"),
+                        })?;
+                        params.push(v);
+                    }
+                    return Ok(Expr::Prim { op, args, params });
+                }
+                return self.err(l.num, format!("unknown operation `{head}`"));
+            }
+        }
+        if is_ident(text) {
+            return Ok(Expr::Ref(text.to_string()));
+        }
+        self.err(l.num, format!("cannot parse expression `{text}`"))
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == '$')
+        && !s.chars().next().unwrap().is_numeric()
+}
+
+fn parse_int_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_int_i64(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(rest) = s.strip_prefix('-') {
+        parse_int_u64(rest).map(|v| -(v as i64))
+    } else {
+        parse_int_u64(s).map(|v| v as i64)
+    }
+}
+
+/// Splits on `sep` at paren depth 0.
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | '<' | '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' | '>' | ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c == sep && depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur = String::new();
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+/// Pretty-prints a circuit back to parseable FIRRTL text (round-trip tested).
+pub fn emit(circuit: &Circuit) -> String {
+    let mut out = format!("circuit {} :\n", circuit.name);
+    for module in &circuit.modules {
+        out.push_str(&format!("  module {} :\n", module.name));
+        for port in &module.ports {
+            let dir = match port.dir {
+                Direction::Input => "input",
+                Direction::Output => "output",
+            };
+            out.push_str(&format!("    {dir} {} : {}\n", port.name, port.ty));
+        }
+        emit_body(&module.body, 4, &mut out);
+    }
+    out
+}
+
+fn emit_body(body: &[Stmt], indent: usize, out: &mut String) {
+    let pad = " ".repeat(indent);
+    for stmt in body {
+        match stmt {
+            Stmt::Wire { name, ty } => out.push_str(&format!("{pad}wire {name} : {ty}\n")),
+            Stmt::Reg { name, ty, clock, reset: None } => {
+                out.push_str(&format!("{pad}reg {name} : {ty}, {clock}\n"));
+            }
+            Stmt::Reg { name, ty, clock, reset: Some((r, i)) } => {
+                out.push_str(&format!("{pad}regreset {name} : {ty}, {clock}, {r}, {i}\n"));
+            }
+            Stmt::Node { name, value } => out.push_str(&format!("{pad}node {name} = {value}\n")),
+            Stmt::Connect { target, value } => {
+                out.push_str(&format!("{pad}{target} <= {value}\n"));
+            }
+            Stmt::Instance { name, module } => {
+                out.push_str(&format!("{pad}inst {name} of {module}\n"));
+            }
+            Stmt::Mem { name, ty, depth, .. } => {
+                out.push_str(&format!("{pad}mem {name} : {ty}[{depth}]\n"));
+            }
+            Stmt::When { cond, then_body, else_body } => {
+                out.push_str(&format!("{pad}when {cond} :\n"));
+                emit_body(then_body, indent + 2, out);
+                if !else_body.is_empty() {
+                    out.push_str(&format!("{pad}else :\n"));
+                    emit_body(else_body, indent + 2, out);
+                }
+            }
+            Stmt::Skip => out.push_str(&format!("{pad}skip\n")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER: &str = "\
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    output out : UInt<8>
+    regreset count : UInt<8>, clock, reset, UInt<8>(0)
+    count <= tail(add(count, UInt<8>(1)), 1)
+    out <= count
+";
+
+    #[test]
+    fn parses_counter() {
+        let c = parse(COUNTER).unwrap();
+        let top = c.top().unwrap();
+        assert_eq!(top.ports.len(), 3);
+        assert_eq!(top.body.len(), 3);
+        assert!(matches!(top.body[0], Stmt::Reg { reset: Some(_), .. }));
+    }
+
+    #[test]
+    fn parses_when_else() {
+        let src = "\
+circuit M :
+  module M :
+    input clock : Clock
+    input c : UInt<1>
+    output o : UInt<4>
+    reg r : UInt<4>, clock
+    when c :
+      r <= UInt<4>(1)
+    else :
+      r <= UInt<4>(2)
+    o <= r
+";
+        let c = parse(src).unwrap();
+        let body = &c.top().unwrap().body;
+        assert!(matches!(&body[1], Stmt::When { else_body, .. } if else_body.len() == 1));
+    }
+
+    #[test]
+    fn parses_hierarchy_and_mem() {
+        let src = "\
+circuit Top :
+  module Sub :
+    input x : UInt<4>
+    output y : UInt<4>
+    y <= not(x)
+  module Top :
+    input clock : Clock
+    input a : UInt<4>
+    output o : UInt<4>
+    inst s of Sub
+    mem m : UInt<4>[8]
+    s.x <= a
+    m.raddr <= a
+    m.waddr <= a
+    m.wdata <= s.y
+    m.wen <= UInt<1>(1)
+    o <= m.rdata
+";
+        let c = parse(src).unwrap();
+        assert_eq!(c.modules.len(), 2);
+        let top = c.top().unwrap();
+        assert!(top.body.iter().any(|s| matches!(s, Stmt::Instance { .. })));
+        assert!(top
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Mem { depth: 8, .. })));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "\
+circuit M : ; the top
+  module M :
+
+    input a : UInt<1> ; an input
+    output o : UInt<1>
+    o <= a
+";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn error_has_line_number() {
+        let src = "\
+circuit M :
+  module M :
+    input a : UInt<1>
+    output o : UInt<1>
+    o <= frobnicate(a)
+";
+        match parse(src).unwrap_err() {
+            FirrtlError::Parse { line, msg } => {
+                assert_eq!(line, 5);
+                assert!(msg.contains("frobnicate"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn literal_forms() {
+        let p = Parser { lines: vec![], pos: 0 };
+        let l = Line { num: 1, indent: 0, text: String::new() };
+        assert_eq!(p.parse_expr(&l, "UInt<8>(0x2a)").unwrap(), Expr::u(42, 8));
+        assert_eq!(p.parse_expr(&l, "SInt<8>(-3)").unwrap(), Expr::s(-3, 8));
+        assert_eq!(
+            p.parse_expr(&l, "bits(x, 7, 0)").unwrap(),
+            Expr::prim_p(PrimOp::Bits, vec![Expr::r("x")], vec![7, 0])
+        );
+        assert!(p.parse_expr(&l, "mux(a, b)").is_err());
+        assert!(p.parse_expr(&l, "7up").is_err());
+    }
+
+    #[test]
+    fn emit_roundtrips() {
+        let c1 = parse(COUNTER).unwrap();
+        let emitted = emit(&c1);
+        let c2 = parse(&emitted).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn split_top_level_respects_nesting() {
+        let parts = split_top_level("add(a, b), UInt<4>(1), c", ',');
+        assert_eq!(parts, vec!["add(a, b)", "UInt<4>(1)", "c"]);
+    }
+
+    #[test]
+    fn missing_top_module_rejected() {
+        let src = "\
+circuit Top :
+  module NotTop :
+    input a : UInt<1>
+    output o : UInt<1>
+    o <= a
+";
+        assert!(parse(src).is_err());
+    }
+}

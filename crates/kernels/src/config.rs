@@ -1,0 +1,160 @@
+//! Kernel configurations (paper §5.2 / §6.1).
+//!
+//! RTeAAL Sim's compiler takes a *kernel configuration* — loop order,
+//! tensor format, and degree of unrolling — and produces one of seven
+//! progressively more unrolled kernels. Each kernel includes all of its
+//! predecessors' optimizations plus one new one:
+//!
+//! | kernel | adds | loop order | OIM format |
+//! |--------|------|------------|------------|
+//! | RU  | unroll one-hot `R` rank            | `[I,S,N,O,R]` | Fig 12b |
+//! | OU  | unroll `O` rank                    | `[I,S,N,O,R]` | Fig 12b |
+//! | NU  | swizzle `S`/`N`, unroll `N`        | `[I,N,S,O,R]` | Fig 12c |
+//! | PSU | partially unroll `S` (8 / 24)      | `[I,N,S,O,R]` | Fig 12c |
+//! | IU  | unroll `I`, skip empty `S` loops   | `[I,N,S,O,R]` | Fig 12c |
+//! | SU  | fully unroll `S` (OIM into binary) | straight-line | embedded |
+//! | TI  | tensor inlining (slots → "registers")| straight-line | embedded |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The seven kernels, in unrolling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// R-rank unrolling only (mostly rolled; the tensor-algebra extreme).
+    Ru,
+    /// + O-rank unrolling.
+    Ou,
+    /// + S/N swizzle and N-rank unrolling.
+    Nu,
+    /// + partial S-rank unrolling (8-wide ops, 24-wide writeback).
+    Psu,
+    /// + full I-rank unrolling (zero-iteration S loops eliminated).
+    Iu,
+    /// + full S-rank unrolling (OIM embedded in the instruction stream).
+    Su,
+    /// + tensor inlining (LI slots bound to virtual registers /
+    /// immediates; the straight-line extreme, like prior simulators).
+    Ti,
+}
+
+/// All kernels in presentation order (x-axes of Figures 15/16, Tables 4–6).
+pub const ALL_KERNELS: [KernelKind; 7] = [
+    KernelKind::Ru,
+    KernelKind::Ou,
+    KernelKind::Nu,
+    KernelKind::Psu,
+    KernelKind::Iu,
+    KernelKind::Su,
+    KernelKind::Ti,
+];
+
+impl KernelKind {
+    /// Upper-case label as the paper prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Ru => "RU",
+            KernelKind::Ou => "OU",
+            KernelKind::Nu => "NU",
+            KernelKind::Psu => "PSU",
+            KernelKind::Iu => "IU",
+            KernelKind::Su => "SU",
+            KernelKind::Ti => "TI",
+        }
+    }
+
+    /// Whether the kernel embeds the OIM in its instruction stream.
+    pub fn is_unrolled(self) -> bool {
+        matches!(self, KernelKind::Su | KernelKind::Ti)
+    }
+
+    /// Whether the kernel uses the S/N-swizzled format (Fig 12c).
+    pub fn is_swizzled(self) -> bool {
+        matches!(self, KernelKind::Nu | KernelKind::Psu | KernelKind::Iu)
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Compiler optimization analog: `Full` mirrors `clang -O3`, `None`
+/// mirrors `clang -O0` (Figure 19). At `None` the generated kernel runs a
+/// deliberately naive dispatch (no specialization, no forwarding) and the
+/// compile path skips all optimization work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// `-O3` analog.
+    #[default]
+    Full,
+    /// `-O0` analog.
+    None,
+}
+
+/// A full kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Which kernel of the §5.2 sequence.
+    pub kind: KernelKind,
+    /// Compiler-optimization analog.
+    pub opt: OptLevel,
+    /// Partial-unroll factor for common-op S loops (paper: 8).
+    pub psu_op_unroll: usize,
+    /// Partial-unroll factor for the writeback S loop (paper: 24).
+    pub psu_writeback_unroll: usize,
+}
+
+impl KernelConfig {
+    /// The default configuration for a kernel kind (`-O3`, 8/24 unroll).
+    pub fn new(kind: KernelKind) -> Self {
+        KernelConfig { kind, opt: OptLevel::Full, psu_op_unroll: 8, psu_writeback_unroll: 24 }
+    }
+
+    /// Same kernel at the `-O0` analog.
+    pub fn unoptimized(kind: KernelKind) -> Self {
+        KernelConfig { opt: OptLevel::None, ..KernelConfig::new(kind) }
+    }
+}
+
+impl fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.opt {
+            OptLevel::Full => write!(f, "{}", self.kind),
+            OptLevel::None => write!(f, "{}-O0", self.kind),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_unroll_sequence() {
+        for w in ALL_KERNELS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(ALL_KERNELS[3].label(), "PSU");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!KernelKind::Ru.is_unrolled());
+        assert!(KernelKind::Ti.is_unrolled());
+        assert!(KernelKind::Psu.is_swizzled());
+        assert!(!KernelKind::Ou.is_swizzled());
+        assert!(!KernelKind::Su.is_swizzled()); // embedded, not traversed
+    }
+
+    #[test]
+    fn config_defaults_match_paper() {
+        let c = KernelConfig::new(KernelKind::Psu);
+        assert_eq!(c.psu_op_unroll, 8);
+        assert_eq!(c.psu_writeback_unroll, 24);
+        assert_eq!(c.opt, OptLevel::Full);
+        assert_eq!(c.to_string(), "PSU");
+        assert_eq!(KernelConfig::unoptimized(KernelKind::Su).to_string(), "SU-O0");
+    }
+}

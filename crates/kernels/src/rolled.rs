@@ -1,0 +1,567 @@
+//! The rolled kernels: RU, OU, NU, PSU, IU (paper §5.2).
+//!
+//! These kernels *traverse* the `OIM` coordinate arrays at runtime — the
+//! tensor-algebra end of the unrolling spectrum. Each executor follows its
+//! paper description:
+//!
+//! - **RU** — Algorithm 3 verbatim: `[I, S, N, O, R]` loops over format
+//!   (b), a case-statement dispatch per operation, and operand staging
+//!   through a `sel_inputs` buffer.
+//! - **OU** — unrolls the `O` loop: operands are consumed directly from
+//!   `LI`, removing the staging traffic and the inner-loop overhead.
+//! - **NU** — Algorithm 4: swizzles to `[I, N, S, O, R]` over format (c);
+//!   each operation type gets its own loop body, eliminating the dispatch.
+//! - **PSU** — partially unrolls the `S` loops (8× for op loops, 24× for
+//!   the writeback loop), amortizing loop overhead.
+//! - **IU** — fully unrolls the `I` rank into a flat schedule of
+//!   non-empty `(layer, type)` groups, eliminating zero-iteration `S`
+//!   loops at the cost of per-group code (the Table 4 jump from 0.35 MB
+//!   to 0.91 MB).
+//!
+//! All five share the same per-operation semantics
+//! ([`rteaal_dfg::op::eval_raw`]), so they are bit-identical to each other
+//! and to the reference interpreters; they differ only in traversal,
+//! instruction/branch overhead, and memory reference streams — exactly
+//! the axes Tables 5–6 measure.
+
+use crate::config::{KernelConfig, KernelKind, OptLevel};
+use crate::profile::{li_addr, oim_addr, OimArray, Probe, CODE_BASE, HANDLER_BYTES};
+use crate::state::LiState;
+use rteaal_dfg::op::{canonicalize, eval_raw, DfgOp, NUM_OPCODES};
+use rteaal_dfg::SimPlan;
+use rteaal_tensor::oim::{OimOptimized, OimSwizzled};
+
+/// Code address of the outer-loop bookkeeping.
+const LOOP_ADDR: u64 = CODE_BASE;
+/// Code address of the case-statement dispatch (RU/OU).
+const DISPATCH_ADDR: u64 = CODE_BASE + 0x100;
+/// Base of the per-opcode handler region.
+const HANDLER_BASE: u64 = CODE_BASE + 0x1000;
+/// Base of IU's per-group specialized loop bodies.
+const IU_GROUP_BASE: u64 = CODE_BASE + 0x10_0000;
+/// Code bytes per IU group body.
+const IU_GROUP_BYTES: u64 = 128;
+/// Scratch region for RU's `sel_inputs` staging buffer and `-O0` spills.
+const SCRATCH_BASE: u64 = 0x3000_0000;
+
+/// Code address of opcode `n`'s handler / specialized loop.
+#[inline]
+fn handler(n: u16) -> u64 {
+    HANDLER_BASE + n as u64 * HANDLER_BYTES
+}
+
+/// Compute-only instruction cost of an op (loads/stores/branches are
+/// accounted separately by the probe).
+#[inline]
+pub(crate) fn exec_cost(op: DfgOp, arity: usize) -> u32 {
+    match op {
+        DfgOp::Mul | DfgOp::Divu | DfgOp::Divs | DfgOp::Remu | DfgOp::Rems => 4,
+        DfgOp::MuxChain => arity as u32,
+        _ => 2,
+    }
+}
+
+/// One IU schedule entry: a non-empty `(layer, type)` group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IuGroup {
+    n: u16,
+    /// Range into the swizzled op arrays.
+    start: u32,
+    len: u32,
+    /// This group's own code body.
+    code_addr: u64,
+}
+
+/// A compiled rolled kernel.
+#[derive(Debug, Clone)]
+pub struct RolledKernel {
+    cfg: KernelConfig,
+    /// Format (b) arrays (RU/OU).
+    oim_b: Option<OimOptimized>,
+    /// Format (c) arrays (NU/PSU/IU).
+    oim_c: Option<OimSwizzled>,
+    /// IU's flattened non-empty-group schedule.
+    schedule: Vec<IuGroup>,
+    /// Distinct opcodes used (handler footprint).
+    used_opcodes: usize,
+}
+
+impl RolledKernel {
+    /// Compiles a plan for the given rolled-kernel configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.kind` is SU or TI (see `crate::unrolled`).
+    pub fn compile(plan: &SimPlan, cfg: KernelConfig) -> Self {
+        assert!(!cfg.kind.is_unrolled(), "SU/TI are handled by UnrolledKernel");
+        let mut used = [false; NUM_OPCODES];
+        for layer in &plan.layers {
+            for op in layer {
+                used[op.n as usize] = true;
+            }
+        }
+        let used_opcodes = used.iter().filter(|&&u| u).count();
+        let (oim_b, oim_c, schedule) = match cfg.kind {
+            KernelKind::Ru | KernelKind::Ou => (Some(OimOptimized::from_plan(plan)), None, vec![]),
+            KernelKind::Nu | KernelKind::Psu => {
+                (None, Some(OimSwizzled::from_plan(plan)), vec![])
+            }
+            KernelKind::Iu => {
+                let oim = OimSwizzled::from_plan(plan);
+                let mut schedule = Vec::new();
+                for i in 0..oim.num_layers {
+                    for n in 0..NUM_OPCODES as u16 {
+                        let range = oim.group(i, n);
+                        if !range.is_empty() {
+                            let code_addr =
+                                IU_GROUP_BASE + schedule.len() as u64 * IU_GROUP_BYTES;
+                            schedule.push(IuGroup {
+                                n,
+                                start: range.start as u32,
+                                len: range.len() as u32,
+                                code_addr,
+                            });
+                        }
+                    }
+                }
+                (None, Some(oim), schedule)
+            }
+            KernelKind::Su | KernelKind::Ti => unreachable!(),
+        };
+        RolledKernel { cfg, oim_b, oim_c, schedule, used_opcodes }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> KernelConfig {
+        self.cfg
+    }
+
+    /// Static code footprint of the kernel (the Table 4 "binary size"
+    /// analog, excluding the OIM data).
+    pub fn code_bytes(&self) -> u64 {
+        let interpreter = 0x1000; // loops, dispatch, commit
+        let handlers = self.used_opcodes as u64 * HANDLER_BYTES;
+        let groups = self.schedule.len() as u64 * IU_GROUP_BYTES;
+        interpreter + handlers + groups
+    }
+
+    /// In-memory bytes of the OIM arrays the kernel traverses (D-cache
+    /// resident data).
+    pub fn data_bytes(&self) -> u64 {
+        match (&self.oim_b, &self.oim_c) {
+            (Some(b), _) => b.memory_bytes() as u64,
+            (_, Some(c)) => c.memory_bytes() as u64,
+            _ => 0,
+        }
+    }
+
+    /// One simulated clock cycle.
+    pub fn step<P: Probe>(&self, st: &mut LiState, probe: &mut P) {
+        match self.cfg.kind {
+            KernelKind::Ru => self.step_ru(st, probe),
+            KernelKind::Ou => self.step_ou(st, probe),
+            KernelKind::Nu => self.step_grouped(st, probe, 1),
+            KernelKind::Psu => self.step_grouped(st, probe, self.cfg.psu_op_unroll),
+            KernelKind::Iu => self.step_iu(st, probe),
+            KernelKind::Su | KernelKind::Ti => unreachable!(),
+        }
+        let wb_unroll = match self.cfg.kind {
+            KernelKind::Ru | KernelKind::Ou | KernelKind::Nu => 1,
+            _ => self.cfg.psu_writeback_unroll,
+        };
+        st.commit(probe, wb_unroll, LiState::commit_code_addr());
+    }
+
+    /// Extra per-operand spill traffic at the `-O0` analog (every value
+    /// round-trips through the stack, as unoptimized C++ does).
+    #[inline]
+    fn spill<P: Probe>(&self, probe: &mut P, o: usize) {
+        if self.cfg.opt == OptLevel::None {
+            probe.store(SCRATCH_BASE + 0x1000 + o as u64 * 8);
+            probe.load(SCRATCH_BASE + 0x1000 + o as u64 * 8);
+        }
+    }
+
+    /// `-O0` result round-trip plus statement prologue/epilogue.
+    #[inline]
+    fn o0_result<P: Probe>(&self, probe: &mut P, addr: u64) {
+        if self.cfg.opt == OptLevel::None {
+            probe.store(SCRATCH_BASE + 0x2000);
+            probe.load(SCRATCH_BASE + 0x2000);
+            probe.exec(addr, 6);
+        }
+    }
+
+    #[inline]
+    fn o0_mul(&self) -> u32 {
+        match self.cfg.opt {
+            OptLevel::Full => 1,
+            OptLevel::None => 4,
+        }
+    }
+
+    /// RU: Algorithm 3 with the `sel_inputs` staging buffer.
+    fn step_ru<P: Probe>(&self, st: &mut LiState, probe: &mut P) {
+        let oim = self.oim_b.as_ref().expect("RU uses format (b)");
+        let mut buf: Vec<u64> = Vec::with_capacity(16);
+        let mut k = 0usize;
+        for i in 0..oim.num_layers() {
+            probe.branch(LOOP_ADDR);
+            probe.load(oim_addr(OimArray::IPayloads, i, 4));
+            for _ in 0..oim.i_payloads[i] {
+                probe.branch(LOOP_ADDR + 0x20);
+                let op_ref = oim.op_at(k);
+                probe.load(oim_addr(OimArray::NCoords, k, 2));
+                probe.load(oim_addr(OimArray::SCoords, k, 4));
+                probe.load(oim_addr(OimArray::Meta, k, 24));
+                let op = op_ref.op();
+                // The op_r[n]/op_u[n] case statement: an indirect jump.
+                probe.branch(DISPATCH_ADDR);
+                let r_base = oim.r_offsets[k] as usize;
+                buf.clear();
+                for (o, &r) in op_ref.rs.iter().enumerate() {
+                    // O loop: per-iteration overhead plus staging.
+                    probe.branch(LOOP_ADDR + 0x40);
+                    probe.load(oim_addr(OimArray::RCoords, r_base + o, 4));
+                    probe.load(li_addr(r));
+                    probe.store(SCRATCH_BASE + o as u64 * 8);
+                    buf.push(st.li[r as usize]);
+                }
+                // Evaluation reloads the staged operands.
+                for o in 0..op_ref.rs.len() {
+                    probe.load(SCRATCH_BASE + o as u64 * 8);
+                    self.spill(probe, o);
+                }
+                let arity = op_ref.rs.len();
+                probe.exec(handler(op_ref.n), exec_cost(op, arity) * self.o0_mul());
+                let raw = eval_raw(op, op_ref.params(), &buf);
+                let v = canonicalize(raw, op_ref.meta.width as u32, op_ref.meta.signed);
+                probe.store(li_addr(op_ref.s));
+                self.o0_result(probe, handler(op_ref.n));
+                st.li[op_ref.s as usize] = v;
+                k += 1;
+            }
+        }
+    }
+
+    /// OU: O-rank unrolled — operands consumed directly from `LI`.
+    fn step_ou<P: Probe>(&self, st: &mut LiState, probe: &mut P) {
+        let oim = self.oim_b.as_ref().expect("OU uses format (b)");
+        let mut buf: Vec<u64> = Vec::with_capacity(16);
+        let mut k = 0usize;
+        for i in 0..oim.num_layers() {
+            probe.branch(LOOP_ADDR);
+            probe.load(oim_addr(OimArray::IPayloads, i, 4));
+            for _ in 0..oim.i_payloads[i] {
+                probe.branch(LOOP_ADDR + 0x20);
+                let op_ref = oim.op_at(k);
+                probe.load(oim_addr(OimArray::NCoords, k, 2));
+                probe.load(oim_addr(OimArray::SCoords, k, 4));
+                probe.load(oim_addr(OimArray::Meta, k, 24));
+                let op = op_ref.op();
+                probe.branch(DISPATCH_ADDR);
+                let r_base = oim.r_offsets[k] as usize;
+                buf.clear();
+                for (o, &r) in op_ref.rs.iter().enumerate() {
+                    probe.load(oim_addr(OimArray::RCoords, r_base + o, 4));
+                    probe.load(li_addr(r));
+                    self.spill(probe, o);
+                    buf.push(st.li[r as usize]);
+                }
+                let arity = op_ref.rs.len();
+                probe.exec(handler(op_ref.n), exec_cost(op, arity) * self.o0_mul());
+                let raw = eval_raw(op, op_ref.params(), &buf);
+                let v = canonicalize(raw, op_ref.meta.width as u32, op_ref.meta.signed);
+                probe.store(li_addr(op_ref.s));
+                self.o0_result(probe, handler(op_ref.n));
+                st.li[op_ref.s as usize] = v;
+                k += 1;
+            }
+        }
+    }
+
+    /// NU/PSU: Algorithm 4 over the swizzled format; `s_unroll` amortizes
+    /// the per-op loop overhead (1 = NU, 8 = PSU).
+    fn step_grouped<P: Probe>(&self, st: &mut LiState, probe: &mut P, s_unroll: usize) {
+        let oim = self.oim_c.as_ref().expect("NU/PSU use format (c)");
+        let s_unroll = s_unroll.max(1);
+        let mut buf: Vec<u64> = Vec::with_capacity(16);
+        for i in 0..oim.num_layers {
+            probe.branch(LOOP_ADDR);
+            for n in 0..NUM_OPCODES as u16 {
+                // Unrolled N rank: each type's loop reads its own count.
+                probe.load(oim_addr(OimArray::NPayloads, i * NUM_OPCODES + n as usize, 4));
+                probe.exec(handler(n), self.o0_mul()); // the count check itself
+                let range = oim.group(i, n);
+                if range.is_empty() {
+                    continue;
+                }
+                let op = DfgOp::from_n_coord(n).expect("valid opcode");
+                for (count, k) in range.enumerate() {
+                    if count % s_unroll == 0 {
+                        probe.branch(handler(n) + 0x40);
+                    }
+                    let (s, rs, meta) = oim.op_at(k);
+                    probe.load(oim_addr(OimArray::SCoords, k, 4));
+                    // Specialized per-type loops bake widths/masks into
+                    // code; only ops with per-op parameters read the side
+                    // table.
+                    if param_count(op) > 0 || op == DfgOp::MuxChain {
+                        probe.load(oim_addr(OimArray::Meta, k, 24));
+                    }
+                    let r_base = oim.r_offsets[k] as usize;
+                    buf.clear();
+                    for (o, &r) in rs.iter().enumerate() {
+                        probe.load(oim_addr(OimArray::RCoords, r_base + o, 4));
+                        probe.load(li_addr(r));
+                        self.spill(probe, o);
+                        buf.push(st.li[r as usize]);
+                    }
+                    let arity = rs.len();
+                    probe.exec(handler(n) + 0x50, exec_cost(op, arity) * self.o0_mul());
+                    let raw = eval_raw(op, &meta.params[..param_count(op)], &buf);
+                    let v = canonicalize(raw, meta.width as u32, meta.signed);
+                    probe.store(li_addr(s));
+                    self.o0_result(probe, handler(n));
+                    st.li[s as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// IU: the flattened non-empty-group schedule (zero-iteration `S`
+    /// loops eliminated; each group has its own code body).
+    fn step_iu<P: Probe>(&self, st: &mut LiState, probe: &mut P) {
+        let oim = self.oim_c.as_ref().expect("IU uses format (c)");
+        let s_unroll = self.cfg.psu_op_unroll.max(1);
+        let mut buf: Vec<u64> = Vec::with_capacity(16);
+        for group in &self.schedule {
+            let op = DfgOp::from_n_coord(group.n).expect("valid opcode");
+            for (count, k) in (group.start..group.start + group.len).enumerate() {
+                let k = k as usize;
+                if count % s_unroll == 0 {
+                    probe.branch(group.code_addr);
+                }
+                let (s, rs, meta) = oim.op_at(k);
+                probe.load(oim_addr(OimArray::SCoords, k, 4));
+                if param_count(op) > 0 || op == DfgOp::MuxChain {
+                    probe.load(oim_addr(OimArray::Meta, k, 24));
+                }
+                let r_base = oim.r_offsets[k] as usize;
+                buf.clear();
+                for (o, &r) in rs.iter().enumerate() {
+                    probe.load(oim_addr(OimArray::RCoords, r_base + o, 4));
+                    probe.load(li_addr(r));
+                    self.spill(probe, o);
+                    buf.push(st.li[r as usize]);
+                }
+                let arity = rs.len();
+                probe.exec(group.code_addr + 0x10, exec_cost(op, arity) * self.o0_mul());
+                let raw = eval_raw(op, &meta.params[..param_count(op)], &buf);
+                let v = canonicalize(raw, meta.width as u32, meta.signed);
+                probe.store(li_addr(s));
+                self.o0_result(probe, group.code_addr);
+                st.li[s as usize] = v;
+            }
+        }
+    }
+}
+
+/// Real static-parameter count of an op (the meta table stores two slots).
+#[inline]
+pub(crate) fn param_count(op: DfgOp) -> usize {
+    use DfgOp::*;
+    match op {
+        Cat | Bits | Head => 2,
+        Andr | Xorr | Shl | Shr => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{MemProbe, NoProbe};
+    use rand::{Rng, SeedableRng};
+    use rteaal_dfg::plan::{plan, PlanSim};
+    use rteaal_firrtl::{lower::lower_typed, parser::parse};
+    use rteaal_perfmodel::Machine;
+
+    const DESIGN: &str = "\
+circuit D :
+  module D :
+    input clock : Clock
+    input x : UInt<16>
+    input sel : UInt<1>
+    output out : UInt<16>
+    output flag : UInt<1>
+    reg a : UInt<16>, clock
+    reg b : UInt<16>, clock
+    node s = tail(add(a, x), 1)
+    node t = xor(b, cat(bits(x, 7, 0), bits(x, 15, 8)))
+    a <= mux(sel, s, t)
+    b <= tail(sub(a, x), 1)
+    out <= a
+    flag <= orr(b)
+";
+
+    fn plan_of(src: &str) -> SimPlan {
+        plan(&rteaal_dfg::build(&lower_typed(&parse(src).unwrap()).unwrap()).unwrap())
+    }
+
+    fn rolled_kinds() -> [KernelKind; 5] {
+        [KernelKind::Ru, KernelKind::Ou, KernelKind::Nu, KernelKind::Psu, KernelKind::Iu]
+    }
+
+    #[test]
+    fn all_rolled_kernels_match_plan_sim() {
+        let p = plan_of(DESIGN);
+        for kind in rolled_kinds() {
+            let kernel = RolledKernel::compile(&p, KernelConfig::new(kind));
+            let mut st = LiState::new(&p);
+            let mut golden = PlanSim::new(&p);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(kind as u64);
+            for _ in 0..200 {
+                let x: u64 = rng.gen();
+                let sel: u64 = rng.gen();
+                st.set_input(0, x);
+                st.set_input(1, sel);
+                golden.set_input(0, x);
+                golden.set_input(1, sel);
+                kernel.step(&mut st, &mut NoProbe);
+                golden.step();
+                assert_eq!(st.output(0), golden.output(0), "{kind:?} out diverged");
+                assert_eq!(st.output(1), golden.output(1), "{kind:?} flag diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_execution_is_bit_identical() {
+        let p = plan_of(DESIGN);
+        for kind in rolled_kinds() {
+            let kernel = RolledKernel::compile(&p, KernelConfig::new(kind));
+            let mut fast = LiState::new(&p);
+            let mut prof = LiState::new(&p);
+            let mut mem = Machine::intel_core().mem_sim();
+            let mut probe = MemProbe::new(&mut mem);
+            for c in 0..50u64 {
+                fast.set_input(0, c * 7);
+                fast.set_input(1, c & 1);
+                prof.set_input(0, c * 7);
+                prof.set_input(1, c & 1);
+                kernel.step(&mut fast, &mut NoProbe);
+                kernel.step(&mut prof, &mut probe);
+                assert_eq!(fast.output(0), prof.output(0));
+            }
+            assert!(probe.counters.instructions > 0);
+        }
+    }
+
+    /// A design large enough that per-op costs dominate per-layer and
+    /// per-type overheads (the regime the paper's designs live in).
+    fn big_design() -> String {
+        let mut src = String::from(
+            "\
+circuit Big :
+  module Big :
+    input clock : Clock
+    input x : UInt<32>
+    output out : UInt<32>
+",
+        );
+        for i in 0..300 {
+            src.push_str(&format!("    reg r{i} : UInt<32>, clock\n"));
+        }
+        src.push_str("    r0 <= tail(add(r299, x), 1)\n");
+        for i in 1..300 {
+            let op = ["xor", "and", "or"][i % 3];
+            src.push_str(&format!("    r{i} <= {op}(r{}, x)\n", i - 1));
+        }
+        src.push_str("    out <= r299\n");
+        src
+    }
+
+    #[test]
+    fn dynamic_instructions_decrease_with_unrolling() {
+        // Table 5's left-to-right trend: RU > OU > NU > PSU >= IU.
+        let p = plan_of(&big_design());
+        let mut counts = Vec::new();
+        for kind in rolled_kinds() {
+            let kernel = RolledKernel::compile(&p, KernelConfig::new(kind));
+            let mut st = LiState::new(&p);
+            let mut mem = Machine::intel_core().mem_sim();
+            let mut probe = MemProbe::new(&mut mem);
+            for _ in 0..20 {
+                kernel.step(&mut st, &mut probe);
+            }
+            counts.push(probe.counters.instructions);
+        }
+        assert!(counts[0] > counts[1], "RU {} !> OU {}", counts[0], counts[1]);
+        assert!(counts[1] > counts[2], "OU {} !> NU {}", counts[1], counts[2]);
+        assert!(counts[2] > counts[3], "NU {} !> PSU {}", counts[2], counts[3]);
+        assert!(counts[3] >= counts[4], "PSU {} !>= IU {}", counts[3], counts[4]);
+    }
+
+    #[test]
+    fn branch_counts_drop_with_unrolling() {
+        let p = plan_of(DESIGN);
+        let count = |kind| {
+            let kernel = RolledKernel::compile(&p, KernelConfig::new(kind));
+            let mut st = LiState::new(&p);
+            let mut mem = Machine::intel_core().mem_sim();
+            let mut probe = MemProbe::new(&mut mem);
+            for _ in 0..20 {
+                kernel.step(&mut st, &mut probe);
+            }
+            probe.counters.branches
+        };
+        assert!(count(KernelKind::Ru) > count(KernelKind::Nu));
+        assert!(count(KernelKind::Nu) > count(KernelKind::Psu));
+    }
+
+    #[test]
+    fn iu_code_grows_beyond_psu() {
+        // Table 4: IU 0.91 MB vs PSU 0.35 MB (here: relative, not absolute).
+        let p = plan_of(DESIGN);
+        let psu = RolledKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        let iu = RolledKernel::compile(&p, KernelConfig::new(KernelKind::Iu));
+        assert!(iu.code_bytes() > psu.code_bytes());
+        assert_eq!(psu.data_bytes(), iu.data_bytes());
+    }
+
+    #[test]
+    fn o0_analog_inflates_instruction_count() {
+        let p = plan_of(&big_design());
+        let run = |cfg| {
+            let kernel = RolledKernel::compile(&p, cfg);
+            let mut st = LiState::new(&p);
+            let mut mem = Machine::intel_core().mem_sim();
+            let mut probe = MemProbe::new(&mut mem);
+            for _ in 0..20 {
+                kernel.step(&mut st, &mut probe);
+            }
+            probe.counters.instructions
+        };
+        let o3 = run(KernelConfig::new(KernelKind::Psu));
+        let o0 = run(KernelConfig::unoptimized(KernelKind::Psu));
+        let ratio = o0 as f64 / o3 as f64;
+        assert!(ratio > 1.5 && ratio < 8.0, "ratio = {ratio}"); // paper: ~3.8x
+    }
+
+    #[test]
+    fn o0_behavior_is_unchanged() {
+        let p = plan_of(DESIGN);
+        let k3 = RolledKernel::compile(&p, KernelConfig::new(KernelKind::Nu));
+        let k0 = RolledKernel::compile(&p, KernelConfig::unoptimized(KernelKind::Nu));
+        let mut s3 = LiState::new(&p);
+        let mut s0 = LiState::new(&p);
+        for c in 0..50u64 {
+            s3.set_input(0, c * 13);
+            s0.set_input(0, c * 13);
+            k3.step(&mut s3, &mut NoProbe);
+            k0.step(&mut s0, &mut NoProbe);
+            assert_eq!(s3.output(0), s0.output(0));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared runtime state for all kernels: the `LI` slot array, input
+//! binding, register commit, and output reads.
+
+use crate::profile::{li_addr, Probe, CODE_BASE};
+use rteaal_dfg::op::canonicalize;
+use rteaal_dfg::SimPlan;
+
+/// The mutable simulation state a kernel executes against.
+#[derive(Debug, Clone)]
+pub struct LiState {
+    /// The `LI` slot array (canonical values).
+    pub li: Vec<u64>,
+    init: Vec<u64>,
+    input_slots: Vec<u32>,
+    input_types: Vec<(u8, bool)>,
+    output_slots: Vec<(String, u32)>,
+    commits: Vec<(u32, u32)>,
+    commit_buf: Vec<u64>,
+    cycle: u64,
+}
+
+impl LiState {
+    /// Initializes state from a plan (registers at power-on values,
+    /// constants materialized).
+    pub fn new(plan: &SimPlan) -> Self {
+        LiState {
+            li: plan.init_values.clone(),
+            init: plan.init_values.clone(),
+            input_slots: plan.input_slots.clone(),
+            input_types: plan.input_types.clone(),
+            output_slots: plan.output_slots.clone(),
+            commits: plan.commits.clone(),
+            commit_buf: vec![0; plan.commits.len()],
+            cycle: 0,
+        }
+    }
+
+    /// Resets registers and constants to their initial values.
+    pub fn reset(&mut self) {
+        self.li.copy_from_slice(&self.init);
+        self.cycle = 0;
+    }
+
+    /// Drives input port `idx` (canonicalized to the port type).
+    pub fn set_input(&mut self, idx: usize, value: u64) {
+        let (w, signed) = self.input_types[idx];
+        self.li[self.input_slots[idx] as usize] = canonicalize(value, w as u32, signed);
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Output value by port index.
+    pub fn output(&self, idx: usize) -> u64 {
+        self.li[self.output_slots[idx].1 as usize]
+    }
+
+    /// Output value by port name.
+    pub fn output_by_name(&self, name: &str) -> Option<u64> {
+        self.output_slots
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| self.li[*s as usize])
+    }
+
+    /// Reads an arbitrary slot (probe / waveform path).
+    pub fn slot(&self, s: u32) -> u64 {
+        self.li[s as usize]
+    }
+
+    /// Writes a register slot directly (DMI poke).
+    pub fn poke_slot(&mut self, s: u32, value: u64) {
+        self.li[s as usize] = value;
+    }
+
+    /// Cycles completed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Two-phase register commit — the final `LI_{i+1}` Einsum of
+    /// Cascade 1, i.e. the "write LO back to LI" loop of Algorithm 3.
+    ///
+    /// `unroll` amortizes the loop-overhead accounting (PSU unrolls this
+    /// loop 24×, §5.2); `code_addr` locates the loop in the code-space
+    /// model.
+    #[inline]
+    pub fn commit<P: Probe>(&mut self, probe: &mut P, unroll: usize, code_addr: u64) {
+        let unroll = unroll.max(1);
+        for (k, &(_, src)) in self.commits.iter().enumerate() {
+            probe.load(li_addr(src));
+            self.commit_buf[k] = self.li[src as usize];
+            if k % unroll == 0 {
+                probe.branch(code_addr);
+            }
+        }
+        for (k, &(dst, _)) in self.commits.iter().enumerate() {
+            probe.store(li_addr(dst));
+            self.li[dst as usize] = self.commit_buf[k];
+            if k % unroll == 0 {
+                probe.branch(code_addr + 64);
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Default commit code address (shared loop in the interpreter region).
+    pub fn commit_code_addr() -> u64 {
+        CODE_BASE + 0x200
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::NoProbe;
+    use rteaal_dfg::plan::plan;
+    use rteaal_firrtl::{lower::lower_typed, parser::parse};
+
+    fn state_of(src: &str) -> (SimPlan, LiState) {
+        let g = rteaal_dfg::build(&lower_typed(&parse(src).unwrap()).unwrap()).unwrap();
+        let p = plan(&g);
+        let s = LiState::new(&p);
+        (p, s)
+    }
+
+    const SWAP: &str = "\
+circuit S :
+  module S :
+    input clock : Clock
+    output oa : UInt<4>
+    output ob : UInt<4>
+    reg a : UInt<4>, clock
+    reg b : UInt<4>, clock
+    a <= b
+    b <= a
+    oa <= a
+    ob <= b
+";
+
+    #[test]
+    fn commit_is_two_phase() {
+        let (p, mut st) = state_of(SWAP);
+        // Registers occupy the first slots; poke them directly.
+        st.poke_slot(p.commits[0].0, 3);
+        st.poke_slot(p.commits[1].0, 9);
+        st.commit(&mut NoProbe, 1, LiState::commit_code_addr());
+        assert_eq!(st.output_by_name("oa"), Some(9));
+        assert_eq!(st.output_by_name("ob"), Some(3));
+        assert_eq!(st.cycle(), 1);
+    }
+
+    #[test]
+    fn inputs_canonicalized() {
+        let (_, mut st) = state_of(
+            "\
+circuit I :
+  module I :
+    input x : UInt<4>
+    output o : UInt<4>
+    o <= x
+",
+        );
+        st.set_input(0, 0xfff);
+        // Input and output share the slot here (pure wire).
+        assert_eq!(st.output(0), 0xf);
+    }
+
+    #[test]
+    fn reset_restores_registers() {
+        let (p, mut st) = state_of(SWAP);
+        st.poke_slot(p.commits[0].0, 7);
+        st.reset();
+        assert_eq!(st.slot(p.commits[0].0), 0);
+        assert_eq!(st.cycle(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Top-down pipeline-slot analysis (paper §3/Figure 7, after Yasin 2014).
+//!
+//! Classifies pipeline slots into *frontend bound*, *bad speculation*, and
+//! *others* (backend bound + retiring), matching the categories the paper
+//! reports. Miss counts come from the measured [`MemStats`] streams; this
+//! module only supplies the latency model that converts them into stall
+//! cycles on a given [`Machine`].
+
+use crate::cache::MemStats;
+use crate::machine::Machine;
+use serde::{Deserialize, Serialize};
+
+/// Execution profile produced by an instrumented simulator run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecProfile {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Dynamic branches executed.
+    pub branches: u64,
+    /// The workload's *intrinsic* branch misprediction rate in `[0, 1]`
+    /// (before the machine's predictor factor): data-dependent dispatch
+    /// branches are unpredictable, loop branches are nearly free.
+    pub branch_entropy: f64,
+    /// Measured cache reference/miss counts.
+    pub mem: MemStats,
+}
+
+/// The top-down slot breakdown plus derived metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopDown {
+    /// Fraction of slots lost to instruction-fetch stalls.
+    pub frontend_bound: f64,
+    /// Fraction of slots lost to branch misspeculation.
+    pub bad_speculation: f64,
+    /// Fraction of slots lost to data-side stalls.
+    pub backend_bound: f64,
+    /// Fraction of slots doing useful work.
+    pub retiring: f64,
+    /// Modeled core cycles.
+    pub cycles: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Modeled wall-clock seconds at the machine's nominal frequency.
+    pub seconds: f64,
+    /// Effective branch misprediction rate after the machine's predictor.
+    pub branch_miss_rate: f64,
+    /// L1 I-cache misses per kilo-instruction.
+    pub l1i_mpki: f64,
+    /// L1 D-cache misses per kilo-instruction.
+    pub l1d_mpki: f64,
+}
+
+impl TopDown {
+    /// "Others" as the paper's Figure 7 aggregates it (backend + retiring).
+    pub fn others(&self) -> f64 {
+        self.backend_bound + self.retiring
+    }
+}
+
+/// Fraction of an L1-D miss's fill latency hidden by memory-level
+/// parallelism in the model.
+const MLP_OVERLAP: f64 = 0.6;
+
+/// Analyzes a profile on a machine.
+///
+/// The model charges each L1I miss its full fill latency (fetch stalls
+/// serialize the frontend: §7.2 attributes >90% of Xeon frontend stalls to
+/// fetch latency), charges L1D misses `1 - MLP_OVERLAP` of theirs
+/// (out-of-order cores overlap data misses), and charges each mispredicted
+/// branch the machine's penalty.
+pub fn analyze(profile: &ExecProfile, machine: &Machine) -> TopDown {
+    let m = &profile.mem;
+    // Average fill latency for an L1 miss, from where fills were served.
+    let fills = (m.l1i.misses + m.l1d.misses).max(1);
+    let l2_hits = m.l2.accesses.saturating_sub(m.l2.misses);
+    let llc_hits = m.llc.accesses.saturating_sub(m.llc.misses);
+    let total_fill_cycles = l2_hits as f64 * machine.l2_latency as f64
+        + llc_hits as f64 * machine.llc_latency as f64
+        + m.mem_fills as f64 * machine.mem_latency as f64;
+    let avg_fill = total_fill_cycles / fills as f64;
+
+    let frontend_cycles = m.l1i.misses as f64 * avg_fill;
+    let backend_cycles = m.l1d.misses as f64 * avg_fill * (1.0 - MLP_OVERLAP);
+    let miss_rate = (profile.branch_entropy * machine.predictor_factor).clamp(0.0, 1.0);
+    let branch_misses = profile.branches as f64 * miss_rate;
+    let badspec_cycles = branch_misses * machine.branch_penalty;
+    let base_cycles = profile.instructions as f64 / machine.width as f64;
+
+    let cycles = (base_cycles + frontend_cycles + backend_cycles + badspec_cycles).max(1.0);
+    let slots = cycles * machine.width as f64;
+    let retiring = profile.instructions as f64 / slots;
+    let frontend_bound = frontend_cycles * machine.width as f64 / slots;
+    let bad_speculation = badspec_cycles * machine.width as f64 / slots;
+    let backend_bound = (1.0 - retiring - frontend_bound - bad_speculation).max(0.0);
+    TopDown {
+        frontend_bound,
+        bad_speculation,
+        backend_bound,
+        retiring,
+        cycles,
+        ipc: profile.instructions as f64 / cycles,
+        seconds: cycles / (machine.ghz * 1e9),
+        branch_miss_rate: miss_rate,
+        l1i_mpki: m.l1i.mpk(profile.instructions),
+        l1d_mpki: m.l1d.mpk(profile.instructions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheStats;
+
+    fn profile(instr: u64, l1i_miss: u64, l1d_miss: u64, branches: u64, entropy: f64) -> ExecProfile {
+        ExecProfile {
+            instructions: instr,
+            branches,
+            branch_entropy: entropy,
+            mem: MemStats {
+                l1i: CacheStats { accesses: instr, misses: l1i_miss },
+                l1d: CacheStats { accesses: instr / 3, misses: l1d_miss },
+                l2: CacheStats { accesses: l1i_miss + l1d_miss, misses: (l1i_miss + l1d_miss) / 2 },
+                llc: CacheStats { accesses: (l1i_miss + l1d_miss) / 2, misses: (l1i_miss + l1d_miss) / 8 },
+                mem_fills: (l1i_miss + l1d_miss) / 8,
+            },
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let td = analyze(&profile(1_000_000, 5_000, 20_000, 100_000, 0.2), &Machine::intel_xeon());
+        let sum = td.frontend_bound + td.bad_speculation + td.backend_bound + td.retiring;
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        assert!(td.ipc > 0.0 && td.ipc <= Machine::intel_xeon().width as f64);
+    }
+
+    #[test]
+    fn icache_misses_drive_frontend_bound() {
+        let clean = analyze(&profile(1_000_000, 100, 1_000, 1000, 0.0), &Machine::intel_xeon());
+        let dirty = analyze(&profile(1_000_000, 80_000, 1_000, 1000, 0.0), &Machine::intel_xeon());
+        assert!(dirty.frontend_bound > 0.5, "frontend = {}", dirty.frontend_bound);
+        assert!(clean.frontend_bound < 0.1);
+        assert!(dirty.ipc < clean.ipc);
+    }
+
+    #[test]
+    fn xeon_suffers_more_than_core_on_same_stream() {
+        // The Core/Xeon contrast of §7.2: same misses, lower LLC latency.
+        let p = profile(1_000_000, 60_000, 5_000, 1000, 0.0);
+        let xeon = analyze(&p, &Machine::intel_xeon());
+        let core = analyze(&p, &Machine::intel_core());
+        assert!(xeon.frontend_bound > core.frontend_bound);
+        assert!(xeon.cycles > core.cycles);
+    }
+
+    #[test]
+    fn branchy_code_cheap_on_graviton() {
+        // Verilator-style branchy dispatch: entropy 0.22.
+        let p = profile(1_000_000, 1_000, 5_000, 250_000, 0.22);
+        let xeon = analyze(&p, &Machine::intel_xeon());
+        let aws = analyze(&p, &Machine::aws_graviton4());
+        assert!((xeon.branch_miss_rate - 0.22).abs() < 1e-9);
+        assert!((aws.branch_miss_rate - 0.0022).abs() < 1e-9);
+        assert!(xeon.bad_speculation > 10.0 * aws.bad_speculation);
+    }
+
+    #[test]
+    fn mpki_reported() {
+        let td = analyze(&profile(1_000_000, 80_000, 40_000, 0, 0.0), &Machine::intel_core());
+        assert!((td.l1i_mpki - 80.0).abs() < 1e-9);
+        assert!((td.l1d_mpki - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn others_aggregate() {
+        let td = analyze(&profile(1_000_000, 5_000, 20_000, 100_000, 0.1), &Machine::amd_ryzen());
+        assert!((td.others() - (td.backend_bound + td.retiring)).abs() < 1e-12);
+    }
+}

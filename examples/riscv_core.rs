@@ -1,0 +1,47 @@
+//! Simulate a real RV32I-subset core on every RTeAAL kernel, checking the
+//! architectural state against an ISA-level golden model, and use the
+//! DMI channel to wait for the program to halt.
+//!
+//! ```text
+//! cargo run --release --example riscv_core
+//! ```
+
+use rteaal_core::{Compiler, DebugModule, Simulation};
+use rteaal_designs::rv32i::{asm::*, rv32i, GoldenCpu};
+use rteaal_kernels::{KernelConfig, ALL_KERNELS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a0 = sum of 1..=20, then halt.
+    let program = vec![
+        addi(1, 0, 0),   // acc
+        addi(2, 0, 20),  // n
+        add(1, 1, 2),    // loop: acc += n
+        addi(2, 2, -1),
+        bne(2, 0, -2),
+        add(10, 1, 0),   // a0 = acc
+        jal(0, 6),       // halt (jump to self at pc 6)
+    ];
+    let circuit = rv32i(&program);
+
+    let mut golden = GoldenCpu::new(&program);
+    for _ in 0..100 {
+        golden.step();
+    }
+    println!("golden model: a0 = {}", golden.x[10]);
+
+    for &kind in &ALL_KERNELS {
+        let compiled = Compiler::new(KernelConfig::new(kind)).compile(&circuit)?;
+        let ops = compiled.plan_stats().effectual_ops;
+        let mut sim = Simulation::new(compiled);
+        let mut dmi = DebugModule::new(&mut sim);
+        let halted_at = dmi.run_until("halt", 200).expect("program halts");
+        let a0 = sim.peek("a0").unwrap();
+        println!(
+            "{:<4} kernel: a0 = {a0} (halted at cycle {halted_at}, {ops} ops/cycle)",
+            kind.label()
+        );
+        assert_eq!(a0, golden.x[10] as u64);
+    }
+    println!("all seven kernels agree with the ISA golden model");
+    Ok(())
+}

@@ -1,0 +1,24 @@
+//! # rteaal-sim (workspace root)
+//!
+//! Convenience re-exports of the RTeAAL Sim reproduction. See the
+//! individual crates for the full API:
+//!
+//! - [`rteaal_core`] — compiler + simulation front door.
+//! - [`rteaal_firrtl`] — FIRRTL-subset frontend.
+//! - [`rteaal_dfg`] — dataflow graph, passes, levelization, plans.
+//! - [`rteaal_tensor`] — fibertrees, formats, the OIM encodings.
+//! - [`rteaal_einsum`] — extended Einsums + the cascade golden model.
+//! - [`rteaal_kernels`] — the seven RU…TI kernels.
+//! - [`rteaal_baselines`] — Verilator-like and ESSENT-like simulators.
+//! - [`rteaal_perfmodel`] — cache/machine/top-down models.
+//! - [`rteaal_designs`] — evaluation designs and workloads.
+
+pub use rteaal_baselines as baselines;
+pub use rteaal_core as core;
+pub use rteaal_designs as designs;
+pub use rteaal_dfg as dfg;
+pub use rteaal_einsum as einsum;
+pub use rteaal_firrtl as firrtl;
+pub use rteaal_kernels as kernels;
+pub use rteaal_perfmodel as perfmodel;
+pub use rteaal_tensor as tensor;
