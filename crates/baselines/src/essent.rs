@@ -171,7 +171,11 @@ impl EssentLike {
             .filter(|id| matches!(loc(id.0), Loc::Mem(_)))
             .count();
         // 4. Emit the straight-line statements with compact layout.
-        let stmt_bytes = if opt == OptLevel::Full { OPT_STMT_BYTES } else { NAIVE_STMT_BYTES };
+        let stmt_bytes = if opt == OptLevel::Full {
+            OPT_STMT_BYTES
+        } else {
+            NAIVE_STMT_BYTES
+        };
         let mut instrs = Vec::with_capacity(order.len());
         let mut addr = ECODE_BASE;
         for &id in &order {
@@ -197,8 +201,7 @@ impl EssentLike {
             let node = graph.node(reg.state);
             values[reg.state.index()] = canonicalize(reg.init, node.width, node.signed);
         }
-        let commits: Vec<(u32, u32)> =
-            graph.regs.iter().map(|r| (r.state.0, r.next.0)).collect();
+        let commits: Vec<(u32, u32)> = graph.regs.iter().map(|r| (r.state.0, r.next.0)).collect();
         let commit_len = commits.len();
         EssentLike {
             instrs,
@@ -213,7 +216,11 @@ impl EssentLike {
                     (n.width, n.signed)
                 })
                 .collect(),
-            outputs: graph.outputs.iter().map(|(n, id)| (n.clone(), id.0)).collect(),
+            outputs: graph
+                .outputs
+                .iter()
+                .map(|(n, id)| (n.clone(), id.0))
+                .collect(),
             commits,
             commit_buf: vec![0; commit_len],
             opt,
@@ -407,7 +414,12 @@ circuit E :
         let g = graph_of(DESIGN);
         let e = EssentLike::compile(&g, OptLevel::Full);
         // Some values got registers (spills < statements).
-        assert!(e.spills < e.num_statements(), "{} vs {}", e.spills, e.num_statements());
+        assert!(
+            e.spills < e.num_statements(),
+            "{} vs {}",
+            e.spills,
+            e.num_statements()
+        );
         let mut mem = Machine::intel_core().mem_sim();
         let mut e3 = EssentLike::compile(&g, OptLevel::Full);
         let p3 = e3.run_profiled(&mut mem, 20);
@@ -435,7 +447,10 @@ circuit W :
         );
         for i in 0..24 {
             src.push_str(&format!("    reg r{i} : UInt<8>, clock\n"));
-            src.push_str(&format!("    r{i} <= tail(add(r{i}, UInt<8>({})), 1)\n", i + 1));
+            src.push_str(&format!(
+                "    r{i} <= tail(add(r{i}, UInt<8>({})), 1)\n",
+                i + 1
+            ));
         }
         // One consumer forcing all 24 partial xors live in a chain.
         src.push_str("    node t0 = xor(r0, r1)\n");

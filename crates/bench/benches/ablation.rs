@@ -31,7 +31,10 @@ fn bench_fusion_ablation(c: &mut Criterion) {
     let graph = raw_graph_of(&small_boom(ChipConfig::new(2)));
     let mut group = c.benchmark_group("mux-chain-fusion");
     for (name, fuse) in [("fused", true), ("unfused", false)] {
-        let opts = PassOptions { fuse_mux_chains: fuse, ..PassOptions::default() };
+        let opts = PassOptions {
+            fuse_mux_chains: fuse,
+            ..PassOptions::default()
+        };
         let (g, _) = optimize(&graph, &opts);
         let sim_plan = plan(&g);
         let mut kernel = Kernel::compile(&sim_plan, KernelConfig::new(KernelKind::Psu));

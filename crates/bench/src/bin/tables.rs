@@ -11,8 +11,7 @@ use rteaal_bench::{run_experiment, Ctx, ALL_EXPERIMENTS};
 // Peak-memory numbers in Figures 8/15 and Table 7 are *measured* through
 // this counting allocator.
 #[global_allocator]
-static ALLOC: rteaal_perfmodel::memtrack::CountingAlloc =
-    rteaal_perfmodel::memtrack::CountingAlloc;
+static ALLOC: rteaal_perfmodel::memtrack::CountingAlloc = rteaal_perfmodel::memtrack::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

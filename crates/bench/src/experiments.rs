@@ -7,11 +7,11 @@
 //! factor, where crossovers fall — is the reproduction target.
 
 use rteaal_baselines::{EssentLike, VerilatorLike};
+use rteaal_designs::{rocket, small_boom, ChipConfig, Workload};
 use rteaal_dfg::graph::Graph;
 use rteaal_dfg::level::levelize;
 use rteaal_dfg::passes::{optimize, PassOptions};
 use rteaal_dfg::plan::{plan, SimPlan};
-use rteaal_designs::{rocket, small_boom, ChipConfig, Workload};
 use rteaal_firrtl::lower::lower_typed;
 use rteaal_kernels::{codegen, Kernel, KernelConfig, KernelKind, OptLevel, ALL_KERNELS};
 use rteaal_perfmodel::topdown::{analyze, TopDown};
@@ -32,12 +32,20 @@ pub struct Ctx {
 impl Ctx {
     /// Laptop-quick settings.
     pub fn quick() -> Self {
-        Ctx { scale: 0.03, profile_cycles: 30, max_cores: 8 }
+        Ctx {
+            scale: 0.03,
+            profile_cycles: 30,
+            max_cores: 8,
+        }
     }
 
     /// Heavier settings (slower, smoother curves).
     pub fn full() -> Self {
-        Ctx { scale: 0.12, profile_cycles: 60, max_cores: 24 }
+        Ctx {
+            scale: 0.12,
+            profile_cycles: 60,
+            max_cores: 24,
+        }
     }
 
     fn core_sweep(&self) -> Vec<usize> {
@@ -50,7 +58,8 @@ impl Ctx {
 
 /// Builds the optimized graph of a circuit.
 pub fn graph_of(circuit: &rteaal_firrtl::Circuit) -> Graph {
-    let g = rteaal_dfg::build(&lower_typed(circuit).expect("designs lower")).expect("designs build");
+    let g =
+        rteaal_dfg::build(&lower_typed(circuit).expect("designs lower")).expect("designs build");
     optimize(&g, &PassOptions::default()).0
 }
 
@@ -119,16 +128,34 @@ fn header(title: &str) -> Vec<String> {
 /// Table 1: effectual vs identity operations.
 pub fn table1(ctx: &Ctx) -> Vec<String> {
     let mut out = header("Table 1: required identity operations (before elision)");
-    out.push(format!("{:<12} {:>14} {:>16} {:>8}", "design", "effectual ops", "identity ops", "ratio"));
+    out.push(format!(
+        "{:<12} {:>14} {:>16} {:>8}",
+        "design", "effectual ops", "identity ops", "ratio"
+    ));
     for (name, circuit) in [
-        ("rocket-1c", rocket(ChipConfig::new(1).with_scale(ctx.scale))),
-        ("small-1c", small_boom(ChipConfig::new(1).with_scale(ctx.scale))),
-        ("rocket-8c", rocket(ChipConfig::new(8).with_scale(ctx.scale))),
-        ("small-8c", small_boom(ChipConfig::new(8).with_scale(ctx.scale))),
+        (
+            "rocket-1c",
+            rocket(ChipConfig::new(1).with_scale(ctx.scale)),
+        ),
+        (
+            "small-1c",
+            small_boom(ChipConfig::new(1).with_scale(ctx.scale)),
+        ),
+        (
+            "rocket-8c",
+            rocket(ChipConfig::new(8).with_scale(ctx.scale)),
+        ),
+        (
+            "small-8c",
+            small_boom(ChipConfig::new(8).with_scale(ctx.scale)),
+        ),
     ] {
         let lv = levelize(&raw_graph_of(&circuit));
         let (e, i) = (lv.effectual_ops(), lv.identities.total());
-        out.push(format!("{name:<12} {e:>14} {i:>16} {:>8.1}x", i as f64 / e.max(1) as f64));
+        out.push(format!(
+            "{name:<12} {e:>14} {i:>16} {:>8.1}x",
+            i as f64 / e.max(1) as f64
+        ));
     }
     out
 }
@@ -143,8 +170,14 @@ pub fn fig7(ctx: &Ctx) -> Vec<String> {
     ));
     for cores in ctx.core_sweep().into_iter().filter(|&c| c <= 12) {
         for (tag, circuit) in [
-            (format!("rocket-{cores}"), rocket(ChipConfig::new(cores).with_scale(ctx.scale))),
-            (format!("small-{cores}"), small_boom(ChipConfig::new(cores).with_scale(ctx.scale))),
+            (
+                format!("rocket-{cores}"),
+                rocket(ChipConfig::new(cores).with_scale(ctx.scale)),
+            ),
+            (
+                format!("small-{cores}"),
+                small_boom(ChipConfig::new(cores).with_scale(ctx.scale)),
+            ),
         ] {
             let g = graph_of(&circuit);
             let (v, _) = verilator_run(&g, &machine, ctx.profile_cycles, 1, OptLevel::Full);
@@ -213,7 +246,10 @@ pub fn table3(_ctx: &Ctx) -> Vec<String> {
 pub fn table4(ctx: &Ctx) -> Vec<String> {
     let mut out = header("Table 4: kernel code footprint, 8-core RocketChip");
     let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
-    out.push(format!("{:<8} {:>14} {:>14} {:>16}", "kernel", "code (KB)", "OIM data (KB)", "C++ source (KB)"));
+    out.push(format!(
+        "{:<8} {:>14} {:>14} {:>16}",
+        "kernel", "code (KB)", "OIM data (KB)", "C++ source (KB)"
+    ));
     for &kind in &ALL_KERNELS {
         let k = Kernel::compile(&p, KernelConfig::new(kind));
         let r = k.compile_report();
@@ -235,7 +271,10 @@ pub fn table4(ctx: &Ctx) -> Vec<String> {
 pub fn fig15(ctx: &Ctx) -> Vec<String> {
     let mut out = header("Figure 15: kernel compile cost, 8-core RocketChip (measured)");
     let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
-    out.push(format!("{:<8} {:>14} {:>14}", "kernel", "time (ms)", "peak (MB)"));
+    out.push(format!(
+        "{:<8} {:>14} {:>14}",
+        "kernel", "time (ms)", "peak (MB)"
+    ));
     for &kind in &ALL_KERNELS {
         let k = Kernel::compile(&p, KernelConfig::new(kind));
         let r = k.compile_report();
@@ -254,7 +293,10 @@ pub fn table5(ctx: &Ctx) -> Vec<String> {
     let mut out = header("Table 5: dynamic instructions and IPC, 8-core RocketChip on Intel Xeon");
     let p = plan_of(&rocket(ChipConfig::new(8).with_scale(ctx.scale)));
     let machine = Machine::intel_xeon();
-    out.push(format!("{:<8} {:>18} {:>8}", "kernel", "dyn instr (M/cyc*)", "IPC"));
+    out.push(format!(
+        "{:<8} {:>18} {:>8}",
+        "kernel", "dyn instr (M/cyc*)", "IPC"
+    ));
     for &kind in &ALL_KERNELS {
         let (td, profile) =
             kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, 1);
@@ -309,8 +351,13 @@ pub fn fig16(ctx: &Ctx) -> Vec<String> {
     for &kind in &ALL_KERNELS {
         let mut row = format!("{:<8}", kind.label());
         for machine in Machine::all() {
-            let (td, _) =
-                kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, full);
+            let (td, _) = kernel_run(
+                &p,
+                KernelConfig::new(kind),
+                &machine,
+                ctx.profile_cycles,
+                full,
+            );
             row.push_str(&format!(" {:>10.2}", td.seconds));
             if machine.id == "xeon" {
                 best.push((kind.label().to_string(), td.seconds));
@@ -320,14 +367,24 @@ pub fn fig16(ctx: &Ctx) -> Vec<String> {
     }
     best.sort_by(|a, b| a.1.total_cmp(&b.1));
     out.push(String::new());
-    out.push(format!("fastest kernel on Xeon: {} (sweet spot in the middle of the spectrum)", best[0].0));
+    out.push(format!(
+        "fastest kernel on Xeon: {} (sweet spot in the middle of the spectrum)",
+        best[0].0
+    ));
     out
 }
 
 /// Figure 17: kernel scaling across design sizes.
 pub fn fig17(ctx: &Ctx) -> Vec<String> {
     let mut out = header("Figure 17: modeled sim time (s) vs design size, Intel Xeon");
-    let kinds = [KernelKind::Ou, KernelKind::Nu, KernelKind::Psu, KernelKind::Iu, KernelKind::Su, KernelKind::Ti];
+    let kinds = [
+        KernelKind::Ou,
+        KernelKind::Nu,
+        KernelKind::Psu,
+        KernelKind::Iu,
+        KernelKind::Su,
+        KernelKind::Ti,
+    ];
     let mut head = format!("{:<8}", "design");
     for k in kinds {
         head.push_str(&format!(" {:>9}", k.label()));
@@ -338,8 +395,13 @@ pub fn fig17(ctx: &Ctx) -> Vec<String> {
         let p = plan_of(&rocket(ChipConfig::new(cores).with_scale(ctx.scale)));
         let mut row = format!("r{cores:<7}");
         for kind in kinds {
-            let (td, _) =
-                kernel_run(&p, KernelConfig::new(kind), &machine, ctx.profile_cycles, 540_000);
+            let (td, _) = kernel_run(
+                &p,
+                KernelConfig::new(kind),
+                &machine,
+                ctx.profile_cycles,
+                540_000,
+            );
             row.push_str(&format!(" {:>9.2}", td.seconds));
         }
         out.push(row);
@@ -359,8 +421,12 @@ pub fn table7(ctx: &Ctx) -> Vec<String> {
     for cores in ctx.core_sweep() {
         let circuit = rocket(ChipConfig::new(cores).with_scale(ctx.scale));
         let g = raw_graph_of(&circuit);
-        let v = VerilatorLike::compile(&g, OptLevel::Full).compile_report().seconds;
-        let e = EssentLike::compile(&g, OptLevel::Full).compile_report().seconds;
+        let v = VerilatorLike::compile(&g, OptLevel::Full)
+            .compile_report()
+            .seconds;
+        let e = EssentLike::compile(&g, OptLevel::Full)
+            .compile_report()
+            .seconds;
         let p = plan(&optimize(&g, &PassOptions::default()).0);
         let k = Kernel::compile(&p, KernelConfig::new(KernelKind::Psu))
             .compile_report()
@@ -419,24 +485,46 @@ pub fn fig20(ctx: &Ctx) -> Vec<String> {
         "{:<8} {:>16} {:>16} {:>16} {:>16}",
         "design", "core", "xeon", "amd", "aws"
     ));
-    let kinds = [KernelKind::Nu, KernelKind::Psu, KernelKind::Iu, KernelKind::Su, KernelKind::Ti];
+    let kinds = [
+        KernelKind::Nu,
+        KernelKind::Psu,
+        KernelKind::Iu,
+        KernelKind::Su,
+        KernelKind::Ti,
+    ];
     for w in Workload::main_grid() {
         let g = graph_of(&w.circuit);
         let p = plan(&g);
         let mut row = format!("{:<8}", w.id);
         for machine in Machine::all() {
-            let (v, _) =
-                verilator_run(&g, &machine, ctx.profile_cycles, w.full_cycles, OptLevel::Full);
+            let (v, _) = verilator_run(
+                &g,
+                &machine,
+                ctx.profile_cycles,
+                w.full_cycles,
+                OptLevel::Full,
+            );
             let best = kinds
                 .iter()
                 .map(|&k| {
-                    kernel_run(&p, KernelConfig::new(k), &machine, ctx.profile_cycles, w.full_cycles)
-                        .0
-                        .seconds
+                    kernel_run(
+                        &p,
+                        KernelConfig::new(k),
+                        &machine,
+                        ctx.profile_cycles,
+                        w.full_cycles,
+                    )
+                    .0
+                    .seconds
                 })
                 .fold(f64::INFINITY, f64::min);
-            let (e, _) =
-                essent_run(&g, &machine, ctx.profile_cycles, w.full_cycles, OptLevel::Full);
+            let (e, _) = essent_run(
+                &g,
+                &machine,
+                ctx.profile_cycles,
+                w.full_cycles,
+                OptLevel::Full,
+            );
             row.push_str(&format!(
                 " {:>7.2}|{:<7.2}",
                 v.seconds / best,
@@ -452,7 +540,8 @@ pub fn fig20(ctx: &Ctx) -> Vec<String> {
 
 /// Figure 21: LLC capacity sweep on 8-core SmallBOOM.
 pub fn fig21(ctx: &Ctx) -> Vec<String> {
-    let mut out = header("Figure 21: speedup over Verilator as LLC shrinks (8-core SmallBOOM, Xeon)");
+    let mut out =
+        header("Figure 21: speedup over Verilator as LLC shrinks (8-core SmallBOOM, Xeon)");
     // LLC effects only appear once the straight-line code footprints
     // exceed the 2 MB L2, so this experiment runs near paper scale
     // regardless of the quick/full setting (with fewer cycles to
@@ -461,7 +550,10 @@ pub fn fig21(ctx: &Ctx) -> Vec<String> {
     let g = graph_of(&circuit);
     let p = plan(&g);
     let cycles = 6;
-    out.push(format!("{:<10} {:>12} {:>12}", "LLC (MB)", "RTeAAL/V", "ESSENT/V"));
+    out.push(format!(
+        "{:<10} {:>12} {:>12}",
+        "LLC (MB)", "RTeAAL/V", "ESSENT/V"
+    ));
     for mb in [10.5f64, 7.0, 3.5, 1.75, 0.875] {
         let machine = Machine::intel_xeon().with_llc_capacity((mb * 1024.0 * 1024.0) as usize);
         let (v, _) = verilator_run(&g, &machine, cycles, 1, OptLevel::Full);
@@ -490,7 +582,10 @@ pub fn ablation_elision(ctx: &Ctx) -> Vec<String> {
     ));
     for (name, circuit) in [
         ("rocket-1", rocket(ChipConfig::new(1).with_scale(ctx.scale))),
-        ("small-1", small_boom(ChipConfig::new(1).with_scale(ctx.scale))),
+        (
+            "small-1",
+            small_boom(ChipConfig::new(1).with_scale(ctx.scale)),
+        ),
     ] {
         let g = graph_of(&circuit);
         let elided = plan(&g);
@@ -546,11 +641,70 @@ pub fn ablation_format(ctx: &Ctx) -> Vec<String> {
     out
 }
 
+/// Batched multi-stimulus throughput: wall-clock lane-cycles/second as
+/// batch size (stimulus lanes) and worker threads sweep — the two
+/// scaling axes the batched engine adds on top of the paper's
+/// single-stimulus evaluation.
+pub fn batch_throughput(ctx: &Ctx) -> Vec<String> {
+    use rteaal_kernels::{BatchKernel, BatchLiState};
+    let mut out =
+        header("Batch: lane-cycles/second, batch size x threads (2-core RocketChip, PSU)");
+    let circuit = rocket(ChipConfig::new(2).with_scale(ctx.scale.max(0.05)));
+    let p = plan_of(&circuit);
+    let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+    let cycles = 200u64;
+    let thread_sweep = [1usize, 2, 4, 8];
+    let mut head = format!("{:<8}", "lanes");
+    for t in thread_sweep {
+        head.push_str(&format!(" {:>10}", format!("T={t}")));
+    }
+    out.push(format!("{head} {:>12}", "amortization"));
+    let mut single_lane_rate = 0.0f64;
+    for lanes in [1usize, 4, 16, 64] {
+        let mut row = format!("{lanes:<8}");
+        let mut best = 0.0f64;
+        for threads in thread_sweep {
+            let mut st = BatchLiState::new(&p, lanes);
+            st.set_input_all(0, 0xdead_beef);
+            // Warm once, then time.
+            kernel.run_parallel(&mut st, 10, threads);
+            let t0 = std::time::Instant::now();
+            kernel.run_parallel(&mut st, cycles, threads);
+            let rate = (cycles * lanes as u64) as f64 / t0.elapsed().as_secs_f64();
+            best = best.max(rate);
+            row.push_str(&format!(" {:>10.2e}", rate));
+        }
+        if lanes == 1 {
+            single_lane_rate = best;
+        }
+        row.push_str(&format!(" {:>11.1}x", best / single_lane_rate.max(1.0)));
+        out.push(row);
+    }
+    out.push(String::new());
+    out.push("shape check: lane-cycles/s grows with batch size; threads help wide designs".into());
+    out
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "fig7", "fig8", "table3", "table4", "fig15", "table5", "table6", "fig16",
-    "fig17", "table7", "fig18", "fig19", "fig20", "fig21", "ablation-elision",
+    "table1",
+    "fig7",
+    "fig8",
+    "table3",
+    "table4",
+    "fig15",
+    "table5",
+    "table6",
+    "fig16",
+    "fig17",
+    "table7",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "ablation-elision",
     "ablation-format",
+    "batch",
 ];
 
 /// Dispatches one experiment by id.
@@ -573,6 +727,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "fig21" => fig21(ctx),
         "ablation-elision" => ablation_elision(ctx),
         "ablation-format" => ablation_format(ctx),
+        "batch" => batch_throughput(ctx),
         _ => return None,
     })
 }

@@ -1,0 +1,293 @@
+//! The user-facing batched simulation handle: one compiled design, `B`
+//! independent stimulus lanes, named per-lane poke/peek, and
+//! thread-parallel cycle stepping.
+//!
+//! [`BatchSimulation`] is the throughput front door: where
+//! [`Simulation`](crate::Simulation) answers "what does this design do
+//! under this stimulus", `BatchSimulation` answers it for `B` stimulus
+//! vectors at once — regression suites, fuzz corpora, or parameter
+//! sweeps — while paying the compile and coordinate-traversal cost once.
+
+use crate::compiler::Compiled;
+use crate::simulation::UnknownSignal;
+use rteaal_dfg::plan::SimPlan;
+use rteaal_kernels::{BatchKernel, BatchLiState, LanePoker};
+use std::collections::HashMap;
+
+/// A running batched simulation of one compiled design.
+///
+/// # Examples
+///
+/// ```
+/// use rteaal_core::{BatchSimulation, Compiler};
+/// use rteaal_kernels::{KernelConfig, KernelKind};
+///
+/// let src = "\
+/// circuit Acc :
+///   module Acc :
+///     input clock : Clock
+///     input x : UInt<8>
+///     output out : UInt<8>
+///     reg acc : UInt<8>, clock
+///     acc <= tail(add(acc, x), 1)
+///     out <= acc
+/// ";
+/// let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(src)?;
+/// let mut sim = BatchSimulation::new(&compiled, 4);
+/// for lane in 0..4 {
+///     sim.poke("x", lane, lane as u64 + 1)?;
+/// }
+/// sim.step_cycles(3);
+/// for lane in 0..4 {
+///     assert_eq!(sim.peek("out", lane), Some(3 * (lane as u64 + 1)));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchSimulation {
+    kernel: BatchKernel,
+    state: BatchLiState,
+    plan: SimPlan,
+    input_index: HashMap<String, usize>,
+    probe_index: HashMap<String, (u32, u8)>,
+    threads: usize,
+}
+
+impl BatchSimulation {
+    /// Builds a `lanes`-wide simulation from a compile result. Runs
+    /// single-threaded until [`with_threads`](Self::with_threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(compiled: &Compiled, lanes: usize) -> Self {
+        let plan = compiled.plan.clone();
+        let kernel = BatchKernel::compile(&plan, compiled.kernel.config());
+        let state = BatchLiState::new(&plan, lanes);
+        let mut input_index = HashMap::new();
+        for (idx, &slot) in plan.input_slots.iter().enumerate() {
+            if let Some((name, _, _)) = plan.probes.iter().find(|(_, s, _)| *s == slot) {
+                input_index.insert(name.clone(), idx);
+            }
+        }
+        let probe_index = plan
+            .probes
+            .iter()
+            .map(|(n, s, w)| (n.clone(), (*s, *w)))
+            .collect();
+        BatchSimulation {
+            kernel,
+            state,
+            plan,
+            input_index,
+            probe_index,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count for subsequent stepping (each layer's
+    /// operations are split across the workers; 1 = sequential). Clamped
+    /// to the host's available parallelism — oversubscribing a batch run
+    /// only adds barrier overhead. Use
+    /// [`BatchKernel::run_parallel`](rteaal_kernels::BatchKernel) directly
+    /// to force an exact count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        self.threads = threads.clamp(1, cores.max(1));
+        self
+    }
+
+    /// Number of stimulus lanes.
+    pub fn lanes(&self) -> usize {
+        self.state.lanes()
+    }
+
+    /// Worker threads used per step.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Drives an input port on one lane, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if no input port has this name.
+    pub fn poke(&mut self, name: &str, lane: usize, value: u64) -> Result<(), UnknownSignal> {
+        let idx = *self
+            .input_index
+            .get(name)
+            .ok_or_else(|| UnknownSignal(name.to_string()))?;
+        self.state.set_input(idx, lane, value);
+        Ok(())
+    }
+
+    /// Drives an input port identically on every lane, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if no input port has this name.
+    pub fn poke_all(&mut self, name: &str, value: u64) -> Result<(), UnknownSignal> {
+        let idx = *self
+            .input_index
+            .get(name)
+            .ok_or_else(|| UnknownSignal(name.to_string()))?;
+        self.state.set_input_all(idx, value);
+        Ok(())
+    }
+
+    /// Reads any probed signal on one lane — output ports, registers,
+    /// inputs, or named internal nodes (the XMR path, per lane).
+    pub fn peek(&self, name: &str, lane: usize) -> Option<u64> {
+        if let Some(&(slot, _)) = self.probe_index.get(name) {
+            return Some(self.state.slot(slot, lane));
+        }
+        self.state.output_by_name(name, lane)
+    }
+
+    /// Advances one clock cycle on every lane, using the configured
+    /// worker threads.
+    pub fn step(&mut self) {
+        if self.threads == 1 {
+            self.kernel.step(&mut self.state);
+        } else {
+            self.kernel.run_parallel(&mut self.state, 1, self.threads);
+        }
+    }
+
+    /// Advances `n` cycles on every lane, using the configured worker
+    /// threads. Inputs hold their last poked values.
+    pub fn step_cycles(&mut self, n: u64) {
+        self.kernel.run_parallel(&mut self.state, n, self.threads);
+    }
+
+    /// Advances `n` cycles, invoking `stimulus` before each cycle so
+    /// every lane can be driven independently mid-run (the batched
+    /// analog of a per-cycle testbench loop).
+    pub fn run_with_stimulus(&mut self, n: u64, stimulus: impl FnMut(u64, &mut LanePoker<'_>)) {
+        self.kernel
+            .run_with_stimulus(&mut self.state, n, self.threads, stimulus);
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.state.cycle()
+    }
+
+    /// Resets every lane to the power-on state.
+    pub fn reset(&mut self) {
+        self.state.reset();
+    }
+
+    /// Index of a named input port (for driving through a
+    /// [`LanePoker`] inside [`run_with_stimulus`](Self::run_with_stimulus)).
+    pub fn input_index(&self, name: &str) -> Option<usize> {
+        self.input_index.get(name).copied()
+    }
+
+    /// The plan (OIM content) this simulation executes.
+    pub fn plan(&self) -> &SimPlan {
+        &self.plan
+    }
+
+    /// All probe names (sorted) — the visible signal namespace.
+    pub fn signals(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.probe_index.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::Compiler;
+    use crate::simulation::Simulation;
+    use rteaal_kernels::{KernelConfig, KernelKind};
+
+    const SRC: &str = "\
+circuit S :
+  module S :
+    input clock : Clock
+    input x : UInt<8>
+    output out : UInt<8>
+    output big : UInt<1>
+    reg acc : UInt<8>, clock
+    node sum = tail(add(acc, x), 1)
+    acc <= sum
+    out <= acc
+    big <= gt(acc, UInt<8>(100))
+";
+
+    fn compiled(kind: KernelKind) -> Compiled {
+        Compiler::new(KernelConfig::new(kind))
+            .compile_str(SRC)
+            .unwrap()
+    }
+
+    #[test]
+    fn per_lane_poke_peek() {
+        let c = compiled(KernelKind::Psu);
+        let mut batch = BatchSimulation::new(&c, 3);
+        for lane in 0..3 {
+            batch.poke("x", lane, 10 * (lane as u64 + 1)).unwrap();
+        }
+        batch.step_cycles(4);
+        for lane in 0..3 {
+            assert_eq!(batch.peek("out", lane), Some(40 * (lane as u64 + 1)));
+            assert_eq!(batch.peek("acc", lane), Some(40 * (lane as u64 + 1)));
+        }
+        assert!(batch.poke("nope", 0, 1).is_err());
+        assert_eq!(batch.peek("ghost", 0), None);
+        assert_eq!(batch.cycle(), 4);
+    }
+
+    #[test]
+    fn lanes_match_scalar_simulations() {
+        let c = compiled(KernelKind::Nu);
+        const LANES: usize = 5;
+        let mut batch = BatchSimulation::new(&c, LANES).with_threads(2);
+        let x_idx = batch.input_index("x").unwrap();
+        batch.run_with_stimulus(50, |cycle, poker| {
+            for lane in 0..LANES {
+                poker.set_input(x_idx, lane, cycle ^ (lane as u64) << 3);
+            }
+        });
+        for lane in 0..LANES {
+            let mut single = Simulation::new(compiled(KernelKind::Nu));
+            for cycle in 0..50 {
+                single.poke("x", cycle ^ (lane as u64) << 3).unwrap();
+                single.step();
+            }
+            for name in ["out", "big", "acc"] {
+                assert_eq!(
+                    batch.peek(name, lane),
+                    single.peek(name),
+                    "lane {lane} signal {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poke_all_and_reset() {
+        let c = compiled(KernelKind::Ti);
+        let mut batch = BatchSimulation::new(&c, 4).with_threads(4);
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        assert_eq!(batch.threads(), 4.min(cores));
+        assert_eq!(batch.lanes(), 4);
+        batch.poke_all("x", 5).unwrap();
+        batch.step_cycles(3);
+        for lane in 0..4 {
+            assert_eq!(batch.peek("out", lane), Some(15));
+        }
+        batch.reset();
+        assert_eq!(batch.cycle(), 0);
+        assert_eq!(batch.peek("acc", 2), Some(0));
+        assert!(batch.signals().contains(&"acc"));
+        assert!(batch.plan().stats.layers >= 1);
+    }
+}

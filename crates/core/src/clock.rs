@@ -24,24 +24,34 @@ pub struct ClockDomain {
 
 /// Enumerates the clock domains of a circuit's top module.
 pub fn clock_domains(circuit: &Circuit) -> Vec<ClockDomain> {
-    let Some(top) = circuit.top() else { return Vec::new() };
+    let Some(top) = circuit.top() else {
+        return Vec::new();
+    };
     let mut domains: Vec<ClockDomain> = top
         .ports
         .iter()
         .filter(|p| p.dir == Direction::Input && p.ty.is_clock())
-        .map(|p| ClockDomain { clock: p.name.clone(), registers: 0 })
+        .map(|p| ClockDomain {
+            clock: p.name.clone(),
+            registers: 0,
+        })
         .collect();
     fn count(body: &[Stmt], domains: &mut [ClockDomain]) {
         for stmt in body {
             match stmt {
-                Stmt::Reg { clock, .. } => {
-                    if let rteaal_firrtl::ast::Expr::Ref(name) = clock {
-                        if let Some(d) = domains.iter_mut().find(|d| &d.clock == name) {
-                            d.registers += 1;
-                        }
+                Stmt::Reg {
+                    clock: rteaal_firrtl::ast::Expr::Ref(name),
+                    ..
+                } => {
+                    if let Some(d) = domains.iter_mut().find(|d| &d.clock == name) {
+                        d.registers += 1;
                     }
                 }
-                Stmt::When { then_body, else_body, .. } => {
+                Stmt::When {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     count(then_body, domains);
                     count(else_body, domains);
                 }

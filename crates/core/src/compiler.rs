@@ -84,7 +84,11 @@ pub struct Compiler {
 impl Compiler {
     /// A compiler for the given kernel configuration with default passes.
     pub fn new(kernel: KernelConfig) -> Self {
-        Compiler { kernel, passes: PassOptions::default(), keep_signals: false }
+        Compiler {
+            kernel,
+            passes: PassOptions::default(),
+            keep_signals: false,
+        }
     }
 
     /// Enables waveform mode (disables signal-eliminating optimizations).
@@ -138,7 +142,12 @@ impl Compiler {
         let kernel = Kernel::compile(&sim_plan, self.kernel);
         t.kernel = t0.elapsed().as_secs_f64();
 
-        Ok(Compiled { plan: sim_plan, kernel, timings: t, pass_stats })
+        Ok(Compiled {
+            plan: sim_plan,
+            kernel,
+            timings: t,
+            pass_stats,
+        })
     }
 }
 
@@ -231,6 +240,9 @@ circuit T :
     #[test]
     fn errors_are_reported() {
         let c = Compiler::new(KernelConfig::new(KernelKind::Su));
-        assert!(matches!(c.compile_str("garbage"), Err(CompileError::Firrtl(_))));
+        assert!(matches!(
+            c.compile_str("garbage"),
+            Err(CompileError::Firrtl(_))
+        ));
     }
 }

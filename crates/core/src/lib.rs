@@ -13,6 +13,8 @@
 //!   (the full Figure 14 flow, with per-stage timings).
 //! - [`simulation::Simulation`] — named poke/peek (including internal
 //!   signals, the XMR path), cycle stepping, and profiled runs.
+//! - [`batch::BatchSimulation`] — the same design over `B` independent
+//!   stimulus lanes at once, with layer-parallel thread execution.
 //! - [`waveform::VcdWriter`] — change-detecting VCD generation (§6.2).
 //! - [`simulation::DebugModule`] — the DMI-style host↔DUT channel (§6.2).
 //!
@@ -39,12 +41,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod batch;
 pub mod clock;
 pub mod compiler;
 pub mod simulation;
 pub mod waveform;
 
+pub use batch::BatchSimulation;
 pub use clock::{clock_domains, is_single_clock, ClockDomain};
-pub use compiler::{Compiled, CompileError, Compiler, StageTimings};
+pub use compiler::{CompileError, Compiled, Compiler, StageTimings};
 pub use simulation::{DebugModule, Simulation, UnknownSignal};
 pub use waveform::VcdWriter;

@@ -64,9 +64,18 @@ impl Simulation {
                 input_index.insert(name.clone(), idx);
             }
         }
-        let probe_index =
-            plan.probes.iter().map(|(n, s, w)| (n.clone(), (*s, *w))).collect();
-        Simulation { kernel: compiled.kernel, plan, input_index, probe_index, vcd: None }
+        let probe_index = plan
+            .probes
+            .iter()
+            .map(|(n, s, w)| (n.clone(), (*s, *w)))
+            .collect();
+        Simulation {
+            kernel: compiled.kernel,
+            plan,
+            input_index,
+            probe_index,
+            vcd: None,
+        }
     }
 
     /// Drives an input port by name.
@@ -211,7 +220,9 @@ circuit S :
 
     fn sim(kind: KernelKind) -> Simulation {
         Simulation::new(
-            Compiler::new(KernelConfig::new(kind)).compile_str(SRC).unwrap(),
+            Compiler::new(KernelConfig::new(kind))
+                .compile_str(SRC)
+                .unwrap(),
         )
     }
 

@@ -53,7 +53,12 @@ impl VcdWriter {
         let _ = writeln!(header, "$upscope $end");
         let _ = writeln!(header, "$enddefinitions $end");
         let last_len = sigs.len();
-        VcdWriter { header, body: String::new(), signals: sigs, last: vec![None; last_len] }
+        VcdWriter {
+            header,
+            body: String::new(),
+            signals: sigs,
+            last: vec![None; last_len],
+        }
     }
 
     /// Samples all signals at time `t`, emitting changes only.

@@ -13,12 +13,26 @@ use rteaal_firrtl::ty::Type;
 
 /// Truncating add: `tail(add(a, b), 1)` — keeps the operand width.
 pub fn add_w(b: &mut ModuleBuilder, a: Expr, x: Expr) -> Expr {
-    b.node_fresh("addw", Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Add, vec![a, x])], vec![1]))
+    b.node_fresh(
+        "addw",
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Add, vec![a, x])],
+            vec![1],
+        ),
+    )
 }
 
 /// Truncating subtract.
 pub fn sub_w(b: &mut ModuleBuilder, a: Expr, x: Expr) -> Expr {
-    b.node_fresh("subw", Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Sub, vec![a, x])], vec![1]))
+    b.node_fresh(
+        "subw",
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Sub, vec![a, x])],
+            vec![1],
+        ),
+    )
 }
 
 /// Rotate-left of a `width`-bit value by a constant.
@@ -27,20 +41,23 @@ pub fn rotl(b: &mut ModuleBuilder, v: Expr, r: u32, width: u32) -> Expr {
     if r == 0 {
         return v;
     }
-    let hi = Expr::prim_p(PrimOp::Bits, vec![v.clone()], vec![(width - r - 1) as u64, 0]);
-    let lo = Expr::prim_p(PrimOp::Bits, vec![v], vec![(width - 1) as u64, (width - r) as u64]);
+    let hi = Expr::prim_p(
+        PrimOp::Bits,
+        vec![v.clone()],
+        vec![(width - r - 1) as u64, 0],
+    );
+    let lo = Expr::prim_p(
+        PrimOp::Bits,
+        vec![v],
+        vec![(width - 1) as u64, (width - r) as u64],
+    );
     b.node_fresh("rotl", Expr::prim(PrimOp::Cat, vec![hi, lo]))
 }
 
 /// A balanced select tree: `items[sel]` for a `sel` of `ceil(log2(n))`
 /// bits (out-of-range selects resolve to the last item).
 pub fn mux_tree(b: &mut ModuleBuilder, sel: &Expr, items: &[Expr], sel_width: u32) -> Expr {
-    fn rec(
-        b: &mut ModuleBuilder,
-        sel: &Expr,
-        items: &[Expr],
-        bit: i64,
-    ) -> Expr {
+    fn rec(b: &mut ModuleBuilder, sel: &Expr, items: &[Expr], bit: i64) -> Expr {
         if items.len() == 1 || bit < 0 {
             return items[0].clone();
         }
@@ -48,7 +65,11 @@ pub fn mux_tree(b: &mut ModuleBuilder, sel: &Expr, items: &[Expr], sel_width: u3
         if items.len() <= half {
             return rec(b, sel, items, bit - 1);
         }
-        let s = Expr::prim_p(PrimOp::Bits, vec![sel.clone()], vec![bit as u64, bit as u64]);
+        let s = Expr::prim_p(
+            PrimOp::Bits,
+            vec![sel.clone()],
+            vec![bit as u64, bit as u64],
+        );
         let lo = rec(b, sel, &items[..half], bit - 1);
         let hi = rec(b, sel, &items[half..], bit - 1);
         b.node_fresh("mt", Expr::mux(s, hi, lo))
@@ -88,7 +109,10 @@ pub fn xor_tree(b: &mut ModuleBuilder, items: &[Expr]) -> Expr {
         let mut next = Vec::with_capacity(level.len().div_ceil(2));
         for pair in level.chunks(2) {
             next.push(if pair.len() == 2 {
-                b.node_fresh("xt", Expr::prim(PrimOp::Xor, vec![pair[0].clone(), pair[1].clone()]))
+                b.node_fresh(
+                    "xt",
+                    Expr::prim(PrimOp::Xor, vec![pair[0].clone(), pair[1].clone()]),
+                )
             } else {
                 pair[0].clone()
             });
@@ -117,7 +141,11 @@ pub fn alu(b: &mut ModuleBuilder, op: &Expr, a: Expr, x: Expr, width: u32) -> Ex
     );
     let sll = b.node_fresh(
         "sll",
-        Expr::prim_p(PrimOp::Tail, vec![Expr::prim_p(PrimOp::Shl, vec![a.clone()], vec![1])], vec![1]),
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim_p(PrimOp::Shl, vec![a.clone()], vec![1])],
+            vec![1],
+        ),
     );
     let srl = b.node_fresh(
         "srl",
@@ -136,8 +164,16 @@ pub fn lfsr(b: &mut ModuleBuilder, name: &str, clock: Expr, width: u32, seed: u6
     let ty = Type::uint(width);
     let r = b.reg(name, ty, clock.clone());
     // Feedback from the top two bits.
-    let t1 = Expr::prim_p(PrimOp::Bits, vec![r.clone()], vec![(width - 1) as u64, (width - 1) as u64]);
-    let t2 = Expr::prim_p(PrimOp::Bits, vec![r.clone()], vec![(width - 2) as u64, (width - 2) as u64]);
+    let t1 = Expr::prim_p(
+        PrimOp::Bits,
+        vec![r.clone()],
+        vec![(width - 1) as u64, (width - 1) as u64],
+    );
+    let t2 = Expr::prim_p(
+        PrimOp::Bits,
+        vec![r.clone()],
+        vec![(width - 2) as u64, (width - 2) as u64],
+    );
     let fb = b.node_fresh("fb", Expr::prim(PrimOp::Xor, vec![t1, t2]));
     let shifted = Expr::prim_p(PrimOp::Bits, vec![r.clone()], vec![(width - 2) as u64, 0]);
     let next = b.node_fresh("lfsr_next", Expr::prim(PrimOp::Cat, vec![shifted, fb]));
@@ -181,8 +217,8 @@ mod tests {
         let g = finish(b, "T");
         let mut sim = Interpreter::new(&g);
         let cases: [(u64, u64, u64, u64); 8] = [
-            (0, 200, 100, 44),  // add wraps
-            (1, 10, 3, 7),      // sub
+            (0, 200, 100, 44), // add wraps
+            (1, 10, 3, 7),     // sub
             (2, 0b1100, 0b1010, 0b1000),
             (3, 0b1100, 0b1010, 0b1110),
             (4, 0b1100, 0b1010, 0b0110),
@@ -220,7 +256,12 @@ mod tests {
         let mut b = ModuleBuilder::new("T");
         let c0 = b.input("c0", Type::uint(1));
         let c1 = b.input("c1", Type::uint(1));
-        let r = mux_chain(&mut b, &[c0, c1], &[Expr::u(1, 4), Expr::u(2, 4)], Expr::u(9, 4));
+        let r = mux_chain(
+            &mut b,
+            &[c0, c1],
+            &[Expr::u(1, 4), Expr::u(2, 4)],
+            Expr::u(9, 4),
+        );
         b.output_expr("out", Type::uint(4), r);
         let g = finish(b, "T");
         let mut sim = Interpreter::new(&g);
@@ -269,7 +310,9 @@ mod tests {
     #[test]
     fn xor_tree_reduces() {
         let mut b = ModuleBuilder::new("T");
-        let xs: Vec<Expr> = (0..5).map(|i| b.input(format!("x{i}"), Type::uint(8))).collect();
+        let xs: Vec<Expr> = (0..5)
+            .map(|i| b.input(format!("x{i}"), Type::uint(8)))
+            .collect();
         let r = xor_tree(&mut b, &xs);
         b.output_expr("out", Type::uint(8), r);
         let g = finish(b, "T");

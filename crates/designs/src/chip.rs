@@ -12,7 +12,7 @@
 //! — which depend on the dataflow graph's size and shape, not the ISA
 //! semantics of the simulated design.
 
-use crate::blocks::{add_w, alu, mux_chain, mux_tree, sub_w, xor_tree, decoder};
+use crate::blocks::{add_w, alu, decoder, mux_chain, mux_tree, sub_w, xor_tree};
 use rteaal_firrtl::ast::{Circuit, Expr};
 use rteaal_firrtl::builder::{CircuitBuilder, ModuleBuilder};
 use rteaal_firrtl::ops::PrimOp;
@@ -65,7 +65,11 @@ fn core_stage(
         .collect();
     let raddr = b.node_fresh(
         "raddr",
-        Expr::prim_p(PrimOp::Bits, vec![stim.clone()], vec![(sel_w - 1) as u64, 0]),
+        Expr::prim_p(
+            PrimOp::Bits,
+            vec![stim.clone()],
+            vec![(sel_w - 1) as u64, 0],
+        ),
     );
     let rs1 = mux_tree(b, &raddr, &words, sel_w);
     let rot = b.node_fresh(
@@ -74,17 +78,28 @@ fn core_stage(
             PrimOp::Cat,
             vec![
                 Expr::prim_p(PrimOp::Bits, vec![stim.clone()], vec![0, 0]),
-                Expr::prim_p(PrimOp::Bits, vec![stim.clone()], vec![(width - 1) as u64, 1]),
+                Expr::prim_p(
+                    PrimOp::Bits,
+                    vec![stim.clone()],
+                    vec![(width - 1) as u64, 1],
+                ),
             ],
         ),
     );
     let rs2 = b.binop(PrimOp::Xor, rs1.clone(), rot);
     // Decode: opcode field drives the ALU cluster.
-    let opcode = b.node_fresh("op", Expr::prim_p(PrimOp::Bits, vec![stim.clone()], vec![2, 0]));
+    let opcode = b.node_fresh(
+        "op",
+        Expr::prim_p(PrimOp::Bits, vec![stim.clone()], vec![2, 0]),
+    );
     let mut results = Vec::with_capacity(alus);
     let mut acc = rs1.clone();
     for k in 0..alus {
-        let operand = if k % 2 == 0 { rs2.clone() } else { stim.clone() };
+        let operand = if k % 2 == 0 {
+            rs2.clone()
+        } else {
+            stim.clone()
+        };
         let r = alu(b, &opcode, acc.clone(), operand, width);
         results.push(r.clone());
         acc = r;
@@ -131,7 +146,13 @@ fn core_stage(
     wb
 }
 
-fn build_chip(name: &str, cfg: ChipConfig, alus_full: usize, rf_full: usize, width: u32) -> Circuit {
+fn build_chip(
+    name: &str,
+    cfg: ChipConfig,
+    alus_full: usize,
+    rf_full: usize,
+    width: u32,
+) -> Circuit {
     let mut b = ModuleBuilder::new(name);
     let clock = b.input("clock", Type::Clock);
     let stim = b.input("stim", Type::uint(width));
@@ -144,7 +165,13 @@ fn build_chip(name: &str, cfg: ChipConfig, alus_full: usize, rf_full: usize, wid
             "seed",
             Expr::prim(
                 PrimOp::Xor,
-                vec![stim.clone(), Expr::u((c as u64).wrapping_mul(0x9e37_79b9) & rteaal_firrtl::ty::mask(width), width)],
+                vec![
+                    stim.clone(),
+                    Expr::u(
+                        (c as u64).wrapping_mul(0x9e37_79b9) & rteaal_firrtl::ty::mask(width),
+                        width,
+                    ),
+                ],
             ),
         );
         let wb = core_stage(&mut b, &clock, &seed, width, alus, rf, &format!("c{c}"));
@@ -176,13 +203,15 @@ pub fn small_boom(cfg: ChipConfig) -> Circuit {
 /// A Gemmini-like weight-stationary systolic MAC array (`gemmini-N` for
 /// an `N×N` mesh): real dataflow — weights preloaded, activations stream
 /// west→east, partial sums stream north→south.
+#[allow(clippy::needless_range_loop)] // mesh code reads as (r, c) indices
 pub fn gemmini(dim: usize) -> Circuit {
     let mut b = ModuleBuilder::new("Gemmini");
     let clock = b.input("clock", Type::Clock);
     let wen = b.input("wen", Type::uint(1));
     let wval = b.input("wval", Type::uint(8));
-    let acts: Vec<Expr> =
-        (0..dim).map(|r| b.input(format!("act_in{r}"), Type::uint(8))).collect();
+    let acts: Vec<Expr> = (0..dim)
+        .map(|r| b.input(format!("act_in{r}"), Type::uint(8)))
+        .collect();
     // PE state.
     for r in 0..dim {
         for c in 0..dim {
@@ -194,19 +223,34 @@ pub fn gemmini(dim: usize) -> Circuit {
     for r in 0..dim {
         for c in 0..dim {
             let w = Expr::r(format!("w_{r}_{c}"));
-            let a_in = if c == 0 { acts[r].clone() } else { Expr::r(format!("a_{r}_{}", c - 1)) };
+            let a_in = if c == 0 {
+                acts[r].clone()
+            } else {
+                Expr::r(format!("a_{r}_{}", c - 1))
+            };
             let ps_in = if r == 0 {
                 Expr::u(0, 32)
             } else {
                 Expr::r(format!("ps_{}_{c}", r - 1))
             };
             // Weight preload shifts values down the column.
-            let w_above = if r == 0 { wval.clone() } else { Expr::r(format!("w_{}_{c}", r - 1)) };
-            b.connect(format!("w_{r}_{c}"), Expr::mux(wen.clone(), w_above, w.clone()));
+            let w_above = if r == 0 {
+                wval.clone()
+            } else {
+                Expr::r(format!("w_{}_{c}", r - 1))
+            };
+            b.connect(
+                format!("w_{r}_{c}"),
+                Expr::mux(wen.clone(), w_above, w.clone()),
+            );
             // MAC: ps_out = ps_in + w * a_in.
             let prod = b.node_fresh(
                 "prod",
-                Expr::prim_p(PrimOp::Pad, vec![Expr::prim(PrimOp::Mul, vec![w, a_in.clone()])], vec![32]),
+                Expr::prim_p(
+                    PrimOp::Pad,
+                    vec![Expr::prim(PrimOp::Mul, vec![w, a_in.clone()])],
+                    vec![32],
+                ),
             );
             let mac = add_w(&mut b, ps_in, prod);
             b.connect(format!("ps_{r}_{c}"), mac);
@@ -214,7 +258,11 @@ pub fn gemmini(dim: usize) -> Circuit {
         }
     }
     for c in 0..dim {
-        b.output_expr("ps_out".to_string() + &c.to_string(), Type::uint(32), Expr::r(format!("ps_{}_{c}", dim - 1)));
+        b.output_expr(
+            "ps_out".to_string() + &c.to_string(),
+            Type::uint(32),
+            Expr::r(format!("ps_{}_{c}", dim - 1)),
+        );
     }
     let mut cb = CircuitBuilder::new("Gemmini");
     cb.add_module(b.finish());

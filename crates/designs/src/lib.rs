@@ -23,4 +23,4 @@ pub mod workload;
 
 pub use chip::{gemmini, pipeline, rocket, small_boom, ChipConfig};
 pub use sha3::{keccak_f, sha3};
-pub use workload::Workload;
+pub use workload::{Stimulus, Workload};

@@ -8,7 +8,7 @@
 //! `LW/SW` against a small data memory, and program memory preloaded at
 //! construction.
 
-use crate::blocks::{mux_tree, decoder};
+use crate::blocks::{decoder, mux_tree};
 use rteaal_firrtl::ast::{Circuit, Expr};
 use rteaal_firrtl::builder::{CircuitBuilder, ModuleBuilder};
 use rteaal_firrtl::ops::PrimOp;
@@ -34,7 +34,13 @@ pub fn rv32i(program: &[u32]) -> Circuit {
     let reset = b.input("reset", Type::uint(1));
 
     // Program counter (word-addressed to keep the mux trees small).
-    let pc = b.reg_reset("pc", Type::uint(6), clock.clone(), reset.clone(), Expr::u(0, 6));
+    let pc = b.reg_reset(
+        "pc",
+        Type::uint(6),
+        clock.clone(),
+        reset.clone(),
+        Expr::u(0, 6),
+    );
 
     // Instruction fetch: a ROM as a mux tree over the PC.
     let rom: Vec<Expr> = (0..IMEM_WORDS)
@@ -77,7 +83,10 @@ pub fn rv32i(program: &[u32]) -> Circuit {
             vec![],
         ),
     );
-    let imm_u = b.node("imm_u", Expr::prim_p(PrimOp::Shl, vec![f(31, 12)], vec![12]));
+    let imm_u = b.node(
+        "imm_u",
+        Expr::prim_p(PrimOp::Shl, vec![f(31, 12)], vec![12]),
+    );
 
     // Register file: explicit registers with mux-tree reads (x0 = 0).
     let mut regs = vec![Expr::u(0, 32)];
@@ -115,35 +124,62 @@ pub fn rv32i(program: &[u32]) -> Circuit {
     );
     let sum = b.node(
         "sum",
-        Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Add, vec![rs1.clone(), alu_b.clone()])], vec![1]),
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Add, vec![rs1.clone(), alu_b.clone()])],
+            vec![1],
+        ),
     );
     let diff = b.node(
         "diff",
-        Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Sub, vec![rs1.clone(), alu_b.clone()])], vec![1]),
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Sub, vec![rs1.clone(), alu_b.clone()])],
+            vec![1],
+        ),
     );
     let and = b.binop(PrimOp::And, rs1.clone(), alu_b.clone());
     let or = b.binop(PrimOp::Or, rs1.clone(), alu_b.clone());
     let xor = b.binop(PrimOp::Xor, rs1.clone(), alu_b.clone());
     let sltu = b.node_fresh(
         "sltu",
-        Expr::prim_p(PrimOp::Pad, vec![Expr::prim(PrimOp::Lt, vec![rs1.clone(), alu_b.clone()])], vec![32]),
+        Expr::prim_p(
+            PrimOp::Pad,
+            vec![Expr::prim(PrimOp::Lt, vec![rs1.clone(), alu_b.clone()])],
+            vec![32],
+        ),
     );
     let slt = {
         let s1 = Expr::prim_p(PrimOp::AsSInt, vec![rs1.clone()], vec![]);
         let s2 = Expr::prim_p(PrimOp::AsSInt, vec![alu_b.clone()], vec![]);
         b.node_fresh(
             "slt",
-            Expr::prim_p(PrimOp::Pad, vec![Expr::prim(PrimOp::Lt, vec![s1, s2])], vec![32]),
+            Expr::prim_p(
+                PrimOp::Pad,
+                vec![Expr::prim(PrimOp::Lt, vec![s1, s2])],
+                vec![32],
+            ),
         )
     };
-    let shamt = b.node("shamt", Expr::prim_p(PrimOp::Bits, vec![alu_b.clone()], vec![4, 0]));
+    let shamt = b.node(
+        "shamt",
+        Expr::prim_p(PrimOp::Bits, vec![alu_b.clone()], vec![4, 0]),
+    );
     let sll = b.node(
         "sll",
-        Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Dshl, vec![rs1.clone(), shamt.clone()])], vec![31]),
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Dshl, vec![rs1.clone(), shamt.clone()])],
+            vec![31],
+        ),
     );
     let srl = b.node(
         "srl",
-        Expr::prim_p(PrimOp::Pad, vec![Expr::prim(PrimOp::Dshr, vec![rs1.clone(), shamt])], vec![32]),
+        Expr::prim_p(
+            PrimOp::Pad,
+            vec![Expr::prim(PrimOp::Dshr, vec![rs1.clone(), shamt])],
+            vec![32],
+        ),
     );
     // funct3 dispatch: 0 add/sub, 1 sll, 2 slt, 3 sltu, 4 xor, 5 srl,
     // 6 or, 7 and.
@@ -186,13 +222,22 @@ pub fn rv32i(program: &[u32]) -> Circuit {
     let br_take = mux_tree(
         &mut b,
         &funct3.clone(),
-        &[eq, Expr::prim_p(PrimOp::Bits, vec![ne], vec![0, 0]),
-          Expr::u(0, 1), Expr::u(0, 1), lt_s,
-          Expr::prim_p(PrimOp::Bits, vec![ge_s], vec![0, 0]),
-          Expr::u(0, 1), Expr::u(0, 1)],
+        &[
+            eq,
+            Expr::prim_p(PrimOp::Bits, vec![ne], vec![0, 0]),
+            Expr::u(0, 1),
+            Expr::u(0, 1),
+            lt_s,
+            Expr::prim_p(PrimOp::Bits, vec![ge_s], vec![0, 0]),
+            Expr::u(0, 1),
+            Expr::u(0, 1),
+        ],
         3,
     );
-    let br_take = b.node("br_take", Expr::prim(PrimOp::And, vec![op_br.clone(), br_take]));
+    let br_take = b.node(
+        "br_take",
+        Expr::prim(PrimOp::And, vec![op_br.clone(), br_take]),
+    );
     // Branch offset in *words*, encoded directly in imm[7:1] by the
     // assembler (simplified B-type), sign-extended.
     let br_off_raw = f(11, 8);
@@ -211,11 +256,19 @@ pub fn rv32i(program: &[u32]) -> Circuit {
     let jal_target = b.node("jal_target", f(25, 20)); // absolute word target
     let pc_plus1 = b.node(
         "pc_plus1",
-        Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Add, vec![pc.clone(), Expr::u(1, 6)])], vec![1]),
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Add, vec![pc.clone(), Expr::u(1, 6)])],
+            vec![1],
+        ),
     );
     let pc_br = b.node(
         "pc_br",
-        Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Add, vec![pc.clone(), br_off])], vec![1]),
+        Expr::prim_p(
+            PrimOp::Tail,
+            vec![Expr::prim(PrimOp::Add, vec![pc.clone(), br_off])],
+            vec![1],
+        ),
     );
     let next_pc = b.node(
         "next_pc",
@@ -250,21 +303,30 @@ pub fn rv32i(program: &[u32]) -> Circuit {
             PrimOp::Or,
             vec![
                 Expr::prim(PrimOp::Or, vec![op_imm, op_reg]),
-                Expr::prim(PrimOp::Or, vec![op_lui, Expr::prim(PrimOp::Or, vec![op_lw, op_jal.clone()])]),
+                Expr::prim(
+                    PrimOp::Or,
+                    vec![op_lui, Expr::prim(PrimOp::Or, vec![op_lw, op_jal.clone()])],
+                ),
             ],
         ),
     );
     let onehot = decoder(&mut b, &rd.clone(), NUM_REGS, 4);
     for i in 1..NUM_REGS {
         let we = Expr::prim(PrimOp::And, vec![wb_en.clone(), onehot[i].clone()]);
-        b.connect(format!("x{i}"), Expr::mux(we, wb_val.clone(), regs[i].clone()));
+        b.connect(
+            format!("x{i}"),
+            Expr::mux(we, wb_val.clone(), regs[i].clone()),
+        );
     }
     // Halt detection: JAL to the current PC.
     let halt = b.node(
         "is_halt",
         Expr::prim(
             PrimOp::And,
-            vec![op_jal, Expr::prim(PrimOp::Eq, vec![Expr::r("jal_target"), pc.clone()])],
+            vec![
+                op_jal,
+                Expr::prim(PrimOp::Eq, vec![Expr::r("jal_target"), pc.clone()]),
+            ],
         ),
     );
     b.output_expr("pc_out", Type::uint(6), pc);
@@ -346,7 +408,11 @@ pub mod asm {
     }
     /// `sw rs2, imm(rs1)` (simplified S-type: low imm bits in 11:7).
     pub fn sw(rs2: u32, rs1: u32, imm: i32) -> u32 {
-        ((rs2 & 0x1f) << 20) | ((rs1 & 0x1f) << 15) | (2 << 12) | (((imm as u32) & 0x1f) << 7) | 0x23
+        ((rs2 & 0x1f) << 20)
+            | ((rs1 & 0x1f) << 15)
+            | (2 << 12)
+            | (((imm as u32) & 0x1f) << 7)
+            | 0x23
     }
     /// The canonical `nop`.
     pub fn nop() -> u32 {
@@ -357,10 +423,19 @@ pub mod asm {
         (((imm as u32) & 0xfff) << 20) | ((rs1 & 0x1f) << 15) | (f3 << 12) | ((rd & 0x1f) << 7) | op
     }
     fn rtype(op: u32, rd: u32, f3: u32, rs1: u32, rs2: u32, f7: u32) -> u32 {
-        (f7 << 25) | ((rs2 & 0x1f) << 20) | ((rs1 & 0x1f) << 15) | (f3 << 12) | ((rd & 0x1f) << 7) | op
+        (f7 << 25)
+            | ((rs2 & 0x1f) << 20)
+            | ((rs1 & 0x1f) << 15)
+            | (f3 << 12)
+            | ((rd & 0x1f) << 7)
+            | op
     }
     fn btype(f3: u32, rs1: u32, rs2: u32, off: i32) -> u32 {
-        ((rs2 & 0x1f) << 20) | ((rs1 & 0x1f) << 15) | (f3 << 12) | (((off as u32) & 0xf) << 8) | 0x63
+        ((rs2 & 0x1f) << 20)
+            | ((rs1 & 0x1f) << 15)
+            | (f3 << 12)
+            | (((off as u32) & 0xf) << 8)
+            | 0x63
     }
 }
 
@@ -379,7 +454,12 @@ pub struct GoldenCpu {
 impl GoldenCpu {
     /// Creates a golden CPU over the same program.
     pub fn new(program: &[u32]) -> Self {
-        GoldenCpu { x: [0; NUM_REGS], pc: 0, dmem: [0; DMEM_WORDS], program: program.to_vec() }
+        GoldenCpu {
+            x: [0; NUM_REGS],
+            pc: 0,
+            dmem: [0; DMEM_WORDS],
+            program: program.to_vec(),
+        }
     }
 
     /// Executes one instruction.
@@ -470,7 +550,11 @@ mod tests {
         for c in 0..cycles {
             hw.step();
             sw.step();
-            assert_eq!(hw.output_by_name("pc_out"), Some(sw.pc as u64), "pc at cycle {c}");
+            assert_eq!(
+                hw.output_by_name("pc_out"),
+                Some(sw.pc as u64),
+                "pc at cycle {c}"
+            );
             for i in 1..NUM_REGS {
                 assert_eq!(
                     hw.peek_by_name(&format!("x{i}")),
@@ -512,13 +596,13 @@ mod tests {
             addi(2, 0, 1),  // f1
             addi(3, 0, 10), // counter
             // loop:
-            add(4, 1, 2),   // f2 = f0 + f1
-            add(1, 2, 0),   // f0 = f1
-            add(2, 4, 0),   // f1 = f2
+            add(4, 1, 2), // f2 = f0 + f1
+            add(1, 2, 0), // f0 = f1
+            add(2, 4, 0), // f1 = f2
             addi(3, 3, -1),
             bne(3, 0, -4),
-            add(10, 1, 0),  // a0 = f0
-            jal(0, 9),      // halt: jump-to-self at pc 9
+            add(10, 1, 0), // a0 = f0
+            jal(0, 9),     // halt: jump-to-self at pc 9
         ];
         let circuit = rv32i(&program);
         let graph = rteaal_dfg::build(&lower_typed(&circuit).unwrap()).unwrap();
@@ -535,12 +619,7 @@ mod tests {
 
     #[test]
     fn load_store_roundtrip() {
-        let program = [
-            addi(1, 0, 0x7a),
-            sw(1, 0, 8),
-            lw(2, 0, 8),
-            add(10, 2, 0),
-        ];
+        let program = [addi(1, 0, 0x7a), sw(1, 0, 8), lw(2, 0, 8), add(10, 2, 0)];
         let (hw, sw) = run_both(&program, 6);
         assert_eq!(sw.dmem[2], 0x7a);
         assert_eq!(hw.output_by_name("a0"), Some(0x7a));
@@ -551,11 +630,11 @@ mod tests {
         let program = [
             addi(1, 0, 5),
             addi(2, 0, 5),
-            beq(1, 2, 2),   // taken: skip next
-            addi(10, 0, 99),// skipped
+            beq(1, 2, 2),    // taken: skip next
+            addi(10, 0, 99), // skipped
             addi(3, 0, -1),
-            blt(3, 0, 2),   // taken (signed)
-            addi(10, 0, 98),// skipped
+            blt(3, 0, 2),    // taken (signed)
+            addi(10, 0, 98), // skipped
             addi(4, 0, 1),
         ];
         let (_, sw) = run_both(&program, 8);

@@ -7,6 +7,9 @@
 //! an absorb interface. The [`keccak_f`] software permutation is the
 //! golden model the hardware is validated against.
 
+// Keccak is (x, y) lane-matrix math; explicit indices mirror the spec.
+#![allow(clippy::needless_range_loop)]
+
 use crate::blocks::{mux_tree, rotl, xor_tree};
 use rteaal_firrtl::ast::{Circuit, Expr};
 use rteaal_firrtl::builder::{CircuitBuilder, ModuleBuilder};
@@ -15,12 +18,30 @@ use rteaal_firrtl::ty::Type;
 
 /// Keccak round constants (ι step).
 pub const ROUND_CONSTANTS: [u64; 24] = [
-    0x0000000000000001, 0x0000000000008082, 0x800000000000808a, 0x8000000080008000,
-    0x000000000000808b, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
-    0x000000000000008a, 0x0000000000000088, 0x0000000080008009, 0x000000008000000a,
-    0x000000008000808b, 0x800000000000008b, 0x8000000000008089, 0x8000000000008003,
-    0x8000000000008002, 0x8000000000000080, 0x000000000000800a, 0x800000008000000a,
-    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
 ];
 
 /// ρ-step rotation offsets, indexed `[y][x]`.
@@ -81,7 +102,9 @@ pub fn sha3() -> Circuit {
     let mut b = ModuleBuilder::new("Sha3");
     let clock = b.input("clock", Type::Clock);
     let start = b.input("start", Type::uint(1));
-    let ins: Vec<Expr> = (0..17).map(|i| b.input(format!("in{i}"), Type::uint(64))).collect();
+    let ins: Vec<Expr> = (0..17)
+        .map(|i| b.input(format!("in{i}"), Type::uint(64)))
+        .collect();
 
     // State lanes and the round counter.
     for y in 0..5 {
@@ -117,7 +140,10 @@ pub fn sha3() -> Circuit {
     let rc = mux_tree(
         &mut b,
         &round.clone(),
-        &ROUND_CONSTANTS.iter().map(|&v| Expr::u(v, 64)).collect::<Vec<_>>(),
+        &ROUND_CONSTANTS
+            .iter()
+            .map(|&v| Expr::u(v, 64))
+            .collect::<Vec<_>>(),
         5,
     );
     for y in 0..5 {
@@ -141,7 +167,10 @@ pub fn sha3() -> Circuit {
                 lane(y, x)
             };
             let held = Expr::mux(Expr::r("running"), chi, lane(y, x));
-            b.connect(format!("s_{y}_{x}"), Expr::mux(start.clone(), absorbed, held));
+            b.connect(
+                format!("s_{y}_{x}"),
+                Expr::mux(start.clone(), absorbed, held),
+            );
         }
     }
     // Control.
@@ -170,7 +199,11 @@ pub fn sha3() -> Circuit {
     let next_running = Expr::mux(
         start,
         Expr::u(1, 1),
-        Expr::mux(Expr::r("running"), Expr::prim(PrimOp::Eq, vec![last, Expr::u(0, 1)]), Expr::u(0, 1)),
+        Expr::mux(
+            Expr::r("running"),
+            Expr::prim(PrimOp::Eq, vec![last, Expr::u(0, 1)]),
+            Expr::u(0, 1),
+        ),
     );
     b.connect("running", next_running);
     let not_running = b.node_fresh("nr", Expr::prim(PrimOp::Eq, vec![running, Expr::u(0, 1)]));
@@ -210,7 +243,9 @@ mod tests {
         let g = rteaal_dfg::build(&lower_typed(&c).unwrap()).unwrap();
         let mut sim = Interpreter::new(&g);
         // Absorb a message into the zero state.
-        let msg: Vec<u64> = (0..17).map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i)).collect();
+        let msg: Vec<u64> = (0..17)
+            .map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i))
+            .collect();
         sim.set_input_by_name("start", 1);
         for (i, m) in msg.iter().enumerate() {
             sim.set_input_by_name(&format!("in{i}"), *m);

@@ -1,0 +1,224 @@
+//! Batched plan interpretation: one [`SimPlan`], `B` stimulus lanes.
+//!
+//! Layer-at-a-time evaluation is data-parallel in two independent
+//! directions: *within* a layer every operation is independent (the
+//! levelization barrier guarantees operands come from strictly earlier
+//! layers), and *across lanes* the same operation applied to independent
+//! stimulus vectors shares all of its coordinate metadata. Batching
+//! exploits the second direction: the `LI` slot array is widened from one
+//! `u64` per slot to `B` lanes per slot in **slot-major** layout (slot
+//! `s` occupies `li[s * B .. (s + 1) * B]`), so one traversal of the
+//! `OIM` amortizes coordinate reads, dispatch, and loop overhead over `B`
+//! simulations while every data stream stays stride-1.
+//!
+//! [`BatchPlanSim`] is the sequential reference for this execution model:
+//! bit-exact against `B` independent [`PlanSim`](crate::plan::PlanSim)
+//! runs by construction, and the golden model the thread-parallel engine
+//! in `rteaal-kernels` is differentially tested against.
+
+use crate::op::canonicalize;
+use crate::plan::SimPlan;
+
+/// Replicates a plan's initial `LI` contents across `lanes` lanes in
+/// slot-major layout.
+pub fn init_lanes(plan: &SimPlan, lanes: usize) -> Vec<u64> {
+    let mut li = Vec::with_capacity(plan.num_slots * lanes);
+    for &v in &plan.init_values {
+        li.extend(std::iter::repeat_n(v, lanes));
+    }
+    li
+}
+
+/// The batched plan interpreter (Algorithm 3 with a lane inner loop).
+#[derive(Debug, Clone)]
+pub struct BatchPlanSim<'p> {
+    plan: &'p SimPlan,
+    lanes: usize,
+    li: Vec<u64>,
+    buf: Vec<u64>,
+    commit_buf: Vec<u64>,
+    cycle: u64,
+}
+
+impl<'p> BatchPlanSim<'p> {
+    /// Creates a `lanes`-wide simulator with every lane at the plan's
+    /// initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(plan: &'p SimPlan, lanes: usize) -> Self {
+        assert!(lanes > 0, "batch needs at least one lane");
+        BatchPlanSim {
+            plan,
+            lanes,
+            li: init_lanes(plan, lanes),
+            buf: Vec::with_capacity(8),
+            commit_buf: vec![0; plan.commits.len() * lanes],
+            cycle: 0,
+        }
+    }
+
+    /// Number of stimulus lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Drives input port `idx` on one lane (canonicalized to the port
+    /// type).
+    pub fn set_input(&mut self, idx: usize, lane: usize, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let (w, signed) = self.plan.input_types[idx];
+        self.li[self.plan.input_slots[idx] as usize * self.lanes + lane] =
+            canonicalize(value, w as u32, signed);
+    }
+
+    /// Drives input port `idx` identically on every lane.
+    pub fn set_input_all(&mut self, idx: usize, value: u64) {
+        for lane in 0..self.lanes {
+            self.set_input(idx, lane, value);
+        }
+    }
+
+    /// One clock cycle on every lane: evaluate each layer lane-wise, then
+    /// commit registers lane-wise.
+    pub fn step(&mut self) {
+        for layer in &self.plan.layers {
+            for op in layer {
+                op.eval_lanes(&mut self.li, self.lanes, &mut self.buf);
+            }
+        }
+        let lanes = self.lanes;
+        for (k, &(_, src)) in self.plan.commits.iter().enumerate() {
+            let s0 = src as usize * lanes;
+            self.commit_buf[k * lanes..(k + 1) * lanes].copy_from_slice(&self.li[s0..s0 + lanes]);
+        }
+        for (k, &(dst, _)) in self.plan.commits.iter().enumerate() {
+            let d0 = dst as usize * lanes;
+            self.li[d0..d0 + lanes].copy_from_slice(&self.commit_buf[k * lanes..(k + 1) * lanes]);
+        }
+        self.cycle += 1;
+    }
+
+    /// Output value of one lane, by port index.
+    pub fn output(&self, idx: usize, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.li[self.plan.output_slots[idx].1 as usize * self.lanes + lane]
+    }
+
+    /// Reads any `LI` slot on one lane (probe / XMR path).
+    pub fn slot(&self, s: u32, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.li[s as usize * self.lanes + lane]
+    }
+
+    /// The full lane row of a slot.
+    pub fn slot_lanes(&self, s: u32) -> &[u64] {
+        let s0 = s as usize * self.lanes;
+        &self.li[s0..s0 + self.lanes]
+    }
+
+    /// Cycles simulated.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build;
+    use crate::plan::{plan, PlanSim};
+    use rand::{Rng, SeedableRng};
+    use rteaal_firrtl::{lower::lower_typed, parser::parse};
+
+    const MIXED: &str = "\
+circuit Mixed :
+  module Mixed :
+    input clock : Clock
+    input x : UInt<8>
+    input sel : UInt<1>
+    output out : UInt<8>
+    output flag : UInt<1>
+    reg acc : UInt<8>, clock
+    reg cnt : UInt<4>, clock
+    node nx = tail(add(acc, x), 1)
+    node alt = xor(acc, x)
+    acc <= mux(sel, nx, alt)
+    cnt <= tail(add(cnt, UInt<4>(1)), 1)
+    out <= acc
+    flag <= andr(cnt)
+";
+
+    fn plan_of(src: &str) -> SimPlan {
+        plan(&build(&lower_typed(&parse(src).unwrap()).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn lanes_match_independent_plan_sims() {
+        let p = plan_of(MIXED);
+        const LANES: usize = 7;
+        let mut batch = BatchPlanSim::new(&p, LANES);
+        let mut singles: Vec<PlanSim> = (0..LANES).map(|_| PlanSim::new(&p)).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for cycle in 0..200 {
+            for (lane, single) in singles.iter_mut().enumerate() {
+                let x: u64 = rng.gen();
+                let sel: u64 = rng.gen();
+                single.set_input(0, x);
+                single.set_input(1, sel);
+                batch.set_input(0, lane, x);
+                batch.set_input(1, lane, sel);
+            }
+            batch.step();
+            for (lane, single) in singles.iter_mut().enumerate() {
+                single.step();
+                for idx in 0..p.output_slots.len() {
+                    assert_eq!(
+                        batch.output(idx, lane),
+                        single.output(idx),
+                        "lane {lane} output {idx} @ cycle {cycle}"
+                    );
+                }
+                // Internal state agrees slot-by-slot, not just at outputs.
+                for s in 0..p.num_slots as u32 {
+                    assert_eq!(batch.slot(s, lane), single.slot(s), "slot {s} lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_input_all_broadcasts() {
+        let p = plan_of(MIXED);
+        let mut batch = BatchPlanSim::new(&p, 4);
+        batch.set_input_all(0, 3);
+        batch.set_input_all(1, 1);
+        for _ in 0..5 {
+            batch.step();
+        }
+        let first = batch.output(0, 0);
+        for lane in 1..4 {
+            assert_eq!(batch.output(0, lane), first);
+        }
+        assert_eq!(batch.cycle(), 5);
+        assert_eq!(batch.slot_lanes(p.output_slots[0].1), &[first; 4]);
+    }
+
+    #[test]
+    fn inputs_canonicalized_per_lane() {
+        let p = plan_of(MIXED);
+        let mut batch = BatchPlanSim::new(&p, 2);
+        batch.set_input(0, 1, 0xfff); // x is 8 bits wide
+        let x_slot = p.input_slots[0];
+        assert_eq!(batch.slot(x_slot, 0), 0);
+        assert_eq!(batch.slot(x_slot, 1), 0xff);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let p = plan_of(MIXED);
+        let _ = BatchPlanSim::new(&p, 0);
+    }
+}

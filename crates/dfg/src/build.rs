@@ -38,7 +38,9 @@ pub fn build(flat: &FlatModule) -> Result<Graph> {
     }
     // Seed sources: inputs and register state nodes.
     for (name, ty) in &flat.inputs {
-        let id = b.graph.add_source(DfgOp::Input, ty.width(), ty.is_signed(), name.clone());
+        let id = b
+            .graph
+            .add_source(DfgOp::Input, ty.width(), ty.is_signed(), name.clone());
         b.graph.inputs.push(id);
         b.resolved.insert(name.clone(), id);
     }
@@ -51,7 +53,12 @@ pub fn build(flat: &FlatModule) -> Result<Graph> {
         );
         b.resolved.insert(reg.name.clone(), id);
         // `next` is patched below once expressions are built.
-        b.graph.regs.push(RegDef { state: id, next: id, init: reg.init, name: reg.name.clone() });
+        b.graph.regs.push(RegDef {
+            state: id,
+            next: id,
+            init: reg.init,
+            name: reg.name.clone(),
+        });
     }
     // Register next-state expressions, coerced to the register type.
     for (idx, reg) in flat.regs.iter().enumerate() {
@@ -121,23 +128,24 @@ impl<'a> Builder<'a> {
         if node.signed == signed && node.width <= width {
             return id;
         }
-        self.graph.add_op(DfgOp::Resize, vec![], vec![id], width, signed)
+        self.graph
+            .add_op(DfgOp::Resize, vec![], vec![id], width, signed)
     }
 
     fn build_expr(&mut self, expr: &Expr) -> Result<NodeId> {
         match expr {
             Expr::Ref(name) => self.resolve(name),
             Expr::UIntLit { value, width } => Ok(self.graph.add_const(*value, *width, false)),
-            Expr::SIntLit { value, width } => {
-                Ok(self.graph.add_const(*value as u64, *width, true))
-            }
+            Expr::SIntLit { value, width } => Ok(self.graph.add_const(*value as u64, *width, true)),
             Expr::Mux { cond, tval, fval } => {
                 let c = self.build_expr(cond)?;
                 let t = self.build_expr(tval)?;
                 let f = self.build_expr(fval)?;
                 let (tt, ft) = (self.ty_of(t), self.ty_of(f));
                 let width = tt.width().max(ft.width());
-                Ok(self.graph.add_op(DfgOp::Mux, vec![], vec![c, t, f], width, tt.is_signed()))
+                Ok(self
+                    .graph
+                    .add_op(DfgOp::Mux, vec![], vec![c, t, f], width, tt.is_signed()))
             }
             Expr::ValidIf { cond, value } => {
                 let c = self.build_expr(cond)?;
@@ -152,8 +160,10 @@ impl<'a> Builder<'a> {
                 ))
             }
             Expr::Prim { op, args, params } => {
-                let arg_ids: Vec<NodeId> =
-                    args.iter().map(|a| self.build_expr(a)).collect::<Result<_>>()?;
+                let arg_ids: Vec<NodeId> = args
+                    .iter()
+                    .map(|a| self.build_expr(a))
+                    .collect::<Result<_>>()?;
                 let arg_tys: Vec<Type> = arg_ids.iter().map(|&id| self.ty_of(id)).collect();
                 let result = op
                     .result_type(&arg_tys, params)
@@ -257,7 +267,10 @@ circuit C :
         let flat = lower_typed(&parse(src).unwrap()).unwrap_err();
         // lower_typed already refuses to type the cycle.
         let msg = flat.to_string();
-        assert!(msg.contains("cycle") || msg.contains("could not type"), "{msg}");
+        assert!(
+            msg.contains("cycle") || msg.contains("could not type"),
+            "{msg}"
+        );
     }
 
     #[test]

@@ -60,12 +60,15 @@ pub struct RegDef {
     pub name: String,
 }
 
+/// Hash-consing key: the full structural identity of a node.
+type ConsKey = (DfgOp, Vec<u64>, Vec<NodeId>, u32, bool);
+
 /// The dataflow graph of a flattened design.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     /// Hash-consing table: structural key -> existing node.
-    cons: HashMap<(DfgOp, Vec<u64>, Vec<NodeId>, u32, bool), NodeId>,
+    cons: HashMap<ConsKey, NodeId>,
     /// Input nodes, in port order.
     pub inputs: Vec<NodeId>,
     /// Registers, in declaration order.
@@ -79,7 +82,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph for a design with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Graph { name: name.into(), ..Graph::default() }
+        Graph {
+            name: name.into(),
+            ..Graph::default()
+        }
     }
 
     /// Number of nodes (including sources and dead nodes).
@@ -108,7 +114,10 @@ impl Graph {
 
     /// Iterates `(id, node)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Adds a *source* node (input/register state); never hash-consed.
@@ -144,7 +153,14 @@ impl Graph {
         }
         let id = NodeId(self.nodes.len() as u32);
         let (op, params, operands, width, signed) = key.clone();
-        self.nodes.push(Node { op, params, operands, width, signed, name: None });
+        self.nodes.push(Node {
+            op,
+            params,
+            operands,
+            width,
+            signed,
+            name: None,
+        });
         self.cons.insert(key, id);
         id
     }
@@ -163,7 +179,9 @@ impl Graph {
     /// Finds a node by source-level name (linear scan; intended for tests
     /// and the XMR front door, not hot paths).
     pub fn find_by_name(&self, name: &str) -> Option<NodeId> {
-        self.iter().find(|(_, n)| n.name.as_deref() == Some(name)).map(|(id, _)| id)
+        self.iter()
+            .find(|(_, n)| n.name.as_deref() == Some(name))
+            .map(|(id, _)| id)
     }
 
     /// Topological order of all *operation* nodes (sources excluded),
@@ -240,7 +258,12 @@ mod tests {
         g.inputs.push(a);
         let r = g.add_source(DfgOp::RegState, 8, false, "r".into());
         let sum = g.add_op(DfgOp::Add, vec![], vec![a, r], 8, false);
-        g.regs.push(RegDef { state: r, next: sum, init: 0, name: "r".into() });
+        g.regs.push(RegDef {
+            state: r,
+            next: sum,
+            init: 0,
+            name: "r".into(),
+        });
         g.outputs.push(("out".into(), sum));
         g
     }

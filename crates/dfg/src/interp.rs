@@ -174,7 +174,11 @@ impl<'g> Interpreter<'g> {
 
     /// Snapshot of all register values, in register order.
     pub fn reg_values(&self) -> Vec<u64> {
-        self.graph.regs.iter().map(|r| self.values[r.state.index()]).collect()
+        self.graph
+            .regs
+            .iter()
+            .map(|r| self.values[r.state.index()])
+            .collect()
     }
 }
 

@@ -106,7 +106,11 @@ pub fn levelize(graph: &Graph) -> Levelization {
     for (_, out) in &graph.outputs {
         carry(*out);
     }
-    Levelization { layers, layer_of, identities }
+    Levelization {
+        layers,
+        layer_of,
+        identities,
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@
 //!   of the `OIM` tensor.
 //! - [`interp`]: the reference cycle-level interpreter every other
 //!   simulator in the workspace is differentially tested against.
+//! - [`batch`]: the lane-batched plan interpreter — `B` independent
+//!   stimulus vectors evaluated through one slot-major `LI` matrix, the
+//!   reference model for the parallel engine in `rteaal-kernels`.
 //!
 //! ## Example
 //!
@@ -41,6 +44,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod batch;
 pub mod build;
 pub mod error;
 pub mod graph;
@@ -50,6 +54,7 @@ pub mod op;
 pub mod passes;
 pub mod plan;
 
+pub use batch::BatchPlanSim;
 pub use build::build;
 pub use error::{DfgError, Result};
 pub use graph::{Graph, Node, NodeId, RegDef};

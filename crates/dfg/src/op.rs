@@ -185,9 +185,7 @@ impl DfgOp {
         use DfgOp::*;
         match self {
             Input | RegState | Const => Some(0),
-            Not | Neg | Andr | Orr | Xorr | Shl | Shr | Bits | Head | Resize | Identity => {
-                Some(1)
-            }
+            Not | Neg | Andr | Orr | Xorr | Shl | Shr | Bits | Head | Resize | Identity => Some(1),
             Mux => Some(3),
             ValidIf => Some(2),
             MuxChain => None,
@@ -278,13 +276,7 @@ pub fn eval_raw(op: DfgOp, params: &[u64], ins: &[u64]) -> u64 {
         Add => ins[0].wrapping_add(ins[1]),
         Sub => ins[0].wrapping_sub(ins[1]),
         Mul => ins[0].wrapping_mul(ins[1]),
-        Divu => {
-            if ins[1] == 0 {
-                0
-            } else {
-                ins[0] / ins[1]
-            }
-        }
+        Divu => ins[0].checked_div(ins[1]).unwrap_or(0),
         Divs => {
             if ins[1] == 0 {
                 0

@@ -18,7 +18,7 @@
 //!   reachable from outputs and register next-states are copied).
 
 use crate::graph::{Graph, NodeId, RegDef};
-use crate::op::{eval_raw, canonicalize, DfgOp, OpClass};
+use crate::op::{canonicalize, eval_raw, DfgOp, OpClass};
 use std::collections::{HashMap, HashSet};
 
 /// Which passes to run (ablation hooks for the `opt-ablation` bench).
@@ -37,7 +37,12 @@ pub struct PassOptions {
 
 impl Default for PassOptions {
     fn default() -> Self {
-        PassOptions { const_fold: true, copy_prop: true, fuse_mux_chains: true, min_chain_len: 3 }
+        PassOptions {
+            const_fold: true,
+            copy_prop: true,
+            fuse_mux_chains: true,
+            min_chain_len: 3,
+        }
     }
 }
 
@@ -105,7 +110,12 @@ pub fn rebuild(
     for reg in &graph.regs {
         let node = graph.node(reg.state);
         let id = new.add_source(node.op, node.width, node.signed, reg.name.clone());
-        new.regs.push(RegDef { state: id, next: id, init: reg.init, name: reg.name.clone() });
+        new.regs.push(RegDef {
+            state: id,
+            next: id,
+            init: reg.init,
+            name: reg.name.clone(),
+        });
         map.insert(reg.state, id);
     }
     for (id, node) in graph.iter() {
@@ -150,12 +160,20 @@ fn transform(
             let vals: Vec<u64> = ops.iter().map(|&o| new.node(o).params[0]).collect();
             let raw = eval_raw(node.op, &node.params, &vals);
             stats.const_folded += 1;
-            return new.add_const(canonicalize(raw, node.width, node.signed), node.width, node.signed);
+            return new.add_const(
+                canonicalize(raw, node.width, node.signed),
+                node.width,
+                node.signed,
+            );
         }
         // Mux with a constant condition collapses to one arm (plus a
         // resize if the arm is narrower than the mux result).
         if node.op == DfgOp::Mux && new.node(ops[0]).op == DfgOp::Const {
-            let arm = if new.node(ops[0]).params[0] != 0 { ops[1] } else { ops[2] };
+            let arm = if new.node(ops[0]).params[0] != 0 {
+                ops[1]
+            } else {
+                ops[2]
+            };
             stats.const_folded += 1;
             return coerce_like(new, arm, node.width, node.signed);
         }
@@ -184,7 +202,13 @@ fn transform(
         }
     }
     let before = new.len();
-    let id = new.add_op(node.op, node.params.clone(), ops.to_vec(), node.width, node.signed);
+    let id = new.add_op(
+        node.op,
+        node.params.clone(),
+        ops.to_vec(),
+        node.width,
+        node.signed,
+    );
     if new.len() == before {
         stats.cse_merged += 1;
     }
@@ -261,7 +285,13 @@ fn fuse_mux_chains(graph: &Graph, min_len: usize, stats: &mut PassStats) -> Grap
     }
     if planned.is_empty() {
         return rebuild(graph, &mut |new, node, ops| {
-            new.add_op(node.op, node.params.clone(), ops.to_vec(), node.width, node.signed)
+            new.add_op(
+                node.op,
+                node.params.clone(),
+                ops.to_vec(),
+                node.width,
+                node.signed,
+            )
         });
     }
     stats.chains_fused += planned.len();
@@ -275,14 +305,24 @@ fn fuse_mux_chains(graph: &Graph, min_len: usize, stats: &mut PassStats) -> Grap
     let mut map: HashMap<NodeId, NodeId> = HashMap::with_capacity(graph.len());
     for &input in &graph.inputs {
         let node = graph.node(input);
-        let id = new.add_source(node.op, node.width, node.signed, node.name.clone().unwrap_or_default());
+        let id = new.add_source(
+            node.op,
+            node.width,
+            node.signed,
+            node.name.clone().unwrap_or_default(),
+        );
         new.inputs.push(id);
         map.insert(input, id);
     }
     for reg in &graph.regs {
         let node = graph.node(reg.state);
         let id = new.add_source(node.op, node.width, node.signed, reg.name.clone());
-        new.regs.push(RegDef { state: id, next: id, init: reg.init, name: reg.name.clone() });
+        new.regs.push(RegDef {
+            state: id,
+            next: id,
+            init: reg.init,
+            name: reg.name.clone(),
+        });
         map.insert(reg.state, id);
     }
     for (id, node) in graph.iter() {
@@ -321,7 +361,13 @@ fn fuse_mux_chains(graph: &Graph, min_len: usize, stats: &mut PassStats) -> Grap
     }
     // Final plain rebuild drops the absorbed (now-dead) muxes.
     rebuild(&new, &mut |g, node, ops| {
-        g.add_op(node.op, node.params.clone(), ops.to_vec(), node.width, node.signed)
+        g.add_op(
+            node.op,
+            node.params.clone(),
+            ops.to_vec(),
+            node.width,
+            node.signed,
+        )
     })
 }
 

@@ -52,6 +52,77 @@ impl OpInst {
         let raw = eval_raw(self.op(), &self.params, buf);
         li[self.out as usize] = canonicalize(raw, self.width as u32, self.signed);
     }
+
+    /// Evaluates the op lane-wise against a batched `LI` in slot-major
+    /// layout: slot `s` occupies `li[s * lanes .. (s + 1) * lanes]`, one
+    /// element per stimulus lane. Operand rows for fixed-arity ops are
+    /// read as contiguous slices, so the inner lane loop is stride-1 on
+    /// every stream it touches.
+    #[inline]
+    pub fn eval_lanes(&self, li: &mut [u64], lanes: usize, buf: &mut Vec<u64>) {
+        // Safety: an exclusive borrow covers the whole matrix.
+        unsafe { self.eval_lanes_ptr(li.as_mut_ptr(), lanes, buf) }
+    }
+
+    /// Lane-wise evaluation through a raw pointer — the layer-parallel
+    /// engine's entry point, sharing the arity-specialized inner loops
+    /// with [`eval_lanes`](Self::eval_lanes).
+    ///
+    /// # Safety
+    ///
+    /// `li` must point to a live slot-major `LI` matrix of `lanes` lanes
+    /// covering every slot this op references, and no other thread may
+    /// concurrently access the op's output row or mutate its operand
+    /// rows for the duration of the call. (Within one levelized layer,
+    /// output rows are disjoint per op and operand rows come from
+    /// earlier layers, so layer-barriered workers satisfy this.)
+    #[inline]
+    pub unsafe fn eval_lanes_ptr(&self, li: *mut u64, lanes: usize, buf: &mut Vec<u64>) {
+        let op = self.op();
+        let (width, signed) = (self.width as u32, self.signed);
+        let out = li.add(self.out as usize * lanes);
+        match *self.ins.as_slice() {
+            [a] => {
+                let a0 = li.add(a as usize * lanes);
+                for lane in 0..lanes {
+                    let raw = eval_raw(op, &self.params, &[*a0.add(lane)]);
+                    *out.add(lane) = canonicalize(raw, width, signed);
+                }
+            }
+            [a, b] => {
+                let (a0, b0) = (li.add(a as usize * lanes), li.add(b as usize * lanes));
+                for lane in 0..lanes {
+                    let raw = eval_raw(op, &self.params, &[*a0.add(lane), *b0.add(lane)]);
+                    *out.add(lane) = canonicalize(raw, width, signed);
+                }
+            }
+            [a, b, c] => {
+                let (a0, b0, c0) = (
+                    li.add(a as usize * lanes),
+                    li.add(b as usize * lanes),
+                    li.add(c as usize * lanes),
+                );
+                for lane in 0..lanes {
+                    let raw = eval_raw(
+                        op,
+                        &self.params,
+                        &[*a0.add(lane), *b0.add(lane), *c0.add(lane)],
+                    );
+                    *out.add(lane) = canonicalize(raw, width, signed);
+                }
+            }
+            _ => {
+                // Variable-arity ops (mux chains, no-operand sources)
+                // stage operands per lane.
+                for lane in 0..lanes {
+                    buf.clear();
+                    buf.extend(self.ins.iter().map(|&r| *li.add(r as usize * lanes + lane)));
+                    let raw = eval_raw(op, &self.params, buf);
+                    *out.add(lane) = canonicalize(raw, width, signed);
+                }
+            }
+        }
+    }
 }
 
 /// Aggregate statistics about a plan.
@@ -132,7 +203,10 @@ pub fn plan(graph: &Graph) -> SimPlan {
     // inputs, then constants, then op outputs in layer order.
     for reg in &graph.regs {
         let node = graph.node(reg.state);
-        let s = alloc(canonicalize(reg.init, node.width, node.signed), &mut init_values);
+        let s = alloc(
+            canonicalize(reg.init, node.width, node.signed),
+            &mut init_values,
+        );
         slot_of[reg.state.index()] = s;
         probes.push((reg.name.clone(), s, node.width as u8));
     }
@@ -366,7 +440,11 @@ pub fn plan_unelided(graph: &Graph) -> SimPlan {
             // Outputs driven by sources (register state, inputs) read the
             // layer-0 slot so they observe the committed value, matching
             // the elided plan's sampling semantics.
-            let layer = if graph.node(*id).op.class() == OpClass::Source { 0 } else { depth };
+            let layer = if graph.node(*id).op.class() == OpClass::Source {
+                0
+            } else {
+                depth
+            };
             (name.clone(), slot(id.0, layer))
         })
         .collect();
@@ -554,8 +632,7 @@ circuit Mixed :
         // A slot is available if it is a source slot or written by an
         // earlier (or same, but ops are ordered) layer.
         let source_slots = p.num_slots - p.stats.effectual_ops;
-        let mut available: std::collections::HashSet<u32> =
-            (0..source_slots as u32).collect();
+        let mut available: std::collections::HashSet<u32> = (0..source_slots as u32).collect();
         for layer in &p.layers {
             for op in layer {
                 for &r in &op.ins {

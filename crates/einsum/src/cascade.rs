@@ -88,7 +88,11 @@ impl CascadeSim {
                 }
                 side.insert(
                     (i, op.out as usize),
-                    OpSide { params, width: op.width as u32, signed: op.signed },
+                    OpSide {
+                        params,
+                        width: op.width as u32,
+                        signed: op.signed,
+                    },
                 );
             }
         }
@@ -114,7 +118,9 @@ impl CascadeSim {
     pub fn step(&mut self) {
         let num_layers = self.oim.root().shape();
         for i in 0..num_layers {
-            let Some(s_fiber) = self.oim.root().fiber_at(i) else { continue };
+            let Some(s_fiber) = self.oim.root().fiber_at(i) else {
+                continue;
+            };
             // Collect LO for this layer, then populate LI (the slots are
             // unique, so in-place writes after collection are equivalent
             // to the LI_{i+1} Einsum).
@@ -170,8 +176,11 @@ impl CascadeSim {
             }
         }
         // Register writeback (two-phase).
-        let staged: Vec<u64> =
-            self.commits.iter().map(|&(_, src)| self.li[src as usize]).collect();
+        let staged: Vec<u64> = self
+            .commits
+            .iter()
+            .map(|&(_, src)| self.li[src as usize])
+            .collect();
         for (&(dst, _), v) in self.commits.iter().zip(staged) {
             self.li[dst as usize] = v;
         }

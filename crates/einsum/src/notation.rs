@@ -101,17 +101,29 @@ pub enum ActionKind {
 impl Action {
     /// A map action.
     pub fn map(compute: ComputeOp, coord: CoordOp) -> Self {
-        Action { kind: ActionKind::Map, compute, coord }
+        Action {
+            kind: ActionKind::Map,
+            compute,
+            coord,
+        }
     }
 
     /// A reduce action.
     pub fn reduce(compute: ComputeOp, coord: CoordOp) -> Self {
-        Action { kind: ActionKind::Reduce, compute, coord }
+        Action {
+            kind: ActionKind::Reduce,
+            compute,
+            coord,
+        }
     }
 
     /// A populate action.
     pub fn populate(compute: ComputeOp, coord: CoordOp) -> Self {
-        Action { kind: ActionKind::Populate, compute, coord }
+        Action {
+            kind: ActionKind::Populate,
+            compute,
+            coord,
+        }
     }
 
     /// Whether both operators are pass-through (omitted from notation).
@@ -145,7 +157,10 @@ pub struct TensorRef {
 impl TensorRef {
     /// Creates a reference, e.g. `TensorRef::new("A", ["k", "m"])`.
     pub fn new(name: impl Into<String>, subs: impl IntoIterator<Item = impl Into<String>>) -> Self {
-        TensorRef { name: name.into(), subscripts: subs.into_iter().map(Into::into).collect() }
+        TensorRef {
+            name: name.into(),
+            subscripts: subs.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -247,7 +262,10 @@ pub fn rteaal_cascade() -> Cascade {
     use CoordOp as K;
     let oi = Einsum::new(
         TensorRef::new("OI", ["i", "n", "o", "r", "s"]),
-        [TensorRef::new("LI", ["i", "r"]), TensorRef::new("OIM", ["i", "n", "o", "r", "s"])],
+        [
+            TensorRef::new("LI", ["i", "r"]),
+            TensorRef::new("OIM", ["i", "n", "o", "r", "s"]),
+        ],
         [Action::map(C::TakeLeft, K::TakeRight)],
     );
     let lo = Einsum::new(

@@ -136,7 +136,11 @@ impl RepCutSim {
             let readers: Vec<usize> = (0..num_partitions)
                 .filter(|&q| q != owner && read_regs[q].contains(&dst))
                 .collect();
-            rum.push(RumEntry { slot: dst, owner, readers });
+            rum.push(RumEntry {
+                slot: dst,
+                owner,
+                readers,
+            });
         }
         RepCutSim {
             partitions,
@@ -204,7 +208,11 @@ impl RepCutSim {
             }
         }
         // Commit owned registers (two-phase within the partition).
-        let staged: Vec<u64> = p.commits.iter().map(|&(_, src)| p.li[src as usize]).collect();
+        let staged: Vec<u64> = p
+            .commits
+            .iter()
+            .map(|&(_, src)| p.li[src as usize])
+            .collect();
         for (&(dst, _), v) in p.commits.iter().zip(staged) {
             p.li[dst as usize] = v;
         }
@@ -323,7 +331,11 @@ circuit X :
         // With cross-coupled registers, partitioning must replicate shared
         // cones (RepCut's fundamental trade-off).
         let (_, rc) = setup(4);
-        assert!(rc.replication_factor() > 1.0, "factor = {}", rc.replication_factor());
+        assert!(
+            rc.replication_factor() > 1.0,
+            "factor = {}",
+            rc.replication_factor()
+        );
     }
 
     #[test]

@@ -35,12 +35,20 @@ pub enum Expr {
     /// Signed literal, e.g. `SInt<8>(-3)` (stored two's complement, masked).
     SIntLit { value: i64, width: u32 },
     /// 2-way conditional select.
-    Mux { cond: Box<Expr>, tval: Box<Expr>, fval: Box<Expr> },
+    Mux {
+        cond: Box<Expr>,
+        tval: Box<Expr>,
+        fval: Box<Expr>,
+    },
     /// `validif(cond, value)` — value when valid, undefined (we define: 0)
     /// otherwise.
     ValidIf { cond: Box<Expr>, value: Box<Expr> },
     /// Primitive operation with expression args and static integer params.
-    Prim { op: PrimOp, args: Vec<Expr>, params: Vec<u64> },
+    Prim {
+        op: PrimOp,
+        args: Vec<Expr>,
+        params: Vec<u64>,
+    },
 }
 
 impl Expr {
@@ -61,12 +69,20 @@ impl Expr {
 
     /// Mux helper.
     pub fn mux(cond: Expr, tval: Expr, fval: Expr) -> Expr {
-        Expr::Mux { cond: Box::new(cond), tval: Box::new(tval), fval: Box::new(fval) }
+        Expr::Mux {
+            cond: Box::new(cond),
+            tval: Box::new(tval),
+            fval: Box::new(fval),
+        }
     }
 
     /// Primitive-op helper with no static params.
     pub fn prim(op: PrimOp, args: Vec<Expr>) -> Expr {
-        Expr::Prim { op, args, params: vec![] }
+        Expr::Prim {
+            op,
+            args,
+            params: vec![],
+        }
     }
 
     /// Primitive-op helper with static params.
@@ -150,9 +166,18 @@ pub enum Stmt {
     /// Simplified memory: combinational read, synchronous write, one port
     /// each. Accessed via `name.raddr`, `name.rdata`, `name.waddr`,
     /// `name.wdata`, `name.wen`. Lowered to registers + mux trees.
-    Mem { name: String, ty: Type, depth: usize, init: Vec<u64> },
+    Mem {
+        name: String,
+        ty: Type,
+        depth: usize,
+        init: Vec<u64>,
+    },
     /// `when cond : ... else : ...`
-    When { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    When {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
     /// `skip`
     Skip,
 }
@@ -168,7 +193,11 @@ pub struct Module {
 impl Module {
     /// Creates an empty module with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Module { name: name.into(), ports: Vec::new(), body: Vec::new() }
+        Module {
+            name: name.into(),
+            ports: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Looks up a port by name.
@@ -188,7 +217,10 @@ impl Circuit {
     /// Creates a circuit with no modules; the top module must be added with
     /// the same name as the circuit.
     pub fn new(name: impl Into<String>) -> Self {
-        Circuit { name: name.into(), modules: Vec::new() }
+        Circuit {
+            name: name.into(),
+            modules: Vec::new(),
+        }
     }
 
     /// The top module (same name as the circuit), if present.

@@ -42,7 +42,10 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Creates a builder for an empty module with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        ModuleBuilder { module: Module::new(name), counters: HashMap::new() }
+        ModuleBuilder {
+            module: Module::new(name),
+            counters: HashMap::new(),
+        }
     }
 
     /// The module name.
@@ -61,7 +64,11 @@ impl ModuleBuilder {
     /// Declares an input port and returns a reference expression to it.
     pub fn input(&mut self, name: impl Into<String>, ty: Type) -> Expr {
         let name = name.into();
-        self.module.ports.push(Port { name: name.clone(), dir: Direction::Input, ty });
+        self.module.ports.push(Port {
+            name: name.clone(),
+            dir: Direction::Input,
+            ty,
+        });
         Expr::Ref(name)
     }
 
@@ -69,7 +76,11 @@ impl ModuleBuilder {
     /// The port must be driven via [`Self::connect`].
     pub fn output(&mut self, name: impl Into<String>, ty: Type) -> Expr {
         let name = name.into();
-        self.module.ports.push(Port { name: name.clone(), dir: Direction::Output, ty });
+        self.module.ports.push(Port {
+            name: name.clone(),
+            dir: Direction::Output,
+            ty,
+        });
         Expr::Ref(name)
     }
 
@@ -83,7 +94,10 @@ impl ModuleBuilder {
     /// Declares a wire and returns a reference expression to it.
     pub fn wire(&mut self, name: impl Into<String>, ty: Type) -> Expr {
         let name = name.into();
-        self.module.body.push(Stmt::Wire { name: name.clone(), ty });
+        self.module.body.push(Stmt::Wire {
+            name: name.clone(),
+            ty,
+        });
         Expr::Ref(name)
     }
 
@@ -91,7 +105,12 @@ impl ModuleBuilder {
     /// reference expression to it.
     pub fn reg(&mut self, name: impl Into<String>, ty: Type, clock: Expr) -> Expr {
         let name = name.into();
-        self.module.body.push(Stmt::Reg { name: name.clone(), ty, clock, reset: None });
+        self.module.body.push(Stmt::Reg {
+            name: name.clone(),
+            ty,
+            clock,
+            reset: None,
+        });
         Expr::Ref(name)
     }
 
@@ -118,7 +137,10 @@ impl ModuleBuilder {
     /// Declares a named node bound to `value` and returns a reference to it.
     pub fn node(&mut self, name: impl Into<String>, value: Expr) -> Expr {
         let name = name.into();
-        self.module.body.push(Stmt::Node { name: name.clone(), value });
+        self.module.body.push(Stmt::Node {
+            name: name.clone(),
+            value,
+        });
         Expr::Ref(name)
     }
 
@@ -130,7 +152,10 @@ impl ModuleBuilder {
 
     /// Connects `value` to the named target (register, wire, or output port).
     pub fn connect(&mut self, target: impl Into<String>, value: Expr) {
-        self.module.body.push(Stmt::Connect { target: target.into(), value });
+        self.module.body.push(Stmt::Connect {
+            target: target.into(),
+            value,
+        });
     }
 
     /// Connects `value` to a target given as a `Ref` expression.
@@ -149,7 +174,10 @@ impl ModuleBuilder {
     /// instance are referenced as `name.port`.
     pub fn instance(&mut self, name: impl Into<String>, module: impl Into<String>) -> String {
         let name = name.into();
-        self.module.body.push(Stmt::Instance { name: name.clone(), module: module.into() });
+        self.module.body.push(Stmt::Instance {
+            name: name.clone(),
+            module: module.into(),
+        });
         name
     }
 
@@ -165,14 +193,23 @@ impl ModuleBuilder {
         init: Vec<u64>,
     ) -> String {
         let name = name.into();
-        self.module.body.push(Stmt::Mem { name: name.clone(), ty, depth, init });
+        self.module.body.push(Stmt::Mem {
+            name: name.clone(),
+            ty,
+            depth,
+            init,
+        });
         name
     }
 
     /// Opens a `when cond:` block; statements added through the returned
     /// scope builder land in the conditional bodies.
     pub fn when(&mut self, cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) {
-        self.module.body.push(Stmt::When { cond, then_body, else_body });
+        self.module.body.push(Stmt::When {
+            cond,
+            then_body,
+            else_body,
+        });
     }
 
     /// Pushes a raw statement (escape hatch for tests).
@@ -220,7 +257,9 @@ pub struct CircuitBuilder {
 impl CircuitBuilder {
     /// Creates a builder for a circuit whose top module is `top_name`.
     pub fn new(top_name: impl Into<String>) -> Self {
-        CircuitBuilder { circuit: Circuit::new(top_name) }
+        CircuitBuilder {
+            circuit: Circuit::new(top_name),
+        }
     }
 
     /// Adds a module to the circuit.

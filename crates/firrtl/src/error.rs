@@ -43,7 +43,10 @@ mod tests {
     #[test]
     fn display_is_nonempty_and_lowercase() {
         let errs = [
-            FirrtlError::Parse { line: 3, msg: "bad token".into() },
+            FirrtlError::Parse {
+                line: 3,
+                msg: "bad token".into(),
+            },
             FirrtlError::Type("oops".into()),
             FirrtlError::Undefined("x".into()),
             FirrtlError::Duplicate("y".into()),

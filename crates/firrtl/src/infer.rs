@@ -63,9 +63,9 @@ impl TypeEnv {
     /// type violations (via [`PrimOp::result_type`](crate::ops::PrimOp::result_type)).
     pub fn type_of(&self, expr: &Expr) -> Result<Type> {
         match expr {
-            Expr::Ref(name) => {
-                self.get(name).ok_or_else(|| FirrtlError::Undefined(name.clone()))
-            }
+            Expr::Ref(name) => self
+                .get(name)
+                .ok_or_else(|| FirrtlError::Undefined(name.clone())),
             Expr::UIntLit { value, width } => {
                 if bits_for(*value) > *width {
                     return Err(FirrtlError::Type(format!(
@@ -104,13 +104,17 @@ impl TypeEnv {
             Expr::ValidIf { cond, value } => {
                 let ct = self.type_of(cond)?;
                 if ct.is_clock() {
-                    return Err(FirrtlError::Type("validif condition cannot be a clock".into()));
+                    return Err(FirrtlError::Type(
+                        "validif condition cannot be a clock".into(),
+                    ));
                 }
                 self.type_of(value)
             }
             Expr::Prim { op, args, params } => {
-                let arg_tys: Vec<Type> =
-                    args.iter().map(|a| self.type_of(a)).collect::<Result<_>>()?;
+                let arg_tys: Vec<Type> = args
+                    .iter()
+                    .map(|a| self.type_of(a))
+                    .collect::<Result<_>>()?;
                 op.result_type(&arg_tys, params)
             }
         }
@@ -158,7 +162,9 @@ fn collect_decls(circuit: &Circuit, body: &[Stmt], env: &mut TypeEnv) -> Result<
                     env.insert(format!("{name}.{}", port.name), port.ty)?;
                 }
             }
-            Stmt::Mem { name, ty, depth, .. } => {
+            Stmt::Mem {
+                name, ty, depth, ..
+            } => {
                 let aw = mem_addr_width(*depth);
                 env.insert(format!("{name}.raddr"), Type::uint(aw))?;
                 env.insert(format!("{name}.rdata"), *ty)?;
@@ -166,7 +172,11 @@ fn collect_decls(circuit: &Circuit, body: &[Stmt], env: &mut TypeEnv) -> Result<
                 env.insert(format!("{name}.wdata"), *ty)?;
                 env.insert(format!("{name}.wen"), Type::uint(1))?;
             }
-            Stmt::When { then_body, else_body, .. } => {
+            Stmt::When {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_decls(circuit, then_body, env)?;
                 collect_decls(circuit, else_body, env)?;
             }
@@ -183,7 +193,11 @@ fn type_nodes(body: &[Stmt], env: &mut TypeEnv) -> Result<()> {
                 let ty = env.type_of(value)?;
                 env.insert(name.clone(), ty)?;
             }
-            Stmt::When { then_body, else_body, .. } => {
+            Stmt::When {
+                then_body,
+                else_body,
+                ..
+            } => {
                 type_nodes(then_body, env)?;
                 type_nodes(else_body, env)?;
             }
@@ -255,7 +269,11 @@ fn check_body(env: &TypeEnv, body: &[Stmt]) -> Result<()> {
             Stmt::Node { value, .. } => {
                 env.type_of(value)?;
             }
-            Stmt::When { cond, then_body, else_body } => {
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let ct = env.type_of(cond)?;
                 if ct.is_clock() {
                     return Err(FirrtlError::Type("when condition cannot be a clock".into()));

@@ -125,18 +125,29 @@ fn flatten_body(
                     .chain(declared_names(&sub.body))
                     .collect();
                 for port in &sub.ports {
-                    out.push(Stmt::Wire { name: format!("{name}.{}", port.name), ty: port.ty });
+                    out.push(Stmt::Wire {
+                        name: format!("{name}.{}", port.name),
+                        ty: port.ty,
+                    });
                 }
                 let mut prefixed = Vec::new();
                 prefix_body(&sub.body, name, &locals, &mut prefixed);
                 out.extend(prefixed);
             }
-            Stmt::When { cond, then_body, else_body } => {
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let mut t = Vec::new();
                 let mut e = Vec::new();
                 flatten_body(circuit, then_body, &mut t, stack)?;
                 flatten_body(circuit, else_body, &mut e, stack)?;
-                out.push(Stmt::When { cond: cond.clone(), then_body: t, else_body: e });
+                out.push(Stmt::When {
+                    cond: cond.clone(),
+                    then_body: t,
+                    else_body: e,
+                });
             }
             other => out.push(other.clone()),
         }
@@ -164,7 +175,11 @@ fn collect_declared(body: &[Stmt], names: &mut Vec<String>) {
                 }
                 names.push(name.clone());
             }
-            Stmt::When { then_body, else_body, .. } => {
+            Stmt::When {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_declared(then_body, names);
                 collect_declared(else_body, names);
             }
@@ -198,7 +213,10 @@ fn prefix_expr(expr: &Expr, prefix: &str, locals: &HashSet<String>) -> Expr {
         },
         Expr::Prim { op, args, params } => Expr::Prim {
             op: *op,
-            args: args.iter().map(|a| prefix_expr(a, prefix, locals)).collect(),
+            args: args
+                .iter()
+                .map(|a| prefix_expr(a, prefix, locals))
+                .collect(),
             params: params.clone(),
         },
     }
@@ -207,15 +225,24 @@ fn prefix_expr(expr: &Expr, prefix: &str, locals: &HashSet<String>) -> Expr {
 fn prefix_body(body: &[Stmt], prefix: &str, locals: &HashSet<String>, out: &mut Vec<Stmt>) {
     for stmt in body {
         let stmt = match stmt {
-            Stmt::Wire { name, ty } => {
-                Stmt::Wire { name: prefix_name(name, prefix, locals), ty: *ty }
-            }
-            Stmt::Reg { name, ty, clock, reset } => Stmt::Reg {
+            Stmt::Wire { name, ty } => Stmt::Wire {
+                name: prefix_name(name, prefix, locals),
+                ty: *ty,
+            },
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset,
+            } => Stmt::Reg {
                 name: prefix_name(name, prefix, locals),
                 ty: *ty,
                 clock: prefix_expr(clock, prefix, locals),
                 reset: reset.as_ref().map(|(r, i)| {
-                    (prefix_expr(r, prefix, locals), prefix_expr(i, prefix, locals))
+                    (
+                        prefix_expr(r, prefix, locals),
+                        prefix_expr(i, prefix, locals),
+                    )
                 }),
             },
             Stmt::Node { name, value } => Stmt::Node {
@@ -226,18 +253,31 @@ fn prefix_body(body: &[Stmt], prefix: &str, locals: &HashSet<String>, out: &mut 
                 target: prefix_name(target, prefix, locals),
                 value: prefix_expr(value, prefix, locals),
             },
-            Stmt::Mem { name, ty, depth, init } => Stmt::Mem {
+            Stmt::Mem {
+                name,
+                ty,
+                depth,
+                init,
+            } => Stmt::Mem {
                 name: prefix_name(name, prefix, locals),
                 ty: *ty,
                 depth: *depth,
                 init: init.clone(),
             },
-            Stmt::When { cond, then_body, else_body } => {
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let mut t = Vec::new();
                 let mut e = Vec::new();
                 prefix_body(then_body, prefix, locals, &mut t);
                 prefix_body(else_body, prefix, locals, &mut e);
-                Stmt::When { cond: prefix_expr(cond, prefix, locals), then_body: t, else_body: e }
+                Stmt::When {
+                    cond: prefix_expr(cond, prefix, locals),
+                    then_body: t,
+                    else_body: e,
+                }
             }
             Stmt::Instance { .. } => unreachable!("instances are inlined before prefixing"),
             Stmt::Skip => Stmt::Skip,
@@ -256,7 +296,12 @@ fn lower_mems(module: &mut Module) -> Result<()> {
     let mut body = Vec::new();
     for stmt in std::mem::take(&mut module.body) {
         match stmt {
-            Stmt::Mem { name, ty, depth, init } => {
+            Stmt::Mem {
+                name,
+                ty,
+                depth,
+                init,
+            } => {
                 let clock = clock.clone().ok_or_else(|| {
                     FirrtlError::Lower(format!("memory {name} requires a clock input port"))
                 })?;
@@ -288,7 +333,10 @@ fn lower_one_mem(
         ("wdata", ty),
         ("wen", Type::uint(1)),
     ] {
-        out.push(Stmt::Wire { name: format!("{name}.{field}"), ty: fty });
+        out.push(Stmt::Wire {
+            name: format!("{name}.{field}"),
+            ty: fty,
+        });
     }
     // One register per cell; write-enable mux on the next state. Each cell
     // register carries a synthetic `mem_init` marker via its name so the
@@ -320,9 +368,14 @@ fn lower_one_mem(
     // cell name; see `resolve`.
     let _ = init;
     // Combinational read: balanced mux tree over the address bits.
-    let cells: Vec<Expr> = (0..depth).map(|k| Expr::r(format!("{name}.cell_{k}"))).collect();
+    let cells: Vec<Expr> = (0..depth)
+        .map(|k| Expr::r(format!("{name}.cell_{k}")))
+        .collect();
     let tree = mux_tree(&Expr::r(format!("{name}.raddr")), &cells, aw, ty);
-    out.push(Stmt::Node { name: format!("{name}.rdata"), value: tree });
+    out.push(Stmt::Node {
+        name: format!("{name}.rdata"),
+        value: tree,
+    });
     Ok(())
 }
 
@@ -337,12 +390,20 @@ fn mux_tree(addr: &Expr, cells: &[Expr], addr_width: u32, ty: Type) -> Expr {
             return zero.clone();
         }
         let half = span / 2;
-        let sel = Expr::prim_p(PrimOp::Bits, vec![addr.clone()], vec![bit as u64, bit as u64]);
+        let sel = Expr::prim_p(
+            PrimOp::Bits,
+            vec![addr.clone()],
+            vec![bit as u64, bit as u64],
+        );
         let low = rec(addr, cells, bit - 1, lo, half, zero);
         let high = rec(addr, cells, bit - 1, lo + half, half, zero);
         Expr::mux(sel, high, low)
     }
-    let zero = if ty.is_signed() { Expr::s(0, ty.width()) } else { Expr::u(0, ty.width()) };
+    let zero = if ty.is_signed() {
+        Expr::s(0, ty.width())
+    } else {
+        Expr::u(0, ty.width())
+    };
     let span = 1usize << addr_width;
     rec(addr, cells, addr_width as i64 - 1, 0, span, &zero)
 }
@@ -351,12 +412,18 @@ fn mux_tree(addr: &Expr, cells: &[Expr], addr_width: u32, ty: Type) -> Expr {
 fn resolve(circuit: &Circuit, module: Module) -> Result<FlatModule> {
     // Re-derive the env for the mem-lowered module: memories are gone, so
     // build a one-module circuit around it for instance-free env building.
-    let solo = Circuit { name: module.name.clone(), modules: vec![module.clone()] };
+    let solo = Circuit {
+        name: module.name.clone(),
+        modules: vec![module.clone()],
+    };
     let env = build_env(&solo, &module)?;
     let _ = circuit;
 
-    let mut flat = FlatModule { name: module.name.clone(), ..FlatModule::default() };
-    let mut reg_info: Vec<(String, Type, Option<(Expr, Expr)>)> = Vec::new();
+    let mut flat = FlatModule {
+        name: module.name.clone(),
+        ..FlatModule::default()
+    };
+    let mut reg_info: Vec<RegTarget> = Vec::new();
     let mut wire_names: Vec<(String, Type)> = Vec::new();
     collect_targets(&module.body, &env, &mut reg_info, &mut wire_names);
 
@@ -390,7 +457,12 @@ fn resolve(circuit: &Circuit, module: Module) -> Result<FlatModule> {
         if let Some((rst, init)) = reset {
             next = Expr::mux(rst, init, next);
         }
-        flat.regs.push(FlatReg { name, ty, next, init: 0 });
+        flat.regs.push(FlatReg {
+            name,
+            ty,
+            next,
+            init: 0,
+        });
     }
     // Wires must be driven; they become nodes bound to their final value.
     for (name, ty) in wire_names {
@@ -411,22 +483,31 @@ fn resolve(circuit: &Circuit, module: Module) -> Result<FlatModule> {
     Ok(flat)
 }
 
+/// A register declaration: name, type, and optional (reset, init) pair.
+type RegTarget = (String, Type, Option<(Expr, Expr)>);
+
 fn collect_targets(
     body: &[Stmt],
     env: &crate::infer::TypeEnv,
-    regs: &mut Vec<(String, Type, Option<(Expr, Expr)>)>,
+    regs: &mut Vec<RegTarget>,
     wires: &mut Vec<(String, Type)>,
 ) {
     for stmt in body {
         match stmt {
-            Stmt::Reg { name, ty, reset, .. } => {
+            Stmt::Reg {
+                name, ty, reset, ..
+            } => {
                 regs.push((name.clone(), *ty, reset.clone()));
             }
             Stmt::Wire { name, .. } => {
                 let ty = env.get(name).expect("wire typed by env");
                 wires.push((name.clone(), ty));
             }
-            Stmt::When { then_body, else_body, .. } => {
+            Stmt::When {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_targets(then_body, env, regs, wires);
                 collect_targets(else_body, env, regs, wires);
             }
@@ -447,9 +528,14 @@ fn resolve_body(
             }
             Stmt::Node { name, value } => {
                 // Nodes are immutable; record as a combinational binding.
-                flat.nodes.push((name.clone(), Type::uint(1), value.clone()));
+                flat.nodes
+                    .push((name.clone(), Type::uint(1), value.clone()));
             }
-            Stmt::When { cond, then_body, else_body } => {
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let mut then_b = bindings.clone();
                 let mut else_b = bindings.clone();
                 resolve_body(then_body, &mut then_b, flat)?;
@@ -476,14 +562,15 @@ fn resolve_body(
                             // no prior default: conditionally valid.
                             bindings.insert(
                                 t,
-                                Expr::ValidIf { cond: Box::new(cond.clone()), value: Box::new(tv) },
+                                Expr::ValidIf {
+                                    cond: Box::new(cond.clone()),
+                                    value: Box::new(tv),
+                                },
                             );
                         }
                         (None, Some(ev)) => {
-                            let not_cond = Expr::prim(
-                                PrimOp::Eq,
-                                vec![cond.clone(), Expr::u(0, 1)],
-                            );
+                            let not_cond =
+                                Expr::prim(PrimOp::Eq, vec![cond.clone(), Expr::u(0, 1)]);
                             bindings.insert(
                                 t,
                                 Expr::ValidIf {
@@ -540,8 +627,11 @@ pub(crate) fn retype_nodes(flat: &mut FlatModule) -> Result<()> {
         });
     }
     if !remaining.is_empty() {
-        let names: Vec<&str> =
-            remaining.iter().take(5).map(|&i| flat.nodes[i].0.as_str()).collect();
+        let names: Vec<&str> = remaining
+            .iter()
+            .take(5)
+            .map(|&i| flat.nodes[i].0.as_str())
+            .collect();
         return Err(FirrtlError::Lower(format!(
             "could not type {} combinational bindings (cycle or undefined ref?): {:?}",
             remaining.len(),
@@ -609,7 +699,10 @@ mod tests {
         b.connect("r", Expr::u(1, 4));
         b.when(
             c.clone(),
-            vec![Stmt::Connect { target: "r".into(), value: Expr::u(2, 4) }],
+            vec![Stmt::Connect {
+                target: "r".into(),
+                value: Expr::u(2, 4),
+            }],
             vec![],
         );
         b.output_expr("out", Type::uint(4), r);
@@ -635,7 +728,10 @@ mod tests {
         let r = b.reg("r", Type::uint(4), clk);
         b.when(
             c,
-            vec![Stmt::Connect { target: "r".into(), value: Expr::u(7, 4) }],
+            vec![Stmt::Connect {
+                target: "r".into(),
+                value: Expr::u(7, 4),
+            }],
             vec![],
         );
         b.output_expr("out", Type::uint(4), r);
@@ -744,10 +840,19 @@ mod tests {
             Expr::r("c1"),
             vec![Stmt::When {
                 cond: Expr::r("c2"),
-                then_body: vec![Stmt::Connect { target: "r".into(), value: Expr::u(3, 4) }],
-                else_body: vec![Stmt::Connect { target: "r".into(), value: Expr::u(5, 4) }],
+                then_body: vec![Stmt::Connect {
+                    target: "r".into(),
+                    value: Expr::u(3, 4),
+                }],
+                else_body: vec![Stmt::Connect {
+                    target: "r".into(),
+                    value: Expr::u(5, 4),
+                }],
             }],
-            vec![Stmt::Connect { target: "r".into(), value: Expr::u(9, 4) }],
+            vec![Stmt::Connect {
+                target: "r".into(),
+                value: Expr::u(9, 4),
+            }],
         );
         b.output_expr("out", Type::uint(4), r);
         let mut cb = CircuitBuilder::new("M");

@@ -190,7 +190,11 @@ impl PrimOp {
     pub fn result_type(&self, args: &[Type], params: &[u64]) -> Result<Type> {
         let fail = |msg: String| Err(FirrtlError::Type(format!("{}: {msg}", self.mnemonic())));
         if args.len() != self.num_args() {
-            return fail(format!("expected {} args, got {}", self.num_args(), args.len()));
+            return fail(format!(
+                "expected {} args, got {}",
+                self.num_args(),
+                args.len()
+            ));
         }
         if params.len() != self.num_params() {
             return fail(format!(
@@ -255,12 +259,14 @@ impl PrimOp {
                 }
                 Ok(args[0].with_width(w0))
             }
-            PrimOp::Cvt => Ok(Type::SInt(sat(if args[0].is_signed() { w0 } else { w0 + 1 }))),
+            PrimOp::Cvt => Ok(Type::SInt(sat(if args[0].is_signed() {
+                w0
+            } else {
+                w0 + 1
+            }))),
             PrimOp::Neg => Ok(Type::SInt(sat(w0 + 1))),
             PrimOp::Not => Ok(Type::UInt(w0)),
-            PrimOp::And | PrimOp::Or | PrimOp::Xor => {
-                Ok(Type::UInt(sat(w0.max(args[1].width()))))
-            }
+            PrimOp::And | PrimOp::Or | PrimOp::Xor => Ok(Type::UInt(sat(w0.max(args[1].width())))),
             PrimOp::Andr | PrimOp::Orr | PrimOp::Xorr => Ok(Type::UInt(1)),
             PrimOp::Cat => Ok(Type::UInt(sat(w0 + args[1].width()))),
             PrimOp::Bits => {
@@ -325,15 +331,28 @@ mod tests {
 
     #[test]
     fn widths_saturate_at_64() {
-        assert_eq!(PrimOp::Add.result_type(&[u(64), u(64)], &[]).unwrap(), u(64));
-        assert_eq!(PrimOp::Mul.result_type(&[u(40), u(40)], &[]).unwrap(), u(64));
+        assert_eq!(
+            PrimOp::Add.result_type(&[u(64), u(64)], &[]).unwrap(),
+            u(64)
+        );
+        assert_eq!(
+            PrimOp::Mul.result_type(&[u(40), u(40)], &[]).unwrap(),
+            u(64)
+        );
         assert_eq!(PrimOp::Cat.result_type(&[u(64), u(8)], &[]).unwrap(), u(64));
         assert_eq!(PrimOp::Shl.result_type(&[u(64)], &[8]).unwrap(), u(64));
     }
 
     #[test]
     fn comparisons_are_one_bit() {
-        for op in [PrimOp::Lt, PrimOp::Leq, PrimOp::Gt, PrimOp::Geq, PrimOp::Eq, PrimOp::Neq] {
+        for op in [
+            PrimOp::Lt,
+            PrimOp::Leq,
+            PrimOp::Gt,
+            PrimOp::Geq,
+            PrimOp::Eq,
+            PrimOp::Neq,
+        ] {
             assert_eq!(op.result_type(&[u(8), u(8)], &[]).unwrap(), u(1));
         }
     }

@@ -89,7 +89,11 @@ fn lex_lines(src: &str) -> Vec<Line> {
             .take_while(|c| c.is_whitespace())
             .map(|c| if c == '\t' { 4 } else { 1 })
             .sum();
-        out.push(Line { num: i + 1, indent, text: trimmed.to_string() });
+        out.push(Line {
+            num: i + 1,
+            indent,
+            text: trimmed.to_string(),
+        });
     }
     out
 }
@@ -101,7 +105,10 @@ struct Parser {
 
 impl Parser {
     fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T> {
-        Err(FirrtlError::Parse { line, msg: msg.into() })
+        Err(FirrtlError::Parse {
+            line,
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<&Line> {
@@ -126,7 +133,10 @@ impl Parser {
             circuit.modules.push(self.parse_module()?);
         }
         if circuit.top().is_none() {
-            return self.err(line.num, format!("no module named {} (the top)", circuit.name));
+            return self.err(
+                line.num,
+                format!("no module named {} (the top)", circuit.name),
+            );
         }
         Ok(circuit)
     }
@@ -150,10 +160,14 @@ impl Parser {
             }
             let l = l.clone();
             if let Some(rest) = l.text.strip_prefix("input ") {
-                module.ports.push(self.parse_port(&l, rest, Direction::Input)?);
+                module
+                    .ports
+                    .push(self.parse_port(&l, rest, Direction::Input)?);
                 self.pos += 1;
             } else if let Some(rest) = l.text.strip_prefix("output ") {
-                module.ports.push(self.parse_port(&l, rest, Direction::Output)?);
+                module
+                    .ports
+                    .push(self.parse_port(&l, rest, Direction::Output)?);
                 self.pos += 1;
             } else {
                 break;
@@ -169,7 +183,11 @@ impl Parser {
             None => return self.err(line.num, "expected `name : Type`"),
         };
         let ty = self.parse_type(line, ty_text)?;
-        Ok(Port { name: name.to_string(), dir, ty })
+        Ok(Port {
+            name: name.to_string(),
+            dir,
+            ty,
+        })
     }
 
     fn parse_type(&self, line: &Line, text: &str) -> Result<Type> {
@@ -219,7 +237,10 @@ impl Parser {
         }
         if let Some(rest) = text.strip_prefix("wire ") {
             let (name, ty_text) = self.split_decl(l, rest)?;
-            return Ok(Stmt::Wire { name, ty: self.parse_type(l, &ty_text)? });
+            return Ok(Stmt::Wire {
+                name,
+                ty: self.parse_type(l, &ty_text)?,
+            });
         }
         if let Some(rest) = text.strip_prefix("regreset ") {
             let (name, after) = self.split_decl(l, rest)?;
@@ -231,7 +252,12 @@ impl Parser {
             let clock = self.parse_expr(l, &parts[1])?;
             let reset = self.parse_expr(l, &parts[2])?;
             let init = self.parse_expr(l, &parts[3])?;
-            return Ok(Stmt::Reg { name, ty, clock, reset: Some((reset, init)) });
+            return Ok(Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset: Some((reset, init)),
+            });
         }
         if let Some(rest) = text.strip_prefix("reg ") {
             let (name, after) = self.split_decl(l, rest)?;
@@ -241,14 +267,22 @@ impl Parser {
             }
             let ty = self.parse_type(l, &parts[0])?;
             let clock = self.parse_expr(l, &parts[1])?;
-            return Ok(Stmt::Reg { name, ty, clock, reset: None });
+            return Ok(Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset: None,
+            });
         }
         if let Some(rest) = text.strip_prefix("node ") {
             let (name, value_text) = match rest.split_once('=') {
                 Some((n, v)) => (n.trim().to_string(), v.trim().to_string()),
                 None => return self.err(l.num, "expected `node name = expr`"),
             };
-            return Ok(Stmt::Node { name, value: self.parse_expr(l, &value_text)? });
+            return Ok(Stmt::Node {
+                name,
+                value: self.parse_expr(l, &value_text)?,
+            });
         }
         if let Some(rest) = text.strip_prefix("inst ") {
             let (name, module) = match rest.split_once(" of ") {
@@ -269,7 +303,12 @@ impl Parser {
                 Ok(d) => d,
                 Err(_) => return self.err(l.num, format!("bad memory depth `{depth_text}`")),
             };
-            return Ok(Stmt::Mem { name, ty, depth, init: vec![] });
+            return Ok(Stmt::Mem {
+                name,
+                ty,
+                depth,
+                init: vec![],
+            });
         }
         if let Some(rest) = text.strip_prefix("when ") {
             let cond_text = rest.trim_end_matches(':').trim();
@@ -290,14 +329,21 @@ impl Parser {
                     else_body = self.parse_block(else_indent)?;
                 }
             }
-            return Ok(Stmt::When { cond, then_body, else_body });
+            return Ok(Stmt::When {
+                cond,
+                then_body,
+                else_body,
+            });
         }
         if let Some((target, value_text)) = text.split_once("<=") {
             let target = target.trim().to_string();
             if target.is_empty() || !is_ident(&target) {
                 return self.err(l.num, format!("bad connect target `{target}`"));
             }
-            return Ok(Stmt::Connect { target, value: self.parse_expr(l, value_text.trim())? });
+            return Ok(Stmt::Connect {
+                target,
+                value: self.parse_expr(l, value_text.trim())?,
+            });
         }
         self.err(l.num, format!("unrecognized statement `{text}`"))
     }
@@ -321,13 +367,10 @@ impl Parser {
                     Some((w, v)) => (w, v.trim_end_matches(')')),
                     None => return self.err(l.num, format!("bad literal `{text}`")),
                 };
-                let width: u32 = w_text
-                    .trim()
-                    .parse()
-                    .map_err(|_| FirrtlError::Parse {
-                        line: l.num,
-                        msg: format!("bad literal width `{w_text}`"),
-                    })?;
+                let width: u32 = w_text.trim().parse().map_err(|_| FirrtlError::Parse {
+                    line: l.num,
+                    msg: format!("bad literal width `{w_text}`"),
+                })?;
                 return if signed {
                     let value = parse_int_i64(v_text).ok_or_else(|| FirrtlError::Parse {
                         line: l.num,
@@ -402,7 +445,8 @@ impl Parser {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == '$')
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == '$')
         && !s.chars().next().unwrap().is_numeric()
 }
 
@@ -474,10 +518,20 @@ fn emit_body(body: &[Stmt], indent: usize, out: &mut String) {
     for stmt in body {
         match stmt {
             Stmt::Wire { name, ty } => out.push_str(&format!("{pad}wire {name} : {ty}\n")),
-            Stmt::Reg { name, ty, clock, reset: None } => {
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset: None,
+            } => {
                 out.push_str(&format!("{pad}reg {name} : {ty}, {clock}\n"));
             }
-            Stmt::Reg { name, ty, clock, reset: Some((r, i)) } => {
+            Stmt::Reg {
+                name,
+                ty,
+                clock,
+                reset: Some((r, i)),
+            } => {
                 out.push_str(&format!("{pad}regreset {name} : {ty}, {clock}, {r}, {i}\n"));
             }
             Stmt::Node { name, value } => out.push_str(&format!("{pad}node {name} = {value}\n")),
@@ -487,10 +541,16 @@ fn emit_body(body: &[Stmt], indent: usize, out: &mut String) {
             Stmt::Instance { name, module } => {
                 out.push_str(&format!("{pad}inst {name} of {module}\n"));
             }
-            Stmt::Mem { name, ty, depth, .. } => {
+            Stmt::Mem {
+                name, ty, depth, ..
+            } => {
                 out.push_str(&format!("{pad}mem {name} : {ty}[{depth}]\n"));
             }
-            Stmt::When { cond, then_body, else_body } => {
+            Stmt::When {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 out.push_str(&format!("{pad}when {cond} :\n"));
                 emit_body(then_body, indent + 2, out);
                 if !else_body.is_empty() {
@@ -611,8 +671,15 @@ circuit M :
 
     #[test]
     fn literal_forms() {
-        let p = Parser { lines: vec![], pos: 0 };
-        let l = Line { num: 1, indent: 0, text: String::new() };
+        let p = Parser {
+            lines: vec![],
+            pos: 0,
+        };
+        let l = Line {
+            num: 1,
+            indent: 0,
+            text: String::new(),
+        };
         assert_eq!(p.parse_expr(&l, "UInt<8>(0x2a)").unwrap(), Expr::u(42, 8));
         assert_eq!(p.parse_expr(&l, "SInt<8>(-3)").unwrap(), Expr::s(-3, 8));
         assert_eq!(

@@ -32,7 +32,10 @@ pub struct TypedValue {
 impl TypedValue {
     /// Creates a typed value, masking `bits` to the type's width.
     pub fn new(bits: u64, ty: Type) -> Self {
-        TypedValue { bits: bits & ty.mask(), ty }
+        TypedValue {
+            bits: bits & ty.mask(),
+            ty,
+        }
     }
 
     /// The value as a mathematical integer (sign-extended if signed).
@@ -106,12 +109,7 @@ pub fn eval_prim(op: PrimOp, args: &[TypedValue], params: &[u64], result_ty: Typ
                     sa.wrapping_div(d) as u64
                 }
             } else {
-                let d = args[1].bits;
-                if d == 0 {
-                    0
-                } else {
-                    a.bits / d
-                }
+                a.bits.checked_div(args[1].bits).unwrap_or(0)
             }
         }
         PrimOp::Rem => {
@@ -226,7 +224,11 @@ fn cmp(
     su: impl Fn(u64, u64) -> bool,
     ss: impl Fn(i64, i64) -> bool,
 ) -> u64 {
-    let r = if a.ty.is_signed() { ss(a.as_i64(), b.as_i64()) } else { su(a.bits, b.bits) };
+    let r = if a.ty.is_signed() {
+        ss(a.as_i64(), b.as_i64())
+    } else {
+        su(a.bits, b.bits)
+    };
     r as u64
 }
 
@@ -286,23 +288,50 @@ mod tests {
 
     #[test]
     fn division_semantics() {
-        assert_eq!(eval_prim(PrimOp::Div, &[uv(17, 8), uv(5, 8)], &[], Type::uint(8)), 3);
-        assert_eq!(eval_prim(PrimOp::Div, &[uv(17, 8), uv(0, 8)], &[], Type::uint(8)), 0);
+        assert_eq!(
+            eval_prim(PrimOp::Div, &[uv(17, 8), uv(5, 8)], &[], Type::uint(8)),
+            3
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Div, &[uv(17, 8), uv(0, 8)], &[], Type::uint(8)),
+            0
+        );
         let r = eval_prim(PrimOp::Div, &[sv(-17, 8), sv(5, 8)], &[], Type::sint(9));
         assert_eq!(sext(r, 9), -3); // truncating toward zero
-        assert_eq!(eval_prim(PrimOp::Rem, &[uv(17, 8), uv(5, 8)], &[], Type::uint(4)), 2);
+        assert_eq!(
+            eval_prim(PrimOp::Rem, &[uv(17, 8), uv(5, 8)], &[], Type::uint(4)),
+            2
+        );
         let r = eval_prim(PrimOp::Rem, &[sv(-17, 8), sv(5, 8)], &[], Type::sint(4));
         assert_eq!(sext(r, 4), -2);
-        assert_eq!(eval_prim(PrimOp::Rem, &[uv(9, 8), uv(0, 8)], &[], Type::uint(8)), 0);
+        assert_eq!(
+            eval_prim(PrimOp::Rem, &[uv(9, 8), uv(0, 8)], &[], Type::uint(8)),
+            0
+        );
     }
 
     #[test]
     fn comparisons_respect_signedness() {
-        assert_eq!(eval_prim(PrimOp::Lt, &[uv(0xff, 8), uv(1, 8)], &[], Type::uint(1)), 0);
-        assert_eq!(eval_prim(PrimOp::Lt, &[sv(-1, 8), sv(1, 8)], &[], Type::uint(1)), 1);
-        assert_eq!(eval_prim(PrimOp::Geq, &[sv(-1, 8), sv(-1, 8)], &[], Type::uint(1)), 1);
-        assert_eq!(eval_prim(PrimOp::Eq, &[uv(5, 8), uv(5, 8)], &[], Type::uint(1)), 1);
-        assert_eq!(eval_prim(PrimOp::Neq, &[uv(5, 8), uv(6, 8)], &[], Type::uint(1)), 1);
+        assert_eq!(
+            eval_prim(PrimOp::Lt, &[uv(0xff, 8), uv(1, 8)], &[], Type::uint(1)),
+            0
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Lt, &[sv(-1, 8), sv(1, 8)], &[], Type::uint(1)),
+            1
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Geq, &[sv(-1, 8), sv(-1, 8)], &[], Type::uint(1)),
+            1
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Eq, &[uv(5, 8), uv(5, 8)], &[], Type::uint(1)),
+            1
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Neq, &[uv(5, 8), uv(6, 8)], &[], Type::uint(1)),
+            1
+        );
     }
 
     #[test]
@@ -315,13 +344,25 @@ mod tests {
 
     #[test]
     fn shifts() {
-        assert_eq!(eval_prim(PrimOp::Shl, &[uv(0b101, 3)], &[2], Type::uint(5)), 0b10100);
-        assert_eq!(eval_prim(PrimOp::Shr, &[uv(0b10100, 5)], &[2], Type::uint(3)), 0b101);
+        assert_eq!(
+            eval_prim(PrimOp::Shl, &[uv(0b101, 3)], &[2], Type::uint(5)),
+            0b10100
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Shr, &[uv(0b10100, 5)], &[2], Type::uint(3)),
+            0b101
+        );
         // Arithmetic right shift for signed.
         let r = eval_prim(PrimOp::Shr, &[sv(-8, 4)], &[1], Type::sint(3));
         assert_eq!(sext(r, 3), -4);
-        assert_eq!(eval_prim(PrimOp::Dshl, &[uv(1, 4), uv(3, 2)], &[], Type::uint(7)), 8);
-        assert_eq!(eval_prim(PrimOp::Dshr, &[uv(8, 4), uv(3, 2)], &[], Type::uint(4)), 1);
+        assert_eq!(
+            eval_prim(PrimOp::Dshl, &[uv(1, 4), uv(3, 2)], &[], Type::uint(7)),
+            8
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Dshr, &[uv(8, 4), uv(3, 2)], &[], Type::uint(4)),
+            1
+        );
         let r = eval_prim(PrimOp::Dshr, &[sv(-8, 4), uv(2, 2)], &[], Type::sint(4));
         assert_eq!(sext(r, 4), -2);
     }
@@ -330,44 +371,82 @@ mod tests {
     fn bitwise_extends_by_operand_signedness() {
         // -1 (SInt<4>) & 0xff (UInt<8>) == 0x0f zero-padded? No: the SInt
         // operand sign-extends into the 8-bit result.
-        let r = eval_prim(
-            PrimOp::And,
-            &[sv(-1, 4), uv(0xff, 8)],
-            &[],
-            Type::uint(8),
-        );
+        let r = eval_prim(PrimOp::And, &[sv(-1, 4), uv(0xff, 8)], &[], Type::uint(8));
         assert_eq!(r, 0xff);
-        let r = eval_prim(PrimOp::Xor, &[uv(0b1100, 4), uv(0b1010, 4)], &[], Type::uint(4));
+        let r = eval_prim(
+            PrimOp::Xor,
+            &[uv(0b1100, 4), uv(0b1010, 4)],
+            &[],
+            Type::uint(4),
+        );
         assert_eq!(r, 0b0110);
     }
 
     #[test]
     fn reductions() {
-        assert_eq!(eval_prim(PrimOp::Andr, &[uv(0xf, 4)], &[], Type::uint(1)), 1);
-        assert_eq!(eval_prim(PrimOp::Andr, &[uv(0xe, 4)], &[], Type::uint(1)), 0);
+        assert_eq!(
+            eval_prim(PrimOp::Andr, &[uv(0xf, 4)], &[], Type::uint(1)),
+            1
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Andr, &[uv(0xe, 4)], &[], Type::uint(1)),
+            0
+        );
         assert_eq!(eval_prim(PrimOp::Orr, &[uv(0, 4)], &[], Type::uint(1)), 0);
         assert_eq!(eval_prim(PrimOp::Orr, &[uv(2, 4)], &[], Type::uint(1)), 1);
-        assert_eq!(eval_prim(PrimOp::Xorr, &[uv(0b111, 3)], &[], Type::uint(1)), 1);
-        assert_eq!(eval_prim(PrimOp::Xorr, &[uv(0b110, 3)], &[], Type::uint(1)), 0);
+        assert_eq!(
+            eval_prim(PrimOp::Xorr, &[uv(0b111, 3)], &[], Type::uint(1)),
+            1
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Xorr, &[uv(0b110, 3)], &[], Type::uint(1)),
+            0
+        );
     }
 
     #[test]
     fn bitfield_extraction() {
-        assert_eq!(eval_prim(PrimOp::Cat, &[uv(0b10, 2), uv(0b011, 3)], &[], Type::uint(5)), 0b10011);
-        assert_eq!(eval_prim(PrimOp::Bits, &[uv(0xabcd, 16)], &[11, 4], Type::uint(8)), 0xbc);
-        assert_eq!(eval_prim(PrimOp::Head, &[uv(0xab, 8)], &[4], Type::uint(4)), 0xa);
-        assert_eq!(eval_prim(PrimOp::Tail, &[uv(0xab, 8)], &[4], Type::uint(4)), 0xb);
+        assert_eq!(
+            eval_prim(
+                PrimOp::Cat,
+                &[uv(0b10, 2), uv(0b011, 3)],
+                &[],
+                Type::uint(5)
+            ),
+            0b10011
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Bits, &[uv(0xabcd, 16)], &[11, 4], Type::uint(8)),
+            0xbc
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Head, &[uv(0xab, 8)], &[4], Type::uint(4)),
+            0xa
+        );
+        assert_eq!(
+            eval_prim(PrimOp::Tail, &[uv(0xab, 8)], &[4], Type::uint(4)),
+            0xb
+        );
     }
 
     #[test]
     fn conversions() {
-        assert_eq!(eval_prim(PrimOp::AsSInt, &[uv(0xff, 8)], &[], Type::sint(8)), 0xff);
-        assert_eq!(eval_prim(PrimOp::AsUInt, &[sv(-1, 8)], &[], Type::uint(8)), 0xff);
+        assert_eq!(
+            eval_prim(PrimOp::AsSInt, &[uv(0xff, 8)], &[], Type::sint(8)),
+            0xff
+        );
+        assert_eq!(
+            eval_prim(PrimOp::AsUInt, &[sv(-1, 8)], &[], Type::uint(8)),
+            0xff
+        );
         let r = eval_prim(PrimOp::Cvt, &[uv(0xff, 8)], &[], Type::sint(9));
         assert_eq!(sext(r, 9), 255);
         let r = eval_prim(PrimOp::Neg, &[uv(3, 4)], &[], Type::sint(5));
         assert_eq!(sext(r, 5), -3);
-        assert_eq!(eval_prim(PrimOp::Not, &[uv(0b1010, 4)], &[], Type::uint(4)), 0b0101);
+        assert_eq!(
+            eval_prim(PrimOp::Not, &[uv(0b1010, 4)], &[], Type::uint(4)),
+            0b0101
+        );
     }
 
     #[test]
@@ -383,7 +462,7 @@ mod tests {
         // 60 + 8 bits saturates at 64: high bits of the first operand drop.
         let r = eval_prim(
             PrimOp::Cat,
-            &[uv(u64::MAX & mask(60), 60), uv(0xab, 8)],
+            &[uv(mask(60), 60), uv(0xab, 8)],
             &[],
             Type::uint(64),
         );

@@ -1,0 +1,659 @@
+//! The batched, layer-parallel execution engine.
+//!
+//! One compiled design, `B` independent stimulus lanes, `T` worker
+//! threads. The `LI` slot array is widened to `B` lanes per slot in
+//! slot-major layout (slot `s` occupies `li[s * B .. (s + 1) * B]`), the
+//! kernel dispatch loop runs lane-wise over each operation, and the
+//! operations *within* one layer are split across threads. The layer
+//! barrier that levelization guarantees (operands always come from
+//! strictly earlier layers, and each operation owns its output slot) is
+//! preserved by a `std::sync::Barrier` between layers, which makes the
+//! parallel execution bit-identical to the sequential one — the safety
+//! and determinism argument is exactly the paper's §4.2 levelization
+//! invariant.
+//!
+//! Worker threads are spawned once per [`BatchKernel::run_parallel`] /
+//! [`BatchKernel::run_with_stimulus`] call and live for the whole span of
+//! cycles, so the per-cycle cost is the barriers, not thread creation.
+//!
+//! The traversal order honors the kernel configuration: swizzled kinds
+//! (NU/PSU/IU) regroup each layer's operations by opcode — the `[I, N,
+//! S]` loop order of Algorithm 4 — which keeps the dispatch branch
+//! per-group stable; the remaining kinds keep plan order. Within-layer
+//! reordering is sound for the same reason the parallelism is.
+
+use crate::config::KernelConfig;
+use rteaal_dfg::batch::init_lanes;
+use rteaal_dfg::op::canonicalize;
+use rteaal_dfg::{OpInst, SimPlan};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The mutable batched simulation state: `B` lanes per `LI` slot.
+#[derive(Debug, Clone)]
+pub struct BatchLiState {
+    li: Vec<u64>,
+    lanes: usize,
+    init: Vec<u64>,
+    input_slots: Vec<u32>,
+    input_types: Vec<(u8, bool)>,
+    output_slots: Vec<(String, u32)>,
+    commits: Vec<(u32, u32)>,
+    commit_buf: Vec<u64>,
+    cycle: u64,
+}
+
+impl BatchLiState {
+    /// Initializes `lanes` lanes from a plan, every lane at the power-on
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(plan: &SimPlan, lanes: usize) -> Self {
+        assert!(lanes > 0, "batch needs at least one lane");
+        let li = init_lanes(plan, lanes);
+        BatchLiState {
+            init: li.clone(),
+            li,
+            lanes,
+            input_slots: plan.input_slots.clone(),
+            input_types: plan.input_types.clone(),
+            output_slots: plan.output_slots.clone(),
+            commits: plan.commits.clone(),
+            commit_buf: vec![0; plan.commits.len() * lanes],
+            cycle: 0,
+        }
+    }
+
+    /// Number of stimulus lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Resets every lane to the power-on state.
+    pub fn reset(&mut self) {
+        self.li.copy_from_slice(&self.init);
+        self.cycle = 0;
+    }
+
+    /// Drives input port `idx` on one lane (canonicalized to the port
+    /// type).
+    pub fn set_input(&mut self, idx: usize, lane: usize, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let (w, signed) = self.input_types[idx];
+        self.li[self.input_slots[idx] as usize * self.lanes + lane] =
+            canonicalize(value, w as u32, signed);
+    }
+
+    /// Drives input port `idx` identically on every lane.
+    pub fn set_input_all(&mut self, idx: usize, value: u64) {
+        for lane in 0..self.lanes {
+            self.set_input(idx, lane, value);
+        }
+    }
+
+    /// Output value of one lane, by port index.
+    pub fn output(&self, idx: usize, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.li[self.output_slots[idx].1 as usize * self.lanes + lane]
+    }
+
+    /// Output value of one lane, by port name.
+    pub fn output_by_name(&self, name: &str, lane: usize) -> Option<u64> {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.output_slots
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| self.li[*s as usize * self.lanes + lane])
+    }
+
+    /// Reads an arbitrary slot on one lane (probe / waveform path).
+    pub fn slot(&self, s: u32, lane: usize) -> u64 {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.li[s as usize * self.lanes + lane]
+    }
+
+    /// Writes a slot on one lane (DMI poke).
+    pub fn poke_slot(&mut self, s: u32, lane: usize, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        self.li[s as usize * self.lanes + lane] = value;
+    }
+
+    /// Cycles completed.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Two-phase lane-wise register commit (the final `LI_{i+1}` Einsum
+    /// of Cascade 1, over all lanes at once).
+    fn commit_lanes(&mut self) {
+        let lanes = self.lanes;
+        for (k, &(_, src)) in self.commits.iter().enumerate() {
+            let s0 = src as usize * lanes;
+            self.commit_buf[k * lanes..(k + 1) * lanes].copy_from_slice(&self.li[s0..s0 + lanes]);
+        }
+        for (k, &(dst, _)) in self.commits.iter().enumerate() {
+            let d0 = dst as usize * lanes;
+            self.li[d0..d0 + lanes].copy_from_slice(&self.commit_buf[k * lanes..(k + 1) * lanes]);
+        }
+        self.cycle += 1;
+    }
+}
+
+/// A raw `LI` pointer sharable across the layer-parallel scope.
+#[derive(Clone, Copy)]
+struct SharedLi(*mut u64);
+
+// Safety: workers only touch disjoint rows between barriers (see
+// `OpInst::eval_lanes_ptr`); the pointer itself is plain data.
+unsafe impl Send for SharedLi {}
+unsafe impl Sync for SharedLi {}
+
+/// A sense-reversing spin barrier.
+///
+/// The layer barrier fires `layers × cycles` times per run, so its
+/// latency *is* the parallelization overhead; `std::sync::Barrier`'s
+/// mutex+condvar rendezvous costs ~10µs, which dwarfs the work of a
+/// typical layer. Spinning (with a yield fallback for oversubscribed
+/// hosts) brings the crossing down to the cache-coherence cost.
+struct SpinBarrier {
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+    /// Spin iterations before falling back to `yield_now`. Zero when the
+    /// host has fewer cores than barrier participants: spinning there
+    /// steals the CPU the late arrivers need.
+    spin_limit: u32,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        let spin_limit = if total <= cores { 1 << 14 } else { 0 };
+        SpinBarrier {
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+            spin_limit,
+        }
+    }
+
+    /// Blocks until all `total` threads have arrived.
+    ///
+    /// Each arriver's prior writes are published through the release
+    /// sequence on `arrived`; the last arriver flips `generation` with a
+    /// release store, and every waiter's acquire load of it therefore
+    /// observes all pre-barrier writes of all threads.
+    #[inline]
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if spins < self.spin_limit {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// One entry of the layer-parallel execution schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    /// A layer wide enough to split across workers.
+    Parallel(usize),
+    /// A run `[from, to)` of narrow layers worker 0 executes alone —
+    /// splitting them would cost more in barrier crossings than the
+    /// division of work saves, and merging adjacent ones removes their
+    /// interior barriers entirely.
+    Serial(usize, usize),
+}
+
+/// Minimum op×lane work units in a layer before splitting it pays.
+const PAR_MIN_WORK: usize = 1024;
+
+/// Builds the segment schedule for a given lane count.
+fn schedule(layers: &[Vec<OpInst>], lanes: usize) -> Vec<Segment> {
+    let mut segments: Vec<Segment> = Vec::with_capacity(layers.len());
+    for (i, layer) in layers.iter().enumerate() {
+        if layer.len() * lanes >= PAR_MIN_WORK {
+            segments.push(Segment::Parallel(i));
+        } else if let Some(Segment::Serial(_, to)) = segments.last_mut() {
+            *to = i + 1;
+        } else {
+            segments.push(Segment::Serial(i, i + 1));
+        }
+    }
+    segments
+}
+
+/// Per-lane input driver handed to the stimulus callback of
+/// [`BatchKernel::run_with_stimulus`].
+pub struct LanePoker<'a> {
+    li: SharedLi,
+    lanes: usize,
+    input_slots: &'a [u32],
+    input_types: &'a [(u8, bool)],
+}
+
+impl LanePoker<'_> {
+    /// Number of stimulus lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.input_slots.len()
+    }
+
+    /// Drives input port `idx` on one lane (canonicalized to the port
+    /// type).
+    pub fn set_input(&mut self, idx: usize, lane: usize, value: u64) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let (w, signed) = self.input_types[idx];
+        // Safety: input slots are source rows no layer op ever writes,
+        // and the callback runs in the single-threaded window between the
+        // commit barrier and the next layer-0 barrier.
+        unsafe {
+            *self
+                .li
+                .0
+                .add(self.input_slots[idx] as usize * self.lanes + lane) =
+                canonicalize(value, w as u32, signed);
+        }
+    }
+}
+
+/// The batched, layer-parallel kernel: a layer-structured op program plus
+/// the traversal the kernel configuration asks for.
+#[derive(Debug, Clone)]
+pub struct BatchKernel {
+    config: KernelConfig,
+    /// Operations per layer, in execution order.
+    layers: Vec<Vec<OpInst>>,
+    commits: Vec<(u32, u32)>,
+}
+
+impl BatchKernel {
+    /// Compiles a plan into a batched kernel under a configuration.
+    ///
+    /// Swizzled kinds (NU/PSU/IU) regroup each layer by opcode (`[I, N,
+    /// S]` order); other kinds keep coordinate-assignment order. Both are
+    /// bit-identical — within-layer operations are independent.
+    pub fn compile(plan: &SimPlan, config: KernelConfig) -> Self {
+        let mut layers = plan.layers.clone();
+        if config.kind.is_swizzled() {
+            for layer in &mut layers {
+                layer.sort_by_key(|op| op.n);
+            }
+        }
+        BatchKernel {
+            config,
+            layers,
+            commits: plan.commits.clone(),
+        }
+    }
+
+    /// The configuration this kernel was compiled under.
+    pub fn config(&self) -> KernelConfig {
+        self.config
+    }
+
+    /// Total operations per simulated cycle (per lane).
+    pub fn ops_per_cycle(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// One cycle on every lane, single-threaded.
+    pub fn step(&self, st: &mut BatchLiState) {
+        let mut buf = Vec::with_capacity(8);
+        for layer in &self.layers {
+            for op in layer {
+                op.eval_lanes(&mut st.li, st.lanes, &mut buf);
+            }
+        }
+        st.commit_lanes();
+    }
+
+    /// `cycles` cycles on every lane, single-threaded.
+    pub fn run(&self, st: &mut BatchLiState, cycles: u64) {
+        for _ in 0..cycles {
+            self.step(st);
+        }
+    }
+
+    /// `cycles` cycles with the ops of each layer split across `threads`
+    /// workers (layer barrier preserved). Inputs keep whatever values
+    /// they currently hold.
+    pub fn run_parallel(&self, st: &mut BatchLiState, cycles: u64, threads: usize) {
+        self.run_with_stimulus(st, cycles, threads, |_, _| {});
+    }
+
+    /// `cycles` cycles across `threads` workers, invoking `stimulus`
+    /// before each cycle (in the single-threaded window after the
+    /// previous commit) so every lane can be driven independently.
+    pub fn run_with_stimulus(
+        &self,
+        st: &mut BatchLiState,
+        cycles: u64,
+        threads: usize,
+        mut stimulus: impl FnMut(u64, &mut LanePoker<'_>),
+    ) {
+        let start_cycle = st.cycle;
+        let threads = threads.max(1);
+        if threads == 1 {
+            for c in 0..cycles {
+                let mut poker = LanePoker {
+                    li: SharedLi(st.li.as_mut_ptr()),
+                    lanes: st.lanes,
+                    input_slots: &st.input_slots,
+                    input_types: &st.input_types,
+                };
+                stimulus(start_cycle + c, &mut poker);
+                self.step(st);
+            }
+            return;
+        }
+        let lanes = st.lanes;
+        let shared = SharedLi(st.li.as_mut_ptr());
+        // One barrier rendezvous per schedule segment plus one around the
+        // commit/stimulus window; worker 0 (the calling thread) owns the
+        // single-threaded windows and executes the serial segments.
+        let segments = schedule(&self.layers, lanes);
+        let barrier = SpinBarrier::new(threads);
+        std::thread::scope(|scope| {
+            for worker in 1..threads {
+                let barrier = &barrier;
+                let layers = &self.layers;
+                let segments = &segments;
+                scope.spawn(move || {
+                    // Capture the whole `Send` wrapper, not its raw field
+                    // (edition-2021 closures capture disjoint fields).
+                    let shared = shared;
+                    let mut buf = Vec::with_capacity(8);
+                    for _ in 0..cycles {
+                        barrier.wait(); // stimulus window closed
+                        for segment in segments {
+                            if let Segment::Parallel(i) = *segment {
+                                let layer = &layers[i];
+                                let (lo, hi) = chunk(layer.len(), worker, threads);
+                                for op in &layer[lo..hi] {
+                                    // Safety: disjoint output rows within
+                                    // the layer; operand rows sealed by
+                                    // the previous barrier.
+                                    unsafe { op.eval_lanes_ptr(shared.0, lanes, &mut buf) };
+                                }
+                            }
+                            // Serial segments belong to worker 0.
+                            barrier.wait();
+                        }
+                        // Worker 0 commits and applies stimulus next.
+                    }
+                });
+            }
+            let mut buf = Vec::with_capacity(8);
+            for c in 0..cycles {
+                let mut poker = LanePoker {
+                    li: shared,
+                    lanes,
+                    input_slots: &st.input_slots,
+                    input_types: &st.input_types,
+                };
+                stimulus(start_cycle + c, &mut poker);
+                barrier.wait(); // open the compute phase
+                for segment in &segments {
+                    match *segment {
+                        Segment::Parallel(i) => {
+                            let layer = &self.layers[i];
+                            let (lo, hi) = chunk(layer.len(), 0, threads);
+                            for op in &layer[lo..hi] {
+                                // Safety: as above.
+                                unsafe { op.eval_lanes_ptr(shared.0, lanes, &mut buf) };
+                            }
+                        }
+                        Segment::Serial(from, to) => {
+                            for layer in &self.layers[from..to] {
+                                for op in layer {
+                                    // Safety: workers never touch serial
+                                    // layers; operand rows are sealed.
+                                    unsafe { op.eval_lanes_ptr(shared.0, lanes, &mut buf) };
+                                }
+                            }
+                        }
+                    }
+                    barrier.wait();
+                }
+                // Single-threaded window: every worker is parked at the
+                // next cycle's opening barrier.
+                commit_shared(shared, lanes, &self.commits, &mut st.commit_buf);
+            }
+        });
+        st.cycle += cycles;
+    }
+}
+
+/// The contiguous op range worker `w` of `t` owns in a layer of `n` ops.
+#[inline]
+fn chunk(n: usize, w: usize, t: usize) -> (usize, usize) {
+    (n * w / t, n * (w + 1) / t)
+}
+
+/// Two-phase lane-wise commit through the shared pointer (worker 0's
+/// single-threaded window).
+fn commit_shared(li: SharedLi, lanes: usize, commits: &[(u32, u32)], buf: &mut [u64]) {
+    for (k, &(_, src)) in commits.iter().enumerate() {
+        for lane in 0..lanes {
+            // Safety: single-threaded window; rows are in bounds.
+            buf[k * lanes + lane] = unsafe { *li.0.add(src as usize * lanes + lane) };
+        }
+    }
+    for (k, &(dst, _)) in commits.iter().enumerate() {
+        for lane in 0..lanes {
+            // Safety: as above.
+            unsafe { *li.0.add(dst as usize * lanes + lane) = buf[k * lanes + lane] };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{KernelConfig, KernelKind, ALL_KERNELS};
+    use rand::{Rng, SeedableRng};
+    use rteaal_dfg::plan::{plan, PlanSim};
+    use rteaal_dfg::BatchPlanSim;
+    use rteaal_firrtl::{lower::lower_typed, parser::parse};
+
+    const DESIGN: &str = "\
+circuit D :
+  module D :
+    input clock : Clock
+    input x : UInt<16>
+    input sel : UInt<1>
+    output out : UInt<16>
+    output flag : UInt<1>
+    reg a : UInt<16>, clock
+    reg b : UInt<16>, clock
+    node s = tail(add(a, x), 1)
+    node t = xor(b, cat(bits(x, 7, 0), bits(x, 15, 8)))
+    a <= mux(sel, s, t)
+    b <= tail(sub(a, x), 1)
+    out <= a
+    flag <= orr(b)
+";
+
+    fn plan_of(src: &str) -> SimPlan {
+        plan(&rteaal_dfg::build(&lower_typed(&parse(src).unwrap()).unwrap()).unwrap())
+    }
+
+    /// A design wide enough that every worker gets real work per layer.
+    fn wide_design() -> String {
+        let mut src = String::from(
+            "\
+circuit Wide :
+  module Wide :
+    input clock : Clock
+    input x : UInt<32>
+    output out : UInt<32>
+",
+        );
+        for i in 0..120 {
+            src.push_str(&format!("    reg r{i} : UInt<32>, clock\n"));
+        }
+        src.push_str("    r0 <= tail(add(r119, x), 1)\n");
+        for i in 1..120 {
+            let op = ["xor", "and", "or", "add"][i % 4];
+            if op == "add" {
+                src.push_str(&format!("    r{i} <= tail(add(r{}, x), 1)\n", i - 1));
+            } else {
+                src.push_str(&format!("    r{i} <= {op}(r{}, x)\n", i - 1));
+            }
+        }
+        src.push_str("    out <= r119\n");
+        src
+    }
+
+    #[test]
+    fn every_kind_matches_batch_plan_sim() {
+        let p = plan_of(DESIGN);
+        const LANES: usize = 5;
+        for kind in ALL_KERNELS {
+            let kernel = BatchKernel::compile(&p, KernelConfig::new(kind));
+            let mut st = BatchLiState::new(&p, LANES);
+            let mut golden = BatchPlanSim::new(&p, LANES);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(kind as u64 + 31);
+            for cycle in 0..100 {
+                for lane in 0..LANES {
+                    let x: u64 = rng.gen();
+                    let sel: u64 = rng.gen();
+                    st.set_input(0, lane, x);
+                    st.set_input(1, lane, sel);
+                    golden.set_input(0, lane, x);
+                    golden.set_input(1, lane, sel);
+                }
+                kernel.step(&mut st);
+                golden.step();
+                for lane in 0..LANES {
+                    for idx in 0..2 {
+                        assert_eq!(
+                            st.output(idx, lane),
+                            golden.output(idx, lane),
+                            "{kind:?} lane {lane} output {idx} @ {cycle}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let p = plan_of(&wide_design());
+        const LANES: usize = 8;
+        const CYCLES: u64 = 50;
+        let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        let drive = |poker: &mut LanePoker<'_>, cycle: u64| {
+            for lane in 0..LANES {
+                poker.set_input(0, lane, cycle.wrapping_mul(0x9e37) ^ lane as u64);
+            }
+        };
+        let mut seq = BatchLiState::new(&p, LANES);
+        kernel.run_with_stimulus(&mut seq, CYCLES, 1, |c, poker| drive(poker, c));
+        for threads in [2, 3, 4, 8] {
+            let mut par = BatchLiState::new(&p, LANES);
+            kernel.run_with_stimulus(&mut par, CYCLES, threads, |c, poker| drive(poker, c));
+            assert_eq!(par.cycle(), seq.cycle());
+            for lane in 0..LANES {
+                for s in 0..p.num_slots as u32 {
+                    assert_eq!(
+                        par.slot(s, lane),
+                        seq.slot(s, lane),
+                        "threads={threads} slot {s} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_independent_single_lane_runs() {
+        let p = plan_of(DESIGN);
+        const LANES: usize = 6;
+        const CYCLES: u64 = 80;
+        let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Ti));
+        let stim = |lane: usize, cycle: u64| {
+            (
+                cycle.wrapping_mul(31) ^ (lane as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+                (cycle ^ lane as u64) & 1,
+            )
+        };
+        let mut batch = BatchLiState::new(&p, LANES);
+        kernel.run_with_stimulus(&mut batch, CYCLES, 3, |c, poker| {
+            for lane in 0..LANES {
+                let (x, sel) = stim(lane, c);
+                poker.set_input(0, lane, x);
+                poker.set_input(1, lane, sel);
+            }
+        });
+        for lane in 0..LANES {
+            let mut single = PlanSim::new(&p);
+            for c in 0..CYCLES {
+                let (x, sel) = stim(lane, c);
+                single.set_input(0, x);
+                single.set_input(1, sel);
+                single.step();
+            }
+            for idx in 0..2 {
+                assert_eq!(batch.output(idx, lane), single.output(idx), "lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_reset_and_pokes() {
+        let p = plan_of(DESIGN);
+        let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Nu));
+        let mut st = BatchLiState::new(&p, 3);
+        assert_eq!(st.lanes(), 3);
+        assert_eq!(st.num_inputs(), 2);
+        st.set_input_all(0, 7);
+        kernel.run(&mut st, 4);
+        assert_eq!(st.cycle(), 4);
+        assert!(st.output_by_name("out", 1).is_some());
+        assert!(st.output_by_name("ghost", 0).is_none());
+        st.reset();
+        assert_eq!(st.cycle(), 0);
+        st.poke_slot(0, 2, 42);
+        assert_eq!(st.slot(0, 2), 42);
+        assert_eq!(st.slot(0, 0), 0);
+    }
+
+    #[test]
+    fn swizzled_kinds_group_by_opcode() {
+        let p = plan_of(DESIGN);
+        let swz = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        for layer in &swz.layers {
+            for pair in layer.windows(2) {
+                assert!(pair[0].n <= pair[1].n, "layer not grouped by opcode");
+            }
+        }
+        assert_eq!(swz.ops_per_cycle(), p.total_ops());
+        assert_eq!(swz.config().kind, KernelKind::Psu);
+    }
+}

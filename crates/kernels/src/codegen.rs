@@ -15,7 +15,11 @@ use std::fmt::Write as _;
 /// Emits the C++ source for a kernel configuration over a plan.
 pub fn emit_cpp(plan: &SimPlan, config: KernelConfig) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// RTeAAL Sim generated kernel: {} for design {}", config, plan.name);
+    let _ = writeln!(
+        out,
+        "// RTeAAL Sim generated kernel: {} for design {}",
+        config, plan.name
+    );
     let _ = writeln!(out, "#include <cstdint>");
     let _ = writeln!(out, "extern uint64_t LI[{}];", plan.num_slots);
     if config.kind.is_unrolled() {
@@ -48,13 +52,21 @@ fn cpp_expr(op: DfgOp, args: &[String], params: &[u64]) -> String {
         Cat => format!("({} << {}) | {}", args[0], params[1], args[1]),
         Not => format!("~{}", args[0]),
         Neg => format!("-{}", args[0]),
-        Andr => format!("{} == 0x{:x}", args[0], rteaal_firrtl::ty::mask(params[0] as u32)),
+        Andr => format!(
+            "{} == 0x{:x}",
+            args[0],
+            rteaal_firrtl::ty::mask(params[0] as u32)
+        ),
         Orr => format!("{} != 0", args[0]),
         Xorr => format!("__builtin_parityll({})", args[0]),
         Shl => format!("{} << {}", args[0], params[0]),
         Shr => format!("{} >> {}", args[0], params[0]),
-        Bits => format!("({} >> {}) & 0x{:x}", args[0], params[1],
-            rteaal_firrtl::ty::mask((params[0] - params[1] + 1) as u32)),
+        Bits => format!(
+            "({} >> {}) & 0x{:x}",
+            args[0],
+            params[1],
+            rteaal_firrtl::ty::mask((params[0] - params[1] + 1) as u32)
+        ),
         Head => format!("{} >> {}", args[0], params[1] - params[0]),
         Resize | Identity => args[0].clone(),
         Mux => format!("{} ? {} : {}", args[0], args[1], args[2]),
@@ -73,13 +85,25 @@ fn cpp_expr(op: DfgOp, args: &[String], params: &[u64]) -> String {
 
 fn emit_rolled(out: &mut String, _plan: &SimPlan, config: KernelConfig) {
     let swizzled = config.kind.is_swizzled();
-    let _ = writeln!(out, "// rolled kernel: traverses the OIM arrays loaded from JSON");
-    let _ = writeln!(out, "extern const uint32_t OIM_S[]; extern const uint16_t OIM_N[];");
-    let _ = writeln!(out, "extern const uint32_t OIM_R[]; extern const uint32_t OIM_CNT[];");
+    let _ = writeln!(
+        out,
+        "// rolled kernel: traverses the OIM arrays loaded from JSON"
+    );
+    let _ = writeln!(
+        out,
+        "extern const uint32_t OIM_S[]; extern const uint16_t OIM_N[];"
+    );
+    let _ = writeln!(
+        out,
+        "extern const uint32_t OIM_R[]; extern const uint32_t OIM_CNT[];"
+    );
     let _ = writeln!(out, "void cycle() {{");
     if swizzled {
         // One specialized loop per op type (Algorithm 4).
-        let _ = writeln!(out, "  const uint32_t* s = OIM_S; const uint32_t* r = OIM_R;");
+        let _ = writeln!(
+            out,
+            "  const uint32_t* s = OIM_S; const uint32_t* r = OIM_R;"
+        );
         let _ = writeln!(out, "  for (int i = 0; i < NUM_LAYERS; i++) {{");
         for n in 0..NUM_OPCODES as u16 {
             let op = DfgOp::from_n_coord(n).unwrap();
@@ -98,7 +122,10 @@ fn emit_rolled(out: &mut String, _plan: &SimPlan, config: KernelConfig) {
         let _ = writeln!(out, "  }}");
     } else {
         // Algorithm 3: one case statement (here elided to a dispatch stub).
-        let _ = writeln!(out, "  // [I, S, N, O, R] traversal with op_r[n]/op_u[n] dispatch");
+        let _ = writeln!(
+            out,
+            "  // [I, S, N, O, R] traversal with op_r[n]/op_u[n] dispatch"
+        );
         let _ = writeln!(out, "  for (int i = 0; i < NUM_LAYERS; i++)");
         let _ = writeln!(out, "    for (uint32_t k = 0; k < OIM_CNT[i]; k++)");
         let _ = writeln!(out, "      dispatch(OIM_N[k], OIM_S, OIM_R);");
@@ -196,7 +223,10 @@ circuit G :
         let small = plan_of(4);
         let big = plan_of(64);
         let cfg = KernelConfig::new(KernelKind::Psu);
-        assert_eq!(emit_cpp(&small, cfg).lines().count(), emit_cpp(&big, cfg).lines().count());
+        assert_eq!(
+            emit_cpp(&small, cfg).lines().count(),
+            emit_cpp(&big, cfg).lines().count()
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub enum KernelKind {
     /// + full S-rank unrolling (OIM embedded in the instruction stream).
     Su,
     /// + tensor inlining (LI slots bound to virtual registers /
-    /// immediates; the straight-line extreme, like prior simulators).
+    ///   immediates; the straight-line extreme, like prior simulators).
     Ti,
 }
 
@@ -109,12 +109,20 @@ pub struct KernelConfig {
 impl KernelConfig {
     /// The default configuration for a kernel kind (`-O3`, 8/24 unroll).
     pub fn new(kind: KernelKind) -> Self {
-        KernelConfig { kind, opt: OptLevel::Full, psu_op_unroll: 8, psu_writeback_unroll: 24 }
+        KernelConfig {
+            kind,
+            opt: OptLevel::Full,
+            psu_op_unroll: 8,
+            psu_writeback_unroll: 24,
+        }
     }
 
     /// Same kernel at the `-O0` analog.
     pub fn unoptimized(kind: KernelKind) -> Self {
-        KernelConfig { opt: OptLevel::None, ..KernelConfig::new(kind) }
+        KernelConfig {
+            opt: OptLevel::None,
+            ..KernelConfig::new(kind)
+        }
     }
 }
 
@@ -155,6 +163,9 @@ mod tests {
         assert_eq!(c.psu_writeback_unroll, 24);
         assert_eq!(c.opt, OptLevel::Full);
         assert_eq!(c.to_string(), "PSU");
-        assert_eq!(KernelConfig::unoptimized(KernelKind::Su).to_string(), "SU-O0");
+        assert_eq!(
+            KernelConfig::unoptimized(KernelKind::Su).to_string(),
+            "SU-O0"
+        );
     }
 }

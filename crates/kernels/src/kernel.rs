@@ -41,6 +41,7 @@ pub struct Kernel {
 }
 
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one kernel per design, never collections
 enum Inner {
     Rolled(RolledKernel),
     Unrolled(UnrolledKernel),
@@ -76,7 +77,12 @@ impl Kernel {
             config,
             inner,
             state: LiState::new(plan),
-            report: CompileReport { seconds, peak_bytes, code_bytes, data_bytes },
+            report: CompileReport {
+                seconds,
+                peak_bytes,
+                code_bytes,
+                data_bytes,
+            },
             branch_entropy,
         }
     }
@@ -196,8 +202,10 @@ circuit K :
     #[test]
     fn all_seven_kernels_agree_with_golden() {
         let p = plan_of();
-        let mut kernels: Vec<Kernel> =
-            ALL_KERNELS.iter().map(|&k| Kernel::compile(&p, KernelConfig::new(k))).collect();
+        let mut kernels: Vec<Kernel> = ALL_KERNELS
+            .iter()
+            .map(|&k| Kernel::compile(&p, KernelConfig::new(k)))
+            .collect();
         let mut golden = PlanSim::new(&p);
         let mut rng = rand::rngs::StdRng::seed_from_u64(99);
         for _ in 0..200 {

@@ -11,6 +11,8 @@
 //! - [`profile`]: the probe interface and address-space model that feed
 //!   the `rteaal-perfmodel` cache hierarchy with real reference streams.
 //! - [`codegen`]: C++ source emission (the Figure 14 artifact).
+//! - [`batch`]: the batched, layer-parallel engine — `B` stimulus lanes
+//!   per `LI` slot, ops split across threads within each layer.
 //!
 //! ## Example
 //!
@@ -37,6 +39,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod batch;
 pub mod codegen;
 pub mod config;
 pub mod kernel;
@@ -45,6 +48,7 @@ pub mod rolled;
 pub mod state;
 pub mod unrolled;
 
+pub use batch::{BatchKernel, BatchLiState, LanePoker};
 pub use config::{KernelConfig, KernelKind, OptLevel, ALL_KERNELS};
 pub use kernel::{CompileReport, Kernel};
 pub use state::LiState;

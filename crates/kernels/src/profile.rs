@@ -130,7 +130,10 @@ pub struct MemProbe<'a> {
 impl<'a> MemProbe<'a> {
     /// Wraps a hierarchy.
     pub fn new(mem: &'a mut MemSim) -> Self {
-        MemProbe { mem, counters: Counters::default() }
+        MemProbe {
+            mem,
+            counters: Counters::default(),
+        }
     }
 }
 

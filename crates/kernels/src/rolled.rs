@@ -93,7 +93,10 @@ impl RolledKernel {
     ///
     /// Panics if `cfg.kind` is SU or TI (see `crate::unrolled`).
     pub fn compile(plan: &SimPlan, cfg: KernelConfig) -> Self {
-        assert!(!cfg.kind.is_unrolled(), "SU/TI are handled by UnrolledKernel");
+        assert!(
+            !cfg.kind.is_unrolled(),
+            "SU/TI are handled by UnrolledKernel"
+        );
         let mut used = [false; NUM_OPCODES];
         for layer in &plan.layers {
             for op in layer {
@@ -103,9 +106,7 @@ impl RolledKernel {
         let used_opcodes = used.iter().filter(|&&u| u).count();
         let (oim_b, oim_c, schedule) = match cfg.kind {
             KernelKind::Ru | KernelKind::Ou => (Some(OimOptimized::from_plan(plan)), None, vec![]),
-            KernelKind::Nu | KernelKind::Psu => {
-                (None, Some(OimSwizzled::from_plan(plan)), vec![])
-            }
+            KernelKind::Nu | KernelKind::Psu => (None, Some(OimSwizzled::from_plan(plan)), vec![]),
             KernelKind::Iu => {
                 let oim = OimSwizzled::from_plan(plan);
                 let mut schedule = Vec::new();
@@ -113,8 +114,7 @@ impl RolledKernel {
                     for n in 0..NUM_OPCODES as u16 {
                         let range = oim.group(i, n);
                         if !range.is_empty() {
-                            let code_addr =
-                                IU_GROUP_BASE + schedule.len() as u64 * IU_GROUP_BYTES;
+                            let code_addr = IU_GROUP_BASE + schedule.len() as u64 * IU_GROUP_BYTES;
                             schedule.push(IuGroup {
                                 n,
                                 start: range.start as u32,
@@ -128,7 +128,13 @@ impl RolledKernel {
             }
             KernelKind::Su | KernelKind::Ti => unreachable!(),
         };
-        RolledKernel { cfg, oim_b, oim_c, schedule, used_opcodes }
+        RolledKernel {
+            cfg,
+            oim_b,
+            oim_c,
+            schedule,
+            used_opcodes,
+        }
     }
 
     /// The configuration.
@@ -290,7 +296,11 @@ impl RolledKernel {
             probe.branch(LOOP_ADDR);
             for n in 0..NUM_OPCODES as u16 {
                 // Unrolled N rank: each type's loop reads its own count.
-                probe.load(oim_addr(OimArray::NPayloads, i * NUM_OPCODES + n as usize, 4));
+                probe.load(oim_addr(
+                    OimArray::NPayloads,
+                    i * NUM_OPCODES + n as usize,
+                    4,
+                ));
                 probe.exec(handler(n), self.o0_mul()); // the count check itself
                 let range = oim.group(i, n);
                 if range.is_empty() {
@@ -410,7 +420,13 @@ circuit D :
     }
 
     fn rolled_kinds() -> [KernelKind; 5] {
-        [KernelKind::Ru, KernelKind::Ou, KernelKind::Nu, KernelKind::Psu, KernelKind::Iu]
+        [
+            KernelKind::Ru,
+            KernelKind::Ou,
+            KernelKind::Nu,
+            KernelKind::Psu,
+            KernelKind::Iu,
+        ]
     }
 
     #[test]
@@ -497,10 +513,30 @@ circuit Big :
             }
             counts.push(probe.counters.instructions);
         }
-        assert!(counts[0] > counts[1], "RU {} !> OU {}", counts[0], counts[1]);
-        assert!(counts[1] > counts[2], "OU {} !> NU {}", counts[1], counts[2]);
-        assert!(counts[2] > counts[3], "NU {} !> PSU {}", counts[2], counts[3]);
-        assert!(counts[3] >= counts[4], "PSU {} !>= IU {}", counts[3], counts[4]);
+        assert!(
+            counts[0] > counts[1],
+            "RU {} !> OU {}",
+            counts[0],
+            counts[1]
+        );
+        assert!(
+            counts[1] > counts[2],
+            "OU {} !> NU {}",
+            counts[1],
+            counts[2]
+        );
+        assert!(
+            counts[2] > counts[3],
+            "NU {} !> PSU {}",
+            counts[2],
+            counts[3]
+        );
+        assert!(
+            counts[3] >= counts[4],
+            "PSU {} !>= IU {}",
+            counts[3],
+            counts[4]
+        );
     }
 
     #[test]

@@ -67,10 +67,12 @@ impl Instr {
     /// Modeled machine instructions in this block: one compute sequence,
     /// a load per slot operand, a store if kept.
     pub fn machine_instrs(&self) -> u32 {
-        let loads = self.operands.iter().filter(|o| matches!(o, Operand::Slot(_))).count();
-        exec_cost(self.op, self.operands.len())
-            + loads as u32
-            + if self.store_out { 1 } else { 0 }
+        let loads = self
+            .operands
+            .iter()
+            .filter(|o| matches!(o, Operand::Slot(_)))
+            .count();
+        exec_cost(self.op, self.operands.len()) + loads as u32 + if self.store_out { 1 } else { 0 }
     }
 
     /// Code bytes this block occupies.
@@ -100,7 +102,10 @@ impl UnrolledKernel {
     ///
     /// Panics if `cfg.kind` is not SU or TI.
     pub fn compile(plan: &SimPlan, cfg: KernelConfig) -> Self {
-        assert!(cfg.kind.is_unrolled(), "rolled kernels live in RolledKernel");
+        assert!(
+            cfg.kind.is_unrolled(),
+            "rolled kernels live in RolledKernel"
+        );
         let mut instrs: Vec<Instr> = Vec::with_capacity(plan.total_ops());
         for layer in &plan.layers {
             for op in layer {
@@ -237,7 +242,10 @@ impl UnrolledKernel {
                     Operand::Acc => buf.push(acc),
                 }
             }
-            probe.exec(instr.code_addr, exec_cost(instr.op, instr.operands.len()) * o0);
+            probe.exec(
+                instr.code_addr,
+                exec_cost(instr.op, instr.operands.len()) * o0,
+            );
             let raw = eval_raw(instr.op, &instr.params[..param_count(instr.op)], &buf);
             let v = canonicalize(raw, instr.width as u32, instr.signed);
             if instr.store_out {

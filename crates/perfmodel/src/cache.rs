@@ -24,7 +24,11 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A config with 64-byte lines.
     pub const fn new(size_bytes: usize, ways: usize) -> Self {
-        CacheConfig { size_bytes, line_bytes: 64, ways }
+        CacheConfig {
+            size_bytes,
+            line_bytes: 64,
+            ways,
+        }
     }
 
     /// Number of sets.
@@ -82,7 +86,10 @@ impl Cache {
     ///
     /// Panics if the line size is not a power of two.
     pub fn new(cfg: CacheConfig) -> Self {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let sets = cfg.sets();
         Cache {
             cfg,
@@ -364,7 +371,12 @@ mod tests {
     #[test]
     fn prefetcher_hides_sequential_misses() {
         let cfg = CacheConfig::new(1024, 2);
-        let mut with = MemSim::new(cfg, cfg, CacheConfig::new(8192, 4), CacheConfig::new(65536, 8));
+        let mut with = MemSim::new(
+            cfg,
+            cfg,
+            CacheConfig::new(8192, 4),
+            CacheConfig::new(65536, 8),
+        );
         let mut without = with.clone().without_prefetch();
         // A long sequential stream (the OIM traversal pattern).
         for k in 0..4096u64 {
@@ -372,9 +384,19 @@ mod tests {
             without.load(0x1000_0000 + k * 4);
         }
         let (w, wo) = (with.stats(), without.stats());
-        assert!(w.l1d.misses * 2 <= wo.l1d.misses, "{} vs {}", w.l1d.misses, wo.l1d.misses);
+        assert!(
+            w.l1d.misses * 2 <= wo.l1d.misses,
+            "{} vs {}",
+            w.l1d.misses,
+            wo.l1d.misses
+        );
         // Random pointer chasing gets no benefit.
-        let mut with_r = MemSim::new(cfg, cfg, CacheConfig::new(8192, 4), CacheConfig::new(65536, 8));
+        let mut with_r = MemSim::new(
+            cfg,
+            cfg,
+            CacheConfig::new(8192, 4),
+            CacheConfig::new(65536, 8),
+        );
         let mut x = 1u64;
         let mut misses0 = 0;
         for _ in 0..4096 {
@@ -387,7 +409,10 @@ mod tests {
 
     #[test]
     fn mpki_helper() {
-        let s = CacheStats { accesses: 10_000, misses: 80 };
+        let s = CacheStats {
+            accesses: 10_000,
+            misses: 80,
+        };
         assert!((s.mpk(1_000_000) - 0.08).abs() < 1e-12);
         assert!((s.miss_ratio() - 0.008).abs() < 1e-12);
     }

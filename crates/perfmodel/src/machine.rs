@@ -149,7 +149,11 @@ impl Machine {
     pub fn with_llc_capacity(&self, bytes: usize) -> Machine {
         let mut m = self.clone();
         m.llc.size_bytes = bytes;
-        m.name = format!("{} (LLC {} MB)", self.name, bytes as f64 / (1024.0 * 1024.0));
+        m.name = format!(
+            "{} (LLC {} MB)",
+            self.name,
+            bytes as f64 / (1024.0 * 1024.0)
+        );
         m
     }
 
@@ -180,8 +184,8 @@ mod tests {
 
     #[test]
     fn xeon_llc_latency_roughly_double_core() {
-        let ratio = Machine::intel_xeon().llc_latency as f64
-            / Machine::intel_core().llc_latency as f64;
+        let ratio =
+            Machine::intel_xeon().llc_latency as f64 / Machine::intel_core().llc_latency as f64;
         assert!(ratio > 1.8 && ratio < 2.5, "ratio = {ratio}");
     }
 

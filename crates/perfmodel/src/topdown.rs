@@ -111,16 +111,34 @@ mod tests {
     use super::*;
     use crate::cache::CacheStats;
 
-    fn profile(instr: u64, l1i_miss: u64, l1d_miss: u64, branches: u64, entropy: f64) -> ExecProfile {
+    fn profile(
+        instr: u64,
+        l1i_miss: u64,
+        l1d_miss: u64,
+        branches: u64,
+        entropy: f64,
+    ) -> ExecProfile {
         ExecProfile {
             instructions: instr,
             branches,
             branch_entropy: entropy,
             mem: MemStats {
-                l1i: CacheStats { accesses: instr, misses: l1i_miss },
-                l1d: CacheStats { accesses: instr / 3, misses: l1d_miss },
-                l2: CacheStats { accesses: l1i_miss + l1d_miss, misses: (l1i_miss + l1d_miss) / 2 },
-                llc: CacheStats { accesses: (l1i_miss + l1d_miss) / 2, misses: (l1i_miss + l1d_miss) / 8 },
+                l1i: CacheStats {
+                    accesses: instr,
+                    misses: l1i_miss,
+                },
+                l1d: CacheStats {
+                    accesses: instr / 3,
+                    misses: l1d_miss,
+                },
+                l2: CacheStats {
+                    accesses: l1i_miss + l1d_miss,
+                    misses: (l1i_miss + l1d_miss) / 2,
+                },
+                llc: CacheStats {
+                    accesses: (l1i_miss + l1d_miss) / 2,
+                    misses: (l1i_miss + l1d_miss) / 8,
+                },
                 mem_fills: (l1i_miss + l1d_miss) / 8,
             },
         }
@@ -128,7 +146,10 @@ mod tests {
 
     #[test]
     fn fractions_sum_to_one() {
-        let td = analyze(&profile(1_000_000, 5_000, 20_000, 100_000, 0.2), &Machine::intel_xeon());
+        let td = analyze(
+            &profile(1_000_000, 5_000, 20_000, 100_000, 0.2),
+            &Machine::intel_xeon(),
+        );
         let sum = td.frontend_bound + td.bad_speculation + td.backend_bound + td.retiring;
         assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
         assert!(td.ipc > 0.0 && td.ipc <= Machine::intel_xeon().width as f64);
@@ -136,9 +157,19 @@ mod tests {
 
     #[test]
     fn icache_misses_drive_frontend_bound() {
-        let clean = analyze(&profile(1_000_000, 100, 1_000, 1000, 0.0), &Machine::intel_xeon());
-        let dirty = analyze(&profile(1_000_000, 80_000, 1_000, 1000, 0.0), &Machine::intel_xeon());
-        assert!(dirty.frontend_bound > 0.5, "frontend = {}", dirty.frontend_bound);
+        let clean = analyze(
+            &profile(1_000_000, 100, 1_000, 1000, 0.0),
+            &Machine::intel_xeon(),
+        );
+        let dirty = analyze(
+            &profile(1_000_000, 80_000, 1_000, 1000, 0.0),
+            &Machine::intel_xeon(),
+        );
+        assert!(
+            dirty.frontend_bound > 0.5,
+            "frontend = {}",
+            dirty.frontend_bound
+        );
         assert!(clean.frontend_bound < 0.1);
         assert!(dirty.ipc < clean.ipc);
     }
@@ -166,14 +197,20 @@ mod tests {
 
     #[test]
     fn mpki_reported() {
-        let td = analyze(&profile(1_000_000, 80_000, 40_000, 0, 0.0), &Machine::intel_core());
+        let td = analyze(
+            &profile(1_000_000, 80_000, 40_000, 0, 0.0),
+            &Machine::intel_core(),
+        );
         assert!((td.l1i_mpki - 80.0).abs() < 1e-9);
         assert!((td.l1d_mpki - 40.0).abs() < 1e-9);
     }
 
     #[test]
     fn others_aggregate() {
-        let td = analyze(&profile(1_000_000, 5_000, 20_000, 100_000, 0.1), &Machine::amd_ryzen());
+        let td = analyze(
+            &profile(1_000_000, 5_000, 20_000, 100_000, 0.1),
+            &Machine::amd_ryzen(),
+        );
         assert!((td.others() - (td.backend_bound + td.retiring)).abs() < 1e-12);
     }
 }

@@ -60,7 +60,10 @@ pub struct Fiber {
 impl Fiber {
     /// Creates an empty fiber with the given shape.
     pub fn new(shape: usize) -> Self {
-        Fiber { shape, entries: BTreeMap::new() }
+        Fiber {
+            shape,
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Builds a leaf fiber from `(coordinate, value)` pairs; zero values
@@ -112,7 +115,11 @@ impl Fiber {
     ///
     /// Panics if `coord` is outside the shape.
     pub fn set_value(&mut self, coord: usize, value: u64) {
-        assert!(coord < self.shape, "coordinate {coord} outside shape {}", self.shape);
+        assert!(
+            coord < self.shape,
+            "coordinate {coord} outside shape {}",
+            self.shape
+        );
         self.entries.insert(coord, Payload::Value(value));
     }
 
@@ -122,7 +129,11 @@ impl Fiber {
     ///
     /// Panics if `coord` is outside the shape.
     pub fn set_fiber(&mut self, coord: usize, fiber: Fiber) {
-        assert!(coord < self.shape, "coordinate {coord} outside shape {}", self.shape);
+        assert!(
+            coord < self.shape,
+            "coordinate {coord} outside shape {}",
+            self.shape
+        );
         self.entries.insert(coord, Payload::Fiber(fiber));
     }
 
@@ -139,7 +150,9 @@ impl Fiber {
 
     /// Iterates only leaf values, in coordinate order.
     pub fn iter_values(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.entries.iter().filter_map(|(&c, p)| p.value().map(|v| (c, v)))
+        self.entries
+            .iter()
+            .filter_map(|(&c, p)| p.value().map(|v| (c, v)))
     }
 }
 
@@ -185,7 +198,11 @@ impl Tensor {
         let rank_names: Vec<String> = ranks.into_iter().map(Into::into).collect();
         assert_eq!(rank_names.len(), shapes.len(), "one shape per rank");
         assert!(!rank_names.is_empty(), "tensors need at least one rank");
-        Tensor { name: name.into(), rank_names, root: Fiber::new(shapes[0]) }
+        Tensor {
+            name: name.into(),
+            rank_names,
+            root: Fiber::new(shapes[0]),
+        }
     }
 
     /// Builds a rank-1 tensor from a dense slice (zeros become empty).
@@ -200,11 +217,7 @@ impl Tensor {
     }
 
     /// Builds a rank-2 tensor from dense rows (zeros become empty).
-    pub fn from_dense_2d(
-        name: impl Into<String>,
-        ranks: [&str; 2],
-        rows: &[&[u64]],
-    ) -> Self {
+    pub fn from_dense_2d(name: impl Into<String>, ranks: [&str; 2], rows: &[&[u64]]) -> Self {
         let cols = rows.first().map(|r| r.len()).unwrap_or(0);
         let mut t = Tensor::new(name, ranks, &[rows.len(), cols]);
         for (m, row) in rows.iter().enumerate() {
@@ -248,7 +261,11 @@ impl Tensor {
     ///
     /// Panics if `point` has the wrong number of coordinates.
     pub fn get(&self, point: &[usize]) -> Option<u64> {
-        assert_eq!(point.len(), self.num_ranks(), "point arity must match rank count");
+        assert_eq!(
+            point.len(),
+            self.num_ranks(),
+            "point arity must match rank count"
+        );
         let mut fiber = &self.root;
         for &c in &point[..point.len() - 1] {
             fiber = fiber.fiber_at(c)?;
@@ -264,7 +281,11 @@ impl Tensor {
     ///
     /// Panics if `point` has the wrong number of coordinates.
     pub fn set(&mut self, point: &[usize], value: u64) {
-        assert_eq!(point.len(), self.num_ranks(), "point arity must match rank count");
+        assert_eq!(
+            point.len(),
+            self.num_ranks(),
+            "point arity must match rank count"
+        );
         fn descend(fiber: &mut Fiber, point: &[usize], value: u64) {
             if point.len() == 1 {
                 if point[0] >= fiber.shape() {
@@ -322,7 +343,13 @@ impl Tensor {
 
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}] nnz={}", self.name, self.rank_names.join(","), self.nnz())
+        write!(
+            f,
+            "{}[{}] nnz={}",
+            self.name,
+            self.rank_names.join(","),
+            self.nnz()
+        )
     }
 }
 
@@ -375,11 +402,7 @@ mod tests {
         let pts = t.iter_points();
         assert_eq!(
             pts,
-            vec![
-                (vec![0, 0], 1),
-                (vec![0, 1], 3),
-                (vec![2, 0], 5),
-            ]
+            vec![(vec![0, 0], 1), (vec![0, 1], 3), (vec![2, 0], 5),]
         );
     }
 

@@ -44,12 +44,22 @@ pub struct RankSpec {
 impl RankSpec {
     /// An uncompressed rank (implicit coordinates).
     pub fn uncompressed(name: impl Into<String>, pbits: u32) -> Self {
-        RankSpec { name: name.into(), format: RankFormat::Uncompressed, cbits: 0, pbits }
+        RankSpec {
+            name: name.into(),
+            format: RankFormat::Uncompressed,
+            cbits: 0,
+            pbits,
+        }
     }
 
     /// A compressed rank with explicit coordinates.
     pub fn compressed(name: impl Into<String>, cbits: u32, pbits: u32) -> Self {
-        RankSpec { name: name.into(), format: RankFormat::Compressed, cbits, pbits }
+        RankSpec {
+            name: name.into(),
+            format: RankFormat::Compressed,
+            cbits,
+            pbits,
+        }
     }
 }
 
@@ -89,14 +99,20 @@ pub struct FormatSpec {
 
 impl From<(usize, usize)> for RankOccupancy {
     fn from((coord_entries, payload_entries): (usize, usize)) -> Self {
-        RankOccupancy { coord_entries, payload_entries }
+        RankOccupancy {
+            coord_entries,
+            payload_entries,
+        }
     }
 }
 
 impl FormatSpec {
     /// Creates a format from rank specs in rank order.
     pub fn new(tensor: impl Into<String>, ranks: impl IntoIterator<Item = RankSpec>) -> Self {
-        FormatSpec { tensor: tensor.into(), ranks: ranks.into_iter().collect() }
+        FormatSpec {
+            tensor: tensor.into(),
+            ranks: ranks.into_iter().collect(),
+        }
     }
 
     /// The rank order (outermost first).
@@ -110,13 +126,16 @@ impl FormatSpec {
     ///
     /// Panics if `occupancies` does not have one entry per rank.
     pub fn size_bits(&self, occupancies: &[RankOccupancy]) -> usize {
-        assert_eq!(occupancies.len(), self.ranks.len(), "one occupancy per rank");
+        assert_eq!(
+            occupancies.len(),
+            self.ranks.len(),
+            "one occupancy per rank"
+        );
         self.ranks
             .iter()
             .zip(occupancies)
             .map(|(spec, occ)| {
-                occ.coord_entries * spec.cbits as usize
-                    + occ.payload_entries * spec.pbits as usize
+                occ.coord_entries * spec.cbits as usize + occ.payload_entries * spec.pbits as usize
             })
             .sum()
     }
@@ -133,12 +152,32 @@ impl fmt::Display for FormatSpec {
         writeln!(
             f,
             "  rank-order: [{}]",
-            self.ranks.iter().map(|r| r.name.clone()).collect::<Vec<_>>().join(", ")
+            self.ranks
+                .iter()
+                .map(|r| r.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ")
         )?;
         for r in &self.ranks {
             writeln!(f, "  {}: format: {}", r.name, r.format)?;
-            writeln!(f, "    cbits: {}", if r.cbits == 0 { "0".into() } else { r.cbits.to_string() })?;
-            writeln!(f, "    pbits: {}", if r.pbits == 0 { "0".into() } else { r.pbits.to_string() })?;
+            writeln!(
+                f,
+                "    cbits: {}",
+                if r.cbits == 0 {
+                    "0".into()
+                } else {
+                    r.cbits.to_string()
+                }
+            )?;
+            writeln!(
+                f,
+                "    pbits: {}",
+                if r.pbits == 0 {
+                    "0".into()
+                } else {
+                    r.pbits.to_string()
+                }
+            )?;
         }
         Ok(())
     }
@@ -158,7 +197,10 @@ mod tests {
         // M uncompressed with cbits 0 (implicit coords), K compressed.
         let csr = FormatSpec::new(
             "A",
-            [RankSpec::uncompressed("M", 16), RankSpec::compressed("K", 16, 16)],
+            [
+                RankSpec::uncompressed("M", 16),
+                RankSpec::compressed("K", 16, 16),
+            ],
         );
         assert_eq!(csr.ranks[0].cbits, 0);
         assert_eq!(csr.rank_order(), ["M", "K"]);
@@ -171,7 +213,10 @@ mod tests {
     fn zero_bits_eliminates_arrays() {
         let spec = FormatSpec::new(
             "OIM",
-            [RankSpec::compressed("S", 20, 0), RankSpec::compressed("R", 20, 0)],
+            [
+                RankSpec::compressed("S", 20, 0),
+                RankSpec::compressed("R", 20, 0),
+            ],
         );
         // Payload entries contribute nothing at pbits = 0.
         let size = spec.size_bits(&[(10, 10).into(), (30, 30).into()]);
@@ -188,7 +233,10 @@ mod tests {
     fn display_matches_teaal_style() {
         let spec = FormatSpec::new(
             "OIM",
-            [RankSpec::uncompressed("I", 12), RankSpec::compressed("S", 20, 0)],
+            [
+                RankSpec::uncompressed("I", 12),
+                RankSpec::compressed("S", 20, 0),
+            ],
         );
         let text = spec.to_string();
         assert!(text.contains("rank-order: [I, S]"));

@@ -46,7 +46,12 @@ impl OpMeta {
         for (k, &p) in op.params.iter().take(2).enumerate() {
             params[k] = p;
         }
-        OpMeta { params, width: op.width, signed: op.signed, arity: op.ins.len() as u16 }
+        OpMeta {
+            params,
+            width: op.width,
+            signed: op.signed,
+            arity: op.ins.len() as u16,
+        }
     }
 }
 
@@ -177,7 +182,9 @@ impl OimOptimized {
     /// Bit-packed storage per the format spec (the "format size" used by
     /// the compression ablation).
     pub fn packed_bytes(&self) -> usize {
-        self.format_spec().size_bits(&self.rank_occupancies()).div_ceil(8)
+        self.format_spec()
+            .size_bits(&self.rank_occupancies())
+            .div_ceil(8)
     }
 
     fn rank_occupancies(&self) -> [RankOccupancy; 5] {
@@ -248,8 +255,7 @@ impl OimUnoptimized {
     /// Lowers a plan onto format (a).
     pub fn from_plan(plan: &SimPlan) -> Self {
         let base = OimOptimized::from_plan(plan);
-        let n_payloads: Vec<u32> =
-            base.meta.iter().map(|m| m.arity as u32).collect();
+        let n_payloads: Vec<u32> = base.meta.iter().map(|m| m.arity as u32).collect();
         let num_ops = base.num_ops();
         let num_operands = base.r_coords.len();
         OimUnoptimized {
@@ -264,10 +270,8 @@ impl OimUnoptimized {
     /// The TeAAL format specification (Figure 12a).
     pub fn format_spec(&self) -> FormatSpec {
         let slot_bits = bits_for_max(self.base.num_slots.saturating_sub(1) as u64);
-        let i_pbits =
-            bits_for_max(self.base.i_payloads.iter().copied().max().unwrap_or(0) as u64);
-        let arity_bits =
-            bits_for_max(self.n_payloads.iter().copied().max().unwrap_or(1) as u64);
+        let i_pbits = bits_for_max(self.base.i_payloads.iter().copied().max().unwrap_or(0) as u64);
+        let arity_bits = bits_for_max(self.n_payloads.iter().copied().max().unwrap_or(1) as u64);
         FormatSpec::new(
             "OIM",
             [

@@ -40,8 +40,14 @@ circuit Gcd :
     println!("  layers (I)    : {}", compiled.plan_stats().layers);
     println!("  LI slots      : {}", compiled.plan_stats().slots);
     println!("  elided ids    : {}", compiled.plan_stats().identity_ops);
-    println!("  kernel code   : {} B", compiled.kernel_report().code_bytes);
-    println!("  OIM data      : {} B", compiled.kernel_report().data_bytes);
+    println!(
+        "  kernel code   : {} B",
+        compiled.kernel_report().code_bytes
+    );
+    println!(
+        "  OIM data      : {} B",
+        compiled.kernel_report().data_bytes
+    );
 
     // The OIM itself is a JSON artifact, exactly as in the paper's flow.
     let json = compiled.oim_json()?;
@@ -63,7 +69,11 @@ circuit Gcd :
             break;
         }
     }
-    println!("gcd(1071, 462) = {} after {} cycles", sim.peek("result").unwrap(), sim.cycle());
+    println!(
+        "gcd(1071, 462) = {} after {} cycles",
+        sim.peek("result").unwrap(),
+        sim.cycle()
+    );
     assert_eq!(sim.peek("result"), Some(21));
     Ok(())
 }

@@ -13,13 +13,13 @@ use rteaal_kernels::{KernelConfig, ALL_KERNELS};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // a0 = sum of 1..=20, then halt.
     let program = vec![
-        addi(1, 0, 0),   // acc
-        addi(2, 0, 20),  // n
-        add(1, 1, 2),    // loop: acc += n
+        addi(1, 0, 0),  // acc
+        addi(2, 0, 20), // n
+        add(1, 1, 2),   // loop: acc += n
         addi(2, 2, -1),
         bne(2, 0, -2),
-        add(10, 1, 0),   // a0 = acc
-        jal(0, 6),       // halt (jump to self at pc 6)
+        add(10, 1, 0), // a0 = acc
+        jal(0, 6),     // halt (jump to self at pc 6)
     ];
     let circuit = rv32i(&program);
 

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim = Simulation::new(compiled);
 
     // Absorb a block and run the 24-round permutation.
-    let msg: Vec<u64> = (0..17).map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i as u32)).collect();
+    let msg: Vec<u64> = (0..17)
+        .map(|i| 0x0123_4567_89ab_cdefu64.rotate_left(i as u32))
+        .collect();
     sim.poke("start", 1)?;
     for (i, m) in msg.iter().enumerate() {
         sim.poke(&format!("in{i}"), *m)?;
@@ -45,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     keccak_f(&mut sw);
     assert_eq!(sim.peek("out0"), Some(sw[0][0]));
     assert_eq!(sim.peek("out1"), Some(sw[0][1]));
-    println!("digest lane 0: {:#018x} (matches software Keccak)", sw[0][0]);
+    println!(
+        "digest lane 0: {:#018x} (matches software Keccak)",
+        sw[0][0]
+    );
 
     // A small wall-clock shoot-out over 5000 cycles.
     let graph = rteaal_dfg::build(&rteaal_firrtl::lower_typed(&circuit)?)?;

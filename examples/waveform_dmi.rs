@@ -23,6 +23,7 @@ circuit Blinker :
     input clock : Clock
     output led : UInt<1>
     inst pwm of Pwm
+    pwm.clock <= clock
     pwm.duty <= UInt<4>(5)
     led <= pwm.out
 ";
@@ -32,9 +33,11 @@ circuit Blinker :
     let mut sim = Simulation::new(compiled);
     sim.enable_waveforms();
     for _ in 0..32 {
-        sim.step();
         // XMR: read the *internal* phase register of the pwm instance.
+        // Combinational outputs are evaluated before the register commit,
+        // so `led` after a step reflects the phase the cycle started from.
         let phase = sim.peek("pwm.phase").unwrap();
+        sim.step();
         let led = sim.peek("led").unwrap();
         assert_eq!(led, (phase < 5) as u64);
     }

@@ -6,10 +6,10 @@
 
 use rand::{Rng, SeedableRng};
 use rteaal_baselines::{EssentLike, VerilatorLike};
+use rteaal_designs::{gemmini, pipeline, rocket, sha3, small_boom, ChipConfig};
 use rteaal_dfg::interp::Interpreter;
 use rteaal_dfg::passes::{optimize, PassOptions};
 use rteaal_dfg::plan::{plan, PlanSim};
-use rteaal_designs::{gemmini, pipeline, rocket, sha3, small_boom, ChipConfig};
 use rteaal_einsum::{CascadeSim, RepCutSim};
 use rteaal_firrtl::lower::lower_typed;
 use rteaal_kernels::{Kernel, KernelConfig, OptLevel, ALL_KERNELS};
@@ -74,12 +74,7 @@ fn assert_all_simulators_agree(circuit: &rteaal_firrtl::Circuit, cycles: u64, se
             assert_eq!(essent.output(o), want, "essent output {o} @ {cycle}");
             assert_eq!(essent_o0.output(o), want, "essent -O0 output {o} @ {cycle}");
             for k in &kernels {
-                assert_eq!(
-                    k.output(o),
-                    want,
-                    "{} output {o} @ {cycle}",
-                    k.config()
-                );
+                assert_eq!(k.output(o), want, "{} output {o} @ {cycle}", k.config());
             }
         }
     }

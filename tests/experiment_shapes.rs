@@ -42,9 +42,7 @@ fn fig7_essent_beats_verilator_on_frontend_and_speculation() {
     let (v, _) = verilator_run(&g, &machine, CYCLES, 1, OptLevel::Full);
     let (e, _) = essent_run(&g, &machine, CYCLES, 1, OptLevel::Full);
     assert!(e.bad_speculation <= v.bad_speculation);
-    assert!(
-        e.frontend_bound + e.bad_speculation <= v.frontend_bound + v.bad_speculation + 1e-9
-    );
+    assert!(e.frontend_bound + e.bad_speculation <= v.frontend_bound + v.bad_speculation + 1e-9);
 }
 
 /// Figure 8 / Table 7: ESSENT compiles slower than Verilator, and both
@@ -55,8 +53,12 @@ fn fig8_table7_compile_cost_scaling() {
     let mut psu_times = Vec::new();
     for cores in [1usize, 4] {
         let g = raw_graph_of(&rocket(ChipConfig::new(cores).with_scale(SCALE)));
-        let e = EssentLike::compile(&g, OptLevel::Full).compile_report().seconds;
-        let v = VerilatorLike::compile(&g, OptLevel::Full).compile_report().seconds;
+        let e = EssentLike::compile(&g, OptLevel::Full)
+            .compile_report()
+            .seconds;
+        let v = VerilatorLike::compile(&g, OptLevel::Full)
+            .compile_report()
+            .seconds;
         assert!(e > v, "cores={cores}: essent {e} !> verilator {v}");
         essent_times.push(e);
         let p = plan(&g);
@@ -81,9 +83,15 @@ fn table4_code_footprint_shape() {
     let p = plan(&graph_of(&rocket(ChipConfig::new(8).with_scale(0.08))));
     let code: Vec<u64> = ALL_KERNELS
         .iter()
-        .map(|&k| Kernel::compile(&p, KernelConfig::new(k)).compile_report().code_bytes)
+        .map(|&k| {
+            Kernel::compile(&p, KernelConfig::new(k))
+                .compile_report()
+                .code_bytes
+        })
         .collect();
-    let [ru, ou, nu, psu, iu, su, ti] = code[..] else { panic!() };
+    let [ru, ou, nu, psu, iu, su, ti] = code[..] else {
+        panic!()
+    };
     assert_eq!(ru, ou);
     assert_eq!(nu, psu);
     assert!(iu > psu);
@@ -103,7 +111,11 @@ fn table5_dynamic_instructions_fall_with_unrolling() {
     let machine = Machine::intel_xeon();
     let counts: Vec<u64> = ALL_KERNELS
         .iter()
-        .map(|&k| kernel_run(&p, KernelConfig::new(k), &machine, CYCLES, 1).1.instructions)
+        .map(|&k| {
+            kernel_run(&p, KernelConfig::new(k), &machine, CYCLES, 1)
+                .1
+                .instructions
+        })
         .collect();
     // Monotone within a small tolerance: at reduced design scale the
     // per-layer type sweep of NU/PSU is proportionally larger than in
@@ -136,9 +148,15 @@ fn table6_pressure_shift() {
 fn fig16_17_sweet_spot() {
     let machine = Machine::intel_xeon();
     let time = |cores: usize, kind: KernelKind| {
-        kernel_run(&rocket_plan(cores), KernelConfig::new(kind), &machine, CYCLES, 540_000)
-            .0
-            .seconds
+        kernel_run(
+            &rocket_plan(cores),
+            KernelConfig::new(kind),
+            &machine,
+            CYCLES,
+            540_000,
+        )
+        .0
+        .seconds
     };
     // 8 cores: PSU beats both extremes.
     let (ru8, psu8, ti8) = (
@@ -164,8 +182,18 @@ fn fig18_ordering_at_o3() {
     let (v, _) = verilator_run(&g, &machine, CYCLES, 1, OptLevel::Full);
     let (k, _) = kernel_run(&p, KernelConfig::new(KernelKind::Psu), &machine, CYCLES, 1);
     let (e, _) = essent_run(&g, &machine, CYCLES, 1, OptLevel::Full);
-    assert!(e.seconds < k.seconds, "essent {} !< psu {}", e.seconds, k.seconds);
-    assert!(k.seconds < v.seconds, "psu {} !< verilator {}", k.seconds, v.seconds);
+    assert!(
+        e.seconds < k.seconds,
+        "essent {} !< psu {}",
+        e.seconds,
+        k.seconds
+    );
+    assert!(
+        k.seconds < v.seconds,
+        "psu {} !< verilator {}",
+        k.seconds,
+        v.seconds
+    );
 }
 
 /// Figure 19: at -O0, ESSENT's advantage collapses hardest.
@@ -179,7 +207,13 @@ fn fig19_essent_collapses_at_o0() {
     let (e3, _) = essent_run(&g, &machine, CYCLES, 1, OptLevel::Full);
     let (e0, _) = essent_run(&g, &machine, CYCLES, 1, OptLevel::None);
     let (k3, _) = kernel_run(&p, KernelConfig::new(KernelKind::Psu), &machine, CYCLES, 1);
-    let (k0, _) = kernel_run(&p, KernelConfig::unoptimized(KernelKind::Psu), &machine, CYCLES, 1);
+    let (k0, _) = kernel_run(
+        &p,
+        KernelConfig::unoptimized(KernelKind::Psu),
+        &machine,
+        CYCLES,
+        1,
+    );
     let essent_deg = degradation(e3.seconds, e0.seconds);
     let psu_deg = degradation(k3.seconds, k0.seconds);
     assert!(

@@ -47,13 +47,23 @@ const UNARY: [PrimOp; 7] = [
     PrimOp::AsUInt,
 ];
 
-fn one_op_circuit(op: PrimOp, wa: u32, wb: u32, signed: bool, params: &[u64]) -> rteaal_firrtl::Circuit {
+fn one_op_circuit(
+    op: PrimOp,
+    wa: u32,
+    wb: u32,
+    signed: bool,
+    params: &[u64],
+) -> rteaal_firrtl::Circuit {
     let mk = |w| if signed { Type::sint(w) } else { Type::uint(w) };
     let mut b = ModuleBuilder::new("Op");
     let a = b.input("a", mk(wa));
     let args = if op.num_args() == 2 {
         // dshl/dshr take a UInt shift amount.
-        let bty = if matches!(op, PrimOp::Dshl | PrimOp::Dshr) { Type::uint(wb) } else { mk(wb) };
+        let bty = if matches!(op, PrimOp::Dshl | PrimOp::Dshr) {
+            Type::uint(wb)
+        } else {
+            mk(wb)
+        };
         let x = b.input("b", bty);
         vec![a, x]
     } else {
@@ -64,7 +74,11 @@ fn one_op_circuit(op: PrimOp, wa: u32, wb: u32, signed: bool, params: &[u64]) ->
     let env_ty = {
         // Recover the result type to declare the output port.
         let tys: Vec<Type> = if op.num_args() == 2 {
-            let bty = if matches!(op, PrimOp::Dshl | PrimOp::Dshr) { Type::uint(wb) } else { mk(wb) };
+            let bty = if matches!(op, PrimOp::Dshl | PrimOp::Dshr) {
+                Type::uint(wb)
+            } else {
+                mk(wb)
+            };
             vec![mk(wa), bty]
         } else {
             vec![mk(wa)]
@@ -89,7 +103,11 @@ fn check(op: PrimOp, wa: u32, wb: u32, signed: bool, params: &[u64], a: u64, bv:
     let mk = |w| if signed { Type::sint(w) } else { Type::uint(w) };
     let ta = TypedValue::new(a, mk(wa));
     let (args, tys): (Vec<TypedValue>, Vec<Type>) = if op.num_args() == 2 {
-        let bty = if matches!(op, PrimOp::Dshl | PrimOp::Dshr) { Type::uint(wb) } else { mk(wb) };
+        let bty = if matches!(op, PrimOp::Dshl | PrimOp::Dshr) {
+            Type::uint(wb)
+        } else {
+            mk(wb)
+        };
         (vec![ta, TypedValue::new(bv, bty)], vec![mk(wa), bty])
     } else {
         (vec![ta], vec![mk(wa)])

@@ -63,8 +63,16 @@ fn random_circuit(ops: &[GenOp], reg_period: usize) -> Circuit {
         let y = pool[(i * 7 + 1) % pool.len()].clone();
         let z = pool[(i * 13 + 2) % pool.len()].clone();
         let e = match op {
-            GenOp::Add => Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Add, vec![x, y])], vec![1]),
-            GenOp::Sub => Expr::prim_p(PrimOp::Tail, vec![Expr::prim(PrimOp::Sub, vec![x, y])], vec![1]),
+            GenOp::Add => Expr::prim_p(
+                PrimOp::Tail,
+                vec![Expr::prim(PrimOp::Add, vec![x, y])],
+                vec![1],
+            ),
+            GenOp::Sub => Expr::prim_p(
+                PrimOp::Tail,
+                vec![Expr::prim(PrimOp::Sub, vec![x, y])],
+                vec![1],
+            ),
             GenOp::Xor => Expr::prim(PrimOp::Xor, vec![x, y]),
             GenOp::And => Expr::prim(PrimOp::And, vec![x, y]),
             GenOp::Or => Expr::prim(PrimOp::Or, vec![x, y]),

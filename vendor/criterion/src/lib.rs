@@ -1,0 +1,207 @@
+//! Workspace-local substitute for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! mean-over-samples timer instead of criterion's full statistics.
+//! Filters passed on the command line (`cargo bench -- <substr>`) select
+//! benchmark ids by substring, like upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a group (reported as elements/second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_id.into()),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The per-iteration timing harness handed to bench closures.
+pub struct Bencher {
+    samples: u32,
+    /// Mean wall-clock per iteration, filled by `iter`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warmup call, then `samples` timed calls.
+        black_box(f());
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean = t0.elapsed() / self.samples.max(1);
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: u32,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with("--") && a != "--bench")
+            .collect();
+        Criterion {
+            sample_size: 10,
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1) as u32;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is count-based.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self, id, None, f);
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, id: &str, tp: Option<Throughput>, mut f: F) {
+    if !c.selected(id) {
+        return;
+    }
+    let mut b = Bencher {
+        samples: c.sample_size,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.mean;
+    let rate = match tp {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if !per_iter.is_zero() => {
+            format!("  ({:.3e} /s)", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{id:<48} {per_iter:>12.3?}/iter{rate}");
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    c: &'c Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group's throughput annotation.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.c, &full, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(self.c, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the bench `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}

@@ -1,0 +1,239 @@
+//! Workspace-local substitute for the `rand` crate (0.8 API subset).
+//!
+//! The workspace uses `rand` exclusively for deterministic test stimulus:
+//! `StdRng::seed_from_u64`, `Rng::gen`, and `Rng::gen_range`. This crate
+//! provides those on top of splitmix64-seeded xoshiro256**. The streams
+//! differ from upstream `rand`'s, which is fine — every consumer only
+//! relies on determinism, not on specific values.
+
+/// Distribution support: types producible by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the full domain.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from the `span`-sized window starting at `low`
+    /// (`span` in "number of representable steps"; 0 means the full
+    /// inclusive domain up to `2^64` values).
+    fn sample_window<R: RngCore + ?Sized>(rng: &mut R, low: Self, span: u128) -> Self;
+
+    /// The unsigned distance from `low` to `high` in representable steps.
+    fn steps(low: Self, high: Self) -> u128;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty as $w:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_window<R: RngCore + ?Sized>(rng: &mut R, low: Self, span: u128) -> Self {
+                // Multiply-shift bounded sampling; bias is negligible for
+                // the test-stimulus spans used here.
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                ((low as $w).wrapping_add(draw as $w)) as $t
+            }
+
+            fn steps(low: Self, high: Self) -> u128 {
+                (high as $w).wrapping_sub(low as $w) as u64 as u128
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as i64,
+    i16 as i64,
+    i32 as i64,
+    i64 as i64,
+    isize as i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_window<R: RngCore + ?Sized>(rng: &mut R, low: Self, span: u128) -> Self {
+        low + f64::sample(rng) * f64::from_bits(span as u64)
+    }
+
+    fn steps(low: Self, high: Self) -> u128 {
+        // The window is carried through the span as raw bits.
+        (high - low).to_bits() as u128
+    }
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_window(rng, self.start, T::steps(self.start, self.end))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "gen_range: empty range");
+        T::sample_window(rng, low, T::steps(low, high) + 1)
+    }
+}
+
+/// The low-level generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling, as an extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the type's full domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `low..high` or `low..=high`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction, matching `rand::SeedableRng`'s `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as upstream does for small seeds.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let x: u64 = a.gen();
+            let y: u64 = b.gen();
+            assert_eq!(x, y);
+        }
+        let mut c = StdRng::seed_from_u64(12);
+        let z: u64 = c.gen();
+        let w: u64 = StdRng::seed_from_u64(11).gen();
+        assert_ne!(z, w);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(0..256);
+            assert!(v < 256);
+            let s: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+            let u: usize = rng.gen_range(2..6);
+            assert!((2..6).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_covers_domain_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut high = 0u32;
+        for _ in 0..64 {
+            let v: u64 = rng.gen();
+            high += (v > u64::MAX / 2) as u32;
+        }
+        assert!(high > 10 && high < 54);
+    }
+}

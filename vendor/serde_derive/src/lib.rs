@@ -1,0 +1,219 @@
+//! Workspace-local substitute for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! two shapes the workspace serializes: structs with named fields and
+//! enums with unit variants only. No `syn`/`quote` — the item is parsed
+//! directly from the token stream (the registry is unreachable in this
+//! build environment), and generics / tuple structs / data-carrying
+//! variants are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Item {
+    /// Struct name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Skips one attribute (`#[...]`) if present; returns whether it did.
+fn skip_attr(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() == '#' {
+            *pos += 1;
+            if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                *pos += 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses the field names out of a struct body.
+fn struct_fields(body: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        while skip_attr(body, &mut pos) {}
+        if pos >= body.len() {
+            break;
+        }
+        skip_vis(body, &mut pos);
+        let name = ident(body, &mut pos);
+        match body.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => panic!("serde derive: only named-field structs are supported (field `{name}`)"),
+        }
+        fields.push(name);
+        // Consume the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        while pos < body.len() {
+            match &body[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Parses the variant names out of an enum body (unit variants only).
+fn enum_variants(body: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < body.len() {
+        while skip_attr(body, &mut pos) {}
+        if pos >= body.len() {
+            break;
+        }
+        let name = ident(body, &mut pos);
+        match body.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde derive: explicit discriminants unsupported (variant `{name}`)")
+            }
+            Some(TokenTree::Group(_)) => {
+                panic!("serde derive: only unit variants are supported (variant `{name}`)")
+            }
+            other => panic!("serde derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    while skip_attr(&tokens, &mut pos) {}
+    skip_vis(&tokens, &mut pos);
+    let kind = ident(&tokens, &mut pos);
+    let name = ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic types are not supported (`{name}`)");
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        other => panic!("serde derive: expected braced body for `{name}`, found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct(name, struct_fields(&body)),
+        "enum" => Item::Enum(name, enum_variants(&body)),
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the workspace-local `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace-local `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(content.field(\"{f}\")\
+                             .ok_or_else(|| ::serde::Error(format!(\"missing field `{f}`\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::expected(\"variant string\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
