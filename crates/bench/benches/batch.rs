@@ -9,9 +9,37 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rteaal_bench::experiments::graph_of;
 use rteaal_designs::{rocket, ChipConfig, Workload};
 use rteaal_dfg::plan::plan;
-use rteaal_kernels::{BatchKernel, BatchLiState, KernelConfig, KernelKind};
+use rteaal_kernels::{BatchEngine, BatchKernel, BatchLiState, KernelConfig, KernelKind};
 
 const CYCLES: u64 = 50;
+
+fn bench_batch_engines(c: &mut Criterion) {
+    // The engine axis: per-lane interpreted dispatch vs the compiled
+    // lane kernels, single-threaded, on the RV32I core. The compiled
+    // path's target is >= 1.3x lane throughput at B=64.
+    let workload = Workload::rv32i_sum_loop();
+    let sim_plan = plan(&graph_of(&workload.circuit));
+    let mut group = c.benchmark_group("batch-engine-rv32i");
+    for lanes in [16usize, 64] {
+        group.throughput(Throughput::Elements(CYCLES * lanes as u64));
+        for (label, engine) in [
+            ("interpreted", BatchEngine::Interpreted),
+            ("compiled", BatchEngine::Compiled),
+        ] {
+            let kernel = BatchKernel::compile_with_engine(
+                &sim_plan,
+                KernelConfig::new(KernelKind::Psu),
+                engine,
+            );
+            let mut st = BatchLiState::new(&sim_plan, lanes);
+            st.set_input_all(0, 0); // free-running past reset
+            group.bench_with_input(BenchmarkId::new(label, lanes), &lanes, |b, _| {
+                b.iter(|| kernel.run(&mut st, CYCLES));
+            });
+        }
+    }
+    group.finish();
+}
 
 fn bench_batch_lanes(c: &mut Criterion) {
     let circuit = rocket(ChipConfig::new(2));
@@ -78,6 +106,6 @@ fn bench_batch_with_workload_stimulus(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
-    targets = bench_batch_lanes, bench_batch_threads, bench_batch_with_workload_stimulus
+    targets = bench_batch_engines, bench_batch_lanes, bench_batch_threads, bench_batch_with_workload_stimulus
 }
 criterion_main!(benches);

@@ -685,6 +685,89 @@ pub fn batch_throughput(ctx: &Ctx) -> Vec<String> {
     out
 }
 
+/// Batch execution engines: the interpreted per-lane dispatch vs the
+/// compiled lane kernels vs compiled + lane-liveness early exit, on the
+/// halting RV32I workload at B = 64.
+///
+/// The first two rows run the same free-running cycle budget, so their
+/// ratio is the pure compile-the-hot-loop speedup; the early-exit row
+/// instead runs each lane only to its halt cycle, so its win shows up as
+/// evaluated lane-cycles (work skipped), on top of the compiled rate.
+pub fn batch_engine(_ctx: &Ctx) -> Vec<String> {
+    use rteaal_core::{BatchSimulation, Compiler};
+    use rteaal_kernels::{BatchEngine, BatchKernel, BatchLiState};
+    use std::time::Instant;
+    let mut out =
+        header("Batch engines: interpreted vs compiled vs compiled+early-exit (RV32I, B=64)");
+    let w = Workload::rv32i_sum_loop();
+    let p = plan_of(&w.circuit);
+    let lanes = 64usize;
+    let cycles = 300u64; // comfortably past the ~67-cycle halt point
+    out.push(format!(
+        "{:<22} {:>10} {:>14} {:>10}",
+        "engine", "cycles", "lane-cyc/s", "speedup"
+    ));
+    let time_engine = |engine: BatchEngine| {
+        let kernel =
+            BatchKernel::compile_with_engine(&p, KernelConfig::new(KernelKind::Psu), engine);
+        let mut st = BatchLiState::new(&p, lanes);
+        kernel.run(&mut st, 20); // warm
+        let t = Instant::now();
+        kernel.run(&mut st, cycles);
+        t.elapsed().as_secs_f64()
+    };
+    let ti = time_engine(BatchEngine::Interpreted);
+    let tc = time_engine(BatchEngine::Compiled);
+    let rate = |secs: f64, lane_cycles: f64| lane_cycles / secs.max(1e-12);
+    let full = (cycles * lanes as u64) as f64;
+    out.push(format!(
+        "{:<22} {:>10} {:>14.3e} {:>9.2}x",
+        "interpreted",
+        cycles,
+        rate(ti, full),
+        1.0
+    ));
+    out.push(format!(
+        "{:<22} {:>10} {:>14.3e} {:>9.2}x",
+        "compiled",
+        cycles,
+        rate(tc, full),
+        ti / tc
+    ));
+    // Compiled + early exit, through the front door the halt probe
+    // plumbing serves.
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&w.circuit)
+        .expect("rv32i compiles");
+    let mut sim = BatchSimulation::new(&compiled, lanes);
+    sim.watch_halt(w.halt_signal.expect("halting workload"))
+        .expect("halt probe resolves");
+    let run_to_halt = |sim: &mut BatchSimulation| {
+        sim.reset();
+        sim.poke_all("reset", 1).expect("reset");
+        sim.step_cycles(2);
+        sim.poke_all("reset", 0).expect("reset");
+        sim.run_until_halt(cycles)
+    };
+    run_to_halt(&mut sim); // warm, like the free-running rows
+    let t = Instant::now();
+    let stepped = run_to_halt(&mut sim);
+    let te = t.elapsed().as_secs_f64();
+    out.push(format!(
+        "{:<22} {:>10} {:>14.3e} {:>9.2}x",
+        "compiled+early-exit",
+        stepped,
+        rate(te, (stepped * lanes as u64) as f64),
+        ti / (te * cycles as f64 / stepped.max(1) as f64)
+    ));
+    out.push(String::new());
+    out.push(format!(
+        "all {lanes} lanes halted within {stepped} cycles (budget {cycles}); \
+         shape check: compiled >= 1.3x interpreted"
+    ));
+    out
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1",
@@ -705,6 +788,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation-elision",
     "ablation-format",
     "batch",
+    "batch-engine",
 ];
 
 /// Dispatches one experiment by id.
@@ -728,6 +812,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "ablation-elision" => ablation_elision(ctx),
         "ablation-format" => ablation_format(ctx),
         "batch" => batch_throughput(ctx),
+        "batch-engine" => batch_engine(ctx),
         _ => return None,
     })
 }

@@ -7,6 +7,16 @@
 //! under this stimulus", `BatchSimulation` answers it for `B` stimulus
 //! vectors at once — regression suites, fuzz corpora, or parameter
 //! sweeps — while paying the compile and coordinate-traversal cost once.
+//!
+//! Workloads with a halt condition (the RV32I core's `halt` output, or
+//! any probed signal) can additionally enable **lane-liveness early
+//! exit** via [`BatchSimulation::watch_halt`]: after every cycle the
+//! engine probes the halt row, records each finished lane's completion
+//! cycle, and compacts it out of the evaluated lane window, so the
+//! remaining cycles are spent only on lanes still running. Lane indices
+//! seen by [`poke`](BatchSimulation::poke) /
+//! [`peek`](BatchSimulation::peek) stay stable across compaction; a
+//! finished lane's state is frozen at its halt cycle.
 
 use crate::compiler::Compiled;
 use crate::simulation::UnknownSignal;
@@ -51,6 +61,36 @@ pub struct BatchSimulation {
     input_index: HashMap<String, usize>,
     probe_index: HashMap<String, (u32, u8)>,
     threads: usize,
+    liveness: Option<LaneLiveness>,
+}
+
+/// Lane-liveness bookkeeping for halt-condition early exit.
+///
+/// The engine evaluates the live *prefix* of the physical lane columns;
+/// when a lane's halt probe fires it is swapped past the prefix and the
+/// prefix shrinks. These tables keep the user-facing lane numbering
+/// stable across those swaps.
+#[derive(Debug)]
+struct LaneLiveness {
+    /// Slot whose nonzero value marks a finished lane.
+    halt_slot: u32,
+    /// Physical column of each original lane.
+    phys_of: Vec<usize>,
+    /// Original lane of each physical column.
+    orig_of: Vec<usize>,
+    /// Cycle at which each original lane halted (by original index).
+    done_at: Vec<Option<u64>>,
+}
+
+impl LaneLiveness {
+    fn new(halt_slot: u32, lanes: usize) -> Self {
+        LaneLiveness {
+            halt_slot,
+            phys_of: (0..lanes).collect(),
+            orig_of: (0..lanes).collect(),
+            done_at: vec![None; lanes],
+        }
+    }
 }
 
 impl BatchSimulation {
@@ -82,6 +122,7 @@ impl BatchSimulation {
             input_index,
             probe_index,
             threads: 1,
+            liveness: None,
         }
     }
 
@@ -109,6 +150,13 @@ impl BatchSimulation {
         self.threads
     }
 
+    /// Physical lane column of a user-facing lane index (identity until
+    /// liveness compaction starts swapping finished lanes out of the
+    /// evaluated window).
+    fn phys(&self, lane: usize) -> usize {
+        self.liveness.as_ref().map_or(lane, |lv| lv.phys_of[lane])
+    }
+
     /// Drives an input port on one lane, by name.
     ///
     /// # Errors
@@ -119,11 +167,13 @@ impl BatchSimulation {
             .input_index
             .get(name)
             .ok_or_else(|| UnknownSignal(name.to_string()))?;
-        self.state.set_input(idx, lane, value);
+        let phys = self.phys(lane);
+        self.state.set_input(idx, phys, value);
         Ok(())
     }
 
-    /// Drives an input port identically on every lane, by name.
+    /// Drives an input port identically on every live lane, by name
+    /// (halted lanes keep their state frozen at the halt cycle).
     ///
     /// # Errors
     ///
@@ -133,41 +183,167 @@ impl BatchSimulation {
             .input_index
             .get(name)
             .ok_or_else(|| UnknownSignal(name.to_string()))?;
-        self.state.set_input_all(idx, value);
+        if self.liveness.is_some() {
+            self.state.set_input_live(idx, value);
+        } else {
+            self.state.set_input_all(idx, value);
+        }
         Ok(())
     }
 
     /// Reads any probed signal on one lane — output ports, registers,
-    /// inputs, or named internal nodes (the XMR path, per lane).
+    /// inputs, or named internal nodes (the XMR path, per lane). A
+    /// halted lane reads its state frozen at the halt cycle.
     pub fn peek(&self, name: &str, lane: usize) -> Option<u64> {
+        let phys = self.phys(lane);
         if let Some(&(slot, _)) = self.probe_index.get(name) {
-            return Some(self.state.slot(slot, lane));
+            return Some(self.state.slot(slot, phys));
         }
-        self.state.output_by_name(name, lane)
+        self.state.output_by_name(name, phys)
     }
 
-    /// Advances one clock cycle on every lane, using the configured
-    /// worker threads.
+    /// Advances one clock cycle on the live lanes, using the configured
+    /// worker threads. With a halt watch enabled, finished lanes are
+    /// compacted out of the evaluated window after the cycle; once every
+    /// lane has halted this is a no-op.
     pub fn step(&mut self) {
+        if self.liveness.is_some() && self.state.live() == 0 {
+            return;
+        }
         if self.threads == 1 {
             self.kernel.step(&mut self.state);
         } else {
             self.kernel.run_parallel(&mut self.state, 1, self.threads);
         }
+        self.probe_halts();
     }
 
-    /// Advances `n` cycles on every lane, using the configured worker
-    /// threads. Inputs hold their last poked values.
+    /// Advances `n` cycles on the live lanes, using the configured
+    /// worker threads. Inputs hold their last poked values. With a halt
+    /// watch enabled, stops early once every lane has halted.
     pub fn step_cycles(&mut self, n: u64) {
-        self.kernel.run_parallel(&mut self.state, n, self.threads);
+        if self.liveness.is_none() {
+            self.kernel.run_parallel(&mut self.state, n, self.threads);
+            return;
+        }
+        for _ in 0..n {
+            if self.state.live() == 0 {
+                break;
+            }
+            self.step();
+        }
     }
 
     /// Advances `n` cycles, invoking `stimulus` before each cycle so
     /// every lane can be driven independently mid-run (the batched
-    /// analog of a per-cycle testbench loop).
+    /// analog of a per-cycle testbench loop). The poker addresses
+    /// physical lane columns and no halt probing happens mid-run, so
+    /// combine with [`watch_halt`](Self::watch_halt) only before the
+    /// first compaction (or use [`step`](Self::step) /
+    /// [`run_until_halt`](Self::run_until_halt) instead).
     pub fn run_with_stimulus(&mut self, n: u64, stimulus: impl FnMut(u64, &mut LanePoker<'_>)) {
         self.kernel
             .run_with_stimulus(&mut self.state, n, self.threads, stimulus);
+        self.probe_halts();
+    }
+
+    /// Enables lane-liveness early exit: after every cycle, any live lane
+    /// whose `signal` probe reads nonzero is recorded as finished at the
+    /// current cycle and compacted out of the evaluated lane window.
+    ///
+    /// Re-arming with a different signal mid-run only switches the
+    /// watched probe: the lane permutation, live window, and completion
+    /// records all carry over (use [`reset`](Self::reset) to start
+    /// fresh).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if `signal` names neither a probe nor an
+    /// output port.
+    pub fn watch_halt(&mut self, signal: &str) -> Result<(), UnknownSignal> {
+        let slot = self
+            .probe_index
+            .get(signal)
+            .map(|&(s, _)| s)
+            .or_else(|| {
+                self.plan
+                    .output_slots
+                    .iter()
+                    .find(|(n, _)| n == signal)
+                    .map(|&(_, s)| s)
+            })
+            .ok_or_else(|| UnknownSignal(signal.to_string()))?;
+        match &mut self.liveness {
+            // Keep the lane maps and live window: resetting them to
+            // identity under already-permuted columns would corrupt
+            // every lane-indexed read.
+            Some(lv) => lv.halt_slot = slot,
+            None => self.liveness = Some(LaneLiveness::new(slot, self.state.lanes())),
+        }
+        Ok(())
+    }
+
+    /// Steps until every lane has halted or `max_cycles` have elapsed,
+    /// whichever comes first. Returns the number of cycles stepped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`watch_halt`](Self::watch_halt) was enabled.
+    pub fn run_until_halt(&mut self, max_cycles: u64) -> u64 {
+        assert!(
+            self.liveness.is_some(),
+            "run_until_halt needs a watch_halt signal"
+        );
+        let mut stepped = 0;
+        while stepped < max_cycles && self.state.live() > 0 {
+            self.step();
+            stepped += 1;
+        }
+        stepped
+    }
+
+    /// Whether a lane's halt condition has fired (always `false` without
+    /// a halt watch).
+    pub fn halted(&self, lane: usize) -> bool {
+        self.completion_cycle(lane).is_some()
+    }
+
+    /// The cycle at which a lane halted, or `None` while it is still
+    /// running (or without a halt watch).
+    pub fn completion_cycle(&self, lane: usize) -> Option<u64> {
+        self.liveness.as_ref().and_then(|lv| lv.done_at[lane])
+    }
+
+    /// Number of lanes still being evaluated (all of them without a halt
+    /// watch).
+    pub fn live_lanes(&self) -> usize {
+        self.state.live()
+    }
+
+    /// Probes the halt row and compacts finished lanes out of the
+    /// evaluated window, keeping the original↔physical lane maps in
+    /// sync.
+    fn probe_halts(&mut self) {
+        let Some(lv) = &mut self.liveness else {
+            return;
+        };
+        let cycle = self.state.cycle();
+        let mut phys = 0;
+        while phys < self.state.live() {
+            if self.state.slot(lv.halt_slot, phys) == 0 {
+                phys += 1;
+                continue;
+            }
+            let last = self.state.live() - 1;
+            lv.done_at[lv.orig_of[phys]] = Some(cycle);
+            self.state.swap_lanes(phys, last);
+            lv.orig_of.swap(phys, last);
+            lv.phys_of[lv.orig_of[phys]] = phys;
+            lv.phys_of[lv.orig_of[last]] = last;
+            self.state.set_live(last);
+            // The swapped-in occupant of `phys` still needs probing, so
+            // don't advance.
+        }
     }
 
     /// Cycles simulated so far.
@@ -175,9 +351,13 @@ impl BatchSimulation {
         self.state.cycle()
     }
 
-    /// Resets every lane to the power-on state.
+    /// Resets every lane to the power-on state (reviving halted lanes
+    /// and clearing completion records).
     pub fn reset(&mut self) {
         self.state.reset();
+        if let Some(lv) = &mut self.liveness {
+            *lv = LaneLiveness::new(lv.halt_slot, self.state.lanes());
+        }
     }
 
     /// Index of a named input port (for driving through a
@@ -268,6 +448,90 @@ circuit S :
                 );
             }
         }
+    }
+
+    /// A counter that raises `done` once it reaches a per-lane limit —
+    /// the minimal halt-condition workload.
+    const HALT_SRC: &str = "\
+circuit H :
+  module H :
+    input clock : Clock
+    input limit : UInt<8>
+    output cnt : UInt<8>
+    output done : UInt<1>
+    reg acc : UInt<8>, clock
+    acc <= tail(add(acc, UInt<8>(1)), 1)
+    cnt <= acc
+    done <= geq(acc, limit)
+";
+
+    #[test]
+    fn early_exit_records_per_lane_completion_and_freezes_state() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        const LANES: usize = 6;
+        let mut sim = BatchSimulation::new(&c, LANES);
+        sim.watch_halt("done").unwrap();
+        for lane in 0..LANES {
+            // `done` compares the committed acc, so lane L's halt is
+            // observed at cycle L + 3: acc reaches L + 2 after step
+            // L + 2, and the comparison sees it one step later.
+            sim.poke("limit", lane, lane as u64 + 2).unwrap();
+        }
+        assert_eq!(sim.live_lanes(), LANES);
+        let stepped = sim.run_until_halt(100);
+        assert_eq!(stepped, LANES as u64 + 2);
+        assert_eq!(sim.live_lanes(), 0);
+        for lane in 0..LANES {
+            assert!(sim.halted(lane));
+            assert_eq!(sim.completion_cycle(lane), Some(lane as u64 + 3));
+            // Frozen at the halt cycle (acc committed once more during
+            // the halting step).
+            assert_eq!(sim.peek("cnt", lane), Some(lane as u64 + 3), "lane {lane}");
+            assert_eq!(sim.peek("done", lane), Some(1));
+        }
+        // Fully-halted batches no-op instead of burning cycles.
+        let cycle = sim.cycle();
+        sim.step_cycles(50);
+        assert_eq!(sim.cycle(), cycle);
+        // Reset revives every lane and clears the completion records.
+        sim.reset();
+        assert_eq!(sim.live_lanes(), LANES);
+        assert!(!sim.halted(0));
+        assert_eq!(sim.completion_cycle(3), None);
+    }
+
+    #[test]
+    fn early_exit_lane_indexing_is_stable_across_compaction() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Nu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        const LANES: usize = 5;
+        let mut sim = BatchSimulation::new(&c, LANES);
+        sim.watch_halt("done").unwrap();
+        // Lane 0 halts *last*, so compaction reorders the physical
+        // columns under every earlier lane.
+        for lane in 0..LANES {
+            let limit = (LANES - lane) as u64 + 1;
+            sim.poke("limit", lane, limit).unwrap();
+        }
+        sim.run_until_halt(100);
+        for lane in 0..LANES {
+            let limit = (LANES - lane) as u64 + 1;
+            assert_eq!(sim.completion_cycle(lane), Some(limit + 1), "lane {lane}");
+            assert_eq!(sim.peek("cnt", lane), Some(limit + 1), "lane {lane}");
+            assert_eq!(sim.peek("limit", lane), Some(limit), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn watch_halt_rejects_unknown_signals() {
+        let c = compiled(KernelKind::Psu);
+        let mut sim = BatchSimulation::new(&c, 2);
+        assert!(sim.watch_halt("no_such_signal").is_err());
+        // Output ports resolve even when not probed by name.
+        assert!(sim.watch_halt("big").is_ok());
     }
 
     #[test]

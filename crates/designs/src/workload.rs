@@ -8,6 +8,7 @@
 //! cycle budget (`cycles = table3 / divisor`), per DESIGN.md §4.2.
 
 use crate::chip::{gemmini, rocket, small_boom, ChipConfig};
+use crate::rv32i::{asm, rv32i};
 use crate::sha3::sha3;
 use rteaal_firrtl::ast::Circuit;
 
@@ -32,6 +33,10 @@ pub struct Workload {
     pub circuit: Circuit,
     /// Full (paper-scale) cycle budget.
     pub full_cycles: u64,
+    /// Output that goes high when a lane's benchmark is architecturally
+    /// finished — the probe lane-liveness early exit watches. `None` for
+    /// free-running workloads.
+    pub halt_signal: Option<&'static str>,
     /// Stimulus generator state.
     seed: u64,
 }
@@ -47,8 +52,28 @@ impl Workload {
             description: desc.into(),
             circuit,
             full_cycles: kcycles * 1000,
+            halt_signal: None,
             seed,
         }
+    }
+
+    /// The RV32I core running its sum-loop benchmark to completion: sum
+    /// `1..=20` into `a0`, then spin on a self-jump that raises the
+    /// `halt` output — the workload that exercises lane-liveness early
+    /// exit (per-lane completion around cycle 65 after reset release).
+    pub fn rv32i_sum_loop() -> Workload {
+        let program = vec![
+            asm::addi(1, 0, 0),
+            asm::addi(2, 0, 20),
+            asm::add(1, 1, 2),
+            asm::addi(2, 2, -1),
+            asm::bne(2, 0, -2),
+            asm::add(10, 1, 0),
+            asm::jal(0, 6),
+        ];
+        let mut w = Workload::new("rv32i", "RV32I core, sum loop to halt", rv32i(&program), 1);
+        w.halt_signal = Some("halt");
+        w
     }
 
     /// RocketChip running the dhrystone analog.
@@ -215,6 +240,17 @@ mod tests {
             .map(|lane| w.lane_stimulus(lane).next_value())
             .collect();
         assert_eq!(firsts.len(), 8, "lane streams should decorrelate");
+    }
+
+    #[test]
+    fn rv32i_workload_declares_its_halt_probe() {
+        let w = Workload::rv32i_sum_loop();
+        assert_eq!(w.halt_signal, Some("halt"));
+        assert!(w.circuit.modules[0].name.contains("Rv32i"));
+        // The grid workloads are free-running.
+        for w in Workload::main_grid() {
+            assert_eq!(w.halt_signal, None, "{}", w.id);
+        }
     }
 
     #[test]

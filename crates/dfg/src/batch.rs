@@ -1,4 +1,4 @@
-//! Batched plan interpretation: one [`SimPlan`], `B` stimulus lanes.
+//! Batched plan simulation: one [`SimPlan`], `B` stimulus lanes.
 //!
 //! Layer-at-a-time evaluation is data-parallel in two independent
 //! directions: *within* a layer every operation is independent (the
@@ -11,13 +11,18 @@
 //! `OIM` amortizes coordinate reads, dispatch, and loop overhead over `B`
 //! simulations while every data stream stays stride-1.
 //!
-//! [`BatchPlanSim`] is the sequential reference for this execution model:
-//! bit-exact against `B` independent [`PlanSim`](crate::plan::PlanSim)
-//! runs by construction, and the golden model the thread-parallel engine
-//! in `rteaal-kernels` is differentially tested against.
+//! [`BatchPlanSim`] is the sequential reference for this execution model
+//! and supports two executors (see [`BatchEngine`]): the default
+//! **compiled** walk over [`CompiledLayer`] slices produced by the
+//! [`crate::lane_kernel`] compile stage, and the **interpreted**
+//! per-lane `eval_raw` walk — bit-exact against `B` independent
+//! [`PlanSim`](crate::plan::PlanSim) runs by construction, and the golden
+//! model both the compiled kernels and the thread-parallel engine in
+//! `rteaal-kernels` are differentially tested against.
 
+use crate::lane_kernel::{compile_plan, BatchEngine, CompiledLayer, LaneWindow};
 use crate::op::canonicalize;
-use crate::plan::SimPlan;
+use crate::plan::{split_commits, SimPlan};
 
 /// Replicates a plan's initial `LI` contents across `lanes` lanes in
 /// slot-major layout.
@@ -29,34 +34,74 @@ pub fn init_lanes(plan: &SimPlan, lanes: usize) -> Vec<u64> {
     li
 }
 
-/// The batched plan interpreter (Algorithm 3 with a lane inner loop).
+/// The batched plan simulator (Algorithm 3 with a lane inner loop).
 #[derive(Debug, Clone)]
 pub struct BatchPlanSim<'p> {
     plan: &'p SimPlan,
+    engine: BatchEngine,
+    /// Kernel-compiled layers (compiled engine only).
+    compiled: Vec<CompiledLayer>,
     lanes: usize,
     li: Vec<u64>,
     buf: Vec<u64>,
+    /// Alias-free commits, copied row-to-row without staging.
+    commit_direct: Vec<(u32, u32)>,
+    /// Overlapping commits, staged through `commit_buf`.
+    commit_staged: Vec<(u32, u32)>,
     commit_buf: Vec<u64>,
     cycle: u64,
 }
 
 impl<'p> BatchPlanSim<'p> {
     /// Creates a `lanes`-wide simulator with every lane at the plan's
-    /// initial state.
+    /// initial state, executing through compiled lane kernels.
     ///
     /// # Panics
     ///
     /// Panics if `lanes` is zero.
     pub fn new(plan: &'p SimPlan, lanes: usize) -> Self {
+        Self::with_engine(plan, lanes, BatchEngine::Compiled)
+    }
+
+    /// Creates a simulator that walks the layers with the interpreted
+    /// per-lane dispatch — the golden model for differential tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn interpreted(plan: &'p SimPlan, lanes: usize) -> Self {
+        Self::with_engine(plan, lanes, BatchEngine::Interpreted)
+    }
+
+    /// Creates a simulator with an explicit executor choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn with_engine(plan: &'p SimPlan, lanes: usize, engine: BatchEngine) -> Self {
         assert!(lanes > 0, "batch needs at least one lane");
+        let compiled = match engine {
+            BatchEngine::Compiled => compile_plan(plan),
+            BatchEngine::Interpreted => Vec::new(),
+        };
+        let (commit_direct, commit_staged) = split_commits(&plan.commits);
         BatchPlanSim {
             plan,
+            engine,
+            compiled,
             lanes,
             li: init_lanes(plan, lanes),
             buf: Vec::with_capacity(8),
-            commit_buf: vec![0; plan.commits.len() * lanes],
+            commit_buf: vec![0; commit_staged.len() * lanes],
+            commit_direct,
+            commit_staged,
             cycle: 0,
         }
+    }
+
+    /// The executor this simulator walks its layers with.
+    pub fn engine(&self) -> BatchEngine {
+        self.engine
     }
 
     /// Number of stimulus lanes.
@@ -73,27 +118,49 @@ impl<'p> BatchPlanSim<'p> {
             canonicalize(value, w as u32, signed);
     }
 
-    /// Drives input port `idx` identically on every lane.
+    /// Drives input port `idx` identically on every lane: canonicalizes
+    /// once and fills the lane row.
     pub fn set_input_all(&mut self, idx: usize, value: u64) {
-        for lane in 0..self.lanes {
-            self.set_input(idx, lane, value);
-        }
+        let (w, signed) = self.plan.input_types[idx];
+        let v = canonicalize(value, w as u32, signed);
+        let s0 = self.plan.input_slots[idx] as usize * self.lanes;
+        self.li[s0..s0 + self.lanes].fill(v);
     }
 
     /// One clock cycle on every lane: evaluate each layer lane-wise, then
     /// commit registers lane-wise.
     pub fn step(&mut self) {
-        for layer in &self.plan.layers {
-            for op in layer {
-                op.eval_lanes(&mut self.li, self.lanes, &mut self.buf);
+        let w = LaneWindow::full(self.lanes);
+        match self.engine {
+            BatchEngine::Compiled => {
+                for layer in &self.compiled {
+                    for op in layer {
+                        op.eval_lanes(&mut self.li, w, &mut self.buf);
+                    }
+                }
+            }
+            BatchEngine::Interpreted => {
+                for layer in &self.plan.layers {
+                    for op in layer {
+                        op.eval_lanes(&mut self.li, w, &mut self.buf);
+                    }
+                }
             }
         }
         let lanes = self.lanes;
-        for (k, &(_, src)) in self.plan.commits.iter().enumerate() {
+        // Stage the overlapping pairs' sources first, ...
+        for (k, &(_, src)) in self.commit_staged.iter().enumerate() {
             let s0 = src as usize * lanes;
             self.commit_buf[k * lanes..(k + 1) * lanes].copy_from_slice(&self.li[s0..s0 + lanes]);
         }
-        for (k, &(dst, _)) in self.plan.commits.iter().enumerate() {
+        // ... then copy the alias-free rows directly (their destinations
+        // are outside the source set, so no read is clobbered), ...
+        for &(dst, src) in &self.commit_direct {
+            let (d0, s0) = (dst as usize * lanes, src as usize * lanes);
+            self.li.copy_within(s0..s0 + lanes, d0);
+        }
+        // ... then land the staged values.
+        for (k, &(dst, _)) in self.commit_staged.iter().enumerate() {
             let d0 = dst as usize * lanes;
             self.li[d0..d0 + lanes].copy_from_slice(&self.commit_buf[k * lanes..(k + 1) * lanes]);
         }
@@ -158,32 +225,69 @@ circuit Mixed :
     fn lanes_match_independent_plan_sims() {
         let p = plan_of(MIXED);
         const LANES: usize = 7;
-        let mut batch = BatchPlanSim::new(&p, LANES);
-        let mut singles: Vec<PlanSim> = (0..LANES).map(|_| PlanSim::new(&p)).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-        for cycle in 0..200 {
-            for (lane, single) in singles.iter_mut().enumerate() {
+        for engine in [BatchEngine::Compiled, BatchEngine::Interpreted] {
+            let mut batch = BatchPlanSim::with_engine(&p, LANES, engine);
+            assert_eq!(batch.engine(), engine);
+            let mut singles: Vec<PlanSim> = (0..LANES).map(|_| PlanSim::new(&p)).collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+            for cycle in 0..200 {
+                for (lane, single) in singles.iter_mut().enumerate() {
+                    let x: u64 = rng.gen();
+                    let sel: u64 = rng.gen();
+                    single.set_input(0, x);
+                    single.set_input(1, sel);
+                    batch.set_input(0, lane, x);
+                    batch.set_input(1, lane, sel);
+                }
+                batch.step();
+                for (lane, single) in singles.iter_mut().enumerate() {
+                    single.step();
+                    for idx in 0..p.output_slots.len() {
+                        assert_eq!(
+                            batch.output(idx, lane),
+                            single.output(idx),
+                            "{engine:?} lane {lane} output {idx} @ cycle {cycle}"
+                        );
+                    }
+                    // Internal state agrees slot-by-slot, not just at
+                    // outputs.
+                    for s in 0..p.num_slots as u32 {
+                        assert_eq!(
+                            batch.slot(s, lane),
+                            single.slot(s),
+                            "{engine:?} slot {s} lane {lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_engine_matches_interpreted_engine() {
+        let p = plan_of(MIXED);
+        const LANES: usize = 5;
+        let mut compiled = BatchPlanSim::new(&p, LANES);
+        let mut interpreted = BatchPlanSim::interpreted(&p, LANES);
+        assert_eq!(compiled.engine(), BatchEngine::Compiled);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(87);
+        for cycle in 0..300 {
+            for lane in 0..LANES {
                 let x: u64 = rng.gen();
                 let sel: u64 = rng.gen();
-                single.set_input(0, x);
-                single.set_input(1, sel);
-                batch.set_input(0, lane, x);
-                batch.set_input(1, lane, sel);
+                compiled.set_input(0, lane, x);
+                compiled.set_input(1, lane, sel);
+                interpreted.set_input(0, lane, x);
+                interpreted.set_input(1, lane, sel);
             }
-            batch.step();
-            for (lane, single) in singles.iter_mut().enumerate() {
-                single.step();
-                for idx in 0..p.output_slots.len() {
-                    assert_eq!(
-                        batch.output(idx, lane),
-                        single.output(idx),
-                        "lane {lane} output {idx} @ cycle {cycle}"
-                    );
-                }
-                // Internal state agrees slot-by-slot, not just at outputs.
-                for s in 0..p.num_slots as u32 {
-                    assert_eq!(batch.slot(s, lane), single.slot(s), "slot {s} lane {lane}");
-                }
+            compiled.step();
+            interpreted.step();
+            for s in 0..p.num_slots as u32 {
+                assert_eq!(
+                    compiled.slot_lanes(s),
+                    interpreted.slot_lanes(s),
+                    "slot {s} @ cycle {cycle}"
+                );
             }
         }
     }
@@ -206,6 +310,14 @@ circuit Mixed :
     }
 
     #[test]
+    fn set_input_all_canonicalizes_the_fill_value() {
+        let p = plan_of(MIXED);
+        let mut batch = BatchPlanSim::new(&p, 3);
+        batch.set_input_all(0, 0xfff); // x is 8 bits wide
+        assert_eq!(batch.slot_lanes(p.input_slots[0]), &[0xff; 3]);
+    }
+
+    #[test]
     fn inputs_canonicalized_per_lane() {
         let p = plan_of(MIXED);
         let mut batch = BatchPlanSim::new(&p, 2);
@@ -213,6 +325,53 @@ circuit Mixed :
         let x_slot = p.input_slots[0];
         assert_eq!(batch.slot(x_slot, 0), 0);
         assert_eq!(batch.slot(x_slot, 1), 0xff);
+    }
+
+    #[test]
+    fn commit_split_is_exhaustive_and_disjoint() {
+        let p = plan_of(MIXED);
+        let batch = BatchPlanSim::new(&p, 2);
+        let mut all: Vec<(u32, u32)> = batch
+            .commit_direct
+            .iter()
+            .chain(&batch.commit_staged)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut want = p.commits.clone();
+        want.sort_unstable();
+        assert_eq!(all, want);
+        // MIXED's register next-values are fresh op outputs, never
+        // another commit's source, so every pair is alias-free.
+        assert!(batch.commit_staged.is_empty());
+        assert_eq!(batch.commit_buf.len(), 0);
+    }
+
+    #[test]
+    fn overlapping_commits_are_staged() {
+        // b <= a and a <= b swap through each other: both pairs overlap,
+        // so both must go through the staging buffer.
+        let p = plan_of(
+            "\
+circuit Swap :
+  module Swap :
+    input clock : Clock
+    output out : UInt<4>
+    reg a : UInt<4>, clock
+    reg b : UInt<4>, clock
+    a <= b
+    b <= a
+    out <= a
+",
+        );
+        let mut batch = BatchPlanSim::new(&p, 2);
+        assert_eq!(batch.commit_staged.len(), 2);
+        assert!(batch.commit_direct.is_empty());
+        // And the swap semantics hold: power-on values circulate.
+        let (a0, b0) = (batch.slot(p.commits[0].0, 0), batch.slot(p.commits[1].0, 0));
+        batch.step();
+        assert_eq!(batch.slot(p.commits[0].0, 0), b0);
+        assert_eq!(batch.slot(p.commits[1].0, 0), a0);
     }
 
     #[test]

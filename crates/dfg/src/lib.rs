@@ -17,9 +17,13 @@
 //!   of the `OIM` tensor.
 //! - [`interp`]: the reference cycle-level interpreter every other
 //!   simulator in the workspace is differentially tested against.
-//! - [`batch`]: the lane-batched plan interpreter — `B` independent
+//! - [`batch`]: the lane-batched plan simulator — `B` independent
 //!   stimulus vectors evaluated through one slot-major `LI` matrix, the
 //!   reference model for the parallel engine in `rteaal-kernels`.
+//! - [`lane_kernel`]: the kernel-compilation stage between a
+//!   [`plan::SimPlan`] and execution — every operation lowered once into
+//!   a specialized, autovectorizable lane kernel with dispatch, operand
+//!   offsets, and canonicalization folded in.
 //!
 //! ## Example
 //!
@@ -49,6 +53,7 @@ pub mod build;
 pub mod error;
 pub mod graph;
 pub mod interp;
+pub mod lane_kernel;
 pub mod level;
 pub mod op;
 pub mod passes;
@@ -58,5 +63,6 @@ pub use batch::BatchPlanSim;
 pub use build::build;
 pub use error::{DfgError, Result};
 pub use graph::{Graph, Node, NodeId, RegDef};
+pub use lane_kernel::{BatchEngine, CompiledLayer, CompiledOp, KernelArgs, LaneWindow};
 pub use op::{DfgOp, OpClass};
 pub use plan::{OpInst, PlanSim, SimPlan};

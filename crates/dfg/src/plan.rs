@@ -17,6 +17,7 @@
 //! reference model.
 
 use crate::graph::Graph;
+use crate::lane_kernel::LaneWindow;
 use crate::level::{levelize, IdentityStats};
 use crate::op::{canonicalize, eval_raw, DfgOp};
 use serde::{Deserialize, Serialize};
@@ -54,14 +55,19 @@ impl OpInst {
     }
 
     /// Evaluates the op lane-wise against a batched `LI` in slot-major
-    /// layout: slot `s` occupies `li[s * lanes .. (s + 1) * lanes]`, one
-    /// element per stimulus lane. Operand rows for fixed-arity ops are
-    /// read as contiguous slices, so the inner lane loop is stride-1 on
-    /// every stream it touches.
+    /// layout: slot `s` occupies `li[s * w.stride .. s * w.stride +
+    /// w.stride]`, one element per stimulus lane, and the `w.active`-lane
+    /// prefix of each row is evaluated. Operand rows for fixed-arity ops
+    /// are read as contiguous slices, so the inner lane loop is stride-1
+    /// on every stream it touches.
+    ///
+    /// This is the *interpreted* lane walk — the golden model the
+    /// compiled kernels of [`crate::lane_kernel`] are differentially
+    /// tested against.
     #[inline]
-    pub fn eval_lanes(&self, li: &mut [u64], lanes: usize, buf: &mut Vec<u64>) {
+    pub fn eval_lanes(&self, li: &mut [u64], w: LaneWindow, buf: &mut Vec<u64>) {
         // Safety: an exclusive borrow covers the whole matrix.
-        unsafe { self.eval_lanes_ptr(li.as_mut_ptr(), lanes, buf) }
+        unsafe { self.eval_lanes_ptr(li.as_mut_ptr(), w, buf) }
     }
 
     /// Lane-wise evaluation through a raw pointer — the layer-parallel
@@ -70,39 +76,41 @@ impl OpInst {
     ///
     /// # Safety
     ///
-    /// `li` must point to a live slot-major `LI` matrix of `lanes` lanes
-    /// covering every slot this op references, and no other thread may
-    /// concurrently access the op's output row or mutate its operand
-    /// rows for the duration of the call. (Within one levelized layer,
-    /// output rows are disjoint per op and operand rows come from
-    /// earlier layers, so layer-barriered workers satisfy this.)
+    /// `li` must point to a live slot-major `LI` matrix of `w.stride`
+    /// lanes per slot covering every slot this op references, `w.active
+    /// <= w.stride`, and no other thread may concurrently access the
+    /// op's output row or mutate its operand rows for the duration of
+    /// the call. (Within one levelized layer, output rows are disjoint
+    /// per op and operand rows come from earlier layers, so
+    /// layer-barriered workers satisfy this.)
     #[inline]
-    pub unsafe fn eval_lanes_ptr(&self, li: *mut u64, lanes: usize, buf: &mut Vec<u64>) {
+    pub unsafe fn eval_lanes_ptr(&self, li: *mut u64, w: LaneWindow, buf: &mut Vec<u64>) {
         let op = self.op();
         let (width, signed) = (self.width as u32, self.signed);
-        let out = li.add(self.out as usize * lanes);
+        let (stride, active) = (w.stride, w.active);
+        let out = li.add(self.out as usize * stride);
         match *self.ins.as_slice() {
             [a] => {
-                let a0 = li.add(a as usize * lanes);
-                for lane in 0..lanes {
+                let a0 = li.add(a as usize * stride);
+                for lane in 0..active {
                     let raw = eval_raw(op, &self.params, &[*a0.add(lane)]);
                     *out.add(lane) = canonicalize(raw, width, signed);
                 }
             }
             [a, b] => {
-                let (a0, b0) = (li.add(a as usize * lanes), li.add(b as usize * lanes));
-                for lane in 0..lanes {
+                let (a0, b0) = (li.add(a as usize * stride), li.add(b as usize * stride));
+                for lane in 0..active {
                     let raw = eval_raw(op, &self.params, &[*a0.add(lane), *b0.add(lane)]);
                     *out.add(lane) = canonicalize(raw, width, signed);
                 }
             }
             [a, b, c] => {
                 let (a0, b0, c0) = (
-                    li.add(a as usize * lanes),
-                    li.add(b as usize * lanes),
-                    li.add(c as usize * lanes),
+                    li.add(a as usize * stride),
+                    li.add(b as usize * stride),
+                    li.add(c as usize * stride),
                 );
-                for lane in 0..lanes {
+                for lane in 0..active {
                     let raw = eval_raw(
                         op,
                         &self.params,
@@ -114,15 +122,38 @@ impl OpInst {
             _ => {
                 // Variable-arity ops (mux chains, no-operand sources)
                 // stage operands per lane.
-                for lane in 0..lanes {
+                for lane in 0..active {
                     buf.clear();
-                    buf.extend(self.ins.iter().map(|&r| *li.add(r as usize * lanes + lane)));
+                    buf.extend(
+                        self.ins
+                            .iter()
+                            .map(|&r| *li.add(r as usize * stride + lane)),
+                    );
                     let raw = eval_raw(op, &self.params, buf);
                     *out.add(lane) = canonicalize(raw, width, signed);
                 }
             }
         }
     }
+}
+
+/// A list of register commits, each `(register slot, next-value slot)`.
+pub type CommitList = Vec<(u32, u32)>;
+
+/// Splits register commits into alias-free pairs (safe to copy directly)
+/// and genuinely overlapping pairs (which need the two-phase staging
+/// buffer).
+///
+/// A commit `(dst, src)` is alias-free when `dst` is not the source of
+/// any commit: writing it early cannot clobber a value another commit
+/// still needs to read. The safe execution order is therefore: stage the
+/// overlapping pairs' sources, perform the direct copies (their
+/// destinations are outside the source set by construction), then write
+/// the staged values. Computed once at plan-load time by every batch
+/// executor.
+pub fn split_commits(commits: &[(u32, u32)]) -> (CommitList, CommitList) {
+    let srcs: std::collections::HashSet<u32> = commits.iter().map(|&(_, src)| src).collect();
+    commits.iter().partition(|&&(dst, _)| !srcs.contains(&dst))
 }
 
 /// Aggregate statistics about a plan.

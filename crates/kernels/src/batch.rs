@@ -3,14 +3,24 @@
 //! One compiled design, `B` independent stimulus lanes, `T` worker
 //! threads. The `LI` slot array is widened to `B` lanes per slot in
 //! slot-major layout (slot `s` occupies `li[s * B .. (s + 1) * B]`), the
-//! kernel dispatch loop runs lane-wise over each operation, and the
-//! operations *within* one layer are split across threads. The layer
-//! barrier that levelization guarantees (operands always come from
-//! strictly earlier layers, and each operation owns its output slot) is
-//! preserved by a `std::sync::Barrier` between layers, which makes the
-//! parallel execution bit-identical to the sequential one — the safety
-//! and determinism argument is exactly the paper's §4.2 levelization
-//! invariant.
+//! layer walk runs lane-wise over each operation, and the operations
+//! *within* one layer are split across threads. The layer barrier that
+//! levelization guarantees (operands always come from strictly earlier
+//! layers, and each operation owns its output slot) is preserved by a
+//! spin barrier between layers, which makes the parallel execution
+//! bit-identical to the sequential one — the safety and determinism
+//! argument is exactly the paper's §4.2 levelization invariant.
+//!
+//! Since the kernel-compilation stage landed, the default layer walk is
+//! over [`CompiledLayer`] slices — each operation pre-lowered by
+//! `rteaal_dfg::lane_kernel` into a specialized, autovectorizable lane
+//! kernel with dispatch, operand offsets, and canonicalization resolved
+//! at [`BatchKernel::compile`] time. The interpreted
+//! [`OpInst::eval_lanes`] walk is retained behind
+//! [`BatchEngine::Interpreted`] as the differential-testing golden
+//! model. Both walks evaluate only the *active* lane window of
+//! [`BatchLiState`], which lane-liveness early exit (driven by
+//! `rteaal-core`) shrinks as lanes finish their workloads.
 //!
 //! Worker threads are spawned once per [`BatchKernel::run_parallel`] /
 //! [`BatchKernel::run_with_stimulus`] call and live for the whole span of
@@ -24,20 +34,28 @@
 
 use crate::config::KernelConfig;
 use rteaal_dfg::batch::init_lanes;
+use rteaal_dfg::lane_kernel::{compile_layer, BatchEngine, CompiledLayer, LaneWindow};
 use rteaal_dfg::op::canonicalize;
+use rteaal_dfg::plan::split_commits;
 use rteaal_dfg::{OpInst, SimPlan};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// The mutable batched simulation state: `B` lanes per `LI` slot.
+/// The mutable batched simulation state: `B` lanes per `LI` slot, of
+/// which the `live` prefix is evaluated (lane-liveness early exit swaps
+/// finished lanes past the prefix and shrinks it).
 #[derive(Debug, Clone)]
 pub struct BatchLiState {
     li: Vec<u64>,
     lanes: usize,
+    live: usize,
     init: Vec<u64>,
     input_slots: Vec<u32>,
     input_types: Vec<(u8, bool)>,
     output_slots: Vec<(String, u32)>,
-    commits: Vec<(u32, u32)>,
+    /// Alias-free register commits, copied row-to-row without staging.
+    commit_direct: Vec<(u32, u32)>,
+    /// Overlapping register commits, staged through `commit_buf`.
+    commit_staged: Vec<(u32, u32)>,
     commit_buf: Vec<u64>,
     cycle: u64,
 }
@@ -52,15 +70,18 @@ impl BatchLiState {
     pub fn new(plan: &SimPlan, lanes: usize) -> Self {
         assert!(lanes > 0, "batch needs at least one lane");
         let li = init_lanes(plan, lanes);
+        let (commit_direct, commit_staged) = split_commits(&plan.commits);
         BatchLiState {
             init: li.clone(),
             li,
             lanes,
+            live: lanes,
             input_slots: plan.input_slots.clone(),
             input_types: plan.input_types.clone(),
             output_slots: plan.output_slots.clone(),
-            commits: plan.commits.clone(),
-            commit_buf: vec![0; plan.commits.len() * lanes],
+            commit_buf: vec![0; commit_staged.len() * lanes],
+            commit_direct,
+            commit_staged,
             cycle: 0,
         }
     }
@@ -70,14 +91,56 @@ impl BatchLiState {
         self.lanes
     }
 
+    /// Number of lanes still being evaluated (the active prefix).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Shrinks (or restores) the evaluated lane prefix. Lanes at or past
+    /// `live` are frozen: layer evaluation and register commit skip them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live > lanes`.
+    pub fn set_live(&mut self, live: usize) {
+        assert!(
+            live <= self.lanes,
+            "live {live} exceeds {} lanes",
+            self.lanes
+        );
+        self.live = live;
+    }
+
+    /// The active evaluation window.
+    pub fn window(&self) -> LaneWindow {
+        LaneWindow {
+            stride: self.lanes,
+            active: self.live,
+        }
+    }
+
+    /// Swaps two lane columns across every slot row (lane compaction:
+    /// a finished lane is swapped past the live prefix).
+    pub fn swap_lanes(&mut self, a: usize, b: usize) {
+        assert!(a < self.lanes && b < self.lanes, "lane out of range");
+        if a == b {
+            return;
+        }
+        let lanes = self.lanes;
+        for s0 in (0..self.li.len()).step_by(lanes) {
+            self.li.swap(s0 + a, s0 + b);
+        }
+    }
+
     /// Number of input ports.
     pub fn num_inputs(&self) -> usize {
         self.input_slots.len()
     }
 
-    /// Resets every lane to the power-on state.
+    /// Resets every lane to the power-on state and revives all lanes.
     pub fn reset(&mut self) {
         self.li.copy_from_slice(&self.init);
+        self.live = self.lanes;
         self.cycle = 0;
     }
 
@@ -90,11 +153,22 @@ impl BatchLiState {
             canonicalize(value, w as u32, signed);
     }
 
-    /// Drives input port `idx` identically on every lane.
+    /// Drives input port `idx` identically on every lane: canonicalizes
+    /// once and fills the lane row.
     pub fn set_input_all(&mut self, idx: usize, value: u64) {
-        for lane in 0..self.lanes {
-            self.set_input(idx, lane, value);
-        }
+        let (w, signed) = self.input_types[idx];
+        let v = canonicalize(value, w as u32, signed);
+        let s0 = self.input_slots[idx] as usize * self.lanes;
+        self.li[s0..s0 + self.lanes].fill(v);
+    }
+
+    /// Drives input port `idx` identically on every *live* lane; frozen
+    /// lanes keep the input they halted with.
+    pub fn set_input_live(&mut self, idx: usize, value: u64) {
+        let (w, signed) = self.input_types[idx];
+        let v = canonicalize(value, w as u32, signed);
+        let s0 = self.input_slots[idx] as usize * self.lanes;
+        self.li[s0..s0 + self.live].fill(v);
     }
 
     /// Output value of one lane, by port index.
@@ -129,17 +203,23 @@ impl BatchLiState {
         self.cycle
     }
 
-    /// Two-phase lane-wise register commit (the final `LI_{i+1}` Einsum
-    /// of Cascade 1, over all lanes at once).
+    /// Lane-wise register commit over the active window (the final
+    /// `LI_{i+1}` Einsum of Cascade 1): staged sources first, direct
+    /// alias-free copies, then the staged writes. Frozen lanes keep their
+    /// state.
     fn commit_lanes(&mut self) {
-        let lanes = self.lanes;
-        for (k, &(_, src)) in self.commits.iter().enumerate() {
+        let (lanes, n) = (self.lanes, self.live);
+        for (k, &(_, src)) in self.commit_staged.iter().enumerate() {
             let s0 = src as usize * lanes;
-            self.commit_buf[k * lanes..(k + 1) * lanes].copy_from_slice(&self.li[s0..s0 + lanes]);
+            self.commit_buf[k * lanes..k * lanes + n].copy_from_slice(&self.li[s0..s0 + n]);
         }
-        for (k, &(dst, _)) in self.commits.iter().enumerate() {
+        for &(dst, src) in &self.commit_direct {
+            let (d0, s0) = (dst as usize * lanes, src as usize * lanes);
+            self.li.copy_within(s0..s0 + n, d0);
+        }
+        for (k, &(dst, _)) in self.commit_staged.iter().enumerate() {
             let d0 = dst as usize * lanes;
-            self.li[d0..d0 + lanes].copy_from_slice(&self.commit_buf[k * lanes..(k + 1) * lanes]);
+            self.li[d0..d0 + n].copy_from_slice(&self.commit_buf[k * lanes..k * lanes + n]);
         }
         self.cycle += 1;
     }
@@ -150,7 +230,7 @@ impl BatchLiState {
 struct SharedLi(*mut u64);
 
 // Safety: workers only touch disjoint rows between barriers (see
-// `OpInst::eval_lanes_ptr`); the pointer itself is plain data.
+// `CompiledOp::eval_lanes_ptr`); the pointer itself is plain data.
 unsafe impl Send for SharedLi {}
 unsafe impl Sync for SharedLi {}
 
@@ -280,33 +360,51 @@ impl LanePoker<'_> {
     }
 }
 
-/// The batched, layer-parallel kernel: a layer-structured op program plus
-/// the traversal the kernel configuration asks for.
+/// The batched, layer-parallel kernel: a layer-structured op program,
+/// its kernel-compiled form, and the traversal the kernel configuration
+/// asks for.
 #[derive(Debug, Clone)]
 pub struct BatchKernel {
     config: KernelConfig,
-    /// Operations per layer, in execution order.
+    engine: BatchEngine,
+    /// Operations per layer, in execution order (the interpreted form,
+    /// also the input of the schedule builder).
     layers: Vec<Vec<OpInst>>,
-    commits: Vec<(u32, u32)>,
+    /// Kernel-compiled layers, same order (compiled engine only).
+    compiled: Vec<CompiledLayer>,
 }
 
 impl BatchKernel {
-    /// Compiles a plan into a batched kernel under a configuration.
+    /// Compiles a plan into a batched kernel under a configuration,
+    /// lowering every operation into a specialized lane kernel.
     ///
     /// Swizzled kinds (NU/PSU/IU) regroup each layer by opcode (`[I, N,
     /// S]` order); other kinds keep coordinate-assignment order. Both are
     /// bit-identical — within-layer operations are independent.
     pub fn compile(plan: &SimPlan, config: KernelConfig) -> Self {
+        Self::compile_with_engine(plan, config, BatchEngine::Compiled)
+    }
+
+    /// Compiles a plan with an explicit executor choice
+    /// ([`BatchEngine::Interpreted`] keeps the per-lane `eval_raw`
+    /// dispatch — the golden model, and the baseline of the
+    /// interpreted-vs-compiled benchmark axis).
+    pub fn compile_with_engine(plan: &SimPlan, config: KernelConfig, engine: BatchEngine) -> Self {
         let mut layers = plan.layers.clone();
         if config.kind.is_swizzled() {
             for layer in &mut layers {
                 layer.sort_by_key(|op| op.n);
             }
         }
+        let compiled = match engine {
+            BatchEngine::Compiled => layers.iter().map(|l| compile_layer(l)).collect(),
+            BatchEngine::Interpreted => Vec::new(),
+        };
         BatchKernel {
             config,
+            engine,
             layers,
-            commits: plan.commits.clone(),
+            compiled,
         }
     }
 
@@ -315,23 +413,77 @@ impl BatchKernel {
         self.config
     }
 
+    /// The executor this kernel walks its layers with.
+    pub fn engine(&self) -> BatchEngine {
+        self.engine
+    }
+
     /// Total operations per simulated cycle (per lane).
     pub fn ops_per_cycle(&self) -> usize {
         self.layers.iter().map(Vec::len).sum()
     }
 
-    /// One cycle on every lane, single-threaded.
+    /// Evaluates one layer over a window, single-threaded.
+    #[inline]
+    fn eval_layer(&self, i: usize, li: &mut [u64], w: LaneWindow, buf: &mut Vec<u64>) {
+        match self.engine {
+            BatchEngine::Compiled => {
+                for op in &self.compiled[i] {
+                    op.eval_lanes(li, w, buf);
+                }
+            }
+            BatchEngine::Interpreted => {
+                for op in &self.layers[i] {
+                    op.eval_lanes(li, w, buf);
+                }
+            }
+        }
+    }
+
+    /// Evaluates a worker's chunk of one layer through the shared
+    /// pointer.
+    ///
+    /// # Safety
+    ///
+    /// As `CompiledOp::eval_lanes_ptr`: the layer barrier must seal
+    /// operand rows, and `(worker, threads)` chunking must give this
+    /// caller exclusive ownership of the chunk's output rows.
+    #[inline]
+    unsafe fn eval_layer_chunk(
+        &self,
+        i: usize,
+        li: SharedLi,
+        w: LaneWindow,
+        worker: usize,
+        threads: usize,
+        buf: &mut Vec<u64>,
+    ) {
+        let (lo, hi) = chunk(self.layers[i].len(), worker, threads);
+        match self.engine {
+            BatchEngine::Compiled => {
+                for op in &self.compiled[i][lo..hi] {
+                    op.eval_lanes_ptr(li.0, w, buf);
+                }
+            }
+            BatchEngine::Interpreted => {
+                for op in &self.layers[i][lo..hi] {
+                    op.eval_lanes_ptr(li.0, w, buf);
+                }
+            }
+        }
+    }
+
+    /// One cycle on the active lanes, single-threaded.
     pub fn step(&self, st: &mut BatchLiState) {
         let mut buf = Vec::with_capacity(8);
-        for layer in &self.layers {
-            for op in layer {
-                op.eval_lanes(&mut st.li, st.lanes, &mut buf);
-            }
+        let w = st.window();
+        for i in 0..self.layers.len() {
+            self.eval_layer(i, &mut st.li, w, &mut buf);
         }
         st.commit_lanes();
     }
 
-    /// `cycles` cycles on every lane, single-threaded.
+    /// `cycles` cycles on the active lanes, single-threaded.
     pub fn run(&self, st: &mut BatchLiState, cycles: u64) {
         for _ in 0..cycles {
             self.step(st);
@@ -370,18 +522,18 @@ impl BatchKernel {
             }
             return;
         }
-        let lanes = st.lanes;
+        let w = st.window();
         let shared = SharedLi(st.li.as_mut_ptr());
         // One barrier rendezvous per schedule segment plus one around the
         // commit/stimulus window; worker 0 (the calling thread) owns the
         // single-threaded windows and executes the serial segments.
-        let segments = schedule(&self.layers, lanes);
+        let segments = schedule(&self.layers, st.lanes);
         let barrier = SpinBarrier::new(threads);
         std::thread::scope(|scope| {
             for worker in 1..threads {
                 let barrier = &barrier;
-                let layers = &self.layers;
                 let segments = &segments;
+                let kernel = &*self;
                 scope.spawn(move || {
                     // Capture the whole `Send` wrapper, not its raw field
                     // (edition-2021 closures capture disjoint fields).
@@ -391,14 +543,12 @@ impl BatchKernel {
                         barrier.wait(); // stimulus window closed
                         for segment in segments {
                             if let Segment::Parallel(i) = *segment {
-                                let layer = &layers[i];
-                                let (lo, hi) = chunk(layer.len(), worker, threads);
-                                for op in &layer[lo..hi] {
-                                    // Safety: disjoint output rows within
-                                    // the layer; operand rows sealed by
-                                    // the previous barrier.
-                                    unsafe { op.eval_lanes_ptr(shared.0, lanes, &mut buf) };
-                                }
+                                // Safety: disjoint output rows within the
+                                // layer; operand rows sealed by the
+                                // previous barrier.
+                                unsafe {
+                                    kernel.eval_layer_chunk(i, shared, w, worker, threads, &mut buf)
+                                };
                             }
                             // Serial segments belong to worker 0.
                             barrier.wait();
@@ -411,7 +561,7 @@ impl BatchKernel {
             for c in 0..cycles {
                 let mut poker = LanePoker {
                     li: shared,
-                    lanes,
+                    lanes: st.lanes,
                     input_slots: &st.input_slots,
                     input_types: &st.input_types,
                 };
@@ -420,20 +570,14 @@ impl BatchKernel {
                 for segment in &segments {
                     match *segment {
                         Segment::Parallel(i) => {
-                            let layer = &self.layers[i];
-                            let (lo, hi) = chunk(layer.len(), 0, threads);
-                            for op in &layer[lo..hi] {
-                                // Safety: as above.
-                                unsafe { op.eval_lanes_ptr(shared.0, lanes, &mut buf) };
-                            }
+                            // Safety: as above.
+                            unsafe { self.eval_layer_chunk(i, shared, w, 0, threads, &mut buf) };
                         }
                         Segment::Serial(from, to) => {
-                            for layer in &self.layers[from..to] {
-                                for op in layer {
-                                    // Safety: workers never touch serial
-                                    // layers; operand rows are sealed.
-                                    unsafe { op.eval_lanes_ptr(shared.0, lanes, &mut buf) };
-                                }
+                            for i in from..to {
+                                // Safety: workers never touch serial
+                                // layers; operand rows are sealed.
+                                unsafe { self.eval_layer_chunk(i, shared, w, 0, 1, &mut buf) };
                             }
                         }
                     }
@@ -441,7 +585,13 @@ impl BatchKernel {
                 }
                 // Single-threaded window: every worker is parked at the
                 // next cycle's opening barrier.
-                commit_shared(shared, lanes, &self.commits, &mut st.commit_buf);
+                commit_shared(
+                    shared,
+                    w,
+                    &st.commit_direct,
+                    &st.commit_staged,
+                    &mut st.commit_buf,
+                );
             }
         });
         st.cycle += cycles;
@@ -454,17 +604,34 @@ fn chunk(n: usize, w: usize, t: usize) -> (usize, usize) {
     (n * w / t, n * (w + 1) / t)
 }
 
-/// Two-phase lane-wise commit through the shared pointer (worker 0's
-/// single-threaded window).
-fn commit_shared(li: SharedLi, lanes: usize, commits: &[(u32, u32)], buf: &mut [u64]) {
-    for (k, &(_, src)) in commits.iter().enumerate() {
-        for lane in 0..lanes {
+/// Lane-wise commit over the active window through the shared pointer
+/// (worker 0's single-threaded window): staged sources, direct copies,
+/// staged writes — same order and safety argument as
+/// `BatchLiState::commit_lanes`.
+fn commit_shared(
+    li: SharedLi,
+    w: LaneWindow,
+    direct: &[(u32, u32)],
+    staged: &[(u32, u32)],
+    buf: &mut [u64],
+) {
+    let (lanes, n) = (w.stride, w.active);
+    for (k, &(_, src)) in staged.iter().enumerate() {
+        for lane in 0..n {
             // Safety: single-threaded window; rows are in bounds.
             buf[k * lanes + lane] = unsafe { *li.0.add(src as usize * lanes + lane) };
         }
     }
-    for (k, &(dst, _)) in commits.iter().enumerate() {
-        for lane in 0..lanes {
+    for &(dst, src) in direct {
+        for lane in 0..n {
+            // Safety: as above; dst is outside the commit source set.
+            unsafe {
+                *li.0.add(dst as usize * lanes + lane) = *li.0.add(src as usize * lanes + lane);
+            }
+        }
+    }
+    for (k, &(dst, _)) in staged.iter().enumerate() {
+        for lane in 0..n {
             // Safety: as above.
             unsafe { *li.0.add(dst as usize * lanes + lane) = buf[k * lanes + lane] };
         }
@@ -530,32 +697,35 @@ circuit Wide :
     }
 
     #[test]
-    fn every_kind_matches_batch_plan_sim() {
+    fn every_kind_and_engine_matches_the_interpreted_golden_model() {
         let p = plan_of(DESIGN);
         const LANES: usize = 5;
         for kind in ALL_KERNELS {
-            let kernel = BatchKernel::compile(&p, KernelConfig::new(kind));
-            let mut st = BatchLiState::new(&p, LANES);
-            let mut golden = BatchPlanSim::new(&p, LANES);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(kind as u64 + 31);
-            for cycle in 0..100 {
-                for lane in 0..LANES {
-                    let x: u64 = rng.gen();
-                    let sel: u64 = rng.gen();
-                    st.set_input(0, lane, x);
-                    st.set_input(1, lane, sel);
-                    golden.set_input(0, lane, x);
-                    golden.set_input(1, lane, sel);
-                }
-                kernel.step(&mut st);
-                golden.step();
-                for lane in 0..LANES {
-                    for idx in 0..2 {
-                        assert_eq!(
-                            st.output(idx, lane),
-                            golden.output(idx, lane),
-                            "{kind:?} lane {lane} output {idx} @ {cycle}"
-                        );
+            for engine in [BatchEngine::Compiled, BatchEngine::Interpreted] {
+                let kernel = BatchKernel::compile_with_engine(&p, KernelConfig::new(kind), engine);
+                assert_eq!(kernel.engine(), engine);
+                let mut st = BatchLiState::new(&p, LANES);
+                let mut golden = BatchPlanSim::interpreted(&p, LANES);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(kind as u64 + 31);
+                for cycle in 0..100 {
+                    for lane in 0..LANES {
+                        let x: u64 = rng.gen();
+                        let sel: u64 = rng.gen();
+                        st.set_input(0, lane, x);
+                        st.set_input(1, lane, sel);
+                        golden.set_input(0, lane, x);
+                        golden.set_input(1, lane, sel);
+                    }
+                    kernel.step(&mut st);
+                    golden.step();
+                    for lane in 0..LANES {
+                        for idx in 0..2 {
+                            assert_eq!(
+                                st.output(idx, lane),
+                                golden.output(idx, lane),
+                                "{kind:?}/{engine:?} lane {lane} output {idx} @ {cycle}"
+                            );
+                        }
                     }
                 }
             }
@@ -642,6 +812,31 @@ circuit Wide :
         st.poke_slot(0, 2, 42);
         assert_eq!(st.slot(0, 2), 42);
         assert_eq!(st.slot(0, 0), 0);
+    }
+
+    #[test]
+    fn frozen_lanes_keep_their_state() {
+        let p = plan_of(DESIGN);
+        let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        let mut st = BatchLiState::new(&p, 4);
+        st.set_input_all(0, 9);
+        st.set_input_all(1, 1);
+        kernel.run(&mut st, 3);
+        let frozen: Vec<u64> = (0..p.num_slots as u32).map(|s| st.slot(s, 3)).collect();
+        // Freeze lane 3, keep stepping the first three.
+        st.set_live(3);
+        assert_eq!(st.live(), 3);
+        kernel.run(&mut st, 5);
+        for (s, &v) in frozen.iter().enumerate() {
+            assert_eq!(st.slot(s as u32, 3), v, "frozen lane mutated at slot {s}");
+        }
+        // Live lanes moved on (the accumulating register changed).
+        assert_ne!(st.slot(p.commits[0].0, 0), frozen[p.commits[0].0 as usize]);
+        // swap_lanes moves the frozen column; reset revives everything.
+        st.swap_lanes(0, 3);
+        assert_eq!(st.slot(p.commits[0].0, 0), frozen[p.commits[0].0 as usize]);
+        st.reset();
+        assert_eq!(st.live(), 4);
     }
 
     #[test]

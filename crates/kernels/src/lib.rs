@@ -12,7 +12,9 @@
 //!   the `rteaal-perfmodel` cache hierarchy with real reference streams.
 //! - [`codegen`]: C++ source emission (the Figure 14 artifact).
 //! - [`batch`]: the batched, layer-parallel engine — `B` stimulus lanes
-//!   per `LI` slot, ops split across threads within each layer.
+//!   per `LI` slot, ops split across threads within each layer, each op
+//!   pre-lowered to a specialized lane kernel (with the interpreted walk
+//!   retained as the differential golden model).
 //!
 //! ## Example
 //!
@@ -51,4 +53,5 @@ pub mod unrolled;
 pub use batch::{BatchKernel, BatchLiState, LanePoker};
 pub use config::{KernelConfig, KernelKind, OptLevel, ALL_KERNELS};
 pub use kernel::{CompileReport, Kernel};
+pub use rteaal_dfg::lane_kernel::{BatchEngine, LaneWindow};
 pub use state::LiState;

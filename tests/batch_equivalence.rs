@@ -1,11 +1,14 @@
 //! Batched-vs-sequential equivalence: a `B`-lane [`BatchSimulation`]
 //! must match `B` independent [`Simulation`] runs bit-for-bit, on the
 //! real evaluation designs (the RV32I core and the SHA3 datapath), for
-//! every thread count, including per-lane divergent stimulus.
+//! every thread count, including per-lane divergent stimulus — plus the
+//! compiled-vs-interpreted engine differential and lane-liveness early
+//! exit against scalar runs.
 
 use rteaal_core::{BatchSimulation, Compiled, Compiler, Simulation};
 use rteaal_designs::rv32i::{asm::*, rv32i};
-use rteaal_designs::{sha3, Stimulus};
+use rteaal_designs::{sha3, Stimulus, Workload};
+use rteaal_dfg::{BatchPlanSim, SimPlan};
 use rteaal_kernels::{KernelConfig, KernelKind};
 
 /// Input port names of a compiled design, in port order.
@@ -135,6 +138,115 @@ fn sha3_batch_matches_sequential_swizzled_vs_plain() {
     // Both traversal orders of the batch engine against the scalar path.
     assert_batch_matches_sequential(&sha3(), KernelKind::Ru, 2, 2, 40, 0xb004);
     assert_batch_matches_sequential(&sha3(), KernelKind::Iu, 2, 3, 40, 0xb005);
+}
+
+/// Runs the compiled-engine and interpreted-engine batch simulators of
+/// one design side by side under identical per-lane random stimulus and
+/// asserts the *entire* `LI` state matches slot-for-slot every cycle.
+fn assert_compiled_matches_interpreted(plan: &SimPlan, lanes: usize, cycles: u64, seed: u64) {
+    let mut compiled = BatchPlanSim::new(plan, lanes);
+    let mut interpreted = BatchPlanSim::interpreted(plan, lanes);
+    let mut streams: Vec<Stimulus> = (0..lanes)
+        .map(|lane| Stimulus::from_seed(seed ^ (lane as u64) << 24))
+        .collect();
+    for cycle in 0..cycles {
+        for (lane, stream) in streams.iter_mut().enumerate() {
+            for idx in 0..plan.input_slots.len() {
+                let v = stream.next_value();
+                compiled.set_input(idx, lane, v);
+                interpreted.set_input(idx, lane, v);
+            }
+        }
+        compiled.step();
+        interpreted.step();
+        for s in 0..plan.num_slots as u32 {
+            assert_eq!(
+                compiled.slot_lanes(s),
+                interpreted.slot_lanes(s),
+                "{} slot {s} @ cycle {cycle}",
+                plan.name
+            );
+        }
+    }
+}
+
+fn plan_of(circuit: &rteaal_firrtl::Circuit) -> SimPlan {
+    rteaal_dfg::plan::plan(
+        &rteaal_dfg::build(&rteaal_firrtl::lower::lower_typed(circuit).unwrap()).unwrap(),
+    )
+}
+
+#[test]
+fn rv32i_compiled_kernels_match_interpreted_walk() {
+    assert_compiled_matches_interpreted(&plan_of(&rv32i_circuit()), 5, 150, 0xc001);
+}
+
+#[test]
+fn sha3_compiled_kernels_match_interpreted_walk() {
+    assert_compiled_matches_interpreted(&plan_of(&sha3()), 3, 60, 0xc002);
+}
+
+#[test]
+fn rv32i_early_exit_matches_scalar_runs() {
+    // Lane-liveness early exit on the halting workload: every lane runs
+    // the sum-loop program with a *different* reset-release cycle, so
+    // the lanes halt at different cycles and the batch compacts them out
+    // one by one. Per-lane halt cycles and architectural outputs must
+    // match dedicated scalar runs with the same reset schedule.
+    let workload = Workload::rv32i_sum_loop();
+    let compiler = Compiler::new(KernelConfig::new(KernelKind::Psu));
+    let compiled = compiler.compile(&workload.circuit).unwrap();
+    const LANES: usize = 4;
+    const MAX_CYCLES: usize = 400;
+    let reset_until = |lane: usize| lane + 2;
+
+    let mut batch = BatchSimulation::new(&compiled, LANES);
+    batch
+        .watch_halt(workload.halt_signal.expect("halting workload"))
+        .unwrap();
+    let mut cycle = 0usize;
+    while batch.live_lanes() > 0 && cycle < MAX_CYCLES {
+        for lane in 0..LANES {
+            if !batch.halted(lane) {
+                let r = u64::from(cycle < reset_until(lane));
+                batch.poke("reset", lane, r).unwrap();
+            }
+        }
+        batch.step();
+        cycle += 1;
+    }
+    assert_eq!(batch.live_lanes(), 0, "every lane halts within the budget");
+
+    for lane in 0..LANES {
+        let mut single = Simulation::new(compiler.compile(&workload.circuit).unwrap());
+        let mut scalar_halt = None;
+        for c in 0..MAX_CYCLES {
+            single
+                .poke("reset", u64::from(c < reset_until(lane)))
+                .unwrap();
+            single.step();
+            if single.peek("halt") == Some(1) {
+                scalar_halt = Some((c + 1) as u64);
+                break;
+            }
+        }
+        assert_eq!(
+            batch.completion_cycle(lane),
+            scalar_halt,
+            "lane {lane} halt cycle"
+        );
+        assert!(batch.halted(lane));
+        // Architectural outputs frozen at the halt cycle match the
+        // scalar run observed at its own halt cycle.
+        for name in ["a0", "pc", "halt"] {
+            assert_eq!(
+                batch.peek(name, lane),
+                single.peek(name),
+                "lane {lane} signal {name}"
+            );
+        }
+        assert_eq!(batch.peek("a0", lane), Some(210), "lane {lane} result");
+    }
 }
 
 #[test]
