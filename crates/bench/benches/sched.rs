@@ -1,0 +1,69 @@
+//! Criterion: scheduler serving throughput — jobs per second on a
+//! mixed-length rv32i corpus, static early-exit batching vs continuous
+//! batching. The corpus work is fixed, so the wall-clock gap between the
+//! two policies is the straggler time static batching spends stepping a
+//! nearly-empty lane window (and the recycled-lane admission overhead
+//! continuous batching pays instead, which this bench shows is noise by
+//! comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rteaal_core::Compiler;
+use rteaal_designs::Workload;
+use rteaal_kernels::{KernelConfig, KernelKind};
+use rteaal_sched::{AdmitPolicy, Job, Scheduler};
+
+const JOBS: usize = 16;
+const LANES: usize = 4;
+
+fn bench_sched_policies(c: &mut Criterion) {
+    let corpus = Workload::corpus(JOBS, 0xbe4c4);
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&corpus[0].circuit)
+        .expect("rv32i compiles");
+    let mut group = c.benchmark_group("sched-corpus-rv32i");
+    group.throughput(Throughput::Elements(JOBS as u64));
+    for (label, policy) in [
+        ("static", AdmitPolicy::StaticBatches),
+        ("continuous", AdmitPolicy::Continuous),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, JOBS), &policy, |b, &policy| {
+            b.iter(|| {
+                let mut sched = Scheduler::new(&compiled, LANES, "halt")
+                    .expect("halt resolves")
+                    .with_policy(policy);
+                for w in &corpus {
+                    sched.submit(Job::from_workload(w, &["a0"]));
+                }
+                sched.run(1_000_000).expect("admits cleanly");
+                assert_eq!(sched.results().len(), JOBS);
+                sched.stats().cycles
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lane_recycle_overhead(c: &mut Criterion) {
+    // The admission primitive itself: per-lane reset + rebind on a
+    // drained lane, the cost continuous batching pays per job.
+    let w = Workload::rv32i_param_sum(1);
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&w.circuit)
+        .expect("rv32i compiles");
+    let mut sched = Scheduler::new(&compiled, LANES, "halt").expect("halt resolves");
+    let mut group = c.benchmark_group("sched-admit");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("reset-and-admit", |b| {
+        b.iter(|| {
+            sched.sim_mut().admit(0, [("reset", 0)]).expect("admits");
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_sched_policies, bench_lane_recycle_overhead
+}
+criterion_main!(benches);

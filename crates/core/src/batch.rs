@@ -17,9 +17,19 @@
 //! seen by [`poke`](BatchSimulation::poke) /
 //! [`peek`](BatchSimulation::peek) stay stable across compaction; a
 //! finished lane's state is frozen at its halt cycle.
+//!
+//! Freed lanes need not stay frozen: [`BatchSimulation::reset_lane`]
+//! revives a compacted-out lane at the power-on state and
+//! [`BatchSimulation::admit`] binds fresh stimulus to it, so new
+//! testbenches can enter mid-run the moment a lane drains — the
+//! continuous-batching substrate the `rteaal-sched` scheduler is built
+//! on. [`BatchSimulation::enable_lane_waveforms`] additionally records a
+//! per-cycle VCD of one chosen lane through the same compaction-stable
+//! lane addressing.
 
 use crate::compiler::Compiled;
 use crate::simulation::UnknownSignal;
+use crate::waveform::VcdWriter;
 use rteaal_dfg::plan::SimPlan;
 use rteaal_kernels::{BatchKernel, BatchLiState, LanePoker};
 use std::collections::HashMap;
@@ -62,6 +72,16 @@ pub struct BatchSimulation {
     probe_index: HashMap<String, (u32, u8)>,
     threads: usize,
     liveness: Option<LaneLiveness>,
+    vcd: Option<LaneVcd>,
+}
+
+/// Single-lane VCD capture state: the chosen user-facing lane and the
+/// incremental writer (the batched analog of the scalar
+/// [`Simulation`](crate::Simulation) waveform path, scoped to one lane).
+#[derive(Debug)]
+struct LaneVcd {
+    lane: usize,
+    writer: VcdWriter,
 }
 
 /// Lane-liveness bookkeeping for halt-condition early exit.
@@ -90,6 +110,17 @@ impl LaneLiveness {
             orig_of: (0..lanes).collect(),
             done_at: vec![None; lanes],
         }
+    }
+
+    /// Swaps two physical columns' occupants in the lane maps. The
+    /// caller swaps the state columns (`BatchLiState::swap_lanes`) and
+    /// adjusts the live window; this keeps the original↔physical
+    /// permutation consistent — the one invariant every lane-indexed
+    /// read depends on.
+    fn swap_phys(&mut self, a: usize, b: usize) {
+        self.orig_of.swap(a, b);
+        self.phys_of[self.orig_of[a]] = a;
+        self.phys_of[self.orig_of[b]] = b;
     }
 }
 
@@ -123,6 +154,7 @@ impl BatchSimulation {
             probe_index,
             threads: 1,
             liveness: None,
+            vcd: None,
         }
     }
 
@@ -216,18 +248,19 @@ impl BatchSimulation {
             self.kernel.run_parallel(&mut self.state, 1, self.threads);
         }
         self.probe_halts();
+        self.sample_vcd();
     }
 
     /// Advances `n` cycles on the live lanes, using the configured
     /// worker threads. Inputs hold their last poked values. With a halt
     /// watch enabled, stops early once every lane has halted.
     pub fn step_cycles(&mut self, n: u64) {
-        if self.liveness.is_none() {
+        if self.liveness.is_none() && self.vcd.is_none() {
             self.kernel.run_parallel(&mut self.state, n, self.threads);
             return;
         }
         for _ in 0..n {
-            if self.state.live() == 0 {
+            if self.liveness.is_some() && self.state.live() == 0 {
                 break;
             }
             self.step();
@@ -240,10 +273,23 @@ impl BatchSimulation {
     /// physical lane columns and no halt probing happens mid-run, so
     /// combine with [`watch_halt`](Self::watch_halt) only before the
     /// first compaction (or use [`step`](Self::step) /
-    /// [`run_until_halt`](Self::run_until_halt) instead).
-    pub fn run_with_stimulus(&mut self, n: u64, stimulus: impl FnMut(u64, &mut LanePoker<'_>)) {
-        self.kernel
-            .run_with_stimulus(&mut self.state, n, self.threads, stimulus);
+    /// [`run_until_halt`](Self::run_until_halt) instead). With lane
+    /// waveform capture enabled the run is driven cycle-by-cycle so
+    /// every cycle gets sampled, but halt probing still happens only at
+    /// the end — enabling capture never changes which physical columns
+    /// the stimulus closure drives.
+    pub fn run_with_stimulus(&mut self, n: u64, mut stimulus: impl FnMut(u64, &mut LanePoker<'_>)) {
+        if self.vcd.is_none() {
+            self.kernel
+                .run_with_stimulus(&mut self.state, n, self.threads, stimulus);
+            self.probe_halts();
+            return;
+        }
+        for _ in 0..n {
+            self.kernel
+                .run_with_stimulus(&mut self.state, 1, self.threads, &mut stimulus);
+            self.sample_vcd();
+        }
         self.probe_halts();
     }
 
@@ -303,13 +349,19 @@ impl BatchSimulation {
     }
 
     /// Whether a lane's halt condition has fired (always `false` without
-    /// a halt watch).
+    /// a halt watch). Refers to the lane's *current* occupant: recycling
+    /// the lane with [`reset_lane`](Self::reset_lane) /
+    /// [`admit`](Self::admit) clears the record.
     pub fn halted(&self, lane: usize) -> bool {
         self.completion_cycle(lane).is_some()
     }
 
     /// The cycle at which a lane halted, or `None` while it is still
-    /// running (or without a halt watch).
+    /// running (or without a halt watch). Completion records belong to
+    /// lane *occupants*, not lanes: after [`reset_lane`](Self::reset_lane)
+    /// this reports `None` until the new testbench halts — it never
+    /// leaks the previous occupant's completion. Durable results must be
+    /// keyed by a job id harvested before recycling (see `rteaal-sched`).
     pub fn completion_cycle(&self, lane: usize) -> Option<u64> {
         self.liveness.as_ref().and_then(|lv| lv.done_at[lane])
     }
@@ -337,9 +389,7 @@ impl BatchSimulation {
             let last = self.state.live() - 1;
             lv.done_at[lv.orig_of[phys]] = Some(cycle);
             self.state.swap_lanes(phys, last);
-            lv.orig_of.swap(phys, last);
-            lv.phys_of[lv.orig_of[phys]] = phys;
-            lv.phys_of[lv.orig_of[last]] = last;
+            lv.swap_phys(phys, last);
             self.state.set_live(last);
             // The swapped-in occupant of `phys` still needs probing, so
             // don't advance.
@@ -358,6 +408,153 @@ impl BatchSimulation {
         if let Some(lv) = &mut self.liveness {
             *lv = LaneLiveness::new(lv.halt_slot, self.state.lanes());
         }
+    }
+
+    /// Resets ONE lane to the power-on state, leaving every other lane's
+    /// state, the cycle counter, and the halt watch untouched — the
+    /// enabling primitive for continuous batching (recycling a drained
+    /// lane under a new testbench mid-run, see `rteaal-sched`).
+    ///
+    /// If the lane had halted, it is revived back into the evaluated
+    /// window and its completion record is cleared: after this call
+    /// [`halted`](Self::halted) / [`completion_cycle`](Self::completion_cycle)
+    /// refer to the lane's *new* occupant and report "still running" —
+    /// never the previous testbench's completion. Callers that need the
+    /// old result must harvest it first (keyed by their own job id, as
+    /// the scheduler does).
+    pub fn reset_lane(&mut self, lane: usize) {
+        let mut phys = self.phys(lane);
+        if let Some(lv) = &mut self.liveness {
+            lv.done_at[lane] = None;
+            let live = self.state.live();
+            if phys >= live {
+                // Swap the frozen column back to the live frontier and
+                // grow the window over it.
+                self.state.swap_lanes(phys, live);
+                lv.swap_phys(phys, live);
+                self.state.set_live(live + 1);
+                phys = live;
+            }
+        }
+        self.state.reset_lane(phys);
+        // Record the reset-to-power-on transition at the admission
+        // cycle, so a recycled lane's capture doesn't show the previous
+        // occupant's frozen values bleeding into the new job (a no-op
+        // when another lane is being watched: nothing changed there).
+        self.sample_vcd();
+    }
+
+    /// Admits a fresh testbench into a lane: per-lane power-on reset
+    /// (reviving the lane if it had halted) followed by the given input
+    /// bindings, which hold until re-poked. The batch keeps running from
+    /// its current cycle — other lanes are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] on the first binding that names no
+    /// input port (the lane is still reset, remaining bindings are not
+    /// applied).
+    pub fn admit<'a>(
+        &mut self,
+        lane: usize,
+        inputs: impl IntoIterator<Item = (&'a str, u64)>,
+    ) -> Result<(), UnknownSignal> {
+        self.reset_lane(lane);
+        for (name, value) in inputs {
+            self.poke(name, lane, value)?;
+        }
+        Ok(())
+    }
+
+    /// Forcibly freezes a lane out of the evaluated window, as if its
+    /// halt condition had fired this cycle (budget eviction: a runaway
+    /// testbench stops consuming compute). Recorded as completed at the
+    /// current cycle; a no-op if the lane has already halted.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`watch_halt`](Self::watch_halt) was enabled.
+    pub fn retire_lane(&mut self, lane: usize) {
+        let cycle = self.state.cycle();
+        let lv = self
+            .liveness
+            .as_mut()
+            .expect("retire_lane needs a watch_halt signal");
+        if lv.done_at[lane].is_some() {
+            return;
+        }
+        lv.done_at[lane] = Some(cycle);
+        let phys = lv.phys_of[lane];
+        let last = self.state.live() - 1;
+        self.state.swap_lanes(phys, last);
+        lv.swap_phys(phys, last);
+        self.state.set_live(last);
+    }
+
+    /// Writes a probed signal's state directly on one lane, between
+    /// cycles — the per-lane DMI analog of
+    /// [`DebugModule::poke_reg`](crate::DebugModule::poke_reg). Like the
+    /// scalar DMI, the raw value is written unchanged (no
+    /// canonicalization), so architectural pre-loading matches a scalar
+    /// run poking the same slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if the name is not probed.
+    pub fn poke_state(&mut self, name: &str, lane: usize, value: u64) -> Result<(), UnknownSignal> {
+        let &(slot, _) = self
+            .probe_index
+            .get(name)
+            .ok_or_else(|| UnknownSignal(name.to_string()))?;
+        let phys = self.phys(lane);
+        self.state.poke_slot(slot, phys, value);
+        Ok(())
+    }
+
+    /// Whether `name` is a probed signal — the namespace
+    /// [`poke_state`](Self::poke_state) accepts. Lets callers validate a
+    /// testbench's bindings before mutating any lane (see the
+    /// `rteaal-sched` admission path).
+    pub fn probed(&self, name: &str) -> bool {
+        self.probe_index.contains_key(name)
+    }
+
+    /// Enables VCD waveform capture of ONE user-facing lane, over all
+    /// probed signals (the ROADMAP "batched waveforms" path: the scalar
+    /// change-detecting writer, addressed through the lane permutation,
+    /// so compaction never changes which testbench is being recorded).
+    /// Capture follows the lane across recycling: after
+    /// [`admit`](Self::admit) the same writer keeps recording the new
+    /// occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn enable_lane_waveforms(&mut self, lane: usize) {
+        assert!(lane < self.state.lanes(), "lane {lane} out of range");
+        let writer = VcdWriter::new(&self.plan.name, &self.plan.probes);
+        self.vcd = Some(LaneVcd { lane, writer });
+        self.sample_vcd();
+    }
+
+    /// Finishes lane waveform capture and returns the VCD text.
+    pub fn take_vcd(&mut self) -> Option<String> {
+        self.vcd.take().map(|v| v.writer.finish())
+    }
+
+    /// Samples the watched lane into the VCD (after each cycle, and once
+    /// at enable time).
+    fn sample_vcd(&mut self) {
+        let Some(v) = &mut self.vcd else {
+            return;
+        };
+        let phys = self
+            .liveness
+            .as_ref()
+            .map_or(v.lane, |lv| lv.phys_of[v.lane]);
+        let state = &self.state;
+        v.writer
+            .sample(state.cycle(), |slot| state.slot(slot, phys));
     }
 
     /// Index of a named input port (for driving through a
@@ -523,6 +720,119 @@ circuit H :
             assert_eq!(sim.peek("cnt", lane), Some(limit + 1), "lane {lane}");
             assert_eq!(sim.peek("limit", lane), Some(limit), "lane {lane}");
         }
+    }
+
+    #[test]
+    fn reset_lane_revives_and_forgets_the_previous_occupant() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        const LANES: usize = 4;
+        let mut sim = BatchSimulation::new(&c, LANES);
+        sim.watch_halt("done").unwrap();
+        for lane in 0..LANES {
+            sim.poke("limit", lane, lane as u64 + 2).unwrap();
+        }
+        sim.run_until_halt(100);
+        assert_eq!(sim.live_lanes(), 0);
+        let frozen: Vec<Option<u64>> = (0..LANES).map(|l| sim.peek("cnt", l)).collect();
+        // Recycle lane 1 under a fresh, longer testbench.
+        sim.admit(1, [("limit", 9u64)]).unwrap();
+        assert_eq!(sim.live_lanes(), 1);
+        // Stale queries must not report the previous occupant.
+        assert!(!sim.halted(1));
+        assert_eq!(sim.completion_cycle(1), None);
+        assert_eq!(sim.peek("cnt", 1), Some(0), "power-on state");
+        assert_eq!(sim.peek("limit", 1), Some(9));
+        let admitted_at = sim.cycle();
+        sim.run_until_halt(100);
+        // The recycled lane ran its own full job length from admission.
+        let local = sim.completion_cycle(1).unwrap() - admitted_at;
+        assert_eq!(local, 9 + 1);
+        assert_eq!(sim.peek("cnt", 1), Some(9 + 1));
+        // Every other lane stayed frozen at its own halt state.
+        for lane in [0usize, 2, 3] {
+            assert_eq!(sim.peek("cnt", lane), frozen[lane], "lane {lane}");
+            assert_eq!(sim.completion_cycle(lane), Some(lane as u64 + 3));
+        }
+    }
+
+    #[test]
+    fn retire_lane_evicts_a_running_lane() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        let mut sim = BatchSimulation::new(&c, 3);
+        sim.watch_halt("done").unwrap();
+        // Unreachable limits: nothing halts on its own.
+        for lane in 0..3 {
+            sim.poke("limit", lane, 200).unwrap();
+        }
+        sim.step_cycles(5);
+        sim.retire_lane(1);
+        assert_eq!(sim.live_lanes(), 2);
+        assert_eq!(sim.completion_cycle(1), Some(5));
+        let frozen = sim.peek("cnt", 1);
+        sim.step_cycles(4);
+        // Retired lane is frozen; survivors kept counting.
+        assert_eq!(sim.peek("cnt", 1), frozen);
+        assert_eq!(sim.peek("cnt", 0), Some(9));
+        // Retiring twice is a no-op; admit revives the lane.
+        sim.retire_lane(1);
+        assert_eq!(sim.completion_cycle(1), Some(5));
+        sim.admit(1, [("limit", 3u64)]).unwrap();
+        assert_eq!(sim.live_lanes(), 3);
+        let admitted_at = sim.cycle();
+        sim.step_cycles(10);
+        assert_eq!(sim.completion_cycle(1), Some(admitted_at + 4));
+    }
+
+    #[test]
+    fn poke_state_is_a_per_lane_dmi() {
+        let c = compiled(KernelKind::Psu);
+        let mut sim = BatchSimulation::new(&c, 2);
+        sim.poke_all("x", 1).unwrap();
+        sim.poke_state("acc", 1, 90).unwrap();
+        assert!(sim.poke_state("nope", 0, 1).is_err());
+        sim.step_cycles(3);
+        assert_eq!(sim.peek("out", 0), Some(3));
+        assert_eq!(sim.peek("out", 1), Some(93));
+    }
+
+    #[test]
+    fn lane_waveform_follows_one_lane_across_compaction() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Nu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        const LANES: usize = 3;
+        let mut sim = BatchSimulation::new(&c, LANES);
+        sim.watch_halt("done").unwrap();
+        // Lane 2 halts last, so compaction moves its physical column.
+        for lane in 0..LANES {
+            sim.poke("limit", lane, 3 * (lane as u64 + 1)).unwrap();
+        }
+        sim.enable_lane_waveforms(2);
+        sim.run_until_halt(50);
+        let vcd = sim.take_vcd().unwrap();
+        assert!(vcd.contains("$var"));
+        assert!(vcd.contains("acc"));
+        // The watched lane counts to its own limit: its last acc change
+        // lands at its halt cycle, past the other lanes' halts.
+        let halt = sim.completion_cycle(2).unwrap();
+        assert!(
+            vcd.contains(&format!("#{halt}")),
+            "vcd reaches lane 2's halt"
+        );
+        // Scalar-equivalent content: a 1-lane batch of the same
+        // testbench produces the identical VCD body.
+        let mut solo = BatchSimulation::new(&c, 1);
+        solo.watch_halt("done").unwrap();
+        solo.poke("limit", 0, 3 * LANES as u64).unwrap();
+        solo.enable_lane_waveforms(0);
+        solo.run_until_halt(50);
+        let solo_vcd = solo.take_vcd().unwrap();
+        assert_eq!(vcd, solo_vcd, "compaction must not leak into the capture");
+        assert_eq!(sim.take_vcd(), None, "take_vcd drains the writer");
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct Workload {
     /// finished — the probe lane-liveness early exit watches. `None` for
     /// free-running workloads.
     pub halt_signal: Option<&'static str>,
+    /// Architectural state pokes applied through the DMI path before the
+    /// benchmark starts (after power-on / per-lane reset). This is how
+    /// one compiled circuit serves jobs of many lengths: the parameter
+    /// lives in a register, not in the ROM (see
+    /// [`rv32i_param_sum`](Self::rv32i_param_sum)).
+    pub state_pokes: Vec<(String, u64)>,
     /// Stimulus generator state.
     seed: u64,
 }
@@ -53,6 +59,7 @@ impl Workload {
             circuit,
             full_cycles: kcycles * 1000,
             halt_signal: None,
+            state_pokes: Vec::new(),
             seed,
         }
     }
@@ -74,6 +81,57 @@ impl Workload {
         let mut w = Workload::new("rv32i", "RV32I core, sum loop to halt", rv32i(&program), 1);
         w.halt_signal = Some("halt");
         w
+    }
+
+    /// A *parameterized* sum loop: sum `k..=1` into `a0`, where the loop
+    /// bound `k` is read from register `x15` instead of being baked into
+    /// the ROM. Every job produced by this constructor shares the exact
+    /// same circuit — `k` arrives as a DMI state poke (`state_pokes`) at
+    /// admission — which is what lets a continuously-batched scheduler
+    /// pack jobs of different lengths into the lanes of ONE compiled
+    /// design. Runs ~`3k + 5` cycles to halt; `a0 = k(k+1)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero (the loop decrements before testing, so a
+    /// zero bound would wrap through 2^32 iterations).
+    pub fn rv32i_param_sum(k: u64) -> Workload {
+        assert!(k > 0, "parameterized sum loop needs k >= 1");
+        let mut w = Workload::new(
+            format!("rv32i-k{k}"),
+            format!("RV32I core, parameterized sum loop (k = {k})"),
+            rv32i(&param_sum_program()),
+            1,
+        );
+        w.halt_signal = Some("halt");
+        w.state_pokes = vec![("x15".to_string(), k)];
+        // Tight per-job budget: 3 cycles per iteration plus prologue,
+        // epilogue, and the halt-observation cycle.
+        w.full_cycles = 3 * k + 12;
+        w
+    }
+
+    /// Expected `a0` of [`rv32i_param_sum`](Self::rv32i_param_sum)`(k)`.
+    pub fn param_sum_expected(k: u64) -> u64 {
+        (k * (k + 1) / 2) & 0xffff_ffff
+    }
+
+    /// A mixed-length job corpus for scheduler benches and tests: `n`
+    /// parameterized sum-loop jobs, deterministically seeded, with short
+    /// loops (`k` in 1..=8) interleaved with long ones (`k` in 24..=63).
+    /// All jobs share one circuit (see
+    /// [`rv32i_param_sum`](Self::rv32i_param_sum)), so a static batch's
+    /// wall time is dominated by its longest member — exactly the
+    /// utilization gap continuous batching closes.
+    pub fn corpus(n: usize, seed: u64) -> Vec<Workload> {
+        let mut stream = Stimulus::from_seed(seed);
+        (0..n)
+            .map(|i| {
+                let r = stream.next_value();
+                let k = if i % 2 == 0 { 1 + r % 8 } else { 24 + r % 40 };
+                Workload::rv32i_param_sum(k)
+            })
+            .collect()
     }
 
     /// RocketChip running the dhrystone analog.
@@ -161,6 +219,22 @@ impl Workload {
         }
         Stimulus { seed }
     }
+}
+
+/// The parameterized sum-loop program behind
+/// [`Workload::rv32i_param_sum`]: sum `x15..=1` into `a0`, then halt on
+/// a self-jump. One function so the circuit and the ISA-golden-model
+/// test run the identical program.
+fn param_sum_program() -> Vec<u32> {
+    vec![
+        asm::addi(1, 0, 0),  // sum = 0
+        asm::add(2, 15, 0),  // counter = x15 (poked at admission)
+        asm::add(1, 1, 2),   // loop: sum += counter
+        asm::addi(2, 2, -1), //       counter -= 1
+        asm::bne(2, 0, -2),  //       until counter == 0
+        asm::add(10, 1, 0),  // a0 = sum
+        asm::jal(0, 6),      // halt: jump-to-self
+    ]
 }
 
 /// A deterministic splitmix64 stimulus stream (one batch lane's
@@ -251,6 +325,64 @@ mod tests {
         for w in Workload::main_grid() {
             assert_eq!(w.halt_signal, None, "{}", w.id);
         }
+    }
+
+    #[test]
+    fn param_sum_matches_the_isa_golden_model() {
+        use crate::rv32i::GoldenCpu;
+        for k in [1u64, 2, 7, 31, 63] {
+            let w = Workload::rv32i_param_sum(k);
+            assert_eq!(w.halt_signal, Some("halt"));
+            assert_eq!(w.state_pokes, vec![("x15".to_string(), k)]);
+            // Run the ISA model on the *same* program the circuit was
+            // built from, with the same architectural poke.
+            let mut sw = GoldenCpu::new(&param_sum_program());
+            sw.x[15] = k as u32;
+            for _ in 0..w.full_cycles {
+                sw.step();
+            }
+            assert_eq!(sw.pc, 6, "k={k} halted on the self-jump");
+            assert_eq!(
+                u64::from(sw.x[10]),
+                Workload::param_sum_expected(k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_mixed_and_single_circuit() {
+        let a = Workload::corpus(8, 0xc0ffee);
+        let b = Workload::corpus(8, 0xc0ffee);
+        assert_eq!(a.len(), 8);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.id, wb.id);
+            assert_eq!(wa.state_pokes, wb.state_pokes);
+            assert_eq!(wa.full_cycles, wb.full_cycles);
+        }
+        // Different seeds give a different mix.
+        let c = Workload::corpus(8, 1);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.id != y.id));
+        // Short jobs interleave with long ones.
+        let ks: Vec<u64> = a.iter().map(|w| w.state_pokes[0].1).collect();
+        assert!(ks.iter().step_by(2).all(|&k| (1..=8).contains(&k)));
+        assert!(ks
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .all(|&k| (24..=63).contains(&k)));
+        // Every job shares the same circuit — the parameter travels in
+        // the state poke, never in the ROM.
+        let body = format!("{:?}", a[0].circuit);
+        for w in &a[1..] {
+            assert_eq!(format!("{:?}", w.circuit), body, "{} circuit differs", w.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn param_sum_rejects_zero() {
+        let _ = Workload::rv32i_param_sum(0);
     }
 
     #[test]

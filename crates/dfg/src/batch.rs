@@ -127,6 +127,22 @@ impl<'p> BatchPlanSim<'p> {
         self.li[s0..s0 + self.lanes].fill(v);
     }
 
+    /// Resets one lane's column to the plan's power-on state — register
+    /// init values, constants, and zeroed inputs/nodes — leaving every
+    /// other lane untouched. This is the per-lane analog of re-creating
+    /// the simulator: the enabling primitive for recycling a finished
+    /// lane under a new testbench mid-run (continuous batching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn reset_lane(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        for (s, &v) in self.plan.init_values.iter().enumerate() {
+            self.li[s * self.lanes + lane] = v;
+        }
+    }
+
     /// One clock cycle on every lane: evaluate each layer lane-wise, then
     /// commit registers lane-wise.
     pub fn step(&mut self) {
@@ -379,5 +395,48 @@ circuit Swap :
     fn zero_lanes_rejected() {
         let p = plan_of(MIXED);
         let _ = BatchPlanSim::new(&p, 0);
+    }
+
+    #[test]
+    fn reset_lane_restores_power_on_and_spares_neighbors() {
+        let p = plan_of(MIXED);
+        const LANES: usize = 4;
+        let mut batch = BatchPlanSim::new(&p, LANES);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            for lane in 0..LANES {
+                batch.set_input(0, lane, rng.gen());
+                batch.set_input(1, lane, rng.gen());
+            }
+            batch.step();
+        }
+        let before: Vec<Vec<u64>> = (0..p.num_slots as u32)
+            .map(|s| batch.slot_lanes(s).to_vec())
+            .collect();
+        batch.reset_lane(2);
+        for s in 0..p.num_slots as u32 {
+            for (lane, &prev) in before[s as usize].iter().enumerate() {
+                let want = if lane == 2 {
+                    p.init_values[s as usize]
+                } else {
+                    prev
+                };
+                assert_eq!(batch.slot(s, lane), want, "slot {s} lane {lane}");
+            }
+        }
+        // The reset lane now evolves exactly like a fresh simulator.
+        let mut fresh = BatchPlanSim::new(&p, 1);
+        for cycle in 0..30 {
+            let (x, sel) = (cycle * 3 + 1, cycle & 1);
+            batch.set_input(0, 2, x);
+            batch.set_input(1, 2, sel);
+            fresh.set_input(0, 0, x);
+            fresh.set_input(1, 0, sel);
+            batch.step();
+            fresh.step();
+            for s in 0..p.num_slots as u32 {
+                assert_eq!(batch.slot(s, 2), fresh.slot(s, 0), "slot {s} @ {cycle}");
+            }
+        }
     }
 }

@@ -144,6 +144,28 @@ impl BatchLiState {
         self.cycle = 0;
     }
 
+    /// Resets one physical lane column to the power-on state — register
+    /// init values, constants, zeroed inputs — without touching any
+    /// other lane, the live window, or the cycle counter.
+    ///
+    /// This is the enabling primitive for lane recycling: call it only
+    /// between cycles (never inside [`BatchKernel::run_parallel`] /
+    /// [`BatchKernel::run_with_stimulus`], whose workers share the `LI`
+    /// array for the whole span of cycles), then drive fresh inputs and
+    /// step. It does not change the lane's liveness — the caller is
+    /// expected to have swapped the column back into the live window
+    /// first (see `rteaal_core::BatchSimulation::reset_lane`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phys` is out of range.
+    pub fn reset_lane(&mut self, phys: usize) {
+        assert!(phys < self.lanes, "lane {phys} out of range");
+        for s0 in (0..self.li.len()).step_by(self.lanes) {
+            self.li[s0 + phys] = self.init[s0 + phys];
+        }
+    }
+
     /// Drives input port `idx` on one lane (canonicalized to the port
     /// type).
     pub fn set_input(&mut self, idx: usize, lane: usize, value: u64) {
@@ -837,6 +859,46 @@ circuit Wide :
         assert_eq!(st.slot(p.commits[0].0, 0), frozen[p.commits[0].0 as usize]);
         st.reset();
         assert_eq!(st.live(), 4);
+    }
+
+    #[test]
+    fn reset_lane_is_per_column_power_on() {
+        let p = plan_of(DESIGN);
+        let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        const LANES: usize = 4;
+        let mut st = BatchLiState::new(&p, LANES);
+        for lane in 0..LANES {
+            st.set_input(0, lane, 0x1111 * (lane as u64 + 1));
+            st.set_input(1, lane, 1);
+        }
+        kernel.run(&mut st, 6);
+        let before: Vec<Vec<u64>> = (0..LANES)
+            .map(|lane| (0..p.num_slots as u32).map(|s| st.slot(s, lane)).collect())
+            .collect();
+        st.reset_lane(1);
+        let fresh = BatchLiState::new(&p, LANES);
+        for s in 0..p.num_slots as u32 {
+            assert_eq!(st.slot(s, 1), fresh.slot(s, 1), "slot {s} not power-on");
+            for lane in [0usize, 2, 3] {
+                assert_eq!(st.slot(s, lane), before[lane][s as usize], "lane {lane}");
+            }
+        }
+        // Cycle counter and live window are untouched.
+        assert_eq!(st.cycle(), 6);
+        assert_eq!(st.live(), LANES);
+        // The revived column replays a fresh run bit-for-bit.
+        let mut replay = BatchLiState::new(&p, 1);
+        for c in 0..10u64 {
+            st.set_input(0, 1, c * 7 + 3);
+            st.set_input(1, 1, c & 1);
+            replay.set_input(0, 0, c * 7 + 3);
+            replay.set_input(1, 0, c & 1);
+            kernel.step(&mut st);
+            kernel.step(&mut replay);
+            for s in 0..p.num_slots as u32 {
+                assert_eq!(st.slot(s, 1), replay.slot(s, 0), "slot {s} @ cycle {c}");
+            }
+        }
     }
 
     #[test]

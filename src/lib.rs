@@ -12,6 +12,7 @@
 //! - [`rteaal_baselines`] — Verilator-like and ESSENT-like simulators.
 //! - [`rteaal_perfmodel`] — cache/machine/top-down models.
 //! - [`rteaal_designs`] — evaluation designs and workloads.
+//! - [`rteaal_sched`] — continuous-batching lane scheduler.
 
 pub use rteaal_baselines as baselines;
 pub use rteaal_core as core;
@@ -21,4 +22,5 @@ pub use rteaal_einsum as einsum;
 pub use rteaal_firrtl as firrtl;
 pub use rteaal_kernels as kernels;
 pub use rteaal_perfmodel as perfmodel;
+pub use rteaal_sched as sched;
 pub use rteaal_tensor as tensor;
