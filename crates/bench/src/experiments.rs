@@ -807,7 +807,7 @@ pub fn sched_serving(ctx: &Ctx) -> Vec<String> {
             sched.submit(Job::from_workload(w, &probes));
         }
         let t0 = Instant::now();
-        sched.run(10_000_000).expect("corpus jobs admit cleanly");
+        sched.run(10_000_000);
         let wall = t0.elapsed().as_secs_f64();
         let stats = sched.stats();
         assert_eq!(stats.completed, jobs, "every job completes");
@@ -875,6 +875,150 @@ pub fn sched_serving(ctx: &Ctx) -> Vec<String> {
     out
 }
 
+/// Serving front end: a multi-client corpus pushed through the
+/// `rteaal-serve` worker pool across worker counts, with a built-in
+/// bit-exactness gate (every job's pool result equals its scalar
+/// `Simulation` run), plus a 3-job loopback round trip through the
+/// socket protocol — the CI smoke of the full socket-bytes-to-lanes
+/// path.
+pub fn serve_frontend(ctx: &Ctx) -> Vec<String> {
+    use rteaal_core::{Compiler, DebugModule, Simulation};
+    use rteaal_sched::Job;
+    use rteaal_serve::{JobHandle, ServeClient, ServeConfig, ServerPool, SocketServer};
+    use std::time::Instant;
+    let mut out = header("Serve: multi-client worker pool + socket front end (rv32i corpus)");
+    let (jobs, clients, lanes) = if ctx.max_cores > 8 {
+        (96, 8, 8)
+    } else {
+        (24, 4, 4)
+    };
+    let ks = Workload::corpus_params(jobs, 0x5eed);
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&Workload::param_sum_circuit())
+        .expect("rv32i compiles");
+    let probes = ["a0", "pc_out"];
+    let job_for = |k: u64| {
+        let mut job = Job::new(format!("sum-{k}"), Workload::param_sum_budget(k));
+        job.state_pokes = vec![("x15".to_string(), k)];
+        job.probes = probes.iter().map(|p| (*p).to_string()).collect();
+        job
+    };
+    // Scalar references, one per distinct loop bound.
+    let scalar_for = |k: u64| -> Vec<(String, u64)> {
+        let mut sim = Simulation::new(compiled.clone());
+        DebugModule::new(&mut sim)
+            .poke_reg("x15", k)
+            .expect("x15 probed");
+        while sim.peek("halt") != Some(1) {
+            sim.step();
+        }
+        probes
+            .iter()
+            .map(|p| ((*p).to_string(), sim.peek(p).expect("probed")))
+            .collect()
+    };
+    let mut scalar: std::collections::HashMap<u64, Vec<(String, u64)>> =
+        std::collections::HashMap::new();
+    for &k in &ks {
+        scalar.entry(k).or_insert_with(|| scalar_for(k));
+    }
+    out.push(format!(
+        "{:<8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+        "workers", "jobs", "clients", "cycles", "util%", "wall ms", "jobs/s", "exact"
+    ));
+    for workers in [1usize, 2, 4] {
+        let mut cfg = ServeConfig::with_workers(workers);
+        cfg.lanes = lanes;
+        let pool = ServerPool::new(&compiled, cfg, "halt").expect("halt resolves");
+        let t0 = Instant::now();
+        // `clients` threads submit interleaved slices of the corpus
+        // concurrently and wait for their own results.
+        let results: Vec<(u64, rteaal_sched::JobResult)> = std::thread::scope(|scope| {
+            let (pool, ks, job_for) = (&pool, &ks, &job_for);
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let mine: Vec<(u64, JobHandle)> = ks
+                            .iter()
+                            .skip(c)
+                            .step_by(clients)
+                            .map(|&k| (k, pool.submit(job_for(k))))
+                            .collect();
+                        mine.into_iter()
+                            .map(|(k, h)| (k, h.wait()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect()
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        let stats = pool.shutdown();
+        let exact = results
+            .iter()
+            .filter(|(k, r)| r.completed() && r.outputs == scalar[k])
+            .count();
+        out.push(format!(
+            "{workers:<8} {jobs:>8} {clients:>8} {:>10} {:>8.1} {:>10.2} {:>10.1} {:>7}/{jobs}",
+            stats.merged.cycles,
+            stats.utilization() * 100.0,
+            wall * 1e3,
+            jobs as f64 / wall.max(1e-9),
+            exact,
+        ));
+        assert_eq!(exact, jobs, "a served job diverged from its scalar run");
+        assert_eq!(stats.merged.completed, jobs);
+    }
+    // Socket leg: 3 jobs over loopback through the line-JSON protocol.
+    let pool =
+        ServerPool::new(&compiled, ServeConfig::with_workers(2), "halt").expect("halt resolves");
+    let addr = SocketServer::bind(pool, "127.0.0.1:0")
+        .expect("binds loopback")
+        .spawn()
+        .expect("accept loop spawns");
+    let mut client = ServeClient::connect(addr).expect("connects");
+    let socket_ks = [5u64, 30, 2];
+    for &k in &socket_ks {
+        scalar.entry(k).or_insert_with(|| scalar_for(k));
+    }
+    let ids: Vec<u64> = socket_ks
+        .iter()
+        .map(|&k| client.submit(&job_for(k)).expect("submits"))
+        .collect();
+    let mut socket_exact = 0;
+    for _ in &socket_ks {
+        let r = client.next_result().expect("streams a result");
+        let k = socket_ks[ids.iter().position(|&i| i == r.id).expect("known id")];
+        let want = &scalar[&k];
+        if r.completed()
+            && want
+                .iter()
+                .all(|(name, value)| r.output(name) == Some(*value))
+        {
+            socket_exact += 1;
+        }
+    }
+    out.push(String::new());
+    out.push(format!(
+        "socket round trip: {socket_exact}/{} jobs bit-identical over loopback (verbs: submit/result/stats)",
+        socket_ks.len()
+    ));
+    let wire_stats = client.stats().expect("stats verb");
+    out.push(format!(
+        "shape check: every row {jobs}/{jobs} exact; socket pool completed {} jobs",
+        wire_stats.completed
+    ));
+    assert_eq!(
+        socket_exact,
+        socket_ks.len(),
+        "socket results must be bit-exact"
+    );
+    out
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1",
@@ -897,6 +1041,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "batch",
     "batch-engine",
     "sched",
+    "serve",
 ];
 
 /// Dispatches one experiment by id.
@@ -922,6 +1067,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "batch" => batch_throughput(ctx),
         "batch-engine" => batch_engine(ctx),
         "sched" => sched_serving(ctx),
+        "serve" => serve_frontend(ctx),
         _ => return None,
     })
 }

@@ -308,16 +308,8 @@ impl BatchSimulation {
     /// output port.
     pub fn watch_halt(&mut self, signal: &str) -> Result<(), UnknownSignal> {
         let slot = self
-            .probe_index
-            .get(signal)
-            .map(|&(s, _)| s)
-            .or_else(|| {
-                self.plan
-                    .output_slots
-                    .iter()
-                    .find(|(n, _)| n == signal)
-                    .map(|&(_, s)| s)
-            })
+            .plan
+            .signal_slot(signal)
             .ok_or_else(|| UnknownSignal(signal.to_string()))?;
         match &mut self.liveness {
             // Keep the lane maps and live window: resetting them to
@@ -327,6 +319,56 @@ impl BatchSimulation {
             None => self.liveness = Some(LaneLiveness::new(slot, self.state.lanes())),
         }
         Ok(())
+    }
+
+    /// Re-evaluates the combinational network on the live lanes without
+    /// committing registers or advancing the cycle counter: afterwards
+    /// every live lane's wire slots reflect its *current* registers and
+    /// inputs. The next [`step`](Self::step) recomputes the same wires
+    /// from the same registers, so this never changes where a run ends
+    /// up — but note the refreshed wires are one commit *ahead* of what
+    /// the last step left in the slots, which is exactly why no halt
+    /// probing happens here: pair with
+    /// [`probe_halt_lane`](Self::probe_halt_lane) on the specific lanes
+    /// whose halt should be (re)checked between cycles — e.g. freshly
+    /// admitted testbenches whose halt output is combinationally high at
+    /// power-on.
+    pub fn eval_comb(&mut self) {
+        if self.liveness.is_some() && self.state.live() == 0 {
+            return;
+        }
+        self.kernel.eval_comb(&mut self.state);
+    }
+
+    /// Checks ONE lane's halt probe against the current slot values,
+    /// between cycles: if the probe reads nonzero (and the lane is live),
+    /// the lane is recorded as finished at the current cycle and
+    /// compacted out of the evaluated window — without spending a cycle
+    /// on it. Returns whether the lane is (now) halted. Combine with
+    /// [`eval_comb`](Self::eval_comb) so the probe reflects the lane's
+    /// current registers and inputs rather than the previous step's.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`watch_halt`](Self::watch_halt) was enabled.
+    pub fn probe_halt_lane(&mut self, lane: usize) -> bool {
+        let lv = self
+            .liveness
+            .as_mut()
+            .expect("probe_halt_lane needs a watch_halt signal");
+        if lv.done_at[lane].is_some() {
+            return true;
+        }
+        let phys = lv.phys_of[lane];
+        if phys >= self.state.live() || self.state.slot(lv.halt_slot, phys) == 0 {
+            return false;
+        }
+        lv.done_at[lane] = Some(self.state.cycle());
+        let last = self.state.live() - 1;
+        self.state.swap_lanes(phys, last);
+        lv.swap_phys(phys, last);
+        self.state.set_live(last);
+        true
     }
 
     /// Steps until every lane has halted or `max_cycles` have elapsed,
@@ -785,6 +827,43 @@ circuit H :
         let admitted_at = sim.cycle();
         sim.step_cycles(10);
         assert_eq!(sim.completion_cycle(1), Some(admitted_at + 4));
+    }
+
+    #[test]
+    fn eval_comb_refreshes_wires_and_probe_halt_lane_is_selective() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        let mut sim = BatchSimulation::new(&c, 2);
+        sim.watch_halt("done").unwrap();
+        sim.poke("limit", 0, 0).unwrap(); // done is true of the power-on state
+        sim.poke("limit", 1, 5).unwrap();
+        // Before any step the done slot still holds its power-on value;
+        // eval_comb computes it from the current registers and inputs.
+        sim.eval_comb();
+        assert_eq!(sim.peek("done", 0), Some(1));
+        assert_eq!(sim.peek("done", 1), Some(0));
+        // Probing is per-lane: lane 0 compacts out at cycle 0, lane 1
+        // stays live and un-probed.
+        assert!(sim.probe_halt_lane(0));
+        assert!(!sim.probe_halt_lane(1));
+        assert_eq!(sim.completion_cycle(0), Some(0));
+        assert_eq!(sim.completion_cycle(1), None);
+        assert_eq!(sim.live_lanes(), 1);
+        // Re-probing a halted lane is a cheap no-op that stays true.
+        assert!(sim.probe_halt_lane(0));
+        // eval_comb between cycles is invisible to the run: lane 1 still
+        // halts at its normal post-step observation cycle.
+        let mut undisturbed = BatchSimulation::new(&c, 1);
+        undisturbed.watch_halt("done").unwrap();
+        undisturbed.poke("limit", 0, 5).unwrap();
+        undisturbed.run_until_halt(100);
+        while sim.live_lanes() > 0 {
+            sim.eval_comb();
+            sim.step();
+        }
+        assert_eq!(sim.completion_cycle(1), undisturbed.completion_cycle(0));
+        assert_eq!(sim.peek("cnt", 1), undisturbed.peek("cnt", 0));
     }
 
     #[test]

@@ -100,14 +100,13 @@ impl Workload {
         let mut w = Workload::new(
             format!("rv32i-k{k}"),
             format!("RV32I core, parameterized sum loop (k = {k})"),
-            rv32i(&param_sum_program()),
+            Self::param_sum_circuit(),
             1,
         );
         w.halt_signal = Some("halt");
         w.state_pokes = vec![("x15".to_string(), k)];
-        // Tight per-job budget: 3 cycles per iteration plus prologue,
-        // epilogue, and the halt-observation cycle.
-        w.full_cycles = 3 * k + 12;
+        // Tight per-job budget.
+        w.full_cycles = Self::param_sum_budget(k);
         w
     }
 
@@ -116,21 +115,50 @@ impl Workload {
         (k * (k + 1) / 2) & 0xffff_ffff
     }
 
-    /// A mixed-length job corpus for scheduler benches and tests: `n`
-    /// parameterized sum-loop jobs, deterministically seeded, with short
-    /// loops (`k` in 1..=8) interleaved with long ones (`k` in 24..=63).
-    /// All jobs share one circuit (see
-    /// [`rv32i_param_sum`](Self::rv32i_param_sum)), so a static batch's
-    /// wall time is dominated by its longest member — exactly the
-    /// utilization gap continuous batching closes.
-    pub fn corpus(n: usize, seed: u64) -> Vec<Workload> {
+    /// The loop bounds of [`corpus`](Self::corpus)`(n, seed)`, without
+    /// building any circuit: short loops (`k` in 1..=8) interleaved with
+    /// long ones (`k` in 24..=63), deterministically seeded. This is the
+    /// client-side corpus helper — a serving client only needs the `k`
+    /// parameters (the server owns the one compiled circuit), so it
+    /// should not pay `n` circuit constructions to enumerate its jobs.
+    pub fn corpus_params(n: usize, seed: u64) -> Vec<u64> {
         let mut stream = Stimulus::from_seed(seed);
         (0..n)
             .map(|i| {
                 let r = stream.next_value();
-                let k = if i % 2 == 0 { 1 + r % 8 } else { 24 + r % 40 };
-                Workload::rv32i_param_sum(k)
+                if i % 2 == 0 {
+                    1 + r % 8
+                } else {
+                    24 + r % 40
+                }
             })
+            .collect()
+    }
+
+    /// The one circuit every [`rv32i_param_sum`](Self::rv32i_param_sum)
+    /// job runs on (the loop bound arrives through the DMI poke, never
+    /// the ROM) — compile this once to serve a whole corpus.
+    pub fn param_sum_circuit() -> Circuit {
+        rv32i(&param_sum_program())
+    }
+
+    /// The cycle budget [`rv32i_param_sum`](Self::rv32i_param_sum)`(k)`
+    /// declares: 3 cycles per iteration plus prologue, epilogue, and the
+    /// halt-observation cycle.
+    pub fn param_sum_budget(k: u64) -> u64 {
+        3 * k + 12
+    }
+
+    /// A mixed-length job corpus for scheduler benches and tests: `n`
+    /// parameterized sum-loop jobs with the bounds of
+    /// [`corpus_params`](Self::corpus_params). All jobs share one
+    /// circuit (see [`rv32i_param_sum`](Self::rv32i_param_sum)), so a
+    /// static batch's wall time is dominated by its longest member —
+    /// exactly the utilization gap continuous batching closes.
+    pub fn corpus(n: usize, seed: u64) -> Vec<Workload> {
+        Self::corpus_params(n, seed)
+            .into_iter()
+            .map(Workload::rv32i_param_sum)
             .collect()
     }
 
@@ -348,6 +376,22 @@ mod tests {
                 "k={k}"
             );
         }
+    }
+
+    #[test]
+    fn corpus_params_match_the_built_corpus() {
+        let ks = Workload::corpus_params(12, 0xfeed);
+        let corpus = Workload::corpus(12, 0xfeed);
+        assert_eq!(ks.len(), 12);
+        for (k, w) in ks.iter().zip(&corpus) {
+            assert_eq!(w.state_pokes, vec![("x15".to_string(), *k)]);
+            assert_eq!(w.full_cycles, Workload::param_sum_budget(*k));
+        }
+        // The shared-circuit helper is the corpus circuit.
+        assert_eq!(
+            format!("{:?}", Workload::param_sum_circuit()),
+            format!("{:?}", corpus[0].circuit)
+        );
     }
 
     #[test]

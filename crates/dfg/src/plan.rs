@@ -207,6 +207,23 @@ impl SimPlan {
         self.layers.iter().map(Vec::len).sum()
     }
 
+    /// Resolves a signal name to its slot, searching probes first and
+    /// output ports second — the one namespace every halt-watch and
+    /// serving-layer validation resolves against (keep them calling
+    /// this so they can never drift).
+    pub fn signal_slot(&self, name: &str) -> Option<u32> {
+        self.probes
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|&(_, s, _)| s)
+            .or_else(|| {
+                self.output_slots
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, s)| s)
+            })
+    }
+
     /// Histogram of operations per opcode.
     pub fn op_histogram(&self) -> std::collections::HashMap<DfgOp, usize> {
         let mut h = std::collections::HashMap::new();

@@ -505,6 +505,22 @@ impl BatchKernel {
         st.commit_lanes();
     }
 
+    /// Evaluates every combinational layer over the active lanes WITHOUT
+    /// committing registers or advancing the cycle counter: after this,
+    /// every wire slot (outputs, probes, halt conditions) reflects the
+    /// current registers and inputs. Idempotent, and invisible to a
+    /// subsequent [`step`](Self::step), which re-evaluates the same
+    /// layers from the same sources — the hook that lets a scheduler
+    /// observe a halt signal that is combinationally true the moment a
+    /// testbench is admitted, before spending a cycle on it.
+    pub fn eval_comb(&self, st: &mut BatchLiState) {
+        let mut buf = Vec::with_capacity(8);
+        let w = st.window();
+        for i in 0..self.layers.len() {
+            self.eval_layer(i, &mut st.li, w, &mut buf);
+        }
+    }
+
     /// `cycles` cycles on the active lanes, single-threaded.
     pub fn run(&self, st: &mut BatchLiState, cycles: u64) {
         for _ in 0..cycles {

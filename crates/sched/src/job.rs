@@ -90,6 +90,19 @@ impl Job {
     }
 }
 
+/// How one job left the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobOutcome {
+    /// The halt condition fired within budget.
+    Completed,
+    /// The budget elapsed first; the lane was forcibly retired.
+    Evicted,
+    /// The job never reached a lane: a binding failed validation at
+    /// admission (see [`JobResult::error`]). Rejection is a per-job
+    /// verdict, not a scheduler failure — later jobs keep being served.
+    Rejected,
+}
+
 /// What one job produced, harvested the cycle it finished — before its
 /// lane is handed to the next job.
 #[derive(Debug, Clone)]
@@ -98,20 +111,34 @@ pub struct JobResult {
     pub id: JobId,
     /// The job's tag.
     pub name: String,
-    /// Harvested `(signal, value)` pairs, in the job's probe order.
+    /// Harvested `(signal, value)` pairs, in the job's probe order
+    /// (empty for rejected jobs, which never touch a lane).
     pub outputs: Vec<(String, u64)>,
-    /// `true` if the halt condition fired within budget; `false` if the
-    /// job was evicted at its budget.
-    pub completed: bool,
-    /// Local cycles from admission to halt (or eviction).
+    /// How the job left the scheduler.
+    pub outcome: JobOutcome,
+    /// Why the job was rejected (`None` unless
+    /// [`outcome`](Self::outcome) is [`JobOutcome::Rejected`]).
+    pub error: Option<String>,
+    /// Local cycles from admission to halt (or eviction); zero for
+    /// rejected jobs and for jobs whose halt condition was already true
+    /// at admission.
     pub cycles: u64,
-    /// Global engine cycle at admission.
+    /// Global engine cycle at admission (at rejection, for rejected
+    /// jobs).
     pub admitted_at: u64,
-    /// Global engine cycle at halt/eviction.
+    /// Global engine cycle at halt/eviction/rejection.
     pub finished_at: u64,
     /// User-facing lane the job occupied (informational: lanes are
-    /// recycled, so this does not identify the job).
+    /// recycled, so this does not identify the job; `usize::MAX` for
+    /// rejected jobs).
     pub lane: usize,
+}
+
+impl JobResult {
+    /// Whether the halt condition fired within budget.
+    pub fn completed(&self) -> bool {
+        self.outcome == JobOutcome::Completed
+    }
 }
 
 /// FIFO of pending jobs with stable id assignment.

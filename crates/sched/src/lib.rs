@@ -48,17 +48,22 @@
 //!             .with_probe("cnt"),
 //!     );
 //! }
-//! sched.run(10_000)?;
+//! sched.run(10_000);
 //! assert_eq!(sched.results().len(), 6);
 //! for r in sched.results() {
-//!     assert!(r.completed);
+//!     assert!(r.completed());
 //!     assert_eq!(r.outputs[0].1, r.cycles); // cnt froze at its own halt
 //! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! A job that fails validation (unknown input, state poke, or harvest
+//! probe) becomes a [`JobOutcome::Rejected`] result instead of an error:
+//! one poison job can never wedge the queue behind it. The `rteaal-serve`
+//! crate puts this scheduler behind a thread pool and a socket front end.
 
 pub mod job;
 pub mod scheduler;
 
-pub use job::{Job, JobId, JobQueue, JobResult};
+pub use job::{Job, JobId, JobOutcome, JobQueue, JobResult};
 pub use scheduler::{AdmitPolicy, SchedStats, Scheduler};

@@ -17,7 +17,7 @@
 //! stragglers dominate. `tables -- sched` quantifies the gap on a
 //! mixed-length rv32i corpus.
 
-use crate::job::{Job, JobId, JobQueue, JobResult};
+use crate::job::{Job, JobId, JobOutcome, JobQueue, JobResult};
 use rteaal_core::{BatchSimulation, Compiled, UnknownSignal};
 
 /// When freed lanes accept new jobs.
@@ -44,6 +44,21 @@ pub struct SchedStats {
     pub completed: usize,
     /// Jobs forcibly retired at their budget.
     pub evicted: usize,
+    /// Jobs rejected at validation, without ever occupying a lane.
+    pub rejected: usize,
+}
+
+impl SchedStats {
+    /// Folds another scheduler's counters into this one (the
+    /// multi-worker aggregation the serve layer reports).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.cycles += other.cycles;
+        self.busy_lane_cycles += other.busy_lane_cycles;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.evicted += other.evicted;
+        self.rejected += other.rejected;
+    }
 }
 
 /// A job currently occupying a lane.
@@ -67,6 +82,8 @@ pub struct Scheduler {
     running: Vec<Option<Running>>,
     results: Vec<JobResult>,
     stats: SchedStats,
+    /// Lanes admitted since the last harvest-check (scratch, reused).
+    newly_admitted: Vec<usize>,
 }
 
 impl Scheduler {
@@ -100,6 +117,7 @@ impl Scheduler {
             running: (0..lanes).map(|_| None).collect(),
             results: Vec::new(),
             stats: SchedStats::default(),
+            newly_admitted: Vec::new(),
         })
     }
 
@@ -170,22 +188,65 @@ impl Scheduler {
         &mut self.sim
     }
 
+    /// Whether any job is still queued or occupying a lane (the serve
+    /// layer's "keep driving me" signal).
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || self.running() > 0
+    }
+
     /// Runs until the queue is drained and every admitted job has
     /// finished, or `max_cycles` engine cycles have been stepped.
     /// Returns the number of cycles stepped by this call.
     ///
-    /// # Errors
+    /// A job that fails validation (unknown input, state poke, or
+    /// harvest probe) is *rejected*: it is popped into a
+    /// [`JobOutcome::Rejected`] result with the offending name in
+    /// [`JobResult::error`], no lane is touched, and the scheduler keeps
+    /// serving the jobs behind it — a poison job can never wedge the
+    /// queue.
+    pub fn run(&mut self, max_cycles: u64) -> u64 {
+        self.run_for(max_cycles)
+    }
+
+    /// Steps at most `cycles` engine cycles, admitting and harvesting as
+    /// it goes, and returns early the moment no lane is busy and no job
+    /// is queued. Returns the number of cycles stepped.
     ///
-    /// Returns [`UnknownSignal`] if a job binds an unknown input, state
-    /// poke, or harvest probe — detected *before* the job is admitted,
-    /// with the queue and every lane left untouched (the offending job
-    /// stays at the queue front).
-    pub fn run(&mut self, max_cycles: u64) -> Result<u64, UnknownSignal> {
+    /// This is the non-blocking drive hook the serve layer uses: a
+    /// worker calls `run_for` in small chunks, drains
+    /// [`take_results`](Self::take_results) between chunks (results
+    /// stream out the cycle each halt probe fires), and interleaves
+    /// mid-run submissions — [`submit`](Self::submit) between chunks
+    /// feeds lanes exactly like submissions made before the run.
+    pub fn run_for(&mut self, cycles: u64) -> u64 {
         let mut stepped = 0;
         loop {
-            self.admit_free()?;
+            let admitted = self.admit_free();
+            if admitted > 0 {
+                // Harvest-check the admissions *before* stepping: a job
+                // whose halt condition is combinationally true at
+                // admission, or whose budget is zero, finishes at zero
+                // local cycles instead of being charged a cycle it never
+                // needed. Only the admitted lanes are probed — running
+                // lanes' halts stay observed on the engine's post-step
+                // schedule (the refreshed wires are one commit ahead of
+                // what their last step reported).
+                self.sim.eval_comb();
+                let lanes = std::mem::take(&mut self.newly_admitted);
+                for lane in &lanes {
+                    self.sim.probe_halt_lane(*lane);
+                }
+                self.newly_admitted = lanes;
+                self.newly_admitted.clear();
+                self.harvest();
+                // Instant completions may have freed lanes with jobs
+                // still queued — admit again before deciding to step.
+                if !self.queue.is_empty() {
+                    continue;
+                }
+            }
             let busy = self.running() as u64;
-            if busy == 0 || stepped >= max_cycles {
+            if busy == 0 || stepped >= cycles {
                 break;
             }
             self.stats.busy_lane_cycles += busy;
@@ -194,43 +255,74 @@ impl Scheduler {
             stepped += 1;
             self.harvest();
         }
-        Ok(stepped)
+        stepped
     }
 
-    /// Fills freed lanes from the queue under the active policy.
-    fn admit_free(&mut self) -> Result<(), UnknownSignal> {
-        if self.queue.is_empty() {
-            return Ok(());
-        }
+    /// Fills freed lanes from the queue under the active policy,
+    /// rejecting jobs that fail validation. Returns how many jobs were
+    /// admitted into lanes.
+    fn admit_free(&mut self) -> usize {
+        let mut admitted = 0;
         if self.policy == AdmitPolicy::StaticBatches && self.running() > 0 {
-            return Ok(());
+            return admitted;
         }
         for lane in 0..self.running.len() {
             if self.running[lane].is_some() {
                 continue;
             }
             // Validate every binding — inputs, state pokes, harvest
-            // probes — before popping the job or touching the engine: a
-            // bad name must surface as an error with the queue intact
-            // and no lane half-admitted to a dropped job.
-            let Some((_, job)) = self.queue.front() else {
-                break;
+            // probes — before touching the engine: a bad name must never
+            // leave a lane half-admitted to a dropped job. The offender
+            // is popped into a rejected result (not left at the front,
+            // where it would wedge every later job) and the freed slot
+            // is offered to the job behind it.
+            let (id, job) = loop {
+                let Some((id, job)) = self.queue.front() else {
+                    return admitted;
+                };
+                match Self::validate(&self.sim, job) {
+                    Ok(()) => break self.queue.pop().expect("front() was Some"),
+                    Err(UnknownSignal(name)) => {
+                        let (_, job) = self.queue.pop().expect("front() was Some");
+                        self.reject(id, job, &name);
+                    }
+                }
             };
-            Self::validate(&self.sim, job)?;
-            let (id, job) = self.queue.pop().expect("front() was Some");
             self.sim
-                .admit(lane, job.inputs.iter().map(|(n, v)| (n.as_str(), *v)))?;
+                .admit(lane, job.inputs.iter().map(|(n, v)| (n.as_str(), *v)))
+                .expect("inputs validated");
             for (name, value) in &job.state_pokes {
-                self.sim.poke_state(name, lane, *value)?;
+                self.sim
+                    .poke_state(name, lane, *value)
+                    .expect("pokes validated");
             }
             self.stats.admitted += 1;
+            admitted += 1;
+            self.newly_admitted.push(lane);
             self.running[lane] = Some(Running {
                 id,
                 job,
                 admitted_at: self.sim.cycle(),
             });
         }
-        Ok(())
+        admitted
+    }
+
+    /// Records a validation failure as a per-job rejected result.
+    fn reject(&mut self, id: JobId, job: Job, unknown: &str) {
+        let now = self.sim.cycle();
+        self.stats.rejected += 1;
+        self.results.push(JobResult {
+            id,
+            name: job.name,
+            outputs: Vec::new(),
+            outcome: JobOutcome::Rejected,
+            error: Some(format!("unknown signal: {unknown}")),
+            cycles: 0,
+            admitted_at: now,
+            finished_at: now,
+            lane: usize::MAX,
+        });
     }
 
     /// Checks that every name a job binds resolves on the design (pure
@@ -265,15 +357,26 @@ impl Scheduler {
             if !halted && now - running.admitted_at < running.job.budget {
                 continue;
             }
-            if !halted {
+            // An evicted job finishes *now*, by definition — never at
+            // whatever completion cycle the engine might report for the
+            // lane. Reading the record before `retire_lane` (and pinning
+            // the halted read to the occupant's own record) guarantees a
+            // recycled lane's previous occupant can never leak its
+            // completion cycle into this job's `finished_at`; see the
+            // `eviction_uses_its_own_cycle_...` regression test.
+            let finished_at = if halted {
+                self.sim
+                    .completion_cycle(lane)
+                    .expect("halted implies a completion record")
+            } else {
                 self.sim.retire_lane(lane);
-            }
+                now
+            };
             let Running {
                 id,
                 job,
                 admitted_at,
             } = self.running[lane].take().expect("checked above");
-            let finished_at = self.sim.completion_cycle(lane).unwrap_or(now);
             let outputs = job
                 .probes
                 .iter()
@@ -282,16 +385,19 @@ impl Scheduler {
                     (name.clone(), value)
                 })
                 .collect();
-            if halted {
+            let outcome = if halted {
                 self.stats.completed += 1;
+                JobOutcome::Completed
             } else {
                 self.stats.evicted += 1;
-            }
+                JobOutcome::Evicted
+            };
             self.results.push(JobResult {
                 id,
                 name: job.name,
                 outputs,
-                completed: halted,
+                outcome,
+                error: None,
                 cycles: finished_at - admitted_at,
                 admitted_at,
                 finished_at,
@@ -342,7 +448,7 @@ circuit H :
         let limits = [5u64, 20, 3, 4, 9, 2, 11];
         let ids: Vec<JobId> = limits.iter().map(|&l| sched.submit(count_job(l))).collect();
         assert_eq!(sched.pending(), limits.len());
-        let stepped = sched.run(10_000).unwrap();
+        let stepped = sched.run(10_000);
         assert!(stepped > 0);
         assert_eq!(sched.pending(), 0);
         assert_eq!(sched.running(), 0);
@@ -359,7 +465,7 @@ circuit H :
                 .iter()
                 .find(|r| r.id == id)
                 .expect("result per id");
-            assert!(r.completed);
+            assert!(r.completed());
             assert_eq!(r.name, format!("count-{limit}"));
             assert_eq!(r.outputs[0], ("cnt".to_string(), limit + 1));
             assert_eq!(r.outputs[1], ("done".to_string(), 1));
@@ -381,7 +487,7 @@ circuit H :
             for &l in &limits {
                 sched.submit(count_job(l));
             }
-            sched.run(100_000).unwrap();
+            sched.run(100_000);
             let outs: Vec<(JobId, Vec<(String, u64)>)> = sched
                 .results()
                 .iter()
@@ -420,7 +526,7 @@ circuit H :
                 .with_probe("cnt"),
         );
         sched.submit(count_job(4));
-        sched.run(1_000).unwrap();
+        sched.run(1_000);
         let stats = sched.stats();
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.evicted, 1);
@@ -429,16 +535,21 @@ circuit H :
             .iter()
             .position(|r| r.name == "runaway")
             .unwrap()];
-        assert!(!runaway.completed);
+        assert!(!runaway.completed());
+        assert_eq!(runaway.outcome, JobOutcome::Evicted);
         assert_eq!(runaway.cycles, 10, "evicted exactly at budget");
         assert_eq!(runaway.outputs[0], ("cnt".to_string(), 10));
     }
 
     #[test]
-    fn unknown_bindings_error_before_any_admission() {
+    fn poison_job_is_rejected_and_later_jobs_keep_flowing() {
+        // Regression: a validation-failing job at the queue front used
+        // to return Err with the job left in place, so every later run()
+        // failed identically and nothing behind it could ever be
+        // admitted. It must instead become a Rejected result.
         let c = compiled();
         assert!(Scheduler::new(&c, 1, "ghost").is_err());
-        for job in [
+        for poison in [
             Job::new("bad-input", 10).with_input("nope", 1),
             Job::new("bad-poke", 10).with_state_poke("ghost", 1),
             // A misspelled harvest probe fails like every other binding
@@ -446,13 +557,162 @@ circuit H :
             Job::new("bad-probe", 10).with_probe("cnt_typo"),
         ] {
             let mut sched = Scheduler::new(&c, 1, "done").unwrap();
-            sched.submit(job);
-            assert!(sched.run(100).is_err());
-            // The engine and queue are untouched: the bad job stays at
-            // the front, no lane was committed to it.
-            assert_eq!(sched.pending(), 1);
+            // Good jobs sandwich the poison one.
+            let before = sched.submit(count_job(3));
+            let bad = sched.submit(poison);
+            let after = sched.submit(count_job(5));
+            sched.run(10_000);
+            assert_eq!(sched.pending(), 0);
             assert_eq!(sched.running(), 0);
-            assert_eq!(sched.stats().admitted, 0);
+            let stats = sched.stats();
+            assert_eq!((stats.admitted, stats.completed, stats.rejected), (2, 2, 1));
+            let by_id = |id: JobId| {
+                sched
+                    .results()
+                    .iter()
+                    .find(|r| r.id == id)
+                    .expect("result per id")
+            };
+            let rejected = by_id(bad);
+            assert_eq!(rejected.outcome, JobOutcome::Rejected);
+            assert_eq!(rejected.cycles, 0);
+            assert!(rejected.outputs.is_empty(), "never touched a lane");
+            assert!(
+                rejected
+                    .error
+                    .as_deref()
+                    .unwrap()
+                    .contains("unknown signal"),
+                "{:?}",
+                rejected.error
+            );
+            // Both good jobs ran to completion with correct results.
+            for (id, limit) in [(before, 3u64), (after, 5)] {
+                let r = by_id(id);
+                assert!(r.completed(), "{}", r.name);
+                assert_eq!(r.outputs[0], ("cnt".to_string(), limit + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_jobs_are_evicted_without_consuming_a_cycle() {
+        // Regression: a budget-0 job used to burn one engine cycle
+        // before its eviction was noticed, reporting cycles = 1.
+        let c = compiled();
+        let mut sched = Scheduler::new(&c, 2, "done").unwrap();
+        let zero = sched.submit(
+            Job::new("no-budget", 0)
+                .with_input("limit", 50)
+                .with_probe("cnt"),
+        );
+        let normal = sched.submit(count_job(4));
+        sched.run(1_000);
+        let r = sched.results().iter().find(|r| r.id == zero).unwrap();
+        assert_eq!(r.outcome, JobOutcome::Evicted);
+        assert_eq!(r.cycles, 0, "evicted before its first cycle");
+        assert_eq!(r.finished_at, r.admitted_at);
+        assert_eq!(r.outputs[0], ("cnt".to_string(), 0), "power-on state");
+        let n = sched.results().iter().find(|r| r.id == normal).unwrap();
+        assert!(n.completed());
+        assert_eq!(n.cycles, 5);
+    }
+
+    #[test]
+    fn combinationally_halted_jobs_complete_at_zero_cycles() {
+        // Regression: a job whose halt probe is already high at
+        // admission (limit = 0: done = geq(acc, 0) is true of the
+        // power-on state) used to be harvested only after one engine
+        // cycle, inflating cycles and busy_lane_cycles.
+        let c = compiled();
+        let mut sched = Scheduler::new(&c, 1, "done").unwrap();
+        let instant = sched.submit(
+            Job::new("instant", 10)
+                .with_input("limit", 0)
+                .with_probe("cnt")
+                .with_probe("done"),
+        );
+        let normal = sched.submit(count_job(3));
+        sched.run(1_000);
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.evicted, 0);
+        let r = sched.results().iter().find(|r| r.id == instant).unwrap();
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert_eq!(r.cycles, 0, "halted before its first cycle");
+        assert_eq!(r.finished_at, r.admitted_at);
+        assert_eq!(r.outputs[0], ("cnt".to_string(), 0));
+        assert_eq!(r.outputs[1], ("done".to_string(), 1));
+        // The lane freed instantly: the queued job was admitted the same
+        // round and ran normally, with no cycle charged to the instant
+        // job (1 busy lane * its own cycles only).
+        let n = sched.results().iter().find(|r| r.id == normal).unwrap();
+        assert!(n.completed());
+        assert_eq!(n.cycles, 4);
+        assert_eq!(stats.busy_lane_cycles, n.cycles);
+    }
+
+    #[test]
+    fn eviction_uses_its_own_cycle_never_a_previous_occupants() {
+        // Pins the recycled-lane eviction path: the first occupant of
+        // the single lane halts early; the second is admitted into the
+        // same lane and runs past its budget. Its finished_at must be
+        // its own eviction cycle, never the previous occupant's halt
+        // record.
+        let c = compiled();
+        let mut sched = Scheduler::new(&c, 1, "done").unwrap();
+        let first = sched.submit(count_job(2));
+        let runaway = sched.submit(
+            Job::new("runaway", 7)
+                .with_input("limit", 200)
+                .with_probe("cnt"),
+        );
+        sched.run(1_000);
+        let f = sched.results().iter().find(|r| r.id == first).unwrap();
+        assert!(f.completed());
+        let r = sched.results().iter().find(|r| r.id == runaway).unwrap();
+        assert_eq!(r.outcome, JobOutcome::Evicted);
+        assert_eq!(r.lane, f.lane, "same lane, recycled");
+        assert!(r.admitted_at >= f.finished_at);
+        assert_eq!(r.cycles, 7, "evicted exactly at its own budget");
+        assert_eq!(
+            r.finished_at,
+            r.admitted_at + 7,
+            "eviction cycle is the evicted job's own, not the previous occupant's"
+        );
+    }
+
+    #[test]
+    fn run_for_chunks_compose_with_mid_run_submission() {
+        // The serve layer's drive pattern: small run_for chunks with
+        // submissions and result drains interleaved.
+        let c = compiled();
+        let mut sched = Scheduler::new(&c, 2, "done").unwrap();
+        sched.submit(count_job(6));
+        sched.submit(count_job(9));
+        assert!(sched.has_work());
+        let mut harvested = Vec::new();
+        let mut submitted_late = false;
+        let mut guard = 0;
+        while sched.has_work() {
+            sched.run_for(3);
+            harvested.extend(sched.take_results());
+            if !submitted_late {
+                // A job arriving mid-run is served like any other.
+                sched.submit(count_job(4));
+                submitted_late = true;
+            }
+            guard += 1;
+            assert!(guard < 100, "chunked drive must make progress");
+        }
+        assert_eq!(harvested.len(), 3);
+        assert!(harvested.iter().all(JobResult::completed));
+        for limit in [6u64, 9, 4] {
+            let r = harvested
+                .iter()
+                .find(|h| h.name == format!("count-{limit}"))
+                .expect("one result per job");
+            assert_eq!(r.cycles, limit + 1);
         }
     }
 
@@ -460,12 +720,13 @@ circuit H :
     fn empty_scheduler_is_a_no_op_and_partial_fills_stay_cheap() {
         let c = compiled();
         let mut sched = Scheduler::new(&c, 4, "done").unwrap();
-        assert_eq!(sched.run(100).unwrap(), 0);
+        assert_eq!(sched.run(100), 0);
         assert_eq!(sched.stats(), SchedStats::default());
         assert_eq!(sched.lanes(), 4);
+        assert!(!sched.has_work());
         // One job on four lanes: only the occupied lane is evaluated.
         sched.submit(count_job(5));
-        sched.run(100).unwrap();
+        sched.run(100);
         let stats = sched.stats();
         assert_eq!(stats.busy_lane_cycles, stats.cycles, "1 busy lane/cycle");
         assert!((sched.utilization() - 0.25).abs() < 1e-9);

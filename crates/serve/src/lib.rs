@@ -1,0 +1,74 @@
+//! # rteaal-serve
+//!
+//! The concurrent serving front end over the `rteaal-sched`
+//! continuous-batching scheduler: many clients, many jobs, one (or a
+//! few) compiled designs, results streamed back the cycle each job's
+//! halt probe fires.
+//!
+//! Three layers:
+//!
+//! - [`ServerPool`] — N worker threads, each running its own
+//!   [`Scheduler`](rteaal_sched::Scheduler) over a shared compile, fed
+//!   from mpsc submission queues with least-loaded dispatch. Submission
+//!   returns a [`JobHandle`] that can [`poll`](JobHandle::poll) or
+//!   [`wait`](JobHandle::wait) (or [`JobHandle::wait_any`] across
+//!   handles) for the job's [`JobResult`](rteaal_sched::JobResult).
+//! - [`protocol`] — the line-delimited-JSON wire format:
+//!   `submit` / `poll` / `result` / `stats` verbs.
+//! - [`SocketServer`] / [`ServeClient`] — a `std::net::TcpListener`
+//!   front end speaking that protocol, one connection per client, and
+//!   its blocking client.
+//!
+//! The scheduler hardening that makes this safe to put behind a socket
+//! lives in `rteaal-sched`: a job that fails validation becomes a
+//! `Rejected` result (never a wedged queue), budget-0 and
+//! already-halted admissions finish at zero cycles, and eviction
+//! records its own cycle.
+//!
+//! ## Example
+//!
+//! ```
+//! use rteaal_core::Compiler;
+//! use rteaal_kernels::{KernelConfig, KernelKind};
+//! use rteaal_sched::Job;
+//! use rteaal_serve::{ServeClient, ServeConfig, ServerPool, SocketServer};
+//!
+//! let src = "\
+//! circuit H :
+//!   module H :
+//!     input clock : Clock
+//!     input limit : UInt<8>
+//!     output cnt : UInt<8>
+//!     output done : UInt<1>
+//!     reg acc : UInt<8>, clock
+//!     acc <= tail(add(acc, UInt<8>(1)), 1)
+//!     cnt <= acc
+//!     done <= geq(acc, limit)
+//! ";
+//! let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(src)?;
+//! let pool = ServerPool::new(&compiled, ServeConfig::with_workers(2), "done")?;
+//! let addr = SocketServer::bind(pool, "127.0.0.1:0")?.spawn()?;
+//!
+//! let mut client = ServeClient::connect(addr)?;
+//! for k in [3u64, 9, 5] {
+//!     client.submit(
+//!         &Job::new(format!("count-{k}"), k + 8)
+//!             .with_input("limit", k)
+//!             .with_probe("cnt"),
+//!     )?;
+//! }
+//! for _ in 0..3 {
+//!     let r = client.next_result()?; // completion order, not submission order
+//!     assert!(r.completed());
+//! }
+//! assert_eq!(client.stats()?.completed, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod net;
+pub mod pool;
+pub mod protocol;
+
+pub use net::{ServeClient, SocketServer};
+pub use pool::{JobHandle, ServeConfig, ServeStats, ServerPool};
+pub use protocol::{Request, Response, Verb, WireBinding, WireJob, WireResult, WireStats};

@@ -1,0 +1,262 @@
+//! The TCP front end: a listener that speaks the line-delimited-JSON
+//! protocol of [`crate::protocol`] over one thread per connection, plus
+//! the matching blocking client.
+//!
+//! The server is deliberately plain `std::net` — the build environment
+//! vendors no async runtime, and the pool's workers are already the
+//! concurrency that matters; connection threads only parse lines and
+//! block on [`JobHandle`]s.
+
+use crate::pool::{JobHandle, ServerPool};
+use crate::protocol::{Request, Response, Verb, WireJob, WireResult, WireStats};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// A socket front end over a [`ServerPool`].
+#[derive(Debug)]
+pub struct SocketServer {
+    pool: Arc<ServerPool>,
+    listener: TcpListener,
+}
+
+impl SocketServer {
+    /// Binds a listener (use port 0 to let the OS pick) over a pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(pool: ServerPool, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(SocketServer {
+            pool: Arc::new(pool),
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (tells clients the OS-picked port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread per client.
+    /// Accept errors on individual connections are skipped; the loop
+    /// only ends (with an error) if the listener itself fails.
+    pub fn serve_forever(self) -> io::Result<()> {
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let pool = Arc::clone(&self.pool);
+            std::thread::spawn(move || {
+                let _ = handle_client(&pool, stream);
+            });
+        }
+        Ok(())
+    }
+
+    /// Detaches the accept loop onto a background thread and returns
+    /// the bound address — the one-call server start for tests, smokes,
+    /// and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn spawn(self) -> io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::Builder::new()
+            .name("rteaal-serve-accept".to_string())
+            .spawn(move || {
+                let _ = self.serve_forever();
+            })?;
+        Ok(addr)
+    }
+}
+
+/// Serves one client connection: a request line in, a response line
+/// out, until EOF. Malformed requests get `kind:"error"` responses and
+/// the connection stays usable; only I/O failures end the session.
+fn handle_client(pool: &ServerPool, stream: TcpStream) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    // This connection's submissions, by pool-global id. `poll`/`result`
+    // resolve ids against these handles (one connection per client: a
+    // client can only claim results it submitted).
+    let mut handles: HashMap<u64, JobHandle> = HashMap::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => respond(pool, &mut handles, request),
+            Err(e) => Response::error(format!("bad request: {e}")),
+        };
+        let mut out = serde_json::to_string(&response).expect("responses always serialize");
+        out.push('\n');
+        writer.write_all(out.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Executes one request against the pool and this connection's handles.
+fn respond(pool: &ServerPool, handles: &mut HashMap<u64, JobHandle>, request: Request) -> Response {
+    match request.verb {
+        Verb::Submit => {
+            let Some(job) = request.job else {
+                return Response::error("submit needs a `job`");
+            };
+            let handle = pool.submit(job.into());
+            let id = handle.id();
+            handles.insert(id, handle);
+            Response::submitted(id)
+        }
+        Verb::Poll => {
+            let Some(id) = request.id else {
+                return Response::error("poll needs an `id`");
+            };
+            let Some(handle) = handles.get(&id) else {
+                return Response::error(format!("unknown job id {id} on this connection"));
+            };
+            match handle.poll() {
+                Some(result) => {
+                    handles.remove(&id);
+                    Response::result(WireResult::from(&result))
+                }
+                None => Response::pending(id),
+            }
+        }
+        Verb::Result => match request.id {
+            Some(id) => {
+                let Some(handle) = handles.remove(&id) else {
+                    return Response::error(format!("unknown job id {id} on this connection"));
+                };
+                Response::result(WireResult::from(&handle.wait()))
+            }
+            // No id: stream this connection's next completion.
+            None => {
+                let outstanding: Vec<JobHandle> = handles.drain().map(|(_, h)| h).collect();
+                let Some((taken, result)) = JobHandle::wait_any(&outstanding) else {
+                    return Response::error("no outstanding jobs on this connection");
+                };
+                for (i, h) in outstanding.into_iter().enumerate() {
+                    if i != taken {
+                        handles.insert(h.id(), h);
+                    }
+                }
+                Response::result(WireResult::from(&result))
+            }
+        },
+        Verb::Stats => Response::stats(WireStats::from(&pool.stats())),
+    }
+}
+
+/// A blocking client for the socket protocol — submit jobs, poll or
+/// wait for results, read server stats. One instance per connection.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running [`SocketServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(ServeClient {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let response: Response = serde_json::from_str(reply.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if !response.ok {
+            return Err(io::Error::other(
+                response.error.unwrap_or_else(|| "server error".to_string()),
+            ));
+        }
+        Ok(response)
+    }
+
+    /// Submits a job; returns its pool-global id.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server-side errors.
+    pub fn submit(&mut self, job: &rteaal_sched::Job) -> io::Result<u64> {
+        let response = self.call(&Request::submit(WireJob::from(job)))?;
+        response
+            .id
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "submitted without an id"))
+    }
+
+    /// Non-blocking result check; `None` while the job is running.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server-side errors (e.g. an id this connection
+    /// never submitted).
+    pub fn poll(&mut self, id: u64) -> io::Result<Option<WireResult>> {
+        let response = self.call(&Request::poll(id))?;
+        Ok(response.result)
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server-side errors.
+    pub fn result(&mut self, id: u64) -> io::Result<WireResult> {
+        let response = self.call(&Request::result(Some(id)))?;
+        response
+            .result
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "result without a payload"))
+    }
+
+    /// Blocks until *any* of this connection's outstanding jobs
+    /// finishes and returns it — results stream back in completion
+    /// order, not submission order.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and a server-side error when nothing is
+    /// outstanding.
+    pub fn next_result(&mut self) -> io::Result<WireResult> {
+        let response = self.call(&Request::result(None))?;
+        response
+            .result
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "result without a payload"))
+    }
+
+    /// Fetches the pool's counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server-side errors.
+    pub fn stats(&mut self) -> io::Result<WireStats> {
+        let response = self.call(&Request::stats())?;
+        response
+            .stats
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stats without a payload"))
+    }
+}

@@ -1,0 +1,602 @@
+//! The multi-worker serving pool: N threads, each running its own
+//! [`Scheduler`] over one shared compile, fed from mpsc submission
+//! queues with least-loaded dispatch.
+//!
+//! [`ServerPool`] is the in-process front door of the serving layer.
+//! Submission returns immediately with a [`JobHandle`]; each worker
+//! drives its scheduler in small [`Scheduler::run_for`] chunks,
+//! interleaving mid-run admissions from its queue with harvests, and
+//! publishes every finished job's [`JobResult`] — keyed by a
+//! pool-global id — the moment the lane's halt probe fires. Clients
+//! [`poll`](JobHandle::poll) or [`wait`](JobHandle::wait) on their
+//! handles; nothing blocks the workers.
+//!
+//! Sharding is one `Scheduler` (and one `BatchSimulation`) per worker
+//! thread: the slot-major lane matrix splits on the lane axis, so W
+//! workers × L lanes behave like one W·L-lane engine whose lanes drain
+//! and refill independently — the multi-worker shape the ROADMAP pairs
+//! with the async front end.
+
+use rteaal_core::{Compiled, UnknownSignal};
+use rteaal_sched::{Job, JobId, JobResult, SchedStats, Scheduler};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Worker-pool sizing and pacing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads, one `Scheduler` each.
+    pub workers: usize,
+    /// Stimulus lanes per worker.
+    pub lanes: usize,
+    /// Engine cycles per `run_for` chunk — the latency granularity at
+    /// which workers check their submission queues and publish results.
+    pub chunk_cycles: u64,
+    /// Per-job cycle cap: a submitted job's budget is clamped to this
+    /// (guards a server against unhaltable testbenches with huge
+    /// budgets).
+    pub max_budget: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            lanes: 8,
+            chunk_cycles: 64,
+            max_budget: 1 << 20,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A config with a given worker count (other knobs default).
+    pub fn with_workers(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// State shared between workers, handles, and the pool front end.
+/// The published-results table: finished jobs awaiting their handle,
+/// plus tombstones for jobs whose handle was dropped unclaimed (so the
+/// eventual publication is discarded instead of leaking — a
+/// long-running server's clients may disconnect mid-job).
+#[derive(Debug, Default)]
+struct ResultsTable {
+    /// Finished jobs by pool-global id, removed when claimed.
+    ready: HashMap<u64, JobResult>,
+    /// Ids abandoned before publication; consumed at publish time.
+    abandoned: std::collections::HashSet<u64>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    results: Mutex<ResultsTable>,
+    /// Signalled whenever new results land.
+    done: Condvar,
+    /// Per-worker scheduler counters, refreshed after every chunk.
+    stats: Mutex<Vec<SchedStats>>,
+}
+
+/// Aggregate pool statistics (the `stats` verb's payload).
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Worker threads.
+    pub workers: usize,
+    /// Lanes per worker.
+    pub lanes: usize,
+    /// Jobs submitted through the pool so far.
+    pub submitted: u64,
+    /// Results finished but not yet claimed by a handle.
+    pub unclaimed: usize,
+    /// All workers' counters merged.
+    pub merged: SchedStats,
+    /// Each worker's own counters.
+    pub per_worker: Vec<SchedStats>,
+}
+
+impl ServeStats {
+    /// Occupied-lane cycles over total lane cycles stepped, across all
+    /// workers.
+    pub fn utilization(&self) -> f64 {
+        let total = self.merged.cycles.saturating_mul(self.lanes as u64);
+        if total == 0 {
+            return 0.0;
+        }
+        self.merged.busy_lane_cycles as f64 / total as f64
+    }
+}
+
+/// A claim on one submitted job's eventual [`JobResult`].
+///
+/// The result is delivered exactly once: the first successful
+/// [`poll`](Self::poll) or [`wait`](Self::wait) takes it. Handles are
+/// independent of the pool's lifetime — results published before a
+/// [`ServerPool::shutdown`] stay claimable afterwards. Dropping a
+/// handle *unclaimed* releases its result slot (the result is
+/// discarded when it lands, rather than parked forever).
+#[derive(Debug)]
+pub struct JobHandle {
+    id: u64,
+    shared: Arc<Shared>,
+    claimed: std::sync::atomic::AtomicBool,
+}
+
+impl JobHandle {
+    /// The pool-global job id (also [`JobResult::id`] in the delivered
+    /// result).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn mark_claimed(&self) {
+        self.claimed.store(true, Ordering::Release);
+    }
+
+    /// Takes the result if the job has finished, without blocking.
+    pub fn poll(&self) -> Option<JobResult> {
+        let r = self.shared.results.lock().unwrap().ready.remove(&self.id);
+        if r.is_some() {
+            self.mark_claimed();
+        }
+        r
+    }
+
+    /// Blocks until the job finishes and takes its result.
+    pub fn wait(&self) -> JobResult {
+        let mut table = self.shared.results.lock().unwrap();
+        loop {
+            if let Some(r) = table.ready.remove(&self.id) {
+                self.mark_claimed();
+                return r;
+            }
+            table = self.shared.done.wait(table).unwrap();
+        }
+    }
+
+    /// Blocks until *any* of the given handles' jobs finishes and takes
+    /// that result, returning it with the index of the handle it
+    /// belongs to — the "stream results as they complete" primitive.
+    /// Returns `None` if `handles` is empty. All handles must come from
+    /// the same pool.
+    pub fn wait_any(handles: &[JobHandle]) -> Option<(usize, JobResult)> {
+        let shared = &handles.first()?.shared;
+        debug_assert!(
+            handles.iter().all(|h| Arc::ptr_eq(&h.shared, shared)),
+            "wait_any handles must share one pool"
+        );
+        let mut table = shared.results.lock().unwrap();
+        loop {
+            for (i, h) in handles.iter().enumerate() {
+                if let Some(r) = table.ready.remove(&h.id) {
+                    h.mark_claimed();
+                    return Some((i, r));
+                }
+            }
+            table = shared.done.wait(table).unwrap();
+        }
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        if self.claimed.load(Ordering::Acquire) {
+            return;
+        }
+        // Abandoned before claiming: free the result slot now if the
+        // job already finished, or leave a tombstone so the publisher
+        // discards it on arrival (consumed there — neither side grows).
+        let mut table = self.shared.results.lock().unwrap();
+        if table.ready.remove(&self.id).is_none() {
+            table.abandoned.insert(self.id);
+        }
+    }
+}
+
+/// A pool of scheduler workers serving one compiled design.
+///
+/// # Examples
+///
+/// ```
+/// use rteaal_core::Compiler;
+/// use rteaal_kernels::{KernelConfig, KernelKind};
+/// use rteaal_sched::Job;
+/// use rteaal_serve::{ServeConfig, ServerPool};
+///
+/// let src = "\
+/// circuit H :
+///   module H :
+///     input clock : Clock
+///     input limit : UInt<8>
+///     output cnt : UInt<8>
+///     output done : UInt<1>
+///     reg acc : UInt<8>, clock
+///     acc <= tail(add(acc, UInt<8>(1)), 1)
+///     cnt <= acc
+///     done <= geq(acc, limit)
+/// ";
+/// let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(src)?;
+/// let pool = ServerPool::new(&compiled, ServeConfig::with_workers(2), "done")?;
+/// let handles: Vec<_> = (1u64..=6)
+///     .map(|k| {
+///         pool.submit(
+///             Job::new(format!("count-{k}"), k + 8)
+///                 .with_input("limit", k)
+///                 .with_probe("cnt"),
+///         )
+///     })
+///     .collect();
+/// for (k, h) in (1u64..=6).zip(&handles) {
+///     let r = h.wait();
+///     assert!(r.completed());
+///     assert_eq!(r.outputs[0].1, k + 1);
+/// }
+/// pool.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ServerPool {
+    shared: Arc<Shared>,
+    /// Per-worker submission queues (dropped to signal shutdown).
+    senders: Vec<Sender<(u64, Job)>>,
+    /// Jobs dispatched to but not yet finished by each worker.
+    loads: Arc<Vec<AtomicUsize>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    config: ServeConfig,
+}
+
+impl ServerPool {
+    /// Spawns `config.workers` scheduler threads over a shared compile,
+    /// each watching `halt_signal` for per-lane completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if `halt_signal` names neither a probe
+    /// nor an output port of the design.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers`, `config.lanes`, or
+    /// `config.chunk_cycles` is zero.
+    pub fn new(
+        compiled: &Compiled,
+        config: ServeConfig,
+        halt_signal: &str,
+    ) -> Result<Self, UnknownSignal> {
+        assert!(config.workers > 0, "pool needs at least one worker");
+        assert!(config.lanes > 0, "pool needs at least one lane per worker");
+        assert!(
+            config.chunk_cycles > 0,
+            "zero-cycle chunks would never step a job"
+        );
+        // Validate the halt probe before spawning anything, through the
+        // same resolver `BatchSimulation::watch_halt` uses.
+        if compiled.plan.signal_slot(halt_signal).is_none() {
+            return Err(UnknownSignal(halt_signal.to_string()));
+        }
+        let shared = Arc::new(Shared {
+            results: Mutex::new(ResultsTable::default()),
+            done: Condvar::new(),
+            stats: Mutex::new(vec![SchedStats::default(); config.workers]),
+        });
+        let loads: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..config.workers).map(|_| AtomicUsize::new(0)).collect());
+        let compiled = Arc::new(compiled.clone());
+        let halt = halt_signal.to_string();
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            let (compiled, halt) = (Arc::clone(&compiled), halt.clone());
+            let (shared, loads) = (Arc::clone(&shared), Arc::clone(&loads));
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rteaal-serve-{w}"))
+                    .spawn(move || worker_loop(&compiled, &halt, config, rx, &shared, &loads, w))
+                    .expect("worker thread spawns"),
+            );
+        }
+        Ok(ServerPool {
+            shared,
+            senders,
+            loads,
+            workers,
+            next_id: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The pool's sizing knobs.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Enqueues a job onto the least-loaded worker and returns a handle
+    /// to its eventual result. Never blocks on the simulation.
+    pub fn submit(&self, mut job: Job) -> JobHandle {
+        job.budget = job.budget.min(self.config.max_budget);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Least-loaded dispatch; ties go to the lowest worker index.
+        let w = (0..self.loads.len())
+            .min_by_key(|&w| self.loads[w].load(Ordering::Acquire))
+            .expect("at least one worker");
+        self.loads[w].fetch_add(1, Ordering::AcqRel);
+        self.senders[w]
+            .send((id, job))
+            .expect("workers outlive the pool");
+        JobHandle {
+            id,
+            shared: Arc::clone(&self.shared),
+            claimed: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Jobs submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Jobs dispatched but not yet finished, across all workers.
+    pub fn in_flight(&self) -> usize {
+        self.loads.iter().map(|l| l.load(Ordering::Acquire)).sum()
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn stats(&self) -> ServeStats {
+        let per_worker = self.shared.stats.lock().unwrap().clone();
+        let mut merged = SchedStats::default();
+        for s in &per_worker {
+            merged.merge(s);
+        }
+        ServeStats {
+            workers: self.config.workers,
+            lanes: self.config.lanes,
+            submitted: self.submitted(),
+            unclaimed: self.shared.results.lock().unwrap().ready.len(),
+            merged,
+            per_worker,
+        }
+    }
+
+    /// Stops accepting submissions, lets every worker drain its
+    /// outstanding jobs, joins the threads, and returns the final
+    /// counters. Already-issued [`JobHandle`]s stay valid — results
+    /// published during the drain remain claimable.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker exits cleanly");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for ServerPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: a scheduler driven in chunks, fed from its queue,
+/// publishing results as lanes drain. Exits once the pool disconnects
+/// the queue *and* all outstanding work is done.
+fn worker_loop(
+    compiled: &Compiled,
+    halt: &str,
+    config: ServeConfig,
+    rx: Receiver<(u64, Job)>,
+    shared: &Shared,
+    loads: &[AtomicUsize],
+    w: usize,
+) {
+    let mut sched =
+        Scheduler::new(compiled, config.lanes, halt).expect("halt validated by the pool");
+    // Scheduler-local JobId -> pool-global id.
+    let mut global: HashMap<JobId, u64> = HashMap::new();
+    loop {
+        // Idle workers block on their queue instead of spinning; a
+        // disconnected queue with no work left means shutdown.
+        if !sched.has_work() {
+            match rx.recv() {
+                Ok((id, job)) => {
+                    global.insert(sched.submit(job), id);
+                }
+                Err(_) => break,
+            }
+        }
+        // Opportunistically drain whatever else has queued up — mid-run
+        // admission packs new jobs into lanes freed this chunk.
+        while let Ok((id, job)) = rx.try_recv() {
+            global.insert(sched.submit(job), id);
+        }
+        sched.run_for(config.chunk_cycles);
+        publish(&mut sched, &mut global, shared, loads, w);
+    }
+    debug_assert!(global.is_empty(), "every mapped job was published");
+}
+
+/// Publishes a chunk's harvested results under their pool-global ids
+/// and refreshes the worker's stats snapshot.
+fn publish(
+    sched: &mut Scheduler,
+    global: &mut HashMap<JobId, u64>,
+    shared: &Shared,
+    loads: &[AtomicUsize],
+    w: usize,
+) {
+    shared.stats.lock().unwrap()[w] = sched.stats();
+    let results = sched.take_results();
+    if results.is_empty() {
+        return;
+    }
+    let mut table = shared.results.lock().unwrap();
+    for mut r in results {
+        let id = global.remove(&r.id).expect("every scheduled job is mapped");
+        // A tombstone means the handle was dropped unclaimed: discard
+        // instead of parking the result forever.
+        if !table.abandoned.remove(&id) {
+            r.id = JobId(id);
+            table.ready.insert(id, r);
+        }
+        loads[w].fetch_sub(1, Ordering::AcqRel);
+    }
+    drop(table);
+    shared.done.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rteaal_core::Compiler;
+    use rteaal_kernels::{KernelConfig, KernelKind};
+    use rteaal_sched::JobOutcome;
+
+    const HALT_SRC: &str = "\
+circuit H :
+  module H :
+    input clock : Clock
+    input limit : UInt<8>
+    output cnt : UInt<8>
+    output done : UInt<1>
+    reg acc : UInt<8>, clock
+    acc <= tail(add(acc, UInt<8>(1)), 1)
+    cnt <= acc
+    done <= geq(acc, limit)
+";
+
+    fn compiled() -> Compiled {
+        Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(HALT_SRC)
+            .unwrap()
+    }
+
+    fn count_job(limit: u64) -> Job {
+        Job::new(format!("count-{limit}"), limit + 8)
+            .with_input("limit", limit)
+            .with_probe("cnt")
+    }
+
+    #[test]
+    fn pool_serves_many_clients_worth_of_jobs() {
+        let c = compiled();
+        for workers in [1usize, 2, 3] {
+            let mut cfg = ServeConfig::with_workers(workers);
+            cfg.lanes = 2;
+            cfg.chunk_cycles = 8;
+            let pool = ServerPool::new(&c, cfg, "done").unwrap();
+            let limits: Vec<u64> = (0..20).map(|i| 2 + (i * 7) % 23).collect();
+            let handles: Vec<JobHandle> =
+                limits.iter().map(|&l| pool.submit(count_job(l))).collect();
+            for (&limit, h) in limits.iter().zip(&handles) {
+                let r = h.wait();
+                assert!(r.completed(), "{}", r.name);
+                assert_eq!(r.id.0, h.id());
+                assert_eq!(r.name, format!("count-{limit}"));
+                assert_eq!(r.outputs[0], ("cnt".to_string(), limit + 1));
+                assert_eq!(r.cycles, limit + 1);
+            }
+            // Delivery is exactly-once.
+            assert!(handles[0].poll().is_none());
+            let stats = pool.shutdown();
+            assert_eq!(stats.submitted, limits.len() as u64);
+            assert_eq!(stats.merged.completed, limits.len());
+            assert_eq!(stats.unclaimed, 0);
+            assert_eq!(stats.per_worker.len(), workers);
+            if workers > 1 {
+                // Least-loaded dispatch spread the corpus around.
+                assert!(
+                    stats.per_worker.iter().all(|s| s.admitted > 0),
+                    "{:?}",
+                    stats.per_worker
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poison_jobs_come_back_rejected_without_stalling_the_pool() {
+        let c = compiled();
+        let pool = ServerPool::new(&c, ServeConfig::with_workers(1), "done").unwrap();
+        let good_before = pool.submit(count_job(3));
+        let bad = pool.submit(Job::new("poison", 10).with_input("nope", 1));
+        let good_after = pool.submit(count_job(5));
+        let r = bad.wait();
+        assert_eq!(r.outcome, JobOutcome::Rejected);
+        assert!(r.error.unwrap().contains("nope"));
+        assert!(good_before.wait().completed());
+        assert!(good_after.wait().completed());
+        let stats = pool.shutdown();
+        assert_eq!(stats.merged.rejected, 1);
+        assert_eq!(stats.merged.completed, 2);
+    }
+
+    #[test]
+    fn poll_is_nonblocking_and_shutdown_drains() {
+        let c = compiled();
+        let pool = ServerPool::new(&c, ServeConfig::with_workers(2), "done").unwrap();
+        let handles: Vec<JobHandle> = (0..10).map(|i| pool.submit(count_job(4 + i))).collect();
+        // Results stay claimable after shutdown (which drains workers).
+        let stats = pool.shutdown();
+        assert_eq!(stats.merged.completed, 10);
+        assert!(stats.utilization() > 0.0);
+        for (i, h) in handles.iter().enumerate() {
+            let r = h.poll().expect("drained before shutdown returned");
+            assert_eq!(r.outputs[0].1, 4 + i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn dropping_an_unclaimed_handle_frees_its_result_slot() {
+        let c = compiled();
+        let pool = ServerPool::new(&c, ServeConfig::with_workers(1), "done").unwrap();
+        // Dropped before the job can have finished: the publication is
+        // discarded via the tombstone.
+        drop(pool.submit(count_job(30)));
+        // Dropped after the result landed: the slot is freed directly.
+        let parked = pool.submit(count_job(2));
+        let kept = pool.submit(count_job(25));
+        assert!(kept.wait().completed());
+        drop(parked);
+        let stats = pool.shutdown();
+        assert_eq!(stats.merged.completed, 3, "abandoned jobs still ran");
+        assert_eq!(stats.unclaimed, 0, "no parked results leak");
+    }
+
+    #[test]
+    fn unknown_halt_signal_is_rejected_up_front() {
+        let c = compiled();
+        assert_eq!(
+            ServerPool::new(&c, ServeConfig::default(), "ghost").err(),
+            Some(UnknownSignal("ghost".to_string()))
+        );
+    }
+
+    #[test]
+    fn budgets_are_clamped_to_the_server_cap() {
+        let c = compiled();
+        let mut cfg = ServeConfig::with_workers(1);
+        cfg.max_budget = 6;
+        let pool = ServerPool::new(&c, cfg, "done").unwrap();
+        // limit 200 is unreachable; the clamped budget evicts at 6.
+        let h = pool.submit(
+            Job::new("runaway", u64::MAX)
+                .with_input("limit", 200)
+                .with_probe("cnt"),
+        );
+        let r = h.wait();
+        assert_eq!(r.outcome, JobOutcome::Evicted);
+        assert_eq!(r.cycles, 6);
+        pool.shutdown();
+    }
+}

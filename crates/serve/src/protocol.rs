@@ -1,0 +1,554 @@
+//! The line-delimited-JSON wire protocol of the socket front end.
+//!
+//! One request per line, one response per line, one connection per
+//! client. Four verbs:
+//!
+//! | verb     | request fields | response |
+//! |----------|----------------|----------|
+//! | `submit` | `job`          | `{"ok":true,"kind":"submitted","id":N}` |
+//! | `poll`   | `id`           | `kind:"result"` if finished, else `kind:"pending"` |
+//! | `result` | `id` (optional)| blocks; with no `id`, the *next* of this connection's jobs to finish |
+//! | `stats`  | —              | `kind:"stats"` with pool counters |
+//!
+//! Example session (client lines prefixed `>`):
+//!
+//! ```text
+//! > {"verb":"submit","job":{"name":"sum-5","budget":27,"state_pokes":[{"name":"x15","value":5}],"probes":["a0"]}}
+//! {"ok":true,"kind":"submitted","id":0}
+//! > {"verb":"result","id":0}
+//! {"ok":true,"kind":"result","id":0,"result":{"id":0,"name":"sum-5","outcome":"completed",...,"outputs":[{"name":"a0","value":15}]}}
+//! ```
+//!
+//! Envelope (de)serialization is hand-written against the vendored
+//! serde's [`Content`] tree so optional fields may simply be omitted —
+//! a hand-typed `{"verb":"stats"}` is a valid request; inner payload
+//! structs use the derive.
+
+use rteaal_sched::{Job, JobOutcome, JobResult};
+use serde::{Content, Deserialize, Serialize};
+
+use crate::pool::ServeStats;
+
+/// What a request asks the server to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verb {
+    /// Enqueue a job; responds immediately with its id.
+    Submit,
+    /// Non-blocking result check for an id.
+    Poll,
+    /// Blocking result fetch (by id, or the next to finish).
+    Result,
+    /// Pool counters.
+    Stats,
+}
+
+impl Verb {
+    fn as_str(self) -> &'static str {
+        match self {
+            Verb::Submit => "submit",
+            Verb::Poll => "poll",
+            Verb::Result => "result",
+            Verb::Stats => "stats",
+        }
+    }
+}
+
+impl Serialize for Verb {
+    fn to_content(&self) -> Content {
+        Content::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Verb {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        match content {
+            Content::Str(s) => match s.as_str() {
+                "submit" => Ok(Verb::Submit),
+                "poll" => Ok(Verb::Poll),
+                "result" => Ok(Verb::Result),
+                "stats" => Ok(Verb::Stats),
+                other => Err(serde::Error(format!("unknown verb `{other}`"))),
+            },
+            other => Err(serde::Error::expected("verb string", other)),
+        }
+    }
+}
+
+/// A named 64-bit value — input bindings, state pokes, and harvested
+/// outputs all cross the wire in this shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireBinding {
+    /// Signal name.
+    pub name: String,
+    /// Bound or harvested value.
+    pub value: u64,
+}
+
+/// A job as submitted over the wire (mirrors [`Job`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct WireJob {
+    /// Human-readable tag.
+    pub name: String,
+    /// Cycle budget (clamped by the server's `max_budget`).
+    pub budget: u64,
+    /// Held input bindings.
+    pub inputs: Vec<WireBinding>,
+    /// Admission-time architectural state pokes.
+    pub state_pokes: Vec<WireBinding>,
+    /// Signals to harvest at completion.
+    pub probes: Vec<String>,
+}
+
+// Hand-written so hand-typed submissions may omit the empty lists.
+impl Deserialize for WireJob {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let req = |field: &str| {
+            content
+                .field(field)
+                .ok_or_else(|| serde::Error(format!("job is missing field `{field}`")))
+        };
+        let opt_list = |field: &str| match content.field(field) {
+            Some(c) => Deserialize::from_content(c),
+            None => Ok(Vec::new()),
+        };
+        Ok(WireJob {
+            name: Deserialize::from_content(req("name")?)?,
+            budget: Deserialize::from_content(req("budget")?)?,
+            inputs: opt_list("inputs")?,
+            state_pokes: opt_list("state_pokes")?,
+            probes: match content.field("probes") {
+                Some(c) => Deserialize::from_content(c)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+fn bindings(pairs: &[(String, u64)]) -> Vec<WireBinding> {
+    pairs
+        .iter()
+        .map(|(name, value)| WireBinding {
+            name: name.clone(),
+            value: *value,
+        })
+        .collect()
+}
+
+impl From<&Job> for WireJob {
+    fn from(job: &Job) -> Self {
+        WireJob {
+            name: job.name.clone(),
+            budget: job.budget,
+            inputs: bindings(&job.inputs),
+            state_pokes: bindings(&job.state_pokes),
+            probes: job.probes.clone(),
+        }
+    }
+}
+
+impl From<WireJob> for Job {
+    fn from(w: WireJob) -> Self {
+        let mut job = Job::new(w.name, w.budget);
+        job.inputs = w.inputs.into_iter().map(|b| (b.name, b.value)).collect();
+        job.state_pokes = w
+            .state_pokes
+            .into_iter()
+            .map(|b| (b.name, b.value))
+            .collect();
+        job.probes = w.probes;
+        job
+    }
+}
+
+/// A finished job as reported over the wire (mirrors [`JobResult`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireResult {
+    /// Pool-global job id.
+    pub id: u64,
+    /// The job's tag.
+    pub name: String,
+    /// `"completed"`, `"evicted"`, or `"rejected"`.
+    pub outcome: String,
+    /// Rejection reason (`null` otherwise).
+    pub error: Option<String>,
+    /// Harvested outputs in probe order.
+    pub outputs: Vec<WireBinding>,
+    /// Local cycles from admission to halt/eviction.
+    pub cycles: u64,
+    /// Global engine cycle at admission.
+    pub admitted_at: u64,
+    /// Global engine cycle at halt/eviction/rejection.
+    pub finished_at: u64,
+}
+
+impl WireResult {
+    /// Whether the halt condition fired within budget.
+    pub fn completed(&self) -> bool {
+        self.outcome == "completed"
+    }
+
+    /// The harvested value of one probe, if present.
+    pub fn output(&self, name: &str) -> Option<u64> {
+        self.outputs
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.value)
+    }
+}
+
+impl From<&JobResult> for WireResult {
+    fn from(r: &JobResult) -> Self {
+        WireResult {
+            id: r.id.0,
+            name: r.name.clone(),
+            outcome: match r.outcome {
+                JobOutcome::Completed => "completed",
+                JobOutcome::Evicted => "evicted",
+                JobOutcome::Rejected => "rejected",
+            }
+            .to_string(),
+            error: r.error.clone(),
+            outputs: bindings(&r.outputs),
+            cycles: r.cycles,
+            admitted_at: r.admitted_at,
+            finished_at: r.finished_at,
+        }
+    }
+}
+
+/// Pool counters as reported by the `stats` verb.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireStats {
+    /// Worker threads.
+    pub workers: u64,
+    /// Lanes per worker.
+    pub lanes: u64,
+    /// Jobs submitted through the pool.
+    pub submitted: u64,
+    /// Engine cycles stepped, all workers.
+    pub cycles: u64,
+    /// Occupied-lane cycles, all workers.
+    pub busy_lane_cycles: u64,
+    /// Jobs admitted into lanes.
+    pub admitted: u64,
+    /// Jobs completed within budget.
+    pub completed: u64,
+    /// Jobs evicted at budget.
+    pub evicted: u64,
+    /// Jobs rejected at validation.
+    pub rejected: u64,
+    /// Occupied-lane cycles over total lane cycles.
+    pub utilization: f64,
+}
+
+impl From<&ServeStats> for WireStats {
+    fn from(s: &ServeStats) -> Self {
+        WireStats {
+            workers: s.workers as u64,
+            lanes: s.lanes as u64,
+            submitted: s.submitted,
+            cycles: s.merged.cycles,
+            busy_lane_cycles: s.merged.busy_lane_cycles,
+            admitted: s.merged.admitted as u64,
+            completed: s.merged.completed as u64,
+            evicted: s.merged.evicted as u64,
+            rejected: s.merged.rejected as u64,
+            utilization: s.utilization(),
+        }
+    }
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// What to do.
+    pub verb: Verb,
+    /// The job to submit (`submit` only).
+    pub job: Option<WireJob>,
+    /// The job id to check (`poll`; optional for `result`).
+    pub id: Option<u64>,
+}
+
+impl Request {
+    /// A `submit` request.
+    pub fn submit(job: WireJob) -> Self {
+        Request {
+            verb: Verb::Submit,
+            job: Some(job),
+            id: None,
+        }
+    }
+
+    /// A `poll` request.
+    pub fn poll(id: u64) -> Self {
+        Request {
+            verb: Verb::Poll,
+            job: None,
+            id: Some(id),
+        }
+    }
+
+    /// A blocking `result` request (`None` = next job to finish).
+    pub fn result(id: Option<u64>) -> Self {
+        Request {
+            verb: Verb::Result,
+            job: None,
+            id,
+        }
+    }
+
+    /// A `stats` request.
+    pub fn stats() -> Self {
+        Request {
+            verb: Verb::Stats,
+            job: None,
+            id: None,
+        }
+    }
+}
+
+/// Appends `(key, value)` if the value is present.
+fn push_opt<T: Serialize>(entries: &mut Vec<(String, Content)>, key: &str, value: &Option<T>) {
+    if let Some(v) = value {
+        entries.push((key.to_string(), v.to_content()));
+    }
+}
+
+impl Serialize for Request {
+    fn to_content(&self) -> Content {
+        let mut entries = vec![("verb".to_string(), self.verb.to_content())];
+        push_opt(&mut entries, "job", &self.job);
+        push_opt(&mut entries, "id", &self.id);
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let verb = Verb::from_content(
+            content
+                .field("verb")
+                .ok_or_else(|| serde::Error("request is missing `verb`".to_string()))?,
+        )?;
+        let opt = |field: &str| -> Result<Option<_>, serde::Error> {
+            match content.field(field) {
+                Some(c) => Deserialize::from_content(c).map(Some),
+                None => Ok(None),
+            }
+        };
+        Ok(Request {
+            verb,
+            job: match content.field("job") {
+                Some(c) => Some(WireJob::from_content(c)?),
+                None => None,
+            },
+            id: opt("id")?,
+        })
+    }
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// `false` only for `kind:"error"`.
+    pub ok: bool,
+    /// `submitted`, `pending`, `result`, `stats`, or `error`.
+    pub kind: String,
+    /// The id the response refers to (submit/poll/result kinds).
+    pub id: Option<u64>,
+    /// The finished job (`kind:"result"`).
+    pub result: Option<WireResult>,
+    /// Pool counters (`kind:"stats"`).
+    pub stats: Option<WireStats>,
+    /// What went wrong (`kind:"error"`).
+    pub error: Option<String>,
+}
+
+impl Response {
+    fn base(ok: bool, kind: &str) -> Self {
+        Response {
+            ok,
+            kind: kind.to_string(),
+            id: None,
+            result: None,
+            stats: None,
+            error: None,
+        }
+    }
+
+    /// Acknowledges a submission.
+    pub fn submitted(id: u64) -> Self {
+        Response {
+            id: Some(id),
+            ..Self::base(true, "submitted")
+        }
+    }
+
+    /// A poll on a still-running job.
+    pub fn pending(id: u64) -> Self {
+        Response {
+            id: Some(id),
+            ..Self::base(true, "pending")
+        }
+    }
+
+    /// Delivers a finished job.
+    pub fn result(r: WireResult) -> Self {
+        Response {
+            id: Some(r.id),
+            result: Some(r),
+            ..Self::base(true, "result")
+        }
+    }
+
+    /// Delivers pool counters.
+    pub fn stats(s: WireStats) -> Self {
+        Response {
+            stats: Some(s),
+            ..Self::base(true, "stats")
+        }
+    }
+
+    /// Reports a per-request failure (the connection stays usable).
+    pub fn error(message: impl Into<String>) -> Self {
+        Response {
+            error: Some(message.into()),
+            ..Self::base(false, "error")
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_content(&self) -> Content {
+        let mut entries = vec![
+            ("ok".to_string(), self.ok.to_content()),
+            ("kind".to_string(), self.kind.to_content()),
+        ];
+        push_opt(&mut entries, "id", &self.id);
+        push_opt(&mut entries, "result", &self.result);
+        push_opt(&mut entries, "stats", &self.stats);
+        push_opt(&mut entries, "error", &self.error);
+        Content::Map(entries)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let req = |field: &str| {
+            content
+                .field(field)
+                .ok_or_else(|| serde::Error(format!("response is missing `{field}`")))
+        };
+        let opt = |field: &str| -> Result<Option<u64>, serde::Error> {
+            match content.field(field) {
+                Some(c) => Deserialize::from_content(c).map(Some),
+                None => Ok(None),
+            }
+        };
+        Ok(Response {
+            ok: Deserialize::from_content(req("ok")?)?,
+            kind: Deserialize::from_content(req("kind")?)?,
+            id: opt("id")?,
+            result: match content.field("result") {
+                Some(c) => Some(WireResult::from_content(c)?),
+                None => None,
+            },
+            stats: match content.field("stats") {
+                Some(c) => Some(WireStats::from_content(c)?),
+                None => None,
+            },
+            error: match content.field("error") {
+                Some(c) => Some(Deserialize::from_content(c)?),
+                None => None,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_and_tolerate_omitted_fields() {
+        let job = WireJob {
+            name: "sum-5".to_string(),
+            budget: 27,
+            inputs: vec![],
+            state_pokes: vec![WireBinding {
+                name: "x15".to_string(),
+                value: 5,
+            }],
+            probes: vec!["a0".to_string()],
+        };
+        for req in [
+            Request::submit(job.clone()),
+            Request::poll(3),
+            Request::result(None),
+            Request::result(Some(7)),
+            Request::stats(),
+        ] {
+            let line = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req, "{line}");
+        }
+        // A minimal hand-typed submission parses: empty lists omitted.
+        let hand = r#"{"verb":"submit","job":{"name":"j","budget":9}}"#;
+        let req: Request = serde_json::from_str(hand).unwrap();
+        assert_eq!(req.verb, Verb::Submit);
+        let j = req.job.unwrap();
+        assert_eq!((j.name.as_str(), j.budget), ("j", 9));
+        assert!(j.inputs.is_empty() && j.state_pokes.is_empty() && j.probes.is_empty());
+        // Unknown verbs fail loudly.
+        assert!(serde_json::from_str::<Request>(r#"{"verb":"zap"}"#).is_err());
+        assert!(serde_json::from_str::<Request>(r#"{"id":3}"#).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_and_omit_absent_fields() {
+        let r = WireResult {
+            id: 4,
+            name: "sum-5".to_string(),
+            outcome: "completed".to_string(),
+            error: None,
+            outputs: vec![WireBinding {
+                name: "a0".to_string(),
+                value: 15,
+            }],
+            cycles: 20,
+            admitted_at: 2,
+            finished_at: 22,
+        };
+        assert!(r.completed());
+        assert_eq!(r.output("a0"), Some(15));
+        assert_eq!(r.output("a1"), None);
+        for resp in [
+            Response::submitted(4),
+            Response::pending(4),
+            Response::result(r),
+            Response::error("unknown id"),
+        ] {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp, "{line}");
+        }
+        // Compactness: absent options leave no key behind.
+        let line = serde_json::to_string(&Response::submitted(4)).unwrap();
+        assert_eq!(line, r#"{"ok":true,"kind":"submitted","id":4}"#);
+    }
+
+    #[test]
+    fn wire_job_converts_to_and_from_sched_jobs() {
+        let job: Job = Job::new("j", 64)
+            .with_input("limit", 5)
+            .with_state_poke("x15", 7)
+            .with_probe("a0");
+        let wire = WireJob::from(&job);
+        let back: Job = wire.into();
+        assert_eq!(back.name, job.name);
+        assert_eq!(back.budget, job.budget);
+        assert_eq!(back.inputs, job.inputs);
+        assert_eq!(back.state_pokes, job.state_pokes);
+        assert_eq!(back.probes, job.probes);
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end loopback smoke of the socket front end: a real
+//! `TcpListener`, real corpus jobs over the wire, and a bit-exactness
+//! check of every streamed result against scalar runs — the same
+//! sequence the CI smoke drives through `tables -- serve`.
+
+use rteaal_core::{Compiler, DebugModule, Simulation};
+use rteaal_designs::Workload;
+use rteaal_kernels::{KernelConfig, KernelKind};
+use rteaal_sched::Job;
+use rteaal_serve::{ServeClient, ServeConfig, ServerPool, SocketServer};
+
+fn corpus_job(k: u64) -> Job {
+    let mut job = Job::new(format!("sum-{k}"), Workload::param_sum_budget(k));
+    job.state_pokes = vec![("x15".to_string(), k)];
+    job.probes = vec!["a0".to_string(), "pc_out".to_string()];
+    job
+}
+
+#[test]
+fn three_jobs_over_loopback_are_bit_exact() {
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&Workload::param_sum_circuit())
+        .expect("rv32i compiles");
+    let pool =
+        ServerPool::new(&compiled, ServeConfig::with_workers(2), "halt").expect("halt resolves");
+    let addr = SocketServer::bind(pool, "127.0.0.1:0")
+        .expect("binds loopback")
+        .spawn()
+        .expect("accept loop spawns");
+
+    let mut client = ServeClient::connect(addr).expect("connects");
+    let ks = [5u64, 30, 2];
+    let ids: Vec<u64> = ks
+        .iter()
+        .map(|&k| client.submit(&corpus_job(k)).expect("submits"))
+        .collect();
+
+    // Results stream back in completion order; collect all three.
+    let mut results = Vec::new();
+    for _ in &ks {
+        results.push(client.next_result().expect("streams a result"));
+    }
+    for (&k, &id) in ks.iter().zip(&ids) {
+        let r = results
+            .iter()
+            .find(|r| r.id == id)
+            .expect("one result per submitted id");
+        assert!(r.completed(), "k={k}");
+        // Closed form and scalar run agree with the wire result.
+        assert_eq!(r.output("a0"), Some(Workload::param_sum_expected(k)));
+        let mut scalar = Simulation::new(compiled.clone());
+        DebugModule::new(&mut scalar)
+            .poke_reg("x15", k)
+            .expect("x15 probed");
+        while scalar.peek("halt") != Some(1) {
+            scalar.step();
+        }
+        assert_eq!(r.output("a0"), scalar.peek("a0"), "k={k} a0");
+        assert_eq!(r.output("pc_out"), scalar.peek("pc_out"), "k={k} pc");
+        assert_eq!(r.cycles, scalar.cycle(), "k={k} completion cycle");
+    }
+
+    // The stats verb aggregates across workers.
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.submitted, 3);
+    assert_eq!(stats.workers, 2);
+
+    // Poll on a drained id errors (already claimed); a fresh submission
+    // polls pending-then-done.
+    assert!(client.poll(ids[0]).is_err(), "claimed ids are gone");
+    let id = client.submit(&corpus_job(40)).expect("submits");
+    let result = loop {
+        if let Some(r) = client.poll(id).expect("polls") {
+            break r;
+        }
+        std::thread::yield_now();
+    };
+    assert_eq!(result.output("a0"), Some(Workload::param_sum_expected(40)));
+
+    // A malformed line errors without poisoning the connection.
+    let mut raw = ServeClient::connect(addr).expect("second client connects");
+    assert!(raw.poll(12345).is_err(), "unknown id on a fresh connection");
+    assert!(raw.stats().is_ok(), "connection stays usable after errors");
+}

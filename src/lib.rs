@@ -13,6 +13,7 @@
 //! - [`rteaal_perfmodel`] — cache/machine/top-down models.
 //! - [`rteaal_designs`] — evaluation designs and workloads.
 //! - [`rteaal_sched`] — continuous-batching lane scheduler.
+//! - [`rteaal_serve`] — worker pool + socket serving front end.
 
 pub use rteaal_baselines as baselines;
 pub use rteaal_core as core;
@@ -23,4 +24,5 @@ pub use rteaal_firrtl as firrtl;
 pub use rteaal_kernels as kernels;
 pub use rteaal_perfmodel as perfmodel;
 pub use rteaal_sched as sched;
+pub use rteaal_serve as serve;
 pub use rteaal_tensor as tensor;
