@@ -15,6 +15,12 @@ static ALLOC: rteaal_perfmodel::memtrack::CountingAlloc = rteaal_perfmodel::memt
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden mode: the `shard` experiment re-launches this binary as
+    // real serve processes for its loopback fleet.
+    if args.first().map(String::as_str) == Some("shard-server") {
+        rteaal_bench::experiments::shard_server_process();
+        return;
+    }
     let full = args.iter().any(|a| a == "--full");
     let ctx = if full { Ctx::full() } else { Ctx::quick() };
     let ids: Vec<&str> = args

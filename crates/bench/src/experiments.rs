@@ -1019,6 +1019,212 @@ pub fn serve_frontend(ctx: &Ctx) -> Vec<String> {
     out
 }
 
+/// The `tables -- shard-server` process body: a single-design serve
+/// process over the corpus circuit on an OS-picked loopback port.
+/// Prints `LISTENING <addr>` on stdout once ready, then serves forever
+/// — the `shard` experiment spawns two of these as *real child
+/// processes*, so the router is exercised against genuine process and
+/// socket boundaries (and a genuine `SIGKILL`), not in-process stand-ins.
+pub fn shard_server_process() {
+    use rteaal_core::Compiler;
+    use rteaal_serve::{ServeConfig, ServerPool, SocketServer};
+    use std::io::Write;
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&Workload::param_sum_circuit())
+        .expect("rv32i compiles");
+    let mut cfg = ServeConfig::with_workers(2);
+    cfg.lanes = 4;
+    let pool = ServerPool::new(&compiled, cfg, "halt").expect("halt resolves");
+    let server = SocketServer::bind(pool, "127.0.0.1:0").expect("binds loopback");
+    let addr = server.local_addr().expect("bound address");
+    println!("LISTENING {addr}");
+    std::io::stdout().flush().expect("handshake flushes");
+    server.serve_forever().expect("accept loop");
+}
+
+/// Cross-host sharding: a 2-process loopback fleet (two real
+/// `shard-server` children of this binary) driven by the
+/// [`ShardRouter`](rteaal_serve::ShardRouter) — consistent-hash
+/// partitioning, per-shard accounting, merged completion-ordered
+/// results. Two rows: a healthy fleet, and a fleet whose busiest shard
+/// is `SIGKILL`ed mid-corpus, forcing the router's dead-shard
+/// detection and automatic resubmission. Gates: every corpus job is
+/// delivered exactly once and bit-identical to a scalar `Simulation`
+/// run in *both* rows, and the kill row must log resubmissions.
+pub fn shard_fleet(ctx: &Ctx) -> Vec<String> {
+    use rteaal_core::{Compiler, DebugModule, Simulation};
+    use rteaal_sched::Job;
+    use rteaal_serve::{ShardConfig, ShardRouter};
+    use std::collections::{HashMap, HashSet};
+    use std::io::BufRead;
+    use std::net::SocketAddr;
+    use std::process::{Child, Command, Stdio};
+
+    let mut out = header("Shard: cross-host router over a 2-process loopback fleet");
+    let jobs = if ctx.max_cores > 8 { 64usize } else { 24 };
+    let ks = Workload::corpus_params(jobs, 0x5eed);
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&Workload::param_sum_circuit())
+        .expect("rv32i compiles");
+    let probes = ["a0", "pc_out"];
+    let job_for = |k: u64| {
+        let mut job = Job::new(format!("sum-{k}"), Workload::param_sum_budget(k));
+        job.state_pokes = vec![("x15".to_string(), k)];
+        job.probes = probes.iter().map(|p| (*p).to_string()).collect();
+        job
+    };
+    // Scalar references, one per distinct loop bound.
+    let mut scalar: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+    for &k in &ks {
+        scalar.entry(k).or_insert_with(|| {
+            let mut sim = Simulation::new(compiled.clone());
+            DebugModule::new(&mut sim)
+                .poke_reg("x15", k)
+                .expect("x15 probed");
+            while sim.peek("halt") != Some(1) {
+                sim.step();
+            }
+            probes
+                .iter()
+                .map(|p| ((*p).to_string(), sim.peek(p).expect("probed")))
+                .collect()
+        });
+    }
+
+    // Kills its server process on scope exit — including panic unwinds
+    // from a failed gate — so a red run can never leak children that
+    // hold CI's inherited pipes open.
+    struct ShardProc(Child);
+    impl Drop for ShardProc {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    // Spawns one real server process (this binary, `shard-server`
+    // mode) and reads its LISTENING handshake.
+    let spawn_shard = || -> (ShardProc, SocketAddr) {
+        let exe = std::env::current_exe().expect("own executable path");
+        let mut child = Command::new(exe)
+            .arg("shard-server")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("shard server spawns (the shard experiment must run via the tables binary)");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("handshake line");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .expect("handshake format")
+            .parse()
+            .expect("valid loopback address");
+        (ShardProc(child), addr)
+    };
+
+    out.push(format!(
+        "{:<10} {:>6} {:>8} {:>8} {:>7} {:>7} {:>8} {:>8} {:>10}",
+        "scenario", "jobs", "s0 jobs", "s1 jobs", "resub", "deaths", "util0%", "util1%", "exact"
+    ));
+    for kill_one in [false, true] {
+        let (mut child0, addr0) = spawn_shard();
+        let (mut child1, addr1) = spawn_shard();
+        let mut router =
+            ShardRouter::connect(&[addr0, addr1], ShardConfig::default()).expect("fleet connects");
+        for &k in &ks {
+            router.submit(job_for(k)).expect("fleet takes the job");
+        }
+        let mut results = Vec::new();
+        if kill_one {
+            // Drain a third, then SIGKILL the shard holding the most
+            // undelivered jobs — a genuine mid-corpus host loss.
+            for _ in 0..jobs / 3 {
+                results.push(router.next_result().expect("stream survives"));
+            }
+            let loads = router.stats().per_shard;
+            let victim = if loads[0].in_flight >= loads[1].in_flight {
+                0
+            } else {
+                1
+            };
+            let child = if victim == 0 {
+                &mut child0
+            } else {
+                &mut child1
+            };
+            child.0.kill().expect("kill shard process");
+            child.0.wait().expect("reap shard process");
+        }
+        results.extend(router.drain().expect("drain completes"));
+        // Health-poll *after* the drain so utilization covers the whole
+        // corpus; a dead shard reports no stats.
+        let health = router.poll_health().expect("health poll");
+        let stats = router.stats();
+
+        // Gate: exactly-once delivery, bit-identical to scalar runs.
+        // Router ids are assigned in submission order, so id i ran ks[i].
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut exact = 0usize;
+        for routed in &results {
+            assert!(seen.insert(routed.id), "job {} delivered twice", routed.id);
+            let want = &scalar[&ks[routed.id as usize]];
+            if routed.result.completed()
+                && want
+                    .iter()
+                    .all(|(name, value)| routed.result.output(name) == Some(*value))
+            {
+                exact += 1;
+            }
+        }
+        let util = |s: usize| {
+            health[s].as_ref().map_or_else(
+                || "dead".to_string(),
+                |w| format!("{:.1}", w.utilization * 100.0),
+            )
+        };
+        out.push(format!(
+            "{:<10} {jobs:>6} {:>8} {:>8} {:>7} {:>7} {:>8} {:>8} {:>7}/{jobs}",
+            if kill_one { "kill-one" } else { "healthy" },
+            stats.per_shard[0].delivered,
+            stats.per_shard[1].delivered,
+            stats.resubmitted,
+            stats.shard_deaths,
+            util(0),
+            util(1),
+            exact,
+        ));
+        assert_eq!(results.len(), jobs, "every job delivered exactly once");
+        assert_eq!(exact, jobs, "a routed job diverged from its scalar run");
+        if kill_one {
+            assert_eq!(
+                stats.shard_deaths, 1,
+                "the killed shard must register as dead"
+            );
+            assert!(
+                stats.resubmitted > 0,
+                "the killed shard's jobs must be resubmitted"
+            );
+        } else {
+            assert_eq!(stats.shard_deaths, 0, "a healthy fleet loses nobody");
+            assert!(
+                stats.per_shard.iter().all(|s| s.delivered > 0),
+                "consistent hashing spread the corpus: {:?}",
+                stats.per_shard
+            );
+        }
+        // child0/child1 drop here, killing the servers — the same path
+        // a failed gate's unwind takes.
+    }
+    out.push(String::new());
+    out.push(format!(
+        "gate: {jobs}/{jobs} exact in both rows; kill-one row resubmitted lost jobs to the survivor"
+    ));
+    out
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1",
@@ -1042,6 +1248,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "batch-engine",
     "sched",
     "serve",
+    "shard",
 ];
 
 /// Dispatches one experiment by id.
@@ -1068,6 +1275,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "batch-engine" => batch_engine(ctx),
         "sched" => sched_serving(ctx),
         "serve" => serve_frontend(ctx),
+        "shard" => shard_fleet(ctx),
         _ => return None,
     })
 }

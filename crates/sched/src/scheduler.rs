@@ -59,6 +59,18 @@ impl SchedStats {
         self.evicted += other.evicted;
         self.rejected += other.rejected;
     }
+
+    /// Occupied-lane cycles over total lane cycles stepped across
+    /// `lanes` lanes (1.0 = every lane busy every cycle; 0.0 before any
+    /// step). The one utilization formula the scheduler, the serving
+    /// pool, and the shard router's health reports all share.
+    pub fn utilization_of(&self, lanes: usize) -> f64 {
+        let total = self.cycles.saturating_mul(lanes as u64);
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_lane_cycles as f64 / total as f64
+    }
 }
 
 /// A job currently occupying a lane.
@@ -175,11 +187,7 @@ impl Scheduler {
     /// Occupied-lane cycles over total lane cycles stepped (1.0 = every
     /// lane busy every cycle).
     pub fn utilization(&self) -> f64 {
-        let total = self.stats.cycles.saturating_mul(self.lanes() as u64);
-        if total == 0 {
-            return 0.0;
-        }
-        self.stats.busy_lane_cycles as f64 / total as f64
+        self.stats.utilization_of(self.lanes())
     }
 
     /// The underlying batched simulation (e.g. to enable per-lane

@@ -5,19 +5,31 @@
 //! few) compiled designs, results streamed back the cycle each job's
 //! halt probe fires.
 //!
-//! Three layers:
+//! Five layers:
 //!
-//! - [`ServerPool`] — N worker threads, each running its own
-//!   [`Scheduler`](rteaal_sched::Scheduler) over a shared compile, fed
+//! - [`ServerPool`] — N worker threads, each running one
+//!   [`Scheduler`](rteaal_sched::Scheduler) per registered design, fed
 //!   from mpsc submission queues with least-loaded dispatch. Submission
 //!   returns a [`JobHandle`] that can [`poll`](JobHandle::poll) or
 //!   [`wait`](JobHandle::wait) (or [`JobHandle::wait_any`] across
 //!   handles) for the job's [`JobResult`](rteaal_sched::JobResult).
+//!   [`register`](ServerPool::register) grows the design registry at
+//!   runtime; jobs route by design name.
 //! - [`protocol`] — the line-delimited-JSON wire format:
-//!   `submit` / `poll` / `result` / `stats` verbs.
+//!   `submit` / `poll` / `result` / `stats` / `register` / `designs`
+//!   verbs, and the typed [`ProtocolError`] every client exchange can
+//!   surface.
 //! - [`SocketServer`] / [`ServeClient`] — a `std::net::TcpListener`
 //!   front end speaking that protocol, one connection per client, and
 //!   its blocking client.
+//! - [`ShardRouter`] — the cross-host supervisor: consistent-hash job
+//!   placement ([`HashRing`]) over a fleet of server processes, with
+//!   per-shard in-flight accounting, health tracking, and automatic
+//!   resubmission of jobs lost to dead shards; results merge into one
+//!   completion-ordered stream.
+//! - [`chaos`] — the fault-injection harness ([`ChaosShard`]): a
+//!   line-level TCP proxy that delays, drops, truncates, and kills, so
+//!   the router's failure paths are testable against real sockets.
 //!
 //! The scheduler hardening that makes this safe to put behind a socket
 //! lives in `rteaal-sched`: a job that fails validation becomes a
@@ -65,10 +77,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod chaos;
 pub mod net;
 pub mod pool;
 pub mod protocol;
+pub mod shard;
 
+pub use chaos::{ChaosPlan, ChaosShard};
 pub use net::{ServeClient, SocketServer};
-pub use pool::{JobHandle, ServeConfig, ServeStats, ServerPool};
-pub use protocol::{Request, Response, Verb, WireBinding, WireJob, WireResult, WireStats};
+pub use pool::{JobHandle, RegisterError, ServeConfig, ServeStats, ServerPool, DEFAULT_DESIGN};
+pub use protocol::{
+    ProtocolError, Request, Response, Verb, WireBinding, WireDesign, WireJob, WireResult, WireStats,
+};
+pub use shard::{HashRing, Routed, RouterError, RouterStats, ShardConfig, ShardLoad, ShardRouter};

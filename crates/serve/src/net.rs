@@ -8,11 +8,16 @@
 //! block on [`JobHandle`]s.
 
 use crate::pool::{JobHandle, ServerPool};
-use crate::protocol::{Request, Response, Verb, WireJob, WireResult, WireStats};
+use crate::protocol::{
+    ProtocolError, Request, Response, Verb, WireDesign, WireJob, WireResult, WireStats,
+};
+use rteaal_core::Compiler;
+use rteaal_kernels::{KernelConfig, KernelKind};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A socket front end over a [`ServerPool`].
 #[derive(Debug)]
@@ -108,7 +113,8 @@ fn respond(pool: &ServerPool, handles: &mut HashMap<u64, JobHandle>, request: Re
             let Some(job) = request.job else {
                 return Response::error("submit needs a `job`");
             };
-            let handle = pool.submit(job.into());
+            let design = job.design.clone();
+            let handle = pool.submit_named(design.as_deref(), job.into());
             let id = handle.id();
             handles.insert(id, handle);
             Response::submitted(id)
@@ -150,11 +156,49 @@ fn respond(pool: &ServerPool, handles: &mut HashMap<u64, JobHandle>, request: Re
             }
         },
         Verb::Stats => Response::stats(WireStats::from(&pool.stats())),
+        Verb::Register => {
+            let (Some(design), Some(source), Some(halt)) =
+                (request.design, request.source, request.halt)
+            else {
+                return Response::error("register needs `design`, `source`, and `halt`");
+            };
+            // Compiling in the connection thread keeps workers serving;
+            // the design becomes routable the moment `register` returns.
+            let compiled =
+                match Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(&source) {
+                    Ok(compiled) => compiled,
+                    Err(e) => {
+                        return Response::error(format!("design `{design}` failed to compile: {e}"))
+                    }
+                };
+            match pool.register(&design, &compiled, &halt) {
+                Ok(()) => Response::registered(design),
+                Err(e) => Response::error(e.to_string()),
+            }
+        }
+        Verb::Designs => Response::designs(
+            pool.designs()
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| WireDesign {
+                    name,
+                    default: i == 0,
+                })
+                .collect(),
+        ),
     }
 }
 
 /// A blocking client for the socket protocol — submit jobs, poll or
-/// wait for results, read server stats. One instance per connection.
+/// wait for results, register designs, read server stats. One instance
+/// per connection.
+///
+/// Every exchange returns a typed [`ProtocolError`] on failure: a
+/// connection that dies mid-response surfaces as
+/// [`ProtocolError::TruncatedLine`] carrying the partial line, a clean
+/// close as [`ProtocolError::ConnectionClosed`], and a per-request
+/// server-side refusal as [`ProtocolError::Server`] (the only
+/// non-fatal kind — the connection stays usable after it).
 #[derive(Debug)]
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
@@ -166,8 +210,8 @@ impl ServeClient {
     ///
     /// # Errors
     ///
-    /// Propagates the connect failure.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+    /// [`ProtocolError::Io`] on connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ProtocolError> {
         let stream = TcpStream::connect(addr)?;
         Ok(ServeClient {
             writer: stream.try_clone()?,
@@ -175,48 +219,88 @@ impl ServeClient {
         })
     }
 
+    /// Bounds how long any single exchange may wait for the server's
+    /// response line (`None` = wait forever). A lapsed deadline
+    /// surfaces as a fatal [`ProtocolError::Io`] — the router's
+    /// hung-host detector.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::Io`] if the socket rejects the option.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ProtocolError> {
+        // Reader and writer are clones of one socket, so setting the
+        // option on either side covers both.
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     /// One request/response round trip.
-    fn call(&mut self, request: &Request) -> io::Result<Response> {
-        let mut line = serde_json::to_string(request)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    fn call(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        let mut line = serde_json::to_string(request).expect("requests always serialize");
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         let mut reply = String::new();
         if self.reader.read_line(&mut reply)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+            return Err(ProtocolError::ConnectionClosed);
         }
-        let response: Response = serde_json::from_str(reply.trim_end())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if !reply.ends_with('\n') {
+            // EOF mid-line: the peer died between writing and
+            // terminating its response.
+            return Err(ProtocolError::TruncatedLine { partial: reply });
+        }
+        let trimmed = reply.trim_end();
+        let response: Response =
+            serde_json::from_str(trimmed).map_err(|e| ProtocolError::Malformed {
+                line: trimmed.to_string(),
+                reason: e.to_string(),
+            })?;
         if !response.ok {
-            return Err(io::Error::other(
+            return Err(ProtocolError::Server(
                 response.error.unwrap_or_else(|| "server error".to_string()),
             ));
         }
         Ok(response)
     }
 
-    /// Submits a job; returns its pool-global id.
+    /// Submits a job to the server's default design; returns its
+    /// pool-global id.
     ///
     /// # Errors
     ///
-    /// I/O failures and server-side errors.
-    pub fn submit(&mut self, job: &rteaal_sched::Job) -> io::Result<u64> {
-        let response = self.call(&Request::submit(WireJob::from(job)))?;
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn submit(&mut self, job: &rteaal_sched::Job) -> Result<u64, ProtocolError> {
+        self.submit_wire(WireJob::from(job))
+    }
+
+    /// Submits a job to a named registered design.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    /// An unknown design name is *not* an error here — it comes back
+    /// through the result as a rejected outcome.
+    pub fn submit_to(
+        &mut self,
+        design: &str,
+        job: &rteaal_sched::Job,
+    ) -> Result<u64, ProtocolError> {
+        self.submit_wire(WireJob::from(job).on_design(design))
+    }
+
+    fn submit_wire(&mut self, job: WireJob) -> Result<u64, ProtocolError> {
+        let response = self.call(&Request::submit(job))?;
         response
             .id
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "submitted without an id"))
+            .ok_or(ProtocolError::MissingPayload { kind: "submitted" })
     }
 
     /// Non-blocking result check; `None` while the job is running.
     ///
     /// # Errors
     ///
-    /// I/O failures and server-side errors (e.g. an id this connection
-    /// never submitted).
-    pub fn poll(&mut self, id: u64) -> io::Result<Option<WireResult>> {
+    /// Transport faults and server-side errors (e.g. an id this
+    /// connection never submitted), as [`ProtocolError`].
+    pub fn poll(&mut self, id: u64) -> Result<Option<WireResult>, ProtocolError> {
         let response = self.call(&Request::poll(id))?;
         Ok(response.result)
     }
@@ -225,12 +309,12 @@ impl ServeClient {
     ///
     /// # Errors
     ///
-    /// I/O failures and server-side errors.
-    pub fn result(&mut self, id: u64) -> io::Result<WireResult> {
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn result(&mut self, id: u64) -> Result<WireResult, ProtocolError> {
         let response = self.call(&Request::result(Some(id)))?;
         response
             .result
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "result without a payload"))
+            .ok_or(ProtocolError::MissingPayload { kind: "result" })
     }
 
     /// Blocks until *any* of this connection's outstanding jobs
@@ -239,24 +323,53 @@ impl ServeClient {
     ///
     /// # Errors
     ///
-    /// I/O failures, and a server-side error when nothing is
-    /// outstanding.
-    pub fn next_result(&mut self) -> io::Result<WireResult> {
+    /// Transport faults, and a server-side error when nothing is
+    /// outstanding, as [`ProtocolError`].
+    pub fn next_result(&mut self) -> Result<WireResult, ProtocolError> {
         let response = self.call(&Request::result(None))?;
         response
             .result
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "result without a payload"))
+            .ok_or(ProtocolError::MissingPayload { kind: "result" })
     }
 
     /// Fetches the pool's counters.
     ///
     /// # Errors
     ///
-    /// I/O failures and server-side errors.
-    pub fn stats(&mut self) -> io::Result<WireStats> {
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn stats(&mut self) -> Result<WireStats, ProtocolError> {
         let response = self.call(&Request::stats())?;
         response
             .stats
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "stats without a payload"))
+            .ok_or(ProtocolError::MissingPayload { kind: "stats" })
+    }
+
+    /// Registers a design: the server compiles `source` (FIRRTL text)
+    /// under `design`, watching `halt` for per-lane completion.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults, compile failures, duplicate names, and unknown
+    /// halt signals, as [`ProtocolError`].
+    pub fn register(
+        &mut self,
+        design: &str,
+        source: &str,
+        halt: &str,
+    ) -> Result<(), ProtocolError> {
+        self.call(&Request::register(design, source, halt))?;
+        Ok(())
+    }
+
+    /// Lists the server's registered designs.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn designs(&mut self) -> Result<Vec<WireDesign>, ProtocolError> {
+        let response = self.call(&Request::designs())?;
+        response
+            .designs
+            .ok_or(ProtocolError::MissingPayload { kind: "designs" })
     }
 }

@@ -1,10 +1,10 @@
-//! The multi-worker serving pool: N threads, each running its own
-//! [`Scheduler`] over one shared compile, fed from mpsc submission
+//! The multi-worker serving pool: N threads, each running one
+//! [`Scheduler`] per registered design, fed from mpsc submission
 //! queues with least-loaded dispatch.
 //!
 //! [`ServerPool`] is the in-process front door of the serving layer.
 //! Submission returns immediately with a [`JobHandle`]; each worker
-//! drives its scheduler in small [`Scheduler::run_for`] chunks,
+//! drives its schedulers in small [`Scheduler::run_for`] chunks,
 //! interleaving mid-run admissions from its queue with harvests, and
 //! publishes every finished job's [`JobResult`] — keyed by a
 //! pool-global id — the moment the lane's halt probe fires. Clients
@@ -16,14 +16,27 @@
 //! workers × L lanes behave like one W·L-lane engine whose lanes drain
 //! and refill independently — the multi-worker shape the ROADMAP pairs
 //! with the async front end.
+//!
+//! A pool starts with one design (the *default*, the compile it was
+//! constructed over) and grows by [`register`](ServerPool::register):
+//! every worker gains a scheduler for the new design, and jobs route by
+//! design name through [`submit_named`](ServerPool::submit_named) (or
+//! the wire protocol's `"design"` job field). One server process can
+//! therefore hold a whole registry of compiled circuits — the
+//! multi-design shape a cross-host [`ShardRouter`](crate::ShardRouter)
+//! fleet is built from.
 
 use rteaal_core::{Compiled, UnknownSignal};
-use rteaal_sched::{Job, JobId, JobResult, SchedStats, Scheduler};
+use rteaal_sched::{Job, JobId, JobOutcome, JobResult, SchedStats, Scheduler};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// The name of the design every pool starts with (the compile passed to
+/// [`ServerPool::new`]); jobs that name no design run on it.
+pub const DEFAULT_DESIGN: &str = "default";
 
 /// Worker-pool sizing and pacing knobs.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +104,8 @@ pub struct ServeStats {
     pub workers: usize,
     /// Lanes per worker.
     pub lanes: usize,
+    /// Registered designs (including the default).
+    pub designs: usize,
     /// Jobs submitted through the pool so far.
     pub submitted: u64,
     /// Results finished but not yet claimed by a handle.
@@ -103,15 +118,38 @@ pub struct ServeStats {
 
 impl ServeStats {
     /// Occupied-lane cycles over total lane cycles stepped, across all
-    /// workers.
+    /// workers (`merged.cycles` already sums every worker's cycles, so
+    /// the lane width here is per-worker).
     pub fn utilization(&self) -> f64 {
-        let total = self.merged.cycles.saturating_mul(self.lanes as u64);
-        if total == 0 {
-            return 0.0;
-        }
-        self.merged.busy_lane_cycles as f64 / total as f64
+        self.merged.utilization_of(self.lanes)
     }
 }
+
+/// Why a design registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The halt signal names neither a probe nor an output port of the
+    /// design being registered.
+    UnknownHalt(UnknownSignal),
+    /// The name is already taken. Replacing a design in place would
+    /// strand its in-flight jobs, so re-registration is refused.
+    DuplicateDesign(String),
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::UnknownHalt(UnknownSignal(name)) => {
+                write!(f, "unknown halt signal `{name}`")
+            }
+            RegisterError::DuplicateDesign(name) => {
+                write!(f, "design `{name}` is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
 
 /// A claim on one submitted job's eventual [`JobResult`].
 ///
@@ -243,13 +281,52 @@ impl Drop for JobHandle {
 #[derive(Debug)]
 pub struct ServerPool {
     shared: Arc<Shared>,
-    /// Per-worker submission queues (dropped to signal shutdown).
-    senders: Vec<Sender<(u64, Job)>>,
+    /// Design names and per-worker submission queues, under one lock:
+    /// holding it across channel sends guarantees a design's `Register`
+    /// message reaches every worker queue before any job naming it —
+    /// and dropping the senders signals shutdown.
+    routing: Mutex<Routing>,
     /// Jobs dispatched to but not yet finished by each worker.
     loads: Arc<Vec<AtomicUsize>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
+    /// Jobs rejected pool-side (unknown design) without ever reaching a
+    /// worker — folded into the merged `rejected` counter so
+    /// `submitted == completed + evicted + rejected` always closes.
+    unrouted: AtomicU64,
     config: ServeConfig,
+}
+
+/// The registry + submission queues (see [`ServerPool::routing`]).
+#[derive(Debug)]
+struct Routing {
+    /// Registered design names, in registration order; `[0]` is
+    /// [`DEFAULT_DESIGN`].
+    designs: Vec<String>,
+    /// Per-worker submission queues (cleared to signal shutdown).
+    senders: Vec<Sender<WorkerMsg>>,
+}
+
+/// What the pool front end sends a worker.
+enum WorkerMsg {
+    /// Run a job on a registered design.
+    Job {
+        /// Pool-global id.
+        id: u64,
+        /// Registry name (always validated by the front end first).
+        design: String,
+        /// The job itself.
+        job: Job,
+    },
+    /// Add a design: build a scheduler for it.
+    Register {
+        /// Registry name.
+        design: String,
+        /// The compile every worker shares.
+        compiled: Arc<Compiled>,
+        /// Per-lane completion probe.
+        halt: String,
+    },
 }
 
 impl ServerPool {
@@ -306,10 +383,14 @@ impl ServerPool {
         }
         Ok(ServerPool {
             shared,
-            senders,
+            routing: Mutex::new(Routing {
+                designs: vec![DEFAULT_DESIGN.to_string()],
+                senders,
+            }),
             loads,
             workers,
             next_id: AtomicU64::new(0),
+            unrouted: AtomicU64::new(0),
             config,
         })
     }
@@ -319,24 +400,122 @@ impl ServerPool {
         self.config
     }
 
+    /// Adds a design to the registry: every worker gains a scheduler
+    /// for it, and jobs reach it through
+    /// [`submit_named`](Self::submit_named) (or the wire protocol's
+    /// `"design"` job field).
+    ///
+    /// # Errors
+    ///
+    /// [`RegisterError::UnknownHalt`] if `halt_signal` resolves on
+    /// neither a probe nor an output port of `compiled`;
+    /// [`RegisterError::DuplicateDesign`] if the name is taken.
+    pub fn register(
+        &self,
+        name: &str,
+        compiled: &Compiled,
+        halt_signal: &str,
+    ) -> Result<(), RegisterError> {
+        if compiled.plan.signal_slot(halt_signal).is_none() {
+            return Err(RegisterError::UnknownHalt(UnknownSignal(
+                halt_signal.to_string(),
+            )));
+        }
+        let mut routing = self.routing.lock().unwrap();
+        if routing.designs.iter().any(|d| d == name) {
+            return Err(RegisterError::DuplicateDesign(name.to_string()));
+        }
+        routing.designs.push(name.to_string());
+        // Broadcast under the lock: no job naming this design can be
+        // sent until we release it, so every worker sees the
+        // registration first.
+        let compiled = Arc::new(compiled.clone());
+        for tx in &routing.senders {
+            tx.send(WorkerMsg::Register {
+                design: name.to_string(),
+                compiled: Arc::clone(&compiled),
+                halt: halt_signal.to_string(),
+            })
+            .expect("workers outlive the pool");
+        }
+        Ok(())
+    }
+
+    /// The registered design names, in registration order (`[0]` is the
+    /// default).
+    pub fn designs(&self) -> Vec<String> {
+        self.routing.lock().unwrap().designs.clone()
+    }
+
     /// Enqueues a job onto the least-loaded worker and returns a handle
     /// to its eventual result. Never blocks on the simulation.
-    pub fn submit(&self, mut job: Job) -> JobHandle {
+    pub fn submit(&self, job: Job) -> JobHandle {
+        self.submit_named(None, job)
+    }
+
+    /// Enqueues a job for a registered design (`None` = the default).
+    /// A job naming an unregistered design comes back through its
+    /// handle as a [`JobOutcome::Rejected`] result — submission itself
+    /// never fails.
+    pub fn submit_named(&self, design: Option<&str>, mut job: Job) -> JobHandle {
         job.budget = job.budget.min(self.config.max_budget);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let design = design.unwrap_or(DEFAULT_DESIGN);
+        let routing = self.routing.lock().unwrap();
+        if !routing.designs.iter().any(|d| d == design) {
+            drop(routing);
+            self.publish_unrouted(id, job.name, format!("unknown design `{design}`"));
+            return self.handle(id);
+        }
         // Least-loaded dispatch; ties go to the lowest worker index.
         let w = (0..self.loads.len())
             .min_by_key(|&w| self.loads[w].load(Ordering::Acquire))
             .expect("at least one worker");
         self.loads[w].fetch_add(1, Ordering::AcqRel);
-        self.senders[w]
-            .send((id, job))
+        // Sent under the routing lock, after the membership check: the
+        // design's `Register` broadcast is already in this worker's
+        // queue, so the job can never outrun its scheduler.
+        routing.senders[w]
+            .send(WorkerMsg::Job {
+                id,
+                design: design.to_string(),
+                job,
+            })
             .expect("workers outlive the pool");
+        drop(routing);
+        self.handle(id)
+    }
+
+    /// Builds the claim handle for a pool-global id.
+    fn handle(&self, id: u64) -> JobHandle {
         JobHandle {
             id,
             shared: Arc::clone(&self.shared),
             claimed: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Publishes a rejected result for a job that never reached a
+    /// worker (e.g. an unknown design name).
+    fn publish_unrouted(&self, id: u64, name: String, error: String) {
+        self.unrouted.fetch_add(1, Ordering::Relaxed);
+        let mut table = self.shared.results.lock().unwrap();
+        table.ready.insert(
+            id,
+            JobResult {
+                id: JobId(id),
+                name,
+                outputs: Vec::new(),
+                outcome: JobOutcome::Rejected,
+                error: Some(error),
+                cycles: 0,
+                admitted_at: 0,
+                finished_at: 0,
+                lane: usize::MAX,
+            },
+        );
+        drop(table);
+        self.shared.done.notify_all();
     }
 
     /// Jobs submitted so far.
@@ -356,9 +535,14 @@ impl ServerPool {
         for s in &per_worker {
             merged.merge(s);
         }
+        // Pool-side rejections (unknown design) never touch a worker's
+        // scheduler; fold them in so the finished counters account for
+        // every submission.
+        merged.rejected += self.unrouted.load(Ordering::Relaxed) as usize;
         ServeStats {
             workers: self.config.workers,
             lanes: self.config.lanes,
+            designs: self.routing.lock().unwrap().designs.len(),
             submitted: self.submitted(),
             unclaimed: self.shared.results.lock().unwrap().ready.len(),
             merged,
@@ -371,7 +555,7 @@ impl ServerPool {
     /// counters. Already-issued [`JobHandle`]s stay valid — results
     /// published during the drain remain claimable.
     pub fn shutdown(mut self) -> ServeStats {
-        self.senders.clear();
+        self.routing.lock().unwrap().senders.clear();
         for handle in self.workers.drain(..) {
             handle.join().expect("worker exits cleanly");
         }
@@ -381,68 +565,113 @@ impl ServerPool {
 
 impl Drop for ServerPool {
     fn drop(&mut self) {
-        self.senders.clear();
+        self.routing.lock().unwrap().senders.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// One worker: a scheduler driven in chunks, fed from its queue,
-/// publishing results as lanes drain. Exits once the pool disconnects
-/// the queue *and* all outstanding work is done.
+/// One registered design's scheduler on one worker, with its local
+/// `JobId` -> pool-global id mapping.
+struct DesignRun {
+    name: String,
+    sched: Scheduler,
+    global: HashMap<JobId, u64>,
+}
+
+/// One worker: a scheduler per design driven in chunks, fed from its
+/// queue, publishing results as lanes drain. Exits once the pool
+/// disconnects the queue *and* all outstanding work is done.
 fn worker_loop(
     compiled: &Compiled,
     halt: &str,
     config: ServeConfig,
-    rx: Receiver<(u64, Job)>,
+    rx: Receiver<WorkerMsg>,
     shared: &Shared,
     loads: &[AtomicUsize],
     w: usize,
 ) {
-    let mut sched =
-        Scheduler::new(compiled, config.lanes, halt).expect("halt validated by the pool");
-    // Scheduler-local JobId -> pool-global id.
-    let mut global: HashMap<JobId, u64> = HashMap::new();
+    // A Vec, not a map: designs stay in registration order (determinism
+    // for the multiplexed drive below) and the registry is small.
+    let mut designs: Vec<DesignRun> = vec![DesignRun {
+        name: DEFAULT_DESIGN.to_string(),
+        sched: Scheduler::new(compiled, config.lanes, halt).expect("halt validated by the pool"),
+        global: HashMap::new(),
+    }];
+    let apply = |designs: &mut Vec<DesignRun>, msg: WorkerMsg| match msg {
+        WorkerMsg::Register {
+            design,
+            compiled,
+            halt,
+        } => {
+            designs.push(DesignRun {
+                name: design,
+                sched: Scheduler::new(&compiled, config.lanes, &halt)
+                    .expect("halt validated at registration"),
+                global: HashMap::new(),
+            });
+        }
+        WorkerMsg::Job { id, design, job } => {
+            let run = designs
+                .iter_mut()
+                .find(|d| d.name == design)
+                .expect("registration broadcast precedes any job naming it");
+            let local = run.sched.submit(job);
+            run.global.insert(local, id);
+        }
+    };
     loop {
         // Idle workers block on their queue instead of spinning; a
         // disconnected queue with no work left means shutdown.
-        if !sched.has_work() {
+        if !designs.iter().any(|d| d.sched.has_work()) {
             match rx.recv() {
-                Ok((id, job)) => {
-                    global.insert(sched.submit(job), id);
-                }
+                Ok(msg) => apply(&mut designs, msg),
                 Err(_) => break,
             }
         }
         // Opportunistically drain whatever else has queued up — mid-run
         // admission packs new jobs into lanes freed this chunk.
-        while let Ok((id, job)) = rx.try_recv() {
-            global.insert(sched.submit(job), id);
+        while let Ok(msg) = rx.try_recv() {
+            apply(&mut designs, msg);
         }
-        sched.run_for(config.chunk_cycles);
-        publish(&mut sched, &mut global, shared, loads, w);
+        // Multiplex: each design with work gets one chunk in turn.
+        for run in &mut designs {
+            if run.sched.has_work() {
+                run.sched.run_for(config.chunk_cycles);
+            }
+        }
+        publish(&mut designs, shared, loads, w);
     }
-    debug_assert!(global.is_empty(), "every mapped job was published");
+    debug_assert!(
+        designs.iter().all(|d| d.global.is_empty()),
+        "every mapped job was published"
+    );
 }
 
 /// Publishes a chunk's harvested results under their pool-global ids
-/// and refreshes the worker's stats snapshot.
-fn publish(
-    sched: &mut Scheduler,
-    global: &mut HashMap<JobId, u64>,
-    shared: &Shared,
-    loads: &[AtomicUsize],
-    w: usize,
-) {
-    shared.stats.lock().unwrap()[w] = sched.stats();
-    let results = sched.take_results();
-    if results.is_empty() {
+/// and refreshes the worker's stats snapshot (merged across designs).
+fn publish(designs: &mut [DesignRun], shared: &Shared, loads: &[AtomicUsize], w: usize) {
+    let mut merged = SchedStats::default();
+    // Harvest before touching the results table: chunks that finished
+    // nothing must not contend on the mutex that handles block on.
+    let mut harvested: Vec<(u64, JobResult)> = Vec::new();
+    for run in designs.iter_mut() {
+        merged.merge(&run.sched.stats());
+        for r in run.sched.take_results() {
+            let id = run
+                .global
+                .remove(&r.id)
+                .expect("every scheduled job is mapped");
+            harvested.push((id, r));
+        }
+    }
+    shared.stats.lock().unwrap()[w] = merged;
+    if harvested.is_empty() {
         return;
     }
     let mut table = shared.results.lock().unwrap();
-    for mut r in results {
-        let id = global.remove(&r.id).expect("every scheduled job is mapped");
+    for (id, mut r) in harvested {
         // A tombstone means the handle was dropped unclaimed: discard
         // instead of parking the result forever.
         if !table.abandoned.remove(&id) {
@@ -571,6 +800,69 @@ circuit H :
         let stats = pool.shutdown();
         assert_eq!(stats.merged.completed, 3, "abandoned jobs still ran");
         assert_eq!(stats.unclaimed, 0, "no parked results leak");
+    }
+
+    #[test]
+    fn registered_designs_route_jobs_by_name() {
+        // A second design: the same counter stepping by 2, so results
+        // provably come from the right scheduler.
+        const DOUBLE_SRC: &str = "\
+circuit D :
+  module D :
+    input clock : Clock
+    input limit : UInt<8>
+    output cnt : UInt<8>
+    output done : UInt<1>
+    reg acc : UInt<8>, clock
+    acc <= tail(add(acc, UInt<8>(2)), 1)
+    cnt <= acc
+    done <= geq(acc, limit)
+";
+        let c = compiled();
+        let c2 = Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(DOUBLE_SRC)
+            .unwrap();
+        let pool = ServerPool::new(&c, ServeConfig::with_workers(2), "done").unwrap();
+        pool.register("double", &c2, "done").unwrap();
+        assert_eq!(
+            pool.designs(),
+            vec![DEFAULT_DESIGN.to_string(), "double".to_string()]
+        );
+        // Re-registration and unknown halts are refused.
+        assert_eq!(
+            pool.register("double", &c2, "done"),
+            Err(RegisterError::DuplicateDesign("double".to_string()))
+        );
+        assert_eq!(
+            pool.register("broken", &c2, "ghost"),
+            Err(RegisterError::UnknownHalt(UnknownSignal(
+                "ghost".to_string()
+            )))
+        );
+        // Jobs route by design name; the default is untouched.
+        let on_default = pool.submit(count_job(5));
+        let on_double = pool.submit_named(Some("double"), count_job(5));
+        let unknown = pool.submit_named(Some("nope"), count_job(5));
+        let r = on_default.wait();
+        assert!(r.completed());
+        assert_eq!(r.outputs[0], ("cnt".to_string(), 6), "step-by-1 counter");
+        let d = on_double.wait();
+        assert!(d.completed());
+        // done rises at acc = 6 and is observed one commit later, so
+        // the step-by-2 counter harvests 8 after 4 cycles (the
+        // step-by-1 counter harvests limit + 1 the same way).
+        assert_eq!(d.outputs[0], ("cnt".to_string(), 8), "step-by-2 counter");
+        assert_eq!(d.cycles, 4, "halted in 4 cycles instead of 6");
+        let u = unknown.wait();
+        assert_eq!(u.outcome, JobOutcome::Rejected);
+        assert!(u.error.unwrap().contains("unknown design `nope`"));
+        let stats = pool.shutdown();
+        assert_eq!(stats.designs, 2);
+        assert_eq!(stats.merged.completed, 2);
+        // The unknown-design rejection counts as finished work: the
+        // submitted/finished ledger closes.
+        assert_eq!(stats.merged.rejected, 1);
+        assert_eq!(stats.submitted, 3);
     }
 
     #[test]

@@ -1,14 +1,20 @@
 //! The line-delimited-JSON wire protocol of the socket front end.
 //!
 //! One request per line, one response per line, one connection per
-//! client. Four verbs:
+//! client. Six verbs:
 //!
-//! | verb     | request fields | response |
-//! |----------|----------------|----------|
-//! | `submit` | `job`          | `{"ok":true,"kind":"submitted","id":N}` |
-//! | `poll`   | `id`           | `kind:"result"` if finished, else `kind:"pending"` |
-//! | `result` | `id` (optional)| blocks; with no `id`, the *next* of this connection's jobs to finish |
-//! | `stats`  | —              | `kind:"stats"` with pool counters |
+//! | verb       | request fields | response |
+//! |------------|----------------|----------|
+//! | `submit`   | `job`          | `{"ok":true,"kind":"submitted","id":N}` |
+//! | `poll`     | `id`           | `kind:"result"` if finished, else `kind:"pending"` |
+//! | `result`   | `id` (optional)| blocks; with no `id`, the *next* of this connection's jobs to finish |
+//! | `stats`    | —              | `kind:"stats"` with pool counters |
+//! | `register` | `design`, `source`, `halt` | compiles the FIRRTL `source` server-side and adds it to the design registry |
+//! | `designs`  | —              | `kind:"designs"` listing every registered design |
+//!
+//! A submitted job may name the design it runs on (`"job":{...,
+//! "design":"sha3"}`); with no `design` field it runs on the server's
+//! default design — the one the pool was constructed over.
 //!
 //! Example session (client lines prefixed `>`):
 //!
@@ -40,6 +46,10 @@ pub enum Verb {
     Result,
     /// Pool counters.
     Stats,
+    /// Compile a FIRRTL source and add it to the design registry.
+    Register,
+    /// List the registered designs.
+    Designs,
 }
 
 impl Verb {
@@ -49,6 +59,8 @@ impl Verb {
             Verb::Poll => "poll",
             Verb::Result => "result",
             Verb::Stats => "stats",
+            Verb::Register => "register",
+            Verb::Designs => "designs",
         }
     }
 }
@@ -67,6 +79,8 @@ impl Deserialize for Verb {
                 "poll" => Ok(Verb::Poll),
                 "result" => Ok(Verb::Result),
                 "stats" => Ok(Verb::Stats),
+                "register" => Ok(Verb::Register),
+                "designs" => Ok(Verb::Designs),
                 other => Err(serde::Error(format!("unknown verb `{other}`"))),
             },
             other => Err(serde::Error::expected("verb string", other)),
@@ -97,9 +111,12 @@ pub struct WireJob {
     pub state_pokes: Vec<WireBinding>,
     /// Signals to harvest at completion.
     pub probes: Vec<String>,
+    /// Registered design to run on (`None` = the server's default).
+    pub design: Option<String>,
 }
 
-// Hand-written so hand-typed submissions may omit the empty lists.
+// Hand-written so hand-typed submissions may omit the empty lists and
+// the design name.
 impl Deserialize for WireJob {
     fn from_content(content: &Content) -> Result<Self, serde::Error> {
         let req = |field: &str| {
@@ -120,6 +137,7 @@ impl Deserialize for WireJob {
                 Some(c) => Deserialize::from_content(c)?,
                 None => Vec::new(),
             },
+            design: opt_field(content, "design")?,
         })
     }
 }
@@ -142,7 +160,17 @@ impl From<&Job> for WireJob {
             inputs: bindings(&job.inputs),
             state_pokes: bindings(&job.state_pokes),
             probes: job.probes.clone(),
+            design: None,
         }
+    }
+}
+
+impl WireJob {
+    /// Targets a registered design by name (builder style).
+    #[must_use]
+    pub fn on_design(mut self, design: impl Into<String>) -> Self {
+        self.design = Some(design.into());
+        self
     }
 }
 
@@ -216,6 +244,16 @@ impl From<&JobResult> for WireResult {
     }
 }
 
+/// One registry entry as reported by the `designs` verb.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDesign {
+    /// Registered design name.
+    pub name: String,
+    /// Whether this is the server's default design (the one jobs with
+    /// no `design` field run on).
+    pub default: bool,
+}
+
 /// Pool counters as reported by the `stats` verb.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireStats {
@@ -223,6 +261,8 @@ pub struct WireStats {
     pub workers: u64,
     /// Lanes per worker.
     pub lanes: u64,
+    /// Registered designs.
+    pub designs: u64,
     /// Jobs submitted through the pool.
     pub submitted: u64,
     /// Engine cycles stepped, all workers.
@@ -246,6 +286,7 @@ impl From<&ServeStats> for WireStats {
         WireStats {
             workers: s.workers as u64,
             lanes: s.lanes as u64,
+            designs: s.designs as u64,
             submitted: s.submitted,
             cycles: s.merged.cycles,
             busy_lane_cycles: s.merged.busy_lane_cycles,
@@ -267,43 +308,73 @@ pub struct Request {
     pub job: Option<WireJob>,
     /// The job id to check (`poll`; optional for `result`).
     pub id: Option<u64>,
+    /// The design name to register (`register` only).
+    pub design: Option<String>,
+    /// The FIRRTL source to compile (`register` only).
+    pub source: Option<String>,
+    /// The registered design's halt signal (`register` only).
+    pub halt: Option<String>,
 }
 
 impl Request {
+    fn base(verb: Verb) -> Self {
+        Request {
+            verb,
+            job: None,
+            id: None,
+            design: None,
+            source: None,
+            halt: None,
+        }
+    }
+
     /// A `submit` request.
     pub fn submit(job: WireJob) -> Self {
         Request {
-            verb: Verb::Submit,
             job: Some(job),
-            id: None,
+            ..Self::base(Verb::Submit)
         }
     }
 
     /// A `poll` request.
     pub fn poll(id: u64) -> Self {
         Request {
-            verb: Verb::Poll,
-            job: None,
             id: Some(id),
+            ..Self::base(Verb::Poll)
         }
     }
 
     /// A blocking `result` request (`None` = next job to finish).
     pub fn result(id: Option<u64>) -> Self {
         Request {
-            verb: Verb::Result,
-            job: None,
             id,
+            ..Self::base(Verb::Result)
         }
     }
 
     /// A `stats` request.
     pub fn stats() -> Self {
+        Self::base(Verb::Stats)
+    }
+
+    /// A `register` request: compile `source` server-side under `design`,
+    /// watching `halt` for per-lane completion.
+    pub fn register(
+        design: impl Into<String>,
+        source: impl Into<String>,
+        halt: impl Into<String>,
+    ) -> Self {
         Request {
-            verb: Verb::Stats,
-            job: None,
-            id: None,
+            design: Some(design.into()),
+            source: Some(source.into()),
+            halt: Some(halt.into()),
+            ..Self::base(Verb::Register)
         }
+    }
+
+    /// A `designs` request.
+    pub fn designs() -> Self {
+        Self::base(Verb::Designs)
     }
 }
 
@@ -314,11 +385,23 @@ fn push_opt<T: Serialize>(entries: &mut Vec<(String, Content)>, key: &str, value
     }
 }
 
+/// Reads an optional field: absent and explicit `null` both mean
+/// `None` (the mirror of [`push_opt`], which omits absent fields).
+fn opt_field<T: Deserialize>(content: &Content, field: &str) -> Result<Option<T>, serde::Error> {
+    match content.field(field) {
+        None | Some(Content::Null) => Ok(None),
+        Some(c) => T::from_content(c).map(Some),
+    }
+}
+
 impl Serialize for Request {
     fn to_content(&self) -> Content {
         let mut entries = vec![("verb".to_string(), self.verb.to_content())];
         push_opt(&mut entries, "job", &self.job);
         push_opt(&mut entries, "id", &self.id);
+        push_opt(&mut entries, "design", &self.design);
+        push_opt(&mut entries, "source", &self.source);
+        push_opt(&mut entries, "halt", &self.halt);
         Content::Map(entries)
     }
 }
@@ -330,19 +413,13 @@ impl Deserialize for Request {
                 .field("verb")
                 .ok_or_else(|| serde::Error("request is missing `verb`".to_string()))?,
         )?;
-        let opt = |field: &str| -> Result<Option<_>, serde::Error> {
-            match content.field(field) {
-                Some(c) => Deserialize::from_content(c).map(Some),
-                None => Ok(None),
-            }
-        };
         Ok(Request {
             verb,
-            job: match content.field("job") {
-                Some(c) => Some(WireJob::from_content(c)?),
-                None => None,
-            },
-            id: opt("id")?,
+            job: opt_field(content, "job")?,
+            id: opt_field(content, "id")?,
+            design: opt_field(content, "design")?,
+            source: opt_field(content, "source")?,
+            halt: opt_field(content, "halt")?,
         })
     }
 }
@@ -352,7 +429,8 @@ impl Deserialize for Request {
 pub struct Response {
     /// `false` only for `kind:"error"`.
     pub ok: bool,
-    /// `submitted`, `pending`, `result`, `stats`, or `error`.
+    /// `submitted`, `pending`, `result`, `stats`, `registered`,
+    /// `designs`, or `error`.
     pub kind: String,
     /// The id the response refers to (submit/poll/result kinds).
     pub id: Option<u64>,
@@ -360,6 +438,10 @@ pub struct Response {
     pub result: Option<WireResult>,
     /// Pool counters (`kind:"stats"`).
     pub stats: Option<WireStats>,
+    /// The design a `register` added (`kind:"registered"`).
+    pub design: Option<String>,
+    /// The registry listing (`kind:"designs"`).
+    pub designs: Option<Vec<WireDesign>>,
     /// What went wrong (`kind:"error"`).
     pub error: Option<String>,
 }
@@ -372,6 +454,8 @@ impl Response {
             id: None,
             result: None,
             stats: None,
+            design: None,
+            designs: None,
             error: None,
         }
     }
@@ -409,6 +493,22 @@ impl Response {
         }
     }
 
+    /// Acknowledges a design registration.
+    pub fn registered(design: impl Into<String>) -> Self {
+        Response {
+            design: Some(design.into()),
+            ..Self::base(true, "registered")
+        }
+    }
+
+    /// Delivers the design registry listing.
+    pub fn designs(designs: Vec<WireDesign>) -> Self {
+        Response {
+            designs: Some(designs),
+            ..Self::base(true, "designs")
+        }
+    }
+
     /// Reports a per-request failure (the connection stays usable).
     pub fn error(message: impl Into<String>) -> Self {
         Response {
@@ -427,6 +527,8 @@ impl Serialize for Response {
         push_opt(&mut entries, "id", &self.id);
         push_opt(&mut entries, "result", &self.result);
         push_opt(&mut entries, "stats", &self.stats);
+        push_opt(&mut entries, "design", &self.design);
+        push_opt(&mut entries, "designs", &self.designs);
         push_opt(&mut entries, "error", &self.error);
         Content::Map(entries)
     }
@@ -439,29 +541,111 @@ impl Deserialize for Response {
                 .field(field)
                 .ok_or_else(|| serde::Error(format!("response is missing `{field}`")))
         };
-        let opt = |field: &str| -> Result<Option<u64>, serde::Error> {
-            match content.field(field) {
-                Some(c) => Deserialize::from_content(c).map(Some),
-                None => Ok(None),
-            }
-        };
         Ok(Response {
             ok: Deserialize::from_content(req("ok")?)?,
             kind: Deserialize::from_content(req("kind")?)?,
-            id: opt("id")?,
-            result: match content.field("result") {
-                Some(c) => Some(WireResult::from_content(c)?),
-                None => None,
-            },
-            stats: match content.field("stats") {
-                Some(c) => Some(WireStats::from_content(c)?),
-                None => None,
-            },
-            error: match content.field("error") {
-                Some(c) => Some(Deserialize::from_content(c)?),
-                None => None,
-            },
+            id: opt_field(content, "id")?,
+            result: opt_field(content, "result")?,
+            stats: opt_field(content, "stats")?,
+            design: opt_field(content, "design")?,
+            designs: opt_field(content, "designs")?,
+            error: opt_field(content, "error")?,
         })
+    }
+}
+
+/// What can go wrong on one client-side protocol exchange.
+///
+/// Every failure mode a [`ServeClient`](crate::ServeClient) call can hit
+/// is distinguished here, so callers routing across many servers (the
+/// [`ShardRouter`](crate::ShardRouter)) can tell a transport fault —
+/// which condemns the whole connection — from a per-request server-side
+/// verdict, which leaves the connection healthy.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Transport-level failure (connect, write, or read).
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly at a line boundary.
+    ConnectionClosed,
+    /// The peer died *mid-line*: EOF arrived before the terminating
+    /// newline. The partial line is preserved for diagnosis — it shows
+    /// exactly how far the peer got before the cut.
+    TruncatedLine {
+        /// The bytes received before EOF, newline never seen.
+        partial: String,
+    },
+    /// A complete line arrived but is not a valid protocol envelope.
+    Malformed {
+        /// The offending line (trimmed).
+        line: String,
+        /// Why it failed to parse.
+        reason: String,
+    },
+    /// The server answered `ok:false`: a per-request failure. The
+    /// connection stays usable.
+    Server(String),
+    /// A well-formed `ok:true` response was missing the payload its
+    /// kind promises (a server bug, not a transport fault).
+    MissingPayload {
+        /// The response kind that arrived without its payload.
+        kind: &'static str,
+    },
+}
+
+impl ProtocolError {
+    /// Whether this error condemns the connection: everything except a
+    /// per-request [`Server`](Self::Server) verdict means the transport
+    /// or the peer can no longer be trusted, and a router should treat
+    /// the host as failed.
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, ProtocolError::Server(_))
+    }
+
+    /// The partial line of a [`TruncatedLine`](Self::TruncatedLine),
+    /// if that is what this is.
+    pub fn truncated_partial(&self) -> Option<&str> {
+        match self {
+            ProtocolError::TruncatedLine { partial } => Some(partial),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o failure: {e}"),
+            ProtocolError::ConnectionClosed => {
+                write!(f, "server closed the connection")
+            }
+            ProtocolError::TruncatedLine { partial } => write!(
+                f,
+                "connection died mid-line after {} bytes: {partial:?}",
+                partial.len()
+            ),
+            ProtocolError::Malformed { line, reason } => {
+                write!(f, "malformed response line {line:?}: {reason}")
+            }
+            ProtocolError::Server(message) => write!(f, "server error: {message}"),
+            ProtocolError::MissingPayload { kind } => {
+                write!(f, "`{kind}` response arrived without its payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
     }
 }
 
@@ -480,13 +664,17 @@ mod tests {
                 value: 5,
             }],
             probes: vec!["a0".to_string()],
+            design: None,
         };
         for req in [
             Request::submit(job.clone()),
+            Request::submit(job.clone().on_design("sha3")),
             Request::poll(3),
             Request::result(None),
             Request::result(Some(7)),
             Request::stats(),
+            Request::register("sha3", "circuit S :\n  ...", "done"),
+            Request::designs(),
         ] {
             let line = serde_json::to_string(&req).unwrap();
             let back: Request = serde_json::from_str(&line).unwrap();
@@ -526,6 +714,17 @@ mod tests {
             Response::submitted(4),
             Response::pending(4),
             Response::result(r),
+            Response::registered("sha3"),
+            Response::designs(vec![
+                WireDesign {
+                    name: "default".to_string(),
+                    default: true,
+                },
+                WireDesign {
+                    name: "sha3".to_string(),
+                    default: false,
+                },
+            ]),
             Response::error("unknown id"),
         ] {
             let line = serde_json::to_string(&resp).unwrap();

@@ -1,0 +1,689 @@
+//! Cross-host shard routing over the serve protocol.
+//!
+//! [`ShardRouter`] is the client-side supervisor of a fleet of server
+//! processes: it holds one [`ServeClient`] connection per shard,
+//! partitions submitted jobs with **consistent hashing** keyed by the
+//! router-global job id ([`HashRing`], stable under shard add/remove),
+//! dispatches with per-shard in-flight accounting, merges every shard's
+//! results into a single completion-ordered stream, and tracks
+//! per-host health — a connection that errors, times out, or dies
+//! mid-line gets a bounded reconnect budget, after which the shard is
+//! declared dead, removed from the ring, and its lost jobs are
+//! automatically resubmitted to the survivors.
+//!
+//! Delivery is **exactly once** even under at-least-once execution: a
+//! result can only be claimed over the connection that submitted its
+//! job (the serve protocol's per-connection handle scope), so a job
+//! rerun after a shard death can never surface twice — the dead
+//! connection's copy is unreachable by construction, and the server
+//! discards it.
+//!
+//! The router is deliberately synchronous and single-threaded: one
+//! poll sweep across the fleet per [`next_result`](ShardRouter::next_result)
+//! iteration. The concurrency that matters lives server-side (worker
+//! pools and lanes); the router only moves envelopes, which keeps its
+//! failure handling — the hard part — sequentially testable under the
+//! [`chaos`](crate::chaos) harness.
+
+use crate::net::ServeClient;
+use crate::protocol::{ProtocolError, WireResult, WireStats};
+use rteaal_sched::Job;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Finalizes `splitmix64`: a deterministic, well-mixed 64-bit hash.
+/// Used for both ring points and key placement so the partition is
+/// reproducible across processes and runs (no `RandomState`).
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over shard slots, with virtual nodes.
+///
+/// Each shard contributes `replicas` points (hashes of `(shard,
+/// replica)`); a key maps to the shard owning the first point at or
+/// after the key's hash, wrapping. Removing a shard removes only its
+/// points, so every key it did *not* own keeps its owner — the
+/// stability property that makes mid-corpus shard loss cheap: only the
+/// dead shard's jobs move.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    replicas: usize,
+    /// `(point hash, shard)`, sorted; ties broken by shard index so the
+    /// mapping is deterministic.
+    points: Vec<(u64, usize)>,
+    /// Sorted live shard slots.
+    live: Vec<usize>,
+}
+
+impl HashRing {
+    /// An empty ring with `replicas` virtual nodes per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize) -> Self {
+        assert!(replicas > 0, "a shard needs at least one ring point");
+        HashRing {
+            replicas,
+            points: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Adds a shard slot (no-op if already present).
+    pub fn add(&mut self, shard: usize) {
+        if self.live.contains(&shard) {
+            return;
+        }
+        for replica in 0..self.replicas {
+            let point = mix64(mix64(shard as u64 + 1) ^ replica as u64);
+            self.points.push((point, shard));
+        }
+        self.points.sort_unstable();
+        self.live.push(shard);
+        self.live.sort_unstable();
+    }
+
+    /// Removes a shard slot and every point it owns.
+    pub fn remove(&mut self, shard: usize) {
+        self.points.retain(|&(_, s)| s != shard);
+        self.live.retain(|&s| s != shard);
+    }
+
+    /// The shard owning `key`, or `None` on an empty ring.
+    pub fn shard_for(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = mix64(key);
+        let idx = self.points.partition_point(|&(p, _)| p < hash);
+        Some(self.points[idx % self.points.len()].1)
+    }
+
+    /// The live shard slots, sorted.
+    pub fn live(&self) -> &[usize] {
+        &self.live
+    }
+
+    /// Live shard count.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no shard is live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+}
+
+/// Router sizing, pacing, and failure-tolerance knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Virtual ring points per shard (more points = smoother balance).
+    pub replicas: usize,
+    /// How long any single exchange may wait for a shard's response
+    /// before the host counts as hung (a fatal fault).
+    pub read_timeout: Duration,
+    /// Fresh connections a shard is granted after transport faults
+    /// before it is declared dead. A reconnect orphans the old
+    /// connection's in-flight jobs (handles are per-connection), so
+    /// each one resubmits them — on the same shard if it recovers.
+    pub reconnects: usize,
+    /// Sleep between poll sweeps that found nothing finished.
+    pub poll_interval: Duration,
+    /// Times one job may be (re)placed before the router gives up on
+    /// it — a backstop against a corpus whose every host rejects the
+    /// connection.
+    pub max_attempts: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            replicas: 64,
+            read_timeout: Duration::from_secs(5),
+            reconnects: 2,
+            poll_interval: Duration::from_micros(200),
+            max_attempts: 16,
+        }
+    }
+}
+
+/// One shard's connection and accounting.
+#[derive(Debug)]
+struct ShardState {
+    addr: SocketAddr,
+    /// `None` once the shard is declared dead.
+    client: Option<ServeClient>,
+    /// Remaining reconnect budget.
+    reconnects_left: usize,
+    /// Router ids currently awaiting results on this shard.
+    inflight: Vec<u64>,
+    /// Jobs ever dispatched here (including resubmissions).
+    dispatched: u64,
+    /// Results this shard delivered.
+    delivered: u64,
+}
+
+/// One job awaiting its result.
+#[derive(Debug)]
+struct PendingJob {
+    /// Kept for resubmission after a shard death.
+    job: Job,
+    /// The id the owning shard's pool assigned.
+    remote_id: u64,
+    /// The shard currently running it.
+    shard: usize,
+    /// Placements so far.
+    attempts: usize,
+}
+
+/// A result delivered by the router's merged stream.
+#[derive(Debug, Clone)]
+pub struct Routed {
+    /// Router-global job id (what [`ShardRouter::submit`] returned).
+    pub id: u64,
+    /// The shard that produced the result.
+    pub shard: usize,
+    /// The wire result (its `id` field is the *shard-local* pool id).
+    pub result: WireResult,
+}
+
+/// Why the router could not make progress.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Every shard is dead; `stranded` jobs can no longer be placed.
+    /// The jobs stay pending, and every later router call reports this
+    /// error again for them.
+    NoLiveShards {
+        /// Jobs that were pending when the last shard died.
+        stranded: usize,
+    },
+    /// One job exhausted [`ShardConfig::max_attempts`] placements and
+    /// was removed from the router's books — the rest of the corpus
+    /// keeps flowing.
+    JobLost {
+        /// The router-global id of the abandoned job.
+        id: u64,
+        /// How many placements it burned.
+        attempts: usize,
+    },
+    /// [`next_result`](ShardRouter::next_result) with nothing pending.
+    Idle,
+    /// A shard answered a request about this router's own job with a
+    /// server-side refusal — a protocol violation, not a transport
+    /// fault (those are handled by resubmission).
+    Shard {
+        /// The offending shard slot.
+        shard: usize,
+        /// What it said.
+        error: ProtocolError,
+    },
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::NoLiveShards { stranded } => {
+                write!(f, "every shard is dead ({stranded} jobs stranded)")
+            }
+            RouterError::JobLost { id, attempts } => {
+                write!(f, "job {id} abandoned after {attempts} placements")
+            }
+            RouterError::Idle => write!(f, "no jobs outstanding"),
+            RouterError::Shard { shard, error } => {
+                write!(f, "shard {shard} protocol violation: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// Aggregate router counters.
+#[derive(Debug, Clone)]
+pub struct RouterStats {
+    /// Jobs accepted by [`ShardRouter::submit`].
+    pub submitted: u64,
+    /// Results delivered through the merged stream.
+    pub delivered: u64,
+    /// Job placements repeated because their shard's connection was
+    /// lost (each orphaned job counts once per loss).
+    pub resubmitted: u64,
+    /// Shards declared dead.
+    pub shard_deaths: u64,
+    /// Per-shard accounting, by slot.
+    pub per_shard: Vec<ShardLoad>,
+}
+
+/// One shard's routing accounting.
+#[derive(Debug, Clone)]
+pub struct ShardLoad {
+    /// The shard's address.
+    pub addr: SocketAddr,
+    /// Whether the shard is still in the ring.
+    pub alive: bool,
+    /// Jobs ever dispatched to it (including resubmissions).
+    pub dispatched: u64,
+    /// Results it delivered.
+    pub delivered: u64,
+    /// Jobs currently awaiting results on it.
+    pub in_flight: usize,
+}
+
+/// The cross-host supervisor: consistent-hash job placement over a
+/// fleet of serve processes, with health tracking and automatic
+/// resubmission. See the [module docs](self) for the design.
+///
+/// ```no_run
+/// use rteaal_sched::Job;
+/// use rteaal_serve::{ShardConfig, ShardRouter};
+///
+/// let addrs: Vec<std::net::SocketAddr> =
+///     vec!["10.0.0.1:7700".parse()?, "10.0.0.2:7700".parse()?];
+/// let mut router = ShardRouter::connect(&addrs, ShardConfig::default())?;
+/// for k in 1u64..=24 {
+///     router.submit(Job::new(format!("sum-{k}"), 3 * k + 12).with_probe("a0"))?;
+/// }
+/// for routed in router.drain()? {
+///     println!("job {} on shard {}: {:?}", routed.id, routed.shard, routed.result.outputs);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShardRouter {
+    config: ShardConfig,
+    shards: Vec<ShardState>,
+    ring: HashRing,
+    /// Router id -> its pending job, across all shards.
+    pending: HashMap<u64, PendingJob>,
+    next_id: u64,
+    delivered: u64,
+    resubmitted: u64,
+    shard_deaths: u64,
+}
+
+impl ShardRouter {
+    /// Connects one client per shard address. All shards must accept
+    /// the initial connection — a fleet that starts degraded is a
+    /// deployment error, not a runtime fault.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Shard`] naming the first address that refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addrs` is empty.
+    pub fn connect(addrs: &[SocketAddr], config: ShardConfig) -> Result<Self, RouterError> {
+        assert!(!addrs.is_empty(), "a fleet needs at least one shard");
+        let mut shards = Vec::with_capacity(addrs.len());
+        let mut ring = HashRing::new(config.replicas);
+        for (slot, &addr) in addrs.iter().enumerate() {
+            let client = Self::open(addr, config.read_timeout)
+                .map_err(|error| RouterError::Shard { shard: slot, error })?;
+            ring.add(slot);
+            shards.push(ShardState {
+                addr,
+                client: Some(client),
+                reconnects_left: config.reconnects,
+                inflight: Vec::new(),
+                dispatched: 0,
+                delivered: 0,
+            });
+        }
+        Ok(ShardRouter {
+            config,
+            shards,
+            ring,
+            pending: HashMap::new(),
+            next_id: 0,
+            delivered: 0,
+            resubmitted: 0,
+            shard_deaths: 0,
+        })
+    }
+
+    /// Connects to one shard with the router's read deadline applied.
+    fn open(addr: SocketAddr, timeout: Duration) -> Result<ServeClient, ProtocolError> {
+        let client = ServeClient::connect(addr)?;
+        client.set_read_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Submits a job: assigns a router-global id, places it on the
+    /// shard the ring maps that id to, and returns the id. Placement
+    /// failures cascade through the failure path (reconnect, then
+    /// rehash to survivors) before this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoLiveShards`] / [`RouterError::JobLost`] when
+    /// the fleet cannot take the job at all.
+    pub fn submit(&mut self, job: Job) -> Result<u64, RouterError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.insert(
+            id,
+            PendingJob {
+                job,
+                remote_id: 0,
+                shard: usize::MAX,
+                attempts: 0,
+            },
+        );
+        self.dispatch(vec![id])?;
+        Ok(id)
+    }
+
+    /// Places every job in `work` on the shard its id hashes to,
+    /// walking the failure path (reconnect, rehash) as shards fall
+    /// over.
+    ///
+    /// A job that fails *individually* — placement budget exhausted, or
+    /// a protocol violation on submit — is removed from the router's
+    /// books entirely, and the rest of the worklist is still placed
+    /// before its error is returned: one abandoned job must never
+    /// strand the others in a pending-but-nowhere limbo that
+    /// [`drain`](Self::drain) would wait on forever. Only a fleet-wide
+    /// failure (empty ring) aborts immediately; the jobs it leaves
+    /// pending are the `stranded` count, and every later call keeps
+    /// reporting [`RouterError::NoLiveShards`] for them.
+    fn dispatch(&mut self, mut work: Vec<u64>) -> Result<(), RouterError> {
+        let mut first_failure: Option<RouterError> = None;
+        while let Some(id) = work.pop() {
+            loop {
+                if self.ring.is_empty() {
+                    return Err(RouterError::NoLiveShards {
+                        stranded: self.pending.len(),
+                    });
+                }
+                let shard = self.ring.shard_for(id).expect("ring is non-empty");
+                let attempts = {
+                    let p = self.pending.get_mut(&id).expect("dispatching a known job");
+                    p.attempts += 1;
+                    p.attempts
+                };
+                if attempts > self.config.max_attempts {
+                    self.pending.remove(&id);
+                    first_failure.get_or_insert(RouterError::JobLost { id, attempts });
+                    break;
+                }
+                let outcome = {
+                    let job = &self.pending[&id].job;
+                    self.shards[shard]
+                        .client
+                        .as_mut()
+                        .expect("ring only maps live shards")
+                        .submit(job)
+                };
+                match outcome {
+                    Ok(remote_id) => {
+                        let p = self.pending.get_mut(&id).expect("dispatching a known job");
+                        p.remote_id = remote_id;
+                        p.shard = shard;
+                        let st = &mut self.shards[shard];
+                        st.dispatched += 1;
+                        st.inflight.push(id);
+                        break;
+                    }
+                    Err(error) if error.is_fatal() => {
+                        // The shard's orphans (and this job) go back on
+                        // the worklist; the ring may or may not still
+                        // contain the shard depending on its reconnect
+                        // budget.
+                        work.extend(self.shard_failed(shard));
+                        continue;
+                    }
+                    Err(error) => {
+                        self.pending.remove(&id);
+                        first_failure.get_or_insert(RouterError::Shard { shard, error });
+                        break;
+                    }
+                }
+            }
+        }
+        match first_failure {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// Handles a fatal transport fault on one shard: burn a reconnect
+    /// if any remain (the shard stays in the ring with a fresh
+    /// connection), otherwise declare it dead and remove it. Either
+    /// way the shard's in-flight jobs are orphaned — their handles
+    /// lived on the broken connection — and are returned for
+    /// redispatch.
+    fn shard_failed(&mut self, shard: usize) -> Vec<u64> {
+        let st = &mut self.shards[shard];
+        st.client = None;
+        while st.reconnects_left > 0 {
+            st.reconnects_left -= 1;
+            if let Ok(client) = Self::open(st.addr, self.config.read_timeout) {
+                st.client = Some(client);
+                break;
+            }
+        }
+        if st.client.is_none() {
+            self.ring.remove(shard);
+            self.shard_deaths += 1;
+        }
+        let orphans = std::mem::take(&mut self.shards[shard].inflight);
+        self.resubmitted += orphans.len() as u64;
+        for &id in &orphans {
+            let p = self.pending.get_mut(&id).expect("orphans are pending");
+            p.shard = usize::MAX;
+            p.remote_id = 0;
+        }
+        orphans
+    }
+
+    /// Blocks until the next job — from any shard — finishes, and
+    /// returns it: the fleet's single completion-ordered stream.
+    /// Shards that fail mid-wait are handled inline (their jobs
+    /// resubmitted) without disturbing the stream.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Idle`] with nothing pending;
+    /// [`RouterError::NoLiveShards`] / [`RouterError::JobLost`] when a
+    /// failure cascade exhausts the fleet.
+    pub fn next_result(&mut self) -> Result<Routed, RouterError> {
+        loop {
+            if self.pending.is_empty() {
+                return Err(RouterError::Idle);
+            }
+            // Pending jobs with no fleet left can never complete: report
+            // that instead of sleeping on a ring nobody will rejoin.
+            if self.ring.is_empty() {
+                return Err(RouterError::NoLiveShards {
+                    stranded: self.pending.len(),
+                });
+            }
+            for shard in self.ring.live().to_vec() {
+                // Re-check against the *current* ring: an earlier
+                // failure in this sweep can cascade (via resubmission)
+                // into the death of a shard later in the snapshot.
+                if !self.ring.live().contains(&shard) {
+                    continue;
+                }
+                // Snapshot: the sweep mutates inflight on delivery.
+                let ids = self.shards[shard].inflight.clone();
+                for id in ids {
+                    let remote_id = self.pending[&id].remote_id;
+                    let polled = self.shards[shard]
+                        .client
+                        .as_mut()
+                        .expect("ring only maps live shards")
+                        .poll(remote_id);
+                    match polled {
+                        Ok(Some(result)) => {
+                            self.pending.remove(&id);
+                            let st = &mut self.shards[shard];
+                            st.inflight.retain(|&i| i != id);
+                            st.delivered += 1;
+                            self.delivered += 1;
+                            return Ok(Routed { id, shard, result });
+                        }
+                        Ok(None) => {}
+                        Err(error) if error.is_fatal() => {
+                            let orphans = self.shard_failed(shard);
+                            self.dispatch(orphans)?;
+                            break; // this shard's snapshot is stale
+                        }
+                        Err(error) => return Err(RouterError::Shard { shard, error }),
+                    }
+                }
+            }
+            std::thread::sleep(self.config.poll_interval);
+        }
+    }
+
+    /// Drains every outstanding job, in completion order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`next_result`](Self::next_result) failure.
+    pub fn drain(&mut self) -> Result<Vec<Routed>, RouterError> {
+        let mut out = Vec::new();
+        while !self.pending.is_empty() {
+            out.push(self.next_result()?);
+        }
+        Ok(out)
+    }
+
+    /// Jobs awaiting results, fleet-wide.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Live shard count.
+    pub fn live_shards(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// A snapshot of the router's counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            submitted: self.next_id,
+            delivered: self.delivered,
+            resubmitted: self.resubmitted,
+            shard_deaths: self.shard_deaths,
+            per_shard: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(slot, st)| ShardLoad {
+                    addr: st.addr,
+                    alive: self.ring.live().contains(&slot),
+                    dispatched: st.dispatched,
+                    delivered: st.delivered,
+                    in_flight: st.inflight.len(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Polls every live shard's `stats` verb: the health probe. A
+    /// shard that fails the probe takes the usual failure path
+    /// (reconnect, then death + resubmission) and reports `None`, as
+    /// do shards already dead.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoLiveShards`] / [`RouterError::JobLost`] if a
+    /// probe-triggered failure cascade exhausts the fleet.
+    pub fn poll_health(&mut self) -> Result<Vec<Option<WireStats>>, RouterError> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            if !self.ring.live().contains(&shard) {
+                out.push(None);
+                continue;
+            }
+            let polled = self.shards[shard]
+                .client
+                .as_mut()
+                .expect("ring only maps live shards")
+                .stats();
+            match polled {
+                Ok(stats) => out.push(Some(stats)),
+                Err(error) if error.is_fatal() => {
+                    let orphans = self.shard_failed(shard);
+                    self.dispatch(orphans)?;
+                    out.push(None);
+                }
+                Err(error) => return Err(RouterError::Shard { shard, error }),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_deterministic_and_covers_all_live_shards() {
+        let mut ring = HashRing::new(64);
+        for s in 0..4 {
+            ring.add(s);
+        }
+        let owners: Vec<usize> = (0..256)
+            .map(|k| ring.shard_for(k).expect("non-empty ring"))
+            .collect();
+        // Deterministic: a second pass agrees.
+        for (k, &owner) in owners.iter().enumerate() {
+            assert_eq!(ring.shard_for(k as u64), Some(owner));
+            assert!(ring.live().contains(&owner));
+        }
+        // Every shard owns a reasonable share of 256 keys.
+        for s in 0..4 {
+            let share = owners.iter().filter(|&&o| o == s).count();
+            assert!(share > 16, "shard {s} owns only {share}/256 keys");
+        }
+    }
+
+    #[test]
+    fn removing_a_shard_moves_only_its_keys() {
+        let mut ring = HashRing::new(64);
+        for s in 0..3 {
+            ring.add(s);
+        }
+        let before: Vec<usize> = (0..200).map(|k| ring.shard_for(k).unwrap()).collect();
+        ring.remove(1);
+        for (k, &owner) in before.iter().enumerate() {
+            let now = ring.shard_for(k as u64).unwrap();
+            if owner == 1 {
+                assert_ne!(now, 1, "key {k} still maps to the removed shard");
+            } else {
+                assert_eq!(now, owner, "key {k} moved without cause");
+            }
+        }
+        // Adding it back restores the original partition exactly.
+        ring.add(1);
+        for (k, &owner) in before.iter().enumerate() {
+            assert_eq!(ring.shard_for(k as u64), Some(owner));
+        }
+    }
+
+    #[test]
+    fn empty_and_single_shard_rings() {
+        let mut ring = HashRing::new(8);
+        assert!(ring.is_empty());
+        assert_eq!(ring.shard_for(7), None);
+        ring.add(5);
+        assert_eq!(ring.len(), 1);
+        for k in 0..32 {
+            assert_eq!(ring.shard_for(k), Some(5));
+        }
+        ring.remove(5);
+        assert_eq!(ring.shard_for(7), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based checks of the consistent-hash ring that partitions a
+//! corpus across shards: the mapping must be a *function* of the live
+//! shard set (one owner per key, deterministically), and shard
+//! add/remove must remap only the expected ~1/N fraction of keys —
+//! never keys the change didn't touch. These are the properties that
+//! make mid-corpus shard loss cheap for the router: only the dead
+//! shard's jobs move.
+
+use proptest::prelude::*;
+use rteaal_serve::HashRing;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn removing_one_shard_remaps_only_its_keys(
+        shards in 2usize..6,
+        replicas in prop::sample::select(vec![16usize, 64, 128]),
+        victim_seed in any::<u64>(),
+        keys in prop::collection::vec(any::<u64>(), 80..200),
+    ) {
+        let mut ring = HashRing::new(replicas);
+        for s in 0..shards {
+            ring.add(s);
+        }
+        // Single ownership: the mapping is a deterministic function of
+        // the live set, and always lands on a live shard.
+        let before: Vec<(u64, usize)> = keys
+            .iter()
+            .map(|&k| (k, ring.shard_for(k).expect("non-empty ring")))
+            .collect();
+        for &(k, owner) in &before {
+            prop_assert_eq!(ring.shard_for(k), Some(owner), "mapping must be stable");
+            prop_assert!(ring.live().contains(&owner), "owner must be live");
+        }
+
+        let victim = (victim_seed % shards as u64) as usize;
+        ring.remove(victim);
+        prop_assert_eq!(ring.len(), shards - 1);
+        let mut moved = 0usize;
+        for &(k, owner) in &before {
+            let now = ring.shard_for(k).expect("survivors remain");
+            prop_assert!(ring.live().contains(&now));
+            if owner == victim {
+                moved += 1;
+            } else {
+                // The stability property: keys the victim never owned
+                // must not move.
+                prop_assert_eq!(now, owner, "key {} moved without cause", k);
+            }
+        }
+        // Only the victim's ~1/N share may move (loose upper bound to
+        // allow hash variance at few replicas).
+        prop_assert!(
+            moved <= keys.len() * 3 / shards,
+            "{moved}/{} keys moved on a {shards}-shard ring",
+            keys.len()
+        );
+
+        // Re-adding the victim restores the original partition exactly
+        // (ring points are a pure function of the shard slot).
+        ring.add(victim);
+        for &(k, owner) in &before {
+            prop_assert_eq!(ring.shard_for(k), Some(owner));
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_steals_keys_only_for_itself(
+        shards in 1usize..5,
+        replicas in prop::sample::select(vec![16usize, 64, 128]),
+        keys in prop::collection::vec(any::<u64>(), 80..200),
+    ) {
+        let mut ring = HashRing::new(replicas);
+        for s in 0..shards {
+            ring.add(s);
+        }
+        let before: Vec<(u64, usize)> = keys
+            .iter()
+            .map(|&k| (k, ring.shard_for(k).expect("non-empty ring")))
+            .collect();
+        let newcomer = shards;
+        ring.add(newcomer);
+        let mut stolen = 0usize;
+        for &(k, owner) in &before {
+            let now = ring.shard_for(k).expect("non-empty ring");
+            if now != owner {
+                // A key may only move *to* the newcomer, never between
+                // incumbents.
+                prop_assert_eq!(now, newcomer, "key {} hopped between incumbents", k);
+                stolen += 1;
+            }
+        }
+        // The newcomer takes roughly its 1/(N+1) share, never wildly
+        // more.
+        prop_assert!(
+            stolen <= keys.len() * 3 / (shards + 1),
+            "newcomer stole {stolen}/{} keys from a {shards}-shard ring",
+            keys.len()
+        );
+    }
+}
