@@ -1225,6 +1225,87 @@ pub fn shard_fleet(ctx: &Ctx) -> Vec<String> {
     out
 }
 
+/// RepCut partition parallelism (paper Appendix C, Cascade 2): sweep
+/// the partition count on a chip-scale design and measure single-lane
+/// cycle latency through the threaded partition engine. Every row is
+/// gated bit-identical against the unpartitioned engine on all named
+/// outputs, every cycle — partitioning must never change results, only
+/// latency. On a box with few cores the latency column flattens (the
+/// replication overhead has nothing to hide behind); the gate still
+/// binds.
+pub fn repcut_partitions(ctx: &Ctx) -> Vec<String> {
+    use rteaal_core::{BatchSimulation, Compiler, PartitionedPlan, Partitioning};
+    use std::time::Instant;
+    let mut out = header("RepCut: partition-parallel cycle latency, bit-exact (4-core chip, PSU)");
+    let circuit = rocket(ChipConfig::new(4).with_scale(ctx.scale.max(0.05)));
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&circuit)
+        .expect("chip-scale design compiles");
+    let stim = compiled
+        .plan
+        .probes
+        .iter()
+        .find(|(_, s, _)| compiled.plan.input_slots.contains(s))
+        .map(|(n, _, _)| n.clone())
+        .expect("design has a named input");
+    let verify_cycles = 50u64;
+    let timed_cycles = (ctx.profile_cycles * 10).max(200);
+    out.push(format!(
+        "{:<12} {:>12} {:>12} {:>14} {:>10}",
+        "partitions", "replication", "cross-regs", "ns/cycle", "exact"
+    ));
+    let mut flat_ns = 0.0f64;
+    for parts in [1usize, 2, 4, 8] {
+        if parts > ctx.max_cores {
+            continue;
+        }
+        let pp = PartitionedPlan::new(&compiled.plan, parts);
+        let cross = pp.rum.iter().filter(|e| !e.readers.is_empty()).count();
+        let mut sim =
+            BatchSimulation::new_with(&compiled, 1, Partitioning::Fixed(parts)).with_threads(parts);
+        let mut reference = BatchSimulation::new(&compiled, 1);
+        // The gate: lock-step against the unpartitioned engine on every
+        // named output, every cycle, under a varying stimulus.
+        let mut exact = 0u64;
+        for c in 0..verify_cycles {
+            let x = c.wrapping_mul(0x9e37_79b9) ^ 0x5bd1_e995;
+            sim.poke(&stim, 0, x).expect("input pokes");
+            reference.poke(&stim, 0, x).expect("input pokes");
+            sim.step();
+            reference.step();
+            let all_match = compiled
+                .plan
+                .output_slots
+                .iter()
+                .all(|(name, _)| sim.peek(name, 0) == reference.peek(name, 0));
+            assert!(
+                all_match,
+                "partitioned run diverged from flat at cycle {c} with {parts} partitions"
+            );
+            exact += 1;
+        }
+        let t = Instant::now();
+        sim.step_cycles(timed_cycles);
+        let ns = t.elapsed().as_secs_f64() * 1e9 / timed_cycles as f64;
+        if parts == 1 {
+            flat_ns = ns;
+        }
+        out.push(format!(
+            "{parts:<12} {:>11.2}x {:>12} {:>14.0} {:>4}/{verify_cycles}",
+            pp.replication_factor(),
+            cross,
+            ns,
+            exact
+        ));
+    }
+    out.push(String::new());
+    out.push(format!(
+        "gate: every partition count bit-identical to the flat engine for {verify_cycles} cycles; \
+         flat baseline {flat_ns:.0} ns/cycle"
+    ));
+    out
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1",
@@ -1249,6 +1330,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "sched",
     "serve",
     "shard",
+    "repcut",
 ];
 
 /// Dispatches one experiment by id.
@@ -1276,6 +1358,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "sched" => sched_serving(ctx),
         "serve" => serve_frontend(ctx),
         "shard" => shard_fleet(ctx),
+        "repcut" => repcut_partitions(ctx),
         _ => return None,
     })
 }

@@ -30,9 +30,28 @@
 use crate::compiler::Compiled;
 use crate::simulation::UnknownSignal;
 use crate::waveform::VcdWriter;
+use rteaal_dfg::partition::PartitionedPlan;
 use rteaal_dfg::plan::SimPlan;
 use rteaal_kernels::{BatchKernel, BatchLiState, LanePoker};
 use std::collections::HashMap;
+
+/// How a batched simulation decomposes the design across partitions
+/// (paper Appendix C, Cascade 2 — the RepCut replication scheme).
+///
+/// Lane-wise batching is orthogonal: partitioning splits the *ops of one
+/// cycle* across workers, so it is the lever for per-job latency on
+/// large designs, where lanes are the lever for throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Classic single-schedule execution (the default).
+    #[default]
+    None,
+    /// Exactly this many RepCut partitions (1 behaves like `None`).
+    Fixed(usize),
+    /// A host- and design-derived partition count
+    /// ([`PartitionedPlan::auto_partitions`]).
+    Auto,
+}
 
 /// A running batched simulation of one compiled design.
 ///
@@ -73,6 +92,9 @@ pub struct BatchSimulation {
     threads: usize,
     liveness: Option<LaneLiveness>,
     vcd: Option<LaneVcd>,
+    /// RepCut replication factor of the decomposition (1.0 when
+    /// unpartitioned).
+    replication: f64,
 }
 
 /// Single-lane VCD capture state: the chosen user-facing lane and the
@@ -132,9 +154,38 @@ impl BatchSimulation {
     ///
     /// Panics if `lanes` is zero.
     pub fn new(compiled: &Compiled, lanes: usize) -> Self {
+        Self::new_with(compiled, lanes, Partitioning::None)
+    }
+
+    /// Builds a `lanes`-wide simulation with an explicit RepCut
+    /// decomposition. A partitioned simulation is bit-identical to an
+    /// unpartitioned one through every public method — lane reset,
+    /// admission, halt compaction, pokes and probes are all
+    /// partition-aware — it only changes how a cycle's ops divide across
+    /// worker threads (pair with [`with_threads`](Self::with_threads)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    pub fn new_with(compiled: &Compiled, lanes: usize, partitioning: Partitioning) -> Self {
         let plan = compiled.plan.clone();
-        let kernel = BatchKernel::compile(&plan, compiled.kernel.config());
-        let state = BatchLiState::new(&plan, lanes);
+        let parts = match partitioning {
+            Partitioning::None => 1,
+            Partitioning::Fixed(p) => {
+                assert!(p > 0, "partition count must be nonzero");
+                p
+            }
+            Partitioning::Auto => PartitionedPlan::auto_partitions(&plan),
+        };
+        let (kernel, state, replication) = if parts > 1 {
+            let pp = PartitionedPlan::new(&plan, parts);
+            let kernel = BatchKernel::compile_partitioned(&pp, compiled.kernel.config());
+            let state = BatchLiState::new_partitioned(&plan, lanes, &pp);
+            (kernel, state, pp.replication_factor())
+        } else {
+            let kernel = BatchKernel::compile(&plan, compiled.kernel.config());
+            (kernel, BatchLiState::new(&plan, lanes), 1.0)
+        };
         let mut input_index = HashMap::new();
         for (idx, &slot) in plan.input_slots.iter().enumerate() {
             if let Some((name, _, _)) = plan.probes.iter().find(|(_, s, _)| *s == slot) {
@@ -155,7 +206,21 @@ impl BatchSimulation {
             threads: 1,
             liveness: None,
             vcd: None,
+            replication,
         }
+    }
+
+    /// Number of RepCut partitions this simulation executes (1 =
+    /// unpartitioned).
+    pub fn partitions(&self) -> usize {
+        self.state.partitions()
+    }
+
+    /// RepCut replication factor of the decomposition: total scheduled
+    /// ops (including replicated fan-in cones) over the plan's ops. 1.0
+    /// when unpartitioned.
+    pub fn replication_factor(&self) -> f64 {
+        self.replication
     }
 
     /// Sets the worker-thread count for subsequent stepping (each layer's
@@ -921,6 +986,55 @@ circuit H :
         assert!(sim.watch_halt("no_such_signal").is_err());
         // Output ports resolve even when not probed by name.
         assert!(sim.watch_halt("big").is_ok());
+    }
+
+    #[test]
+    fn partitioned_simulation_matches_unpartitioned_lifecycle() {
+        let c = Compiler::new(KernelConfig::new(KernelKind::Psu))
+            .compile_str(HALT_SRC)
+            .unwrap();
+        const LANES: usize = 5;
+        for partitioning in [
+            Partitioning::Fixed(2),
+            Partitioning::Fixed(4),
+            Partitioning::Auto,
+        ] {
+            let mut flat = BatchSimulation::new(&c, LANES);
+            let mut part = BatchSimulation::new_with(&c, LANES, partitioning);
+            if let Partitioning::Fixed(p) = partitioning {
+                assert_eq!(part.partitions(), p);
+                assert!(part.replication_factor() >= 1.0);
+            }
+            for sim in [&mut flat, &mut part] {
+                sim.watch_halt("done").unwrap();
+                for lane in 0..LANES {
+                    sim.poke("limit", lane, lane as u64 + 2).unwrap();
+                }
+            }
+            flat.run_until_halt(100);
+            part.run_until_halt(100);
+            for lane in 0..LANES {
+                assert_eq!(
+                    part.completion_cycle(lane),
+                    flat.completion_cycle(lane),
+                    "{partitioning:?} lane {lane}"
+                );
+                assert_eq!(part.peek("cnt", lane), flat.peek("cnt", lane));
+            }
+            // Recycle a lane mid-run in both and keep going.
+            flat.admit(2, [("limit", 7u64)]).unwrap();
+            part.admit(2, [("limit", 7u64)]).unwrap();
+            flat.run_until_halt(100);
+            part.run_until_halt(100);
+            for lane in 0..LANES {
+                assert_eq!(
+                    part.completion_cycle(lane),
+                    flat.completion_cycle(lane),
+                    "{partitioning:?} post-admit lane {lane}"
+                );
+                assert_eq!(part.peek("cnt", lane), flat.peek("cnt", lane));
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! - [`simulation::Simulation`] — named poke/peek (including internal
 //!   signals, the XMR path), cycle stepping, and profiled runs.
 //! - [`batch::BatchSimulation`] — the same design over `B` independent
-//!   stimulus lanes at once, with layer-parallel thread execution.
+//!   stimulus lanes at once, with layer-parallel thread execution and an
+//!   optional RepCut decomposition ([`batch::Partitioning`]) that splits
+//!   each cycle's ops across partitions for per-job latency.
 //! - [`waveform::VcdWriter`] — change-detecting VCD generation (§6.2).
 //! - [`simulation::DebugModule`] — the DMI-style host↔DUT channel (§6.2).
 //!
@@ -47,8 +49,9 @@ pub mod compiler;
 pub mod simulation;
 pub mod waveform;
 
-pub use batch::BatchSimulation;
+pub use batch::{BatchSimulation, Partitioning};
 pub use clock::{clock_domains, is_single_clock, ClockDomain};
 pub use compiler::{CompileError, Compiled, Compiler, StageTimings};
+pub use rteaal_dfg::partition::PartitionedPlan;
 pub use simulation::{DebugModule, Simulation, UnknownSignal};
 pub use waveform::VcdWriter;

@@ -15,6 +15,10 @@
 //! - [`plan`]: coordinate assignment for the `I, S, N, O, R` ranks with
 //!   identity elision, producing a [`plan::SimPlan`] — the logical content
 //!   of the `OIM` tensor.
+//! - [`partition`]: the RepCut decomposition of a plan (Appendix C,
+//!   Cascade 2) — per-partition op schedules with replicated fan-in
+//!   cones, the register update map, and the per-slot home map the
+//!   partition-parallel engine in `rteaal-kernels` executes.
 //! - [`interp`]: the reference cycle-level interpreter every other
 //!   simulator in the workspace is differentially tested against.
 //! - [`batch`]: the lane-batched plan simulator — `B` independent
@@ -56,6 +60,7 @@ pub mod interp;
 pub mod lane_kernel;
 pub mod level;
 pub mod op;
+pub mod partition;
 pub mod passes;
 pub mod plan;
 
@@ -65,4 +70,5 @@ pub use error::{DfgError, Result};
 pub use graph::{Graph, Node, NodeId, RegDef};
 pub use lane_kernel::{BatchEngine, CompiledLayer, CompiledOp, KernelArgs, LaneWindow};
 pub use op::{DfgOp, OpClass};
+pub use partition::{PartitionSchedule, PartitionedPlan, RumEntry};
 pub use plan::{OpInst, PlanSim, SimPlan};

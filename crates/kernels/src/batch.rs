@@ -36,27 +36,55 @@ use crate::config::KernelConfig;
 use rteaal_dfg::batch::init_lanes;
 use rteaal_dfg::lane_kernel::{compile_layer, BatchEngine, CompiledLayer, LaneWindow};
 use rteaal_dfg::op::canonicalize;
+use rteaal_dfg::partition::PartitionedPlan;
 use rteaal_dfg::plan::split_commits;
 use rteaal_dfg::{OpInst, SimPlan};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// One RUM row of the partitioned state: the register's slot, the
+/// replica that commits it, and the replicas it is copied to.
+type RumRow = (u32, u32, Vec<u32>);
+
+/// Per-partition register commits, split alias-free/staged (see
+/// [`split_commits`]).
+type PartCommits = (Vec<(u32, u32)>, Vec<(u32, u32)>);
+
 /// The mutable batched simulation state: `B` lanes per `LI` slot, of
 /// which the `live` prefix is evaluated (lane-liveness early exit swaps
 /// finished lanes past the prefix and shrinks it).
+///
+/// With a RepCut decomposition ([`BatchLiState::new_partitioned`]) the
+/// matrix is additionally replicated per partition: replica `p` occupies
+/// `li[p * span .. (p + 1) * span]` with `span = num_slots * lanes`, and
+/// the 2-D partition × lane decomposition of [`BatchKernel`] evaluates
+/// partition `p`'s ops inside replica `p` only. Reads route through the
+/// per-slot *home* replica; writes (inputs, pokes) land in every
+/// replica; the end-of-cycle commit reconciles the replicated boundary
+/// rows through the register update map. Lane-axis operations —
+/// swapping, per-column reset, the live window — act on the same lane
+/// column of **all** replicas, so lane compaction and recycling are
+/// partition-oblivious.
 #[derive(Debug, Clone)]
 pub struct BatchLiState {
     li: Vec<u64>,
+    /// Partition replica count (1 = the classic unpartitioned layout).
+    parts: usize,
+    /// Size of one replica: `num_slots * lanes`.
+    span: usize,
     lanes: usize,
     live: usize,
     init: Vec<u64>,
     input_slots: Vec<u32>,
     input_types: Vec<(u8, bool)>,
     output_slots: Vec<(String, u32)>,
-    /// Alias-free register commits, copied row-to-row without staging.
-    commit_direct: Vec<(u32, u32)>,
-    /// Overlapping register commits, staged through `commit_buf`.
-    commit_staged: Vec<(u32, u32)>,
+    /// Per-partition register commits (one entry when unpartitioned).
+    commits: Vec<PartCommits>,
     commit_buf: Vec<u64>,
+    /// Register update map rows; empty when unpartitioned.
+    rum: Vec<RumRow>,
+    /// `slot -> home replica`; empty when unpartitioned (all slots home
+    /// in replica 0).
+    home: Vec<u32>,
     cycle: u64,
 }
 
@@ -70,18 +98,70 @@ impl BatchLiState {
     pub fn new(plan: &SimPlan, lanes: usize) -> Self {
         assert!(lanes > 0, "batch needs at least one lane");
         let li = init_lanes(plan, lanes);
-        let (commit_direct, commit_staged) = split_commits(&plan.commits);
+        let (direct, staged) = split_commits(&plan.commits);
         BatchLiState {
             init: li.clone(),
+            span: li.len(),
             li,
+            parts: 1,
             lanes,
             live: lanes,
             input_slots: plan.input_slots.clone(),
             input_types: plan.input_types.clone(),
             output_slots: plan.output_slots.clone(),
-            commit_buf: vec![0; commit_staged.len() * lanes],
-            commit_direct,
-            commit_staged,
+            commit_buf: vec![0; staged.len() * lanes],
+            commits: vec![(direct, staged)],
+            rum: Vec::new(),
+            home: Vec::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Initializes a partition-replicated state: one `LI` replica per
+    /// partition of `pp`, every lane at the power-on state. Pair with a
+    /// kernel from [`BatchKernel::compile_partitioned`] over the same
+    /// decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new_partitioned(plan: &SimPlan, lanes: usize, pp: &PartitionedPlan) -> Self {
+        assert!(lanes > 0, "batch needs at least one lane");
+        let parts = pp.num_partitions();
+        let span = plan.num_slots * lanes;
+        let replica = init_lanes(plan, lanes);
+        let mut li = Vec::with_capacity(parts * span);
+        for _ in 0..parts {
+            li.extend_from_slice(&replica);
+        }
+        let commits: Vec<PartCommits> = pp
+            .partitions
+            .iter()
+            .map(|s| split_commits(&s.commits))
+            .collect();
+        let max_staged = commits.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+        BatchLiState {
+            init: li.clone(),
+            li,
+            parts,
+            span,
+            lanes,
+            live: lanes,
+            input_slots: plan.input_slots.clone(),
+            input_types: plan.input_types.clone(),
+            output_slots: plan.output_slots.clone(),
+            commit_buf: vec![0; max_staged * lanes],
+            commits,
+            rum: pp
+                .rum
+                .iter()
+                .map(|e| (e.slot, e.owner, e.readers.clone()))
+                .collect(),
+            home: if parts > 1 {
+                pp.home.clone()
+            } else {
+                Vec::new()
+            },
             cycle: 0,
         }
     }
@@ -89,6 +169,21 @@ impl BatchLiState {
     /// Number of stimulus lanes.
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Number of partition replicas (1 = unpartitioned).
+    pub fn partitions(&self) -> usize {
+        self.parts
+    }
+
+    /// The home replica of a slot — where its authoritative value lives.
+    #[inline]
+    fn home_of(&self, s: u32) -> usize {
+        if self.home.is_empty() {
+            0
+        } else {
+            self.home[s as usize] as usize
+        }
     }
 
     /// Number of lanes still being evaluated (the active prefix).
@@ -167,21 +262,27 @@ impl BatchLiState {
     }
 
     /// Drives input port `idx` on one lane (canonicalized to the port
-    /// type).
+    /// type, written into every partition replica).
     pub fn set_input(&mut self, idx: usize, lane: usize, value: u64) {
         assert!(lane < self.lanes, "lane {lane} out of range");
         let (w, signed) = self.input_types[idx];
-        self.li[self.input_slots[idx] as usize * self.lanes + lane] =
-            canonicalize(value, w as u32, signed);
+        let v = canonicalize(value, w as u32, signed);
+        let off = self.input_slots[idx] as usize * self.lanes + lane;
+        for p in 0..self.parts {
+            self.li[p * self.span + off] = v;
+        }
     }
 
     /// Drives input port `idx` identically on every lane: canonicalizes
-    /// once and fills the lane row.
+    /// once and fills the lane row (of every replica).
     pub fn set_input_all(&mut self, idx: usize, value: u64) {
         let (w, signed) = self.input_types[idx];
         let v = canonicalize(value, w as u32, signed);
         let s0 = self.input_slots[idx] as usize * self.lanes;
-        self.li[s0..s0 + self.lanes].fill(v);
+        for p in 0..self.parts {
+            let r0 = p * self.span + s0;
+            self.li[r0..r0 + self.lanes].fill(v);
+        }
     }
 
     /// Drives input port `idx` identically on every *live* lane; frozen
@@ -190,13 +291,15 @@ impl BatchLiState {
         let (w, signed) = self.input_types[idx];
         let v = canonicalize(value, w as u32, signed);
         let s0 = self.input_slots[idx] as usize * self.lanes;
-        self.li[s0..s0 + self.live].fill(v);
+        for p in 0..self.parts {
+            let r0 = p * self.span + s0;
+            self.li[r0..r0 + self.live].fill(v);
+        }
     }
 
     /// Output value of one lane, by port index.
     pub fn output(&self, idx: usize, lane: usize) -> u64 {
-        assert!(lane < self.lanes, "lane {lane} out of range");
-        self.li[self.output_slots[idx].1 as usize * self.lanes + lane]
+        self.slot(self.output_slots[idx].1, lane)
     }
 
     /// Output value of one lane, by port name.
@@ -205,19 +308,24 @@ impl BatchLiState {
         self.output_slots
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, s)| self.li[*s as usize * self.lanes + lane])
+            .map(|&(_, s)| self.slot(s, lane))
     }
 
-    /// Reads an arbitrary slot on one lane (probe / waveform path).
+    /// Reads an arbitrary slot on one lane (probe / waveform path),
+    /// through the slot's home replica.
     pub fn slot(&self, s: u32, lane: usize) -> u64 {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        self.li[s as usize * self.lanes + lane]
+        self.li[self.home_of(s) * self.span + s as usize * self.lanes + lane]
     }
 
-    /// Writes a slot on one lane (DMI poke).
+    /// Writes a slot on one lane (DMI poke) — into every replica, so a
+    /// partitioned run sees the poke wherever the slot is read.
     pub fn poke_slot(&mut self, s: u32, lane: usize, value: u64) {
         assert!(lane < self.lanes, "lane {lane} out of range");
-        self.li[s as usize * self.lanes + lane] = value;
+        let off = s as usize * self.lanes + lane;
+        for p in 0..self.parts {
+            self.li[p * self.span + off] = value;
+        }
     }
 
     /// Cycles completed.
@@ -226,22 +334,36 @@ impl BatchLiState {
     }
 
     /// Lane-wise register commit over the active window (the final
-    /// `LI_{i+1}` Einsum of Cascade 1): staged sources first, direct
-    /// alias-free copies, then the staged writes. Frozen lanes keep their
-    /// state.
+    /// `LI_{i+1}` Einsum of Cascade 1): per replica, staged sources
+    /// first, direct alias-free copies, then the staged writes — each
+    /// partition committing only the registers it owns — followed by the
+    /// RUM reconciliation copying every committed row from its owner
+    /// replica to its reader replicas (the Cascade 2 `LI_{c+1} =
+    /// LI_{c,I} · RUM` Einsum). Frozen lanes keep their state.
     fn commit_lanes(&mut self) {
         let (lanes, n) = (self.lanes, self.live);
-        for (k, &(_, src)) in self.commit_staged.iter().enumerate() {
-            let s0 = src as usize * lanes;
-            self.commit_buf[k * lanes..k * lanes + n].copy_from_slice(&self.li[s0..s0 + n]);
+        for (p, (direct, staged)) in self.commits.iter().enumerate() {
+            let base = p * self.span;
+            for (k, &(_, src)) in staged.iter().enumerate() {
+                let s0 = base + src as usize * lanes;
+                self.commit_buf[k * lanes..k * lanes + n].copy_from_slice(&self.li[s0..s0 + n]);
+            }
+            for &(dst, src) in direct {
+                let (d0, s0) = (base + dst as usize * lanes, base + src as usize * lanes);
+                self.li.copy_within(s0..s0 + n, d0);
+            }
+            for (k, &(dst, _)) in staged.iter().enumerate() {
+                let d0 = base + dst as usize * lanes;
+                self.li[d0..d0 + n].copy_from_slice(&self.commit_buf[k * lanes..k * lanes + n]);
+            }
         }
-        for &(dst, src) in &self.commit_direct {
-            let (d0, s0) = (dst as usize * lanes, src as usize * lanes);
-            self.li.copy_within(s0..s0 + n, d0);
-        }
-        for (k, &(dst, _)) in self.commit_staged.iter().enumerate() {
-            let d0 = dst as usize * lanes;
-            self.li[d0..d0 + n].copy_from_slice(&self.commit_buf[k * lanes..k * lanes + n]);
+        for (slot, owner, readers) in &self.rum {
+            let row = *slot as usize * lanes;
+            let s0 = *owner as usize * self.span + row;
+            for &q in readers {
+                let d0 = q as usize * self.span + row;
+                self.li.copy_within(s0..s0 + n, d0);
+            }
         }
         self.cycle += 1;
     }
@@ -329,11 +451,12 @@ enum Segment {
 /// Minimum op×lane work units in a layer before splitting it pays.
 const PAR_MIN_WORK: usize = 1024;
 
-/// Builds the segment schedule for a given lane count.
-fn schedule(layers: &[Vec<OpInst>], lanes: usize) -> Vec<Segment> {
-    let mut segments: Vec<Segment> = Vec::with_capacity(layers.len());
-    for (i, layer) in layers.iter().enumerate() {
-        if layer.len() * lanes >= PAR_MIN_WORK {
+/// Builds the segment schedule for a given lane count from the
+/// cross-partition op totals of each layer.
+fn schedule(layer_totals: &[usize], lanes: usize) -> Vec<Segment> {
+    let mut segments: Vec<Segment> = Vec::with_capacity(layer_totals.len());
+    for (i, &ops) in layer_totals.iter().enumerate() {
+        if ops * lanes >= PAR_MIN_WORK {
             segments.push(Segment::Parallel(i));
         } else if let Some(Segment::Serial(_, to)) = segments.last_mut() {
             *to = i + 1;
@@ -348,6 +471,8 @@ fn schedule(layers: &[Vec<OpInst>], lanes: usize) -> Vec<Segment> {
 /// [`BatchKernel::run_with_stimulus`].
 pub struct LanePoker<'a> {
     li: SharedLi,
+    parts: usize,
+    span: usize,
     lanes: usize,
     input_slots: &'a [u32],
     input_types: &'a [(u8, bool)],
@@ -365,35 +490,53 @@ impl LanePoker<'_> {
     }
 
     /// Drives input port `idx` on one lane (canonicalized to the port
-    /// type).
+    /// type, written into every partition replica).
     pub fn set_input(&mut self, idx: usize, lane: usize, value: u64) {
         assert!(lane < self.lanes, "lane {lane} out of range");
         let (w, signed) = self.input_types[idx];
+        let v = canonicalize(value, w as u32, signed);
+        let off = self.input_slots[idx] as usize * self.lanes + lane;
         // Safety: input slots are source rows no layer op ever writes,
         // and the callback runs in the single-threaded window between the
         // commit barrier and the next layer-0 barrier.
-        unsafe {
-            *self
-                .li
-                .0
-                .add(self.input_slots[idx] as usize * self.lanes + lane) =
-                canonicalize(value, w as u32, signed);
+        for p in 0..self.parts {
+            unsafe {
+                *self.li.0.add(p * self.span + off) = v;
+            }
         }
     }
 }
 
-/// The batched, layer-parallel kernel: a layer-structured op program,
-/// its kernel-compiled form, and the traversal the kernel configuration
-/// asks for.
+/// The batched, layer-parallel kernel: a layer-structured op program
+/// (one schedule per partition), its kernel-compiled form, and the
+/// traversal the kernel configuration asks for.
+///
+/// Unpartitioned kernels are the one-partition special case. Partitioned
+/// kernels ([`BatchKernel::compile_partitioned`]) hold one op schedule
+/// per RepCut partition over the same layer grid; the threaded walk
+/// flattens the (partition, op) pairs of each layer into one work range
+/// so worker threads own (partition, lane-chunk) tiles, and the layer
+/// barrier argument carries over unchanged: output rows are unique
+/// within a partition's layer and live in distinct replicas across
+/// partitions.
 #[derive(Debug, Clone)]
 pub struct BatchKernel {
     config: KernelConfig,
     engine: BatchEngine,
-    /// Operations per layer, in execution order (the interpreted form,
-    /// also the input of the schedule builder).
-    layers: Vec<Vec<OpInst>>,
-    /// Kernel-compiled layers, same order (compiled engine only).
-    compiled: Vec<CompiledLayer>,
+    /// Operations per partition per layer (`layers[p][i]`), in execution
+    /// order (the interpreted form, also the input of the schedule
+    /// builder).
+    layers: Vec<Vec<Vec<OpInst>>>,
+    /// Kernel-compiled layers, same shape (compiled engine only).
+    compiled: Vec<Vec<CompiledLayer>>,
+    /// Layer count (equal across partitions; short partitions padded).
+    num_layers: usize,
+    /// Total ops of each layer across partitions.
+    layer_totals: Vec<usize>,
+    /// Per layer, prefix sums of per-partition op counts (`parts + 1`
+    /// entries) — maps a flattened work range back to per-partition
+    /// slices.
+    offsets: Vec<Vec<usize>>,
 }
 
 impl BatchKernel {
@@ -412,21 +555,74 @@ impl BatchKernel {
     /// dispatch — the golden model, and the baseline of the
     /// interpreted-vs-compiled benchmark axis).
     pub fn compile_with_engine(plan: &SimPlan, config: KernelConfig, engine: BatchEngine) -> Self {
-        let mut layers = plan.layers.clone();
+        Self::from_layers(config, engine, vec![plan.layers.clone()])
+    }
+
+    /// Compiles a RepCut decomposition into a partitioned kernel: one op
+    /// schedule per partition, executed against the replica-per-partition
+    /// state of [`BatchLiState::new_partitioned`] over the same
+    /// decomposition.
+    pub fn compile_partitioned(pp: &PartitionedPlan, config: KernelConfig) -> Self {
+        Self::compile_partitioned_with_engine(pp, config, BatchEngine::Compiled)
+    }
+
+    /// Partitioned compilation with an explicit executor choice.
+    pub fn compile_partitioned_with_engine(
+        pp: &PartitionedPlan,
+        config: KernelConfig,
+        engine: BatchEngine,
+    ) -> Self {
+        Self::from_layers(
+            config,
+            engine,
+            pp.partitions.iter().map(|s| s.layers.clone()).collect(),
+        )
+    }
+
+    fn from_layers(
+        config: KernelConfig,
+        engine: BatchEngine,
+        mut part_layers: Vec<Vec<Vec<OpInst>>>,
+    ) -> Self {
         if config.kind.is_swizzled() {
-            for layer in &mut layers {
-                layer.sort_by_key(|op| op.n);
+            for layers in &mut part_layers {
+                for layer in layers.iter_mut() {
+                    layer.sort_by_key(|op| op.n);
+                }
             }
         }
+        let num_layers = part_layers.iter().map(Vec::len).max().unwrap_or(0);
+        for layers in &mut part_layers {
+            layers.resize_with(num_layers, Vec::new);
+        }
+        let mut layer_totals = Vec::with_capacity(num_layers);
+        let mut offsets = Vec::with_capacity(num_layers);
+        for i in 0..num_layers {
+            let mut pref = Vec::with_capacity(part_layers.len() + 1);
+            let mut acc = 0usize;
+            pref.push(0);
+            for layers in &part_layers {
+                acc += layers[i].len();
+                pref.push(acc);
+            }
+            layer_totals.push(acc);
+            offsets.push(pref);
+        }
         let compiled = match engine {
-            BatchEngine::Compiled => layers.iter().map(|l| compile_layer(l)).collect(),
+            BatchEngine::Compiled => part_layers
+                .iter()
+                .map(|layers| layers.iter().map(|l| compile_layer(l)).collect())
+                .collect(),
             BatchEngine::Interpreted => Vec::new(),
         };
         BatchKernel {
             config,
             engine,
-            layers,
+            layers: part_layers,
             compiled,
+            num_layers,
+            layer_totals,
+            offsets,
         }
     }
 
@@ -440,67 +636,102 @@ impl BatchKernel {
         self.engine
     }
 
-    /// Total operations per simulated cycle (per lane).
-    pub fn ops_per_cycle(&self) -> usize {
-        self.layers.iter().map(Vec::len).sum()
+    /// Number of partitions this kernel was compiled for (1 =
+    /// unpartitioned).
+    pub fn partitions(&self) -> usize {
+        self.layers.len()
     }
 
-    /// Evaluates one layer over a window, single-threaded.
+    /// Total operations per simulated cycle (per lane), across all
+    /// partitions — for a partitioned kernel this includes the
+    /// replicated fan-in cones.
+    pub fn ops_per_cycle(&self) -> usize {
+        self.layer_totals.iter().sum()
+    }
+
+    /// Evaluates one layer of every partition over a window,
+    /// single-threaded. `span` is the replica stride of the state.
     #[inline]
-    fn eval_layer(&self, i: usize, li: &mut [u64], w: LaneWindow, buf: &mut Vec<u64>) {
-        match self.engine {
-            BatchEngine::Compiled => {
-                for op in &self.compiled[i] {
-                    op.eval_lanes(li, w, buf);
+    fn eval_layer(&self, i: usize, li: &mut [u64], span: usize, w: LaneWindow, buf: &mut Vec<u64>) {
+        for p in 0..self.layers.len() {
+            let rep = &mut li[p * span..(p + 1) * span];
+            match self.engine {
+                BatchEngine::Compiled => {
+                    for op in &self.compiled[p][i] {
+                        op.eval_lanes(rep, w, buf);
+                    }
                 }
-            }
-            BatchEngine::Interpreted => {
-                for op in &self.layers[i] {
-                    op.eval_lanes(li, w, buf);
+                BatchEngine::Interpreted => {
+                    for op in &self.layers[p][i] {
+                        op.eval_lanes(rep, w, buf);
+                    }
                 }
             }
         }
     }
 
     /// Evaluates a worker's chunk of one layer through the shared
-    /// pointer.
+    /// pointer. The chunk is a range of the layer's flattened
+    /// (partition, op) pairs, intersected per partition via the prefix
+    /// sums — each worker owns a (partition, op-range) tile set.
     ///
     /// # Safety
     ///
     /// As `CompiledOp::eval_lanes_ptr`: the layer barrier must seal
     /// operand rows, and `(worker, threads)` chunking must give this
-    /// caller exclusive ownership of the chunk's output rows.
+    /// caller exclusive ownership of the chunk's output rows (unique
+    /// within a partition layer; distinct replicas across partitions).
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     unsafe fn eval_layer_chunk(
         &self,
         i: usize,
         li: SharedLi,
+        span: usize,
         w: LaneWindow,
         worker: usize,
         threads: usize,
         buf: &mut Vec<u64>,
     ) {
-        let (lo, hi) = chunk(self.layers[i].len(), worker, threads);
-        match self.engine {
-            BatchEngine::Compiled => {
-                for op in &self.compiled[i][lo..hi] {
-                    op.eval_lanes_ptr(li.0, w, buf);
-                }
+        let (lo, hi) = chunk(self.layer_totals[i], worker, threads);
+        let pref = &self.offsets[i];
+        for p in 0..self.layers.len() {
+            let (a, b) = (pref[p].max(lo), pref[p + 1].min(hi));
+            if a >= b {
+                continue;
             }
-            BatchEngine::Interpreted => {
-                for op in &self.layers[i][lo..hi] {
-                    op.eval_lanes_ptr(li.0, w, buf);
+            let (la, lb) = (a - pref[p], b - pref[p]);
+            let base = li.0.add(p * span);
+            match self.engine {
+                BatchEngine::Compiled => {
+                    for op in &self.compiled[p][i][la..lb] {
+                        op.eval_lanes_ptr(base, w, buf);
+                    }
+                }
+                BatchEngine::Interpreted => {
+                    for op in &self.layers[p][i][la..lb] {
+                        op.eval_lanes_ptr(base, w, buf);
+                    }
                 }
             }
         }
     }
 
     /// One cycle on the active lanes, single-threaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's partition count differs from the kernel's.
     pub fn step(&self, st: &mut BatchLiState) {
+        assert_eq!(
+            self.layers.len(),
+            st.parts,
+            "kernel/state partition mismatch"
+        );
         let mut buf = Vec::with_capacity(8);
         let w = st.window();
-        for i in 0..self.layers.len() {
-            self.eval_layer(i, &mut st.li, w, &mut buf);
+        for i in 0..self.num_layers {
+            self.eval_layer(i, &mut st.li, st.span, w, &mut buf);
         }
         st.commit_lanes();
     }
@@ -514,10 +745,15 @@ impl BatchKernel {
     /// observe a halt signal that is combinationally true the moment a
     /// testbench is admitted, before spending a cycle on it.
     pub fn eval_comb(&self, st: &mut BatchLiState) {
+        assert_eq!(
+            self.layers.len(),
+            st.parts,
+            "kernel/state partition mismatch"
+        );
         let mut buf = Vec::with_capacity(8);
         let w = st.window();
-        for i in 0..self.layers.len() {
-            self.eval_layer(i, &mut st.li, w, &mut buf);
+        for i in 0..self.num_layers {
+            self.eval_layer(i, &mut st.li, st.span, w, &mut buf);
         }
     }
 
@@ -545,12 +781,19 @@ impl BatchKernel {
         threads: usize,
         mut stimulus: impl FnMut(u64, &mut LanePoker<'_>),
     ) {
+        assert_eq!(
+            self.layers.len(),
+            st.parts,
+            "kernel/state partition mismatch"
+        );
         let start_cycle = st.cycle;
         let threads = threads.max(1);
         if threads == 1 {
             for c in 0..cycles {
                 let mut poker = LanePoker {
                     li: SharedLi(st.li.as_mut_ptr()),
+                    parts: st.parts,
+                    span: st.span,
                     lanes: st.lanes,
                     input_slots: &st.input_slots,
                     input_types: &st.input_types,
@@ -561,11 +804,12 @@ impl BatchKernel {
             return;
         }
         let w = st.window();
+        let span = st.span;
         let shared = SharedLi(st.li.as_mut_ptr());
         // One barrier rendezvous per schedule segment plus one around the
         // commit/stimulus window; worker 0 (the calling thread) owns the
         // single-threaded windows and executes the serial segments.
-        let segments = schedule(&self.layers, st.lanes);
+        let segments = schedule(&self.layer_totals, st.lanes);
         let barrier = SpinBarrier::new(threads);
         std::thread::scope(|scope| {
             for worker in 1..threads {
@@ -585,7 +829,9 @@ impl BatchKernel {
                                 // layer; operand rows sealed by the
                                 // previous barrier.
                                 unsafe {
-                                    kernel.eval_layer_chunk(i, shared, w, worker, threads, &mut buf)
+                                    kernel.eval_layer_chunk(
+                                        i, shared, span, w, worker, threads, &mut buf,
+                                    )
                                 };
                             }
                             // Serial segments belong to worker 0.
@@ -599,6 +845,8 @@ impl BatchKernel {
             for c in 0..cycles {
                 let mut poker = LanePoker {
                     li: shared,
+                    parts: st.parts,
+                    span: st.span,
                     lanes: st.lanes,
                     input_slots: &st.input_slots,
                     input_types: &st.input_types,
@@ -609,13 +857,17 @@ impl BatchKernel {
                     match *segment {
                         Segment::Parallel(i) => {
                             // Safety: as above.
-                            unsafe { self.eval_layer_chunk(i, shared, w, 0, threads, &mut buf) };
+                            unsafe {
+                                self.eval_layer_chunk(i, shared, span, w, 0, threads, &mut buf)
+                            };
                         }
                         Segment::Serial(from, to) => {
                             for i in from..to {
                                 // Safety: workers never touch serial
                                 // layers; operand rows are sealed.
-                                unsafe { self.eval_layer_chunk(i, shared, w, 0, 1, &mut buf) };
+                                unsafe {
+                                    self.eval_layer_chunk(i, shared, span, w, 0, 1, &mut buf)
+                                };
                             }
                         }
                     }
@@ -623,13 +875,7 @@ impl BatchKernel {
                 }
                 // Single-threaded window: every worker is parked at the
                 // next cycle's opening barrier.
-                commit_shared(
-                    shared,
-                    w,
-                    &st.commit_direct,
-                    &st.commit_staged,
-                    &mut st.commit_buf,
-                );
+                commit_shared(shared, span, w, &st.commits, &mut st.commit_buf, &st.rum);
             }
         });
         st.cycle += cycles;
@@ -643,35 +889,52 @@ fn chunk(n: usize, w: usize, t: usize) -> (usize, usize) {
 }
 
 /// Lane-wise commit over the active window through the shared pointer
-/// (worker 0's single-threaded window): staged sources, direct copies,
-/// staged writes — same order and safety argument as
-/// `BatchLiState::commit_lanes`.
+/// (worker 0's single-threaded window): per replica, staged sources,
+/// direct copies, staged writes, then the RUM reconciliation — same
+/// order and safety argument as `BatchLiState::commit_lanes`.
 fn commit_shared(
     li: SharedLi,
+    span: usize,
     w: LaneWindow,
-    direct: &[(u32, u32)],
-    staged: &[(u32, u32)],
+    commits: &[PartCommits],
     buf: &mut [u64],
+    rum: &[RumRow],
 ) {
     let (lanes, n) = (w.stride, w.active);
-    for (k, &(_, src)) in staged.iter().enumerate() {
-        for lane in 0..n {
-            // Safety: single-threaded window; rows are in bounds.
-            buf[k * lanes + lane] = unsafe { *li.0.add(src as usize * lanes + lane) };
+    for (p, (direct, staged)) in commits.iter().enumerate() {
+        let base = p * span;
+        for (k, &(_, src)) in staged.iter().enumerate() {
+            for lane in 0..n {
+                // Safety: single-threaded window; rows are in bounds.
+                buf[k * lanes + lane] = unsafe { *li.0.add(base + src as usize * lanes + lane) };
+            }
         }
-    }
-    for &(dst, src) in direct {
-        for lane in 0..n {
-            // Safety: as above; dst is outside the commit source set.
-            unsafe {
-                *li.0.add(dst as usize * lanes + lane) = *li.0.add(src as usize * lanes + lane);
+        for &(dst, src) in direct {
+            for lane in 0..n {
+                // Safety: as above; dst is outside the commit source set.
+                unsafe {
+                    *li.0.add(base + dst as usize * lanes + lane) =
+                        *li.0.add(base + src as usize * lanes + lane);
+                }
+            }
+        }
+        for (k, &(dst, _)) in staged.iter().enumerate() {
+            for lane in 0..n {
+                // Safety: as above.
+                unsafe { *li.0.add(base + dst as usize * lanes + lane) = buf[k * lanes + lane] };
             }
         }
     }
-    for (k, &(dst, _)) in staged.iter().enumerate() {
-        for lane in 0..n {
-            // Safety: as above.
-            unsafe { *li.0.add(dst as usize * lanes + lane) = buf[k * lanes + lane] };
+    for (slot, owner, readers) in rum {
+        let row = *slot as usize * lanes;
+        let s0 = *owner as usize * span + row;
+        for &q in readers {
+            let d0 = q as usize * span + row;
+            for lane in 0..n {
+                // Safety: single-threaded window; replica rows are in
+                // bounds and owner != reader.
+                unsafe { *li.0.add(d0 + lane) = *li.0.add(s0 + lane) };
+            }
         }
     }
 }
@@ -921,12 +1184,133 @@ circuit Wide :
     fn swizzled_kinds_group_by_opcode() {
         let p = plan_of(DESIGN);
         let swz = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
-        for layer in &swz.layers {
+        assert_eq!(swz.partitions(), 1);
+        for layer in &swz.layers[0] {
             for pair in layer.windows(2) {
                 assert!(pair[0].n <= pair[1].n, "layer not grouped by opcode");
             }
         }
         assert_eq!(swz.ops_per_cycle(), p.total_ops());
         assert_eq!(swz.config().kind, KernelKind::Psu);
+    }
+
+    #[test]
+    fn partitioned_step_matches_unpartitioned_every_slot() {
+        for src in [DESIGN.to_string(), wide_design()] {
+            let p = plan_of(&src);
+            const LANES: usize = 5;
+            let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+            for parts in [1usize, 2, 3, 4, 8] {
+                let pp = PartitionedPlan::new(&p, parts);
+                let pkernel =
+                    BatchKernel::compile_partitioned(&pp, KernelConfig::new(KernelKind::Psu));
+                assert_eq!(pkernel.partitions(), parts);
+                let mut flat = BatchLiState::new(&p, LANES);
+                let mut part = BatchLiState::new_partitioned(&p, LANES, &pp);
+                assert_eq!(part.partitions(), parts);
+                for cycle in 0..60u64 {
+                    for lane in 0..LANES {
+                        let x = cycle.wrapping_mul(0x9e37_79b9) ^ (lane as u64) << 17;
+                        for idx in 0..p.input_slots.len() {
+                            flat.set_input(idx, lane, x.rotate_left(idx as u32));
+                            part.set_input(idx, lane, x.rotate_left(idx as u32));
+                        }
+                    }
+                    kernel.step(&mut flat);
+                    pkernel.step(&mut part);
+                    for lane in 0..LANES {
+                        for s in 0..p.num_slots as u32 {
+                            assert_eq!(
+                                part.slot(s, lane),
+                                flat.slot(s, lane),
+                                "parts={parts} slot {s} lane {lane} cycle {cycle}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_parallel_run_matches_partitioned_sequential() {
+        let p = plan_of(&wide_design());
+        const LANES: usize = 8;
+        const CYCLES: u64 = 40;
+        let pp = PartitionedPlan::new(&p, 4);
+        let kernel = BatchKernel::compile_partitioned(&pp, KernelConfig::new(KernelKind::Psu));
+        let drive = |poker: &mut LanePoker<'_>, cycle: u64| {
+            for lane in 0..LANES {
+                poker.set_input(0, lane, cycle.wrapping_mul(0x5bd1) ^ lane as u64);
+            }
+        };
+        let mut seq = BatchLiState::new_partitioned(&p, LANES, &pp);
+        kernel.run_with_stimulus(&mut seq, CYCLES, 1, |c, poker| drive(poker, c));
+        for threads in [2, 3, 4, 8] {
+            let mut par = BatchLiState::new_partitioned(&p, LANES, &pp);
+            kernel.run_with_stimulus(&mut par, CYCLES, threads, |c, poker| drive(poker, c));
+            assert_eq!(par.cycle(), seq.cycle());
+            for lane in 0..LANES {
+                for s in 0..p.num_slots as u32 {
+                    assert_eq!(
+                        par.slot(s, lane),
+                        seq.slot(s, lane),
+                        "threads={threads} slot {s} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_lane_window_freeze_and_recycle_matches_flat() {
+        let p = plan_of(DESIGN);
+        const LANES: usize = 4;
+        let pp = PartitionedPlan::new(&p, 2);
+        let kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        let pkernel = BatchKernel::compile_partitioned(&pp, KernelConfig::new(KernelKind::Psu));
+        let mut flat = BatchLiState::new(&p, LANES);
+        let mut part = BatchLiState::new_partitioned(&p, LANES, &pp);
+        let drive = |st: &mut BatchLiState, c: u64| {
+            for lane in 0..st.lanes() {
+                st.set_input(0, lane, c.wrapping_mul(31) ^ lane as u64);
+                st.set_input(1, lane, (c ^ lane as u64) & 1);
+            }
+        };
+        for c in 0..10 {
+            drive(&mut flat, c);
+            drive(&mut part, c);
+            kernel.step(&mut flat);
+            pkernel.step(&mut part);
+        }
+        // Freeze the tail lane, keep stepping the partial window.
+        flat.set_live(3);
+        part.set_live(3);
+        for c in 10..20 {
+            flat.set_input_live(0, c * 7);
+            part.set_input_live(0, c * 7);
+            kernel.step(&mut flat);
+            pkernel.step(&mut part);
+        }
+        // Recycle lane 1 (swap + per-column power-on), then run on.
+        flat.swap_lanes(1, 2);
+        part.swap_lanes(1, 2);
+        flat.reset_lane(1);
+        part.reset_lane(1);
+        for c in 20..30 {
+            drive(&mut flat, c);
+            drive(&mut part, c);
+            kernel.step(&mut flat);
+            pkernel.step(&mut part);
+        }
+        for lane in 0..LANES {
+            for s in 0..p.num_slots as u32 {
+                assert_eq!(
+                    part.slot(s, lane),
+                    flat.slot(s, lane),
+                    "slot {s} lane {lane}"
+                );
+            }
+        }
     }
 }

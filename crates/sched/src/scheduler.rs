@@ -18,7 +18,7 @@
 //! mixed-length rv32i corpus.
 
 use crate::job::{Job, JobId, JobOutcome, JobQueue, JobResult};
-use rteaal_core::{BatchSimulation, Compiled, UnknownSignal};
+use rteaal_core::{BatchSimulation, Compiled, Partitioning, UnknownSignal};
 
 /// When freed lanes accept new jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,12 +32,17 @@ pub enum AdmitPolicy {
 }
 
 /// Aggregate counters of one scheduler run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SchedStats {
     /// Engine cycles stepped.
     pub cycles: u64,
     /// Sum over stepped cycles of occupied lanes — the useful work.
     pub busy_lane_cycles: u64,
+    /// Per-partition busy-lane cycles: entry `p` counts the occupied
+    /// lanes partition replica `p` evaluated, summed over stepped
+    /// cycles. Empty until the first stepped cycle; a single entry on an
+    /// unpartitioned engine.
+    pub partition_busy_cycles: Vec<u64>,
     /// Jobs admitted into lanes.
     pub admitted: usize,
     /// Jobs whose halt condition fired within budget.
@@ -50,10 +55,18 @@ pub struct SchedStats {
 
 impl SchedStats {
     /// Folds another scheduler's counters into this one (the
-    /// multi-worker aggregation the serve layer reports).
+    /// multi-worker aggregation the serve layer reports). Partition
+    /// counters merge element-wise, widening to the longer vector.
     pub fn merge(&mut self, other: &SchedStats) {
         self.cycles += other.cycles;
         self.busy_lane_cycles += other.busy_lane_cycles;
+        if self.partition_busy_cycles.len() < other.partition_busy_cycles.len() {
+            self.partition_busy_cycles
+                .resize(other.partition_busy_cycles.len(), 0);
+        }
+        for (p, &c) in other.partition_busy_cycles.iter().enumerate() {
+            self.partition_busy_cycles[p] += c;
+        }
         self.admitted += other.admitted;
         self.completed += other.completed;
         self.evicted += other.evicted;
@@ -115,7 +128,32 @@ impl Scheduler {
         lanes: usize,
         halt_signal: &str,
     ) -> Result<Self, UnknownSignal> {
-        let mut sim = BatchSimulation::new(compiled, lanes);
+        Self::new_with(compiled, lanes, halt_signal, Partitioning::None)
+    }
+
+    /// Builds a scheduler over an explicitly partitioned engine: each
+    /// cycle's ops are split across the RepCut partitions (pair with
+    /// [`with_threads`](Self::with_threads) to actually spread them over
+    /// workers). Scheduling behavior — admission, harvest, eviction,
+    /// lane recycling — is bit-identical to the unpartitioned engine;
+    /// [`SchedStats::partition_busy_cycles`] additionally tracks each
+    /// partition's share of the work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSignal`] if `halt_signal` names neither a probe
+    /// nor an output port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    pub fn new_with(
+        compiled: &Compiled,
+        lanes: usize,
+        halt_signal: &str,
+        partitioning: Partitioning,
+    ) -> Result<Self, UnknownSignal> {
+        let mut sim = BatchSimulation::new_with(compiled, lanes, partitioning);
         sim.watch_halt(halt_signal)?;
         // Park every lane out of the evaluated window until a job claims
         // it (retired-at-cycle-0 records are cleared on admission).
@@ -181,7 +219,13 @@ impl Scheduler {
 
     /// Counters of the run so far.
     pub fn stats(&self) -> SchedStats {
-        self.stats
+        self.stats.clone()
+    }
+
+    /// Number of RepCut partitions the engine executes (1 =
+    /// unpartitioned).
+    pub fn partitions(&self) -> usize {
+        self.sim.partitions()
     }
 
     /// Occupied-lane cycles over total lane cycles stepped (1.0 = every
@@ -258,6 +302,14 @@ impl Scheduler {
                 break;
             }
             self.stats.busy_lane_cycles += busy;
+            if self.stats.partition_busy_cycles.len() < self.sim.partitions() {
+                self.stats
+                    .partition_busy_cycles
+                    .resize(self.sim.partitions(), 0);
+            }
+            for c in &mut self.stats.partition_busy_cycles {
+                *c += busy;
+            }
             self.sim.step();
             self.stats.cycles += 1;
             stepped += 1;
@@ -721,6 +773,104 @@ circuit H :
                 .find(|h| h.name == format!("count-{limit}"))
                 .expect("one result per job");
             assert_eq!(r.cycles, limit + 1);
+        }
+    }
+
+    #[test]
+    fn partitioned_scheduler_is_bit_identical_and_tracks_partition_work() {
+        // The same mixed corpus — completions, a budget eviction, lane
+        // recycling — through a flat and a partitioned engine must
+        // produce bit-identical results.
+        let c = compiled();
+        let jobs = || {
+            vec![
+                count_job(5),
+                Job::new("runaway", 6)
+                    .with_input("limit", 200)
+                    .with_probe("cnt"),
+                count_job(12),
+                count_job(2),
+                count_job(8),
+            ]
+        };
+        let run = |partitioning: Partitioning| {
+            let mut sched = Scheduler::new_with(&c, 2, "done", partitioning).unwrap();
+            for job in jobs() {
+                sched.submit(job);
+            }
+            sched.run(10_000);
+            #[allow(clippy::type_complexity)]
+            let mut outs: Vec<(JobId, JobOutcome, Vec<(String, u64)>, u64)> = sched
+                .results()
+                .iter()
+                .map(|r| (r.id, r.outcome, r.outputs.clone(), r.cycles))
+                .collect();
+            outs.sort_by_key(|(id, ..)| *id);
+            (sched.stats(), outs)
+        };
+        let (flat_stats, flat) = run(Partitioning::None);
+        for parts in [2usize, 4] {
+            let (stats, outs) = run(Partitioning::Fixed(parts));
+            assert_eq!(outs, flat, "{parts} partitions");
+            assert_eq!(stats.cycles, flat_stats.cycles);
+            assert_eq!(stats.busy_lane_cycles, flat_stats.busy_lane_cycles);
+            // Every partition replica stepped the same occupied lanes.
+            assert_eq!(stats.partition_busy_cycles.len(), parts);
+            for &p in &stats.partition_busy_cycles {
+                assert_eq!(p, stats.busy_lane_cycles);
+            }
+        }
+        assert_eq!(
+            flat_stats.partition_busy_cycles,
+            vec![flat_stats.busy_lane_cycles]
+        );
+    }
+
+    #[test]
+    fn admit_after_evict_on_partitioned_lanes_leaves_other_lanes_bit_identical() {
+        // Regression guard for the partitioned state layout: recycling a
+        // lane (evict + admit) must clear the column in *every* partition
+        // replica and perturb no other lane. Witnessed by lock-stepping a
+        // partitioned scheduler against a flat one through the recycle
+        // and comparing every lane's probes cycle by cycle.
+        let c = compiled();
+        let mk = |partitioning| {
+            let mut s = Scheduler::new_with(&c, 3, "done", partitioning).unwrap();
+            // Three runaways fill the lanes; one short job waits.
+            for _ in 0..3 {
+                s.submit(
+                    Job::new("long", 40)
+                        .with_input("limit", 200)
+                        .with_probe("cnt"),
+                );
+            }
+            s
+        };
+        let mut flat = mk(Partitioning::None);
+        let mut part = mk(Partitioning::Fixed(2));
+        assert_eq!(part.partitions(), 2);
+        flat.run_for(5);
+        part.run_for(5);
+        // Evict lane 1's occupant by hand, then admit a replacement.
+        flat.sim_mut().retire_lane(1);
+        part.sim_mut().retire_lane(1);
+        flat.sim_mut().admit(1, [("limit", 9u64)]).unwrap();
+        part.sim_mut().admit(1, [("limit", 9u64)]).unwrap();
+        for cycle in 0..20u64 {
+            for lane in 0..3 {
+                assert_eq!(
+                    part.sim_mut().peek("cnt", lane),
+                    flat.sim_mut().peek("cnt", lane),
+                    "cycle {cycle} lane {lane}"
+                );
+                assert_eq!(
+                    part.sim_mut().peek("acc", lane),
+                    flat.sim_mut().peek("acc", lane),
+                    "cycle {cycle} lane {lane}"
+                );
+            }
+            flat.sim_mut().step();
+            part.sim_mut().step();
         }
     }
 

@@ -26,7 +26,7 @@
 //! multi-design shape a cross-host [`ShardRouter`](crate::ShardRouter)
 //! fleet is built from.
 
-use rteaal_core::{Compiled, UnknownSignal};
+use rteaal_core::{Compiled, PartitionedPlan, Partitioning, UnknownSignal};
 use rteaal_sched::{Job, JobId, JobOutcome, JobResult, SchedStats, Scheduler};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -52,6 +52,19 @@ pub struct ServeConfig {
     /// (guards a server against unhaltable testbenches with huge
     /// budgets).
     pub max_budget: u64,
+    /// RepCut partition count for partition-parallel designs (1 = the
+    /// mode is off). When > 1, each registered design is *individually*
+    /// assessed: if its replication factor at this partition count stays
+    /// within [`max_replication`](Self::max_replication), the design's
+    /// jobs run on worker 0 with each cycle's ops spread across
+    /// `partitions` engine threads — one big job's cycle spans several
+    /// cores instead of one design per worker. Designs that replicate
+    /// too heavily keep the classic one-scheduler-per-worker execution.
+    pub partitions: usize,
+    /// Replication-factor ceiling above which a design opts out of
+    /// partition-parallel execution (replicated fan-in cones would cost
+    /// more than the parallelism wins).
+    pub max_replication: f64,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +74,8 @@ impl Default for ServeConfig {
             lanes: 8,
             chunk_cycles: 64,
             max_budget: 1 << 20,
+            partitions: 1,
+            max_replication: 1.5,
         }
     }
 }
@@ -300,9 +315,9 @@ pub struct ServerPool {
 /// The registry + submission queues (see [`ServerPool::routing`]).
 #[derive(Debug)]
 struct Routing {
-    /// Registered design names, in registration order; `[0]` is
-    /// [`DEFAULT_DESIGN`].
-    designs: Vec<String>,
+    /// Registered designs in registration order (`[0]` is
+    /// [`DEFAULT_DESIGN`]), each with its partition-parallel flag.
+    designs: Vec<(String, bool)>,
     /// Per-worker submission queues (cleared to signal shutdown).
     senders: Vec<Sender<WorkerMsg>>,
 }
@@ -326,7 +341,21 @@ enum WorkerMsg {
         compiled: Arc<Compiled>,
         /// Per-lane completion probe.
         halt: String,
+        /// Whether worker 0 runs this design partition-parallel.
+        partition_parallel: bool,
     },
+}
+
+/// Decides whether a design runs partition-parallel under a config: the
+/// mode must be on (`partitions > 1`) and the design's RepCut
+/// replication factor at that partition count must stay within the
+/// configured ceiling.
+fn partition_parallel_mode(config: &ServeConfig, compiled: &Compiled) -> bool {
+    if config.partitions <= 1 {
+        return false;
+    }
+    let pp = PartitionedPlan::new(&compiled.plan, config.partitions);
+    pp.replication_factor() <= config.max_replication
 }
 
 impl ServerPool {
@@ -365,6 +394,7 @@ impl ServerPool {
         });
         let loads: Arc<Vec<AtomicUsize>> =
             Arc::new((0..config.workers).map(|_| AtomicUsize::new(0)).collect());
+        let default_parallel = partition_parallel_mode(&config, compiled);
         let compiled = Arc::new(compiled.clone());
         let halt = halt_signal.to_string();
         let mut senders = Vec::with_capacity(config.workers);
@@ -377,14 +407,25 @@ impl ServerPool {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("rteaal-serve-{w}"))
-                    .spawn(move || worker_loop(&compiled, &halt, config, rx, &shared, &loads, w))
+                    .spawn(move || {
+                        worker_loop(
+                            &compiled,
+                            &halt,
+                            default_parallel,
+                            config,
+                            rx,
+                            &shared,
+                            &loads,
+                            w,
+                        )
+                    })
                     .expect("worker thread spawns"),
             );
         }
         Ok(ServerPool {
             shared,
             routing: Mutex::new(Routing {
-                designs: vec![DEFAULT_DESIGN.to_string()],
+                designs: vec![(DEFAULT_DESIGN.to_string(), default_parallel)],
                 senders,
             }),
             loads,
@@ -421,11 +462,12 @@ impl ServerPool {
                 halt_signal.to_string(),
             )));
         }
+        let partition_parallel = partition_parallel_mode(&self.config, compiled);
         let mut routing = self.routing.lock().unwrap();
-        if routing.designs.iter().any(|d| d == name) {
+        if routing.designs.iter().any(|(d, _)| d == name) {
             return Err(RegisterError::DuplicateDesign(name.to_string()));
         }
-        routing.designs.push(name.to_string());
+        routing.designs.push((name.to_string(), partition_parallel));
         // Broadcast under the lock: no job naming this design can be
         // sent until we release it, so every worker sees the
         // registration first.
@@ -435,6 +477,7 @@ impl ServerPool {
                 design: name.to_string(),
                 compiled: Arc::clone(&compiled),
                 halt: halt_signal.to_string(),
+                partition_parallel,
             })
             .expect("workers outlive the pool");
         }
@@ -444,7 +487,26 @@ impl ServerPool {
     /// The registered design names, in registration order (`[0]` is the
     /// default).
     pub fn designs(&self) -> Vec<String> {
-        self.routing.lock().unwrap().designs.clone()
+        self.routing
+            .lock()
+            .unwrap()
+            .designs
+            .iter()
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    /// Whether a registered design runs partition-parallel (its jobs'
+    /// cycles span `config.partitions` engine threads on worker 0), or
+    /// `None` for an unregistered name.
+    pub fn partition_parallel(&self, name: &str) -> Option<bool> {
+        self.routing
+            .lock()
+            .unwrap()
+            .designs
+            .iter()
+            .find(|(d, _)| d == name)
+            .map(|&(_, pp)| pp)
     }
 
     /// Enqueues a job onto the least-loaded worker and returns a handle
@@ -462,15 +524,22 @@ impl ServerPool {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let design = design.unwrap_or(DEFAULT_DESIGN);
         let routing = self.routing.lock().unwrap();
-        if !routing.designs.iter().any(|d| d == design) {
+        let Some(&(_, partition_parallel)) = routing.designs.iter().find(|(d, _)| d == design)
+        else {
             drop(routing);
             self.publish_unrouted(id, job.name, format!("unknown design `{design}`"));
             return self.handle(id);
-        }
-        // Least-loaded dispatch; ties go to the lowest worker index.
-        let w = (0..self.loads.len())
-            .min_by_key(|&w| self.loads[w].load(Ordering::Acquire))
-            .expect("at least one worker");
+        };
+        // Partition-parallel designs live on worker 0, whose scheduler
+        // spreads each cycle across the partition threads; everything
+        // else gets least-loaded dispatch (ties go to the lowest index).
+        let w = if partition_parallel {
+            0
+        } else {
+            (0..self.loads.len())
+                .min_by_key(|&w| self.loads[w].load(Ordering::Acquire))
+                .expect("at least one worker")
+        };
         self.loads[w].fetch_add(1, Ordering::AcqRel);
         // Sent under the routing lock, after the membership check: the
         // design's `Register` broadcast is already in this worker's
@@ -580,12 +649,39 @@ struct DesignRun {
     global: HashMap<JobId, u64>,
 }
 
+/// Builds one worker's scheduler for a design: worker 0 gives
+/// partition-parallel designs a RepCut-decomposed engine whose cycles
+/// span `config.partitions` threads; every other (worker, design) pair
+/// keeps the classic single-schedule engine.
+fn build_scheduler(
+    compiled: &Compiled,
+    halt: &str,
+    config: ServeConfig,
+    w: usize,
+    partition_parallel: bool,
+) -> Scheduler {
+    if partition_parallel && w == 0 {
+        Scheduler::new_with(
+            compiled,
+            config.lanes,
+            halt,
+            Partitioning::Fixed(config.partitions),
+        )
+        .expect("halt validated by the pool")
+        .with_threads(config.partitions)
+    } else {
+        Scheduler::new(compiled, config.lanes, halt).expect("halt validated by the pool")
+    }
+}
+
 /// One worker: a scheduler per design driven in chunks, fed from its
 /// queue, publishing results as lanes drain. Exits once the pool
 /// disconnects the queue *and* all outstanding work is done.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     compiled: &Compiled,
     halt: &str,
+    default_parallel: bool,
     config: ServeConfig,
     rx: Receiver<WorkerMsg>,
     shared: &Shared,
@@ -596,7 +692,7 @@ fn worker_loop(
     // for the multiplexed drive below) and the registry is small.
     let mut designs: Vec<DesignRun> = vec![DesignRun {
         name: DEFAULT_DESIGN.to_string(),
-        sched: Scheduler::new(compiled, config.lanes, halt).expect("halt validated by the pool"),
+        sched: build_scheduler(compiled, halt, config, w, default_parallel),
         global: HashMap::new(),
     }];
     let apply = |designs: &mut Vec<DesignRun>, msg: WorkerMsg| match msg {
@@ -604,11 +700,11 @@ fn worker_loop(
             design,
             compiled,
             halt,
+            partition_parallel,
         } => {
             designs.push(DesignRun {
                 name: design,
-                sched: Scheduler::new(&compiled, config.lanes, &halt)
-                    .expect("halt validated at registration"),
+                sched: build_scheduler(&compiled, &halt, config, w, partition_parallel),
                 global: HashMap::new(),
             });
         }
@@ -872,6 +968,61 @@ circuit D :
             ServerPool::new(&c, ServeConfig::default(), "ghost").err(),
             Some(UnknownSignal("ghost".to_string()))
         );
+    }
+
+    #[test]
+    fn partition_parallel_jobs_return_bit_identical_results_exactly_once() {
+        let c = compiled();
+        // Plain pool: the reference results.
+        let plain = ServerPool::new(&c, ServeConfig::with_workers(1), "done").unwrap();
+        let limits: Vec<u64> = (0..8).map(|i| 2 + (i * 5) % 17).collect();
+        let reference: Vec<JobResult> = limits
+            .iter()
+            .map(|&l| plain.submit(count_job(l)).wait())
+            .collect();
+        plain.shutdown();
+        // Partition-parallel pool: one big job's cycle spans several
+        // engine threads on worker 0.
+        let mut cfg = ServeConfig::with_workers(2);
+        cfg.partitions = 2;
+        cfg.max_replication = 8.0; // the tiny counter replicates freely
+        let pool = ServerPool::new(&c, cfg, "done").unwrap();
+        assert_eq!(pool.partition_parallel(DEFAULT_DESIGN), Some(true));
+        assert_eq!(pool.partition_parallel("nope"), None);
+        let handles: Vec<JobHandle> = limits.iter().map(|&l| pool.submit(count_job(l))).collect();
+        for (r, h) in reference.iter().zip(&handles) {
+            let p = h.wait();
+            assert_eq!(p.outcome, r.outcome);
+            assert_eq!(p.outputs, r.outputs, "{}", p.name);
+            assert_eq!(p.cycles, r.cycles);
+            // Exactly-once delivery: the claim drained the slot.
+            assert!(h.poll().is_none());
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.merged.completed, limits.len());
+        // Every partition-parallel job ran on worker 0; worker 1 only
+        // idles (its stats never move).
+        assert_eq!(stats.per_worker[1].admitted, 0);
+        assert_eq!(
+            stats.per_worker[0].partition_busy_cycles.len(),
+            2,
+            "worker 0 tracked both partitions"
+        );
+    }
+
+    #[test]
+    fn heavy_replication_opts_a_design_out_of_partition_parallel() {
+        let c = compiled();
+        let mut cfg = ServeConfig::with_workers(2);
+        cfg.partitions = 2;
+        cfg.max_replication = 0.0; // nothing can qualify
+        let pool = ServerPool::new(&c, cfg, "done").unwrap();
+        assert_eq!(pool.partition_parallel(DEFAULT_DESIGN), Some(false));
+        // Jobs still serve correctly through the classic path.
+        let r = pool.submit(count_job(4)).wait();
+        assert!(r.completed());
+        assert_eq!(r.outputs[0], ("cnt".to_string(), 5));
+        pool.shutdown();
     }
 
     #[test]

@@ -1,65 +1,76 @@
-//! RepCut-style partitioned simulation (paper Appendix C, Cascade 2):
-//! split a multicore design into replicated partitions, simulate them on
-//! scoped threads, synchronize through the register update map, and
-//! verify against the unpartitioned reference — then report the
-//! replication overhead RepCut trades for parallelism.
+//! RepCut partition-parallel execution (paper Appendix C, Cascade 2)
+//! through the production engine stack: run RepCut on the levelized
+//! plan with [`PartitionedPlan`], report the replication factor and
+//! per-partition op schedules, execute the decomposition through
+//! [`BatchSimulation`] with `Partitioning::Fixed(p)`, and verify every
+//! partition count bit-exact against the scalar [`Simulation`] — then
+//! wall-clock the partitioned cycle walk.
 //!
 //! ```text
 //! cargo run --release --example repcut_partition
 //! ```
 
+use rteaal_core::{BatchSimulation, Compiler, PartitionedPlan, Partitioning, Simulation};
 use rteaal_designs::{rocket, ChipConfig};
-use rteaal_dfg::interp::Interpreter;
-use rteaal_dfg::plan::plan;
-use rteaal_einsum::RepCutSim;
-use rteaal_firrtl::lower_typed;
+use rteaal_kernels::{KernelConfig, KernelKind};
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = rocket(ChipConfig::new(4));
-    let graph = rteaal_dfg::build(&lower_typed(&circuit)?)?;
-    let sim_plan = plan(&graph);
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu)).compile(&circuit)?;
     println!(
-        "4-core RocketChip analog: {} ops/cycle, {} registers",
-        sim_plan.total_ops(),
-        graph.regs.len()
+        "4-core RocketChip analog: {} ops/cycle over {} layers",
+        compiled.plan.total_ops(),
+        compiled.plan.stats.layers
     );
 
-    let mut reference = Interpreter::new(&graph);
     for partitions in [1usize, 2, 4, 8] {
-        let mut rc = RepCutSim::new(&sim_plan, partitions);
-        // Verify 50 cycles in lock-step with the reference.
-        let mut reference_check = Interpreter::new(&graph);
-        for c in 0..50u64 {
-            reference_check.set_input(0, c.wrapping_mul(0x9e37_79b9));
-            rc.set_input(0, c.wrapping_mul(0x9e37_79b9));
-            reference_check.step();
-            rc.step_parallel();
-            assert_eq!(reference_check.output(0), rc.output(0), "cycle {c}");
-        }
-        // Wall-clock the threaded path.
-        let t = Instant::now();
-        for _ in 0..500 {
-            rc.step_parallel();
-        }
-        let threaded = t.elapsed();
+        // The decomposition itself: per-partition schedules + the RUM.
+        let pp = PartitionedPlan::new(&compiled.plan, partitions);
+        let counts = pp.op_counts();
         println!(
-            "{partitions} partition(s): replication factor {:.2}x, 500 cycles in {:>8.2?}",
-            rc.replication_factor(),
-            threaded
+            "{partitions} partition(s): replication factor {:.2}x, ops per partition {:?}",
+            pp.replication_factor(),
+            counts
         );
-        // Show the RUM's selectivity (differential exchange).
-        let cross = rc.rum().iter().filter(|e| !e.readers.is_empty()).count();
+        let cross = pp.rum.iter().filter(|e| !e.readers.is_empty()).count();
         println!(
             "    RUM: {} of {} registers are read across partition boundaries",
             cross,
-            rc.rum().len()
+            pp.rum.len()
         );
+
+        // Execute it through the engine stack and verify 50 cycles in
+        // lock-step against the scalar reference simulation.
+        let mut sim = BatchSimulation::new_with(&compiled, 1, Partitioning::Fixed(partitions))
+            .with_threads(partitions);
+        let mut reference = Simulation::new(compiled.clone());
+        let stim = compiled
+            .plan
+            .probes
+            .iter()
+            .find(|(_, s, _)| compiled.plan.input_slots.contains(s))
+            .map(|(n, _, _)| n.clone())
+            .expect("design has a named input");
+        for c in 0..50u64 {
+            let x = c.wrapping_mul(0x9e37_79b9);
+            reference.poke(&stim, x)?;
+            sim.poke(&stim, 0, x)?;
+            reference.step();
+            sim.step();
+            for (name, _) in &compiled.plan.output_slots {
+                assert_eq!(
+                    sim.peek(name, 0),
+                    reference.peek(name),
+                    "output {name} diverged at cycle {c}"
+                );
+            }
+        }
+
+        // Wall-clock the partitioned threaded walk.
+        let t = Instant::now();
+        sim.step_cycles(500);
+        println!("    500 cycles in {:>8.2?}", t.elapsed());
     }
-    let t = Instant::now();
-    for _ in 0..500 {
-        reference.step();
-    }
-    println!("reference interpreter: 500 cycles in {:>8.2?}", t.elapsed());
     Ok(())
 }
