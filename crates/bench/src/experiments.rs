@@ -1132,8 +1132,14 @@ pub fn shard_fleet(ctx: &Ctx) -> Vec<String> {
     for kill_one in [false, true] {
         let (mut child0, addr0) = spawn_shard();
         let (mut child1, addr1) = spawn_shard();
-        let mut router =
-            ShardRouter::connect(&[addr0, addr1], ShardConfig::default()).expect("fleet connects");
+        // Hedging off: this experiment gates the *resubmission* path,
+        // and a hedged job lost to the kill would be promoted in place
+        // instead of resubmitted (the `fleet` experiment owns hedging).
+        let config = ShardConfig {
+            hedge: false,
+            ..ShardConfig::default()
+        };
+        let mut router = ShardRouter::connect(&[addr0, addr1], config).expect("fleet connects");
         for &k in &ks {
             router.submit(job_for(k)).expect("fleet takes the job");
         }
@@ -1221,6 +1227,293 @@ pub fn shard_fleet(ctx: &Ctx) -> Vec<String> {
     out.push(String::new());
     out.push(format!(
         "gate: {jobs}/{jobs} exact in both rows; kill-one row resubmitted lost jobs to the survivor"
+    ));
+    out
+}
+
+/// Elastic fleet under open-loop load: a 2-process fleet (one shard
+/// slowed by a [`ChaosShard`](rteaal_serve::ChaosShard) proxy) driven
+/// by a Poisson arrival schedule with a mid-run burst phase and a
+/// mixed design/length corpus, measuring p50/p99/p999 latency **from
+/// each job's scheduled arrival** (open-loop: queueing a struggling
+/// fleet builds up is charged to the jobs that suffered it, no
+/// coordinated omission). Two legs over the *identical* schedule:
+///
+/// - `healthy` — both shards up throughout.
+/// - `kill+revive` — the *fast* shard is killed a third of the way in
+///   and revived at two thirds; the router's breaker must open,
+///   degrade onto the slow survivor (the tail visibly rises), and the
+///   `ping` probe loop must rejoin the shard (replaying the
+///   fan-out-registered design) before the run ends.
+///
+/// Gates: every arrival is delivered exactly once and bit-identical
+/// to a scalar `Simulation` run in both legs; the fault leg logs ≥ 1
+/// rejoin and ≥ 1 won hedge (the slow shard's stragglers are hedged
+/// onto the fast one, first result wins, the duplicate discarded by
+/// the exactly-once path).
+pub fn elastic_fleet(ctx: &Ctx) -> Vec<String> {
+    use crate::openloop::{ArrivalPlan, LatencyReport, Phase};
+    use rteaal_core::{Compiler, DebugModule, Simulation};
+    use rteaal_sched::Job;
+    use rteaal_serve::{ChaosPlan, ChaosShard, ShardConfig, ShardRouter};
+    use std::collections::{HashMap, HashSet};
+    use std::io::BufRead;
+    use std::net::SocketAddr;
+    use std::process::{Child, Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    let mut out = header("Fleet: elastic 2-shard serving under open-loop Poisson load");
+    let arrivals = if ctx.max_cores > 8 { 180usize } else { 72 };
+
+    // Mixed corpus: half the variants run on the fan-out-registered
+    // `twin` design (same circuit, so one scalar reference per k).
+    let ks = Workload::corpus_params(12, 0xf1ee7);
+    let corpus: Vec<(u64, Option<&str>)> = ks
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| (k, if i % 2 == 1 { Some("twin") } else { None }))
+        .collect();
+    let twin_src = rteaal_firrtl::parser::emit(&Workload::param_sum_circuit());
+    let compiled = Compiler::new(KernelConfig::new(KernelKind::Psu))
+        .compile(&Workload::param_sum_circuit())
+        .expect("rv32i compiles");
+    let probes = ["a0", "pc_out"];
+    let job_for = |k: u64| {
+        let mut job = Job::new(format!("sum-{k}"), Workload::param_sum_budget(k));
+        job.state_pokes = vec![("x15".to_string(), k)];
+        job.probes = probes.iter().map(|p| (*p).to_string()).collect();
+        job
+    };
+    let mut scalar: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+    for &k in &ks {
+        scalar.entry(k).or_insert_with(|| {
+            let mut sim = Simulation::new(compiled.clone());
+            DebugModule::new(&mut sim)
+                .poke_reg("x15", k)
+                .expect("x15 probed");
+            while sim.peek("halt") != Some(1) {
+                sim.step();
+            }
+            probes
+                .iter()
+                .map(|p| ((*p).to_string(), sim.peek(p).expect("probed")))
+                .collect()
+        });
+    }
+
+    // The identical offered load for both legs: steady, 3x burst,
+    // steady.
+    let phases = [
+        Phase {
+            arrivals: arrivals * 2 / 5,
+            rate_multiplier: 1.0,
+        },
+        Phase {
+            arrivals: arrivals / 5,
+            rate_multiplier: 3.0,
+        },
+        Phase {
+            arrivals: arrivals - arrivals * 2 / 5 - arrivals / 5,
+            rate_multiplier: 1.0,
+        },
+    ];
+    let plan = ArrivalPlan::poisson(0x0411a7, 150.0, corpus.len(), &phases);
+    let kill_at = plan.len() / 3;
+    let revive_at = 2 * plan.len() / 3;
+
+    struct ShardProc(Child);
+    impl Drop for ShardProc {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+    let spawn_shard = || -> (ShardProc, SocketAddr) {
+        let exe = std::env::current_exe().expect("own executable path");
+        let mut child = Command::new(exe)
+            .arg("shard-server")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("shard server spawns (the fleet experiment must run via the tables binary)");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("handshake line");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .expect("handshake format")
+            .parse()
+            .expect("valid loopback address");
+        (ShardProc(child), addr)
+    };
+
+    out.push(format!(
+        "open-loop schedule: {} arrivals over ~{:.0} ms ({}+{}+{} steady/burst/steady), corpus of {} (k, design) variants",
+        plan.len(),
+        plan.span().as_secs_f64() * 1e3,
+        phases[0].arrivals,
+        phases[1].arrivals,
+        phases[2].arrivals,
+        corpus.len(),
+    ));
+    out.push(format!(
+        "{:<12} {:>7} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>9}",
+        "leg",
+        "p50ms",
+        "p99ms",
+        "p999ms",
+        "maxms",
+        "hedge",
+        "won",
+        "lost",
+        "deaths",
+        "rejoins",
+        "exact"
+    ));
+
+    for fault in [false, true] {
+        let (_child0, addr0) = spawn_shard();
+        let (_child1, addr1) = spawn_shard();
+        // Shard 0 (fast) sits behind a transparent chaos proxy so the
+        // fault leg can kill and revive it; shard 1 sits behind a
+        // delay proxy in *both* legs, so its stragglers exercise
+        // hedging onto the fast shard.
+        let breaker = ChaosShard::spawn(addr0, ChaosPlan::default()).expect("kill proxy spawns");
+        let slow = ChaosShard::spawn(
+            addr1,
+            ChaosPlan {
+                response_delay: Duration::from_millis(2),
+                ..ChaosPlan::default()
+            },
+        )
+        .expect("delay proxy spawns");
+        let config = ShardConfig {
+            read_timeout: Duration::from_secs(20),
+            // Probe fast enough that the rejoin lands within the leg.
+            backoff_base: Duration::from_millis(15),
+            backoff_cap: Duration::from_millis(120),
+            // Hedge aggressively: the threshold tracks the *lower*
+            // quantile of the latency window (fast-shard territory)
+            // with a floor below the delay proxy's per-response cost,
+            // so every job the slow shard owns is a straggler by the
+            // time its delayed submit response even returns.
+            hedge_min_samples: 8,
+            hedge_quantile: 0.25,
+            hedge_multiplier: 1.0,
+            hedge_floor: Duration::from_millis(1),
+            ..ShardConfig::default()
+        };
+        let mut router =
+            ShardRouter::connect(&[breaker.addr(), slow.addr()], config).expect("connects");
+        router
+            .register("twin", &twin_src, "halt")
+            .expect("fan-out registers");
+
+        let start = Instant::now();
+        let deadline = start + Duration::from_secs(180);
+        let mut submitted: HashMap<u64, usize> = HashMap::new(); // id -> arrival index
+        let mut done: Vec<(u64, rteaal_serve::WireResult, Duration)> = Vec::new();
+        let mut next = 0usize;
+        while next < plan.len() || router.pending() > 0 {
+            assert!(Instant::now() < deadline, "fleet leg exceeded its deadline");
+            while next < plan.len() && start.elapsed() >= plan.arrivals[next].at {
+                if fault && next == kill_at {
+                    breaker.kill();
+                }
+                if fault && next == revive_at {
+                    breaker.revive();
+                }
+                let arrival = plan.arrivals[next];
+                let (k, design) = corpus[arrival.corpus_index];
+                let id = router
+                    .submit_on(design, job_for(k))
+                    .expect("fleet takes the job");
+                submitted.insert(id, next);
+                next += 1;
+            }
+            match router.poll_once().expect("pump survives the leg") {
+                Some(routed) => done.push((routed.id, routed.result, start.elapsed())),
+                None => {
+                    // Nothing finished: sleep to the next arrival (or a
+                    // poll tick) instead of spinning.
+                    let tick = Duration::from_micros(200);
+                    let until_due = if next < plan.len() {
+                        plan.arrivals[next].at.saturating_sub(start.elapsed())
+                    } else {
+                        tick
+                    };
+                    std::thread::sleep(until_due.min(tick));
+                }
+            }
+        }
+        // The fault leg must witness the rejoin, even if the drain
+        // outran the probe loop.
+        if fault {
+            while router.fleet_stats().rejoins < 1 {
+                assert!(Instant::now() < deadline, "the killed shard never rejoined");
+                router.poll_once().expect("idle pump");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let fleet = router.fleet_stats();
+
+        // Gates: exactly-once, bit-exact, and (fault leg) rejoin +
+        // won hedge.
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut exact = 0usize;
+        let mut latencies: Vec<Duration> = Vec::new();
+        for (id, result, finished) in &done {
+            assert!(seen.insert(*id), "job {id} delivered twice");
+            let arrival = plan.arrivals[submitted[id]];
+            latencies.push(finished.saturating_sub(arrival.at));
+            let (k, _) = corpus[arrival.corpus_index];
+            let want = &scalar[&k];
+            if result.completed()
+                && want
+                    .iter()
+                    .all(|(name, value)| result.output(name) == Some(*value))
+            {
+                exact += 1;
+            }
+        }
+        let report = LatencyReport::from_sample(&latencies);
+        out.push(format!(
+            "{:<12} {} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6}/{}",
+            if fault { "kill+revive" } else { "healthy" },
+            report.row(),
+            fleet.hedges,
+            fleet.hedges_won,
+            fleet.hedges_lost,
+            fleet.shard_deaths,
+            fleet.rejoins,
+            exact,
+            plan.len(),
+        ));
+        assert_eq!(
+            done.len(),
+            plan.len(),
+            "every arrival delivered exactly once"
+        );
+        assert_eq!(
+            exact,
+            plan.len(),
+            "a routed job diverged from its scalar run"
+        );
+        if fault {
+            assert!(fleet.rejoins >= 1, "the revived shard must rejoin the ring");
+            assert!(
+                fleet.hedges_won >= 1,
+                "at least one hedge must win: {fleet:?}"
+            );
+            assert!(fleet.shard_deaths >= 1, "the kill must open the breaker");
+        }
+    }
+    out.push(String::new());
+    out.push(format!(
+        "gate: {0}/{0} exact in both legs; kill+revive leg rejoined the revived shard and won hedges off the slow one",
+        plan.len()
     ));
     out
 }
@@ -1330,6 +1623,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "sched",
     "serve",
     "shard",
+    "fleet",
     "repcut",
 ];
 
@@ -1358,6 +1652,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "sched" => sched_serving(ctx),
         "serve" => serve_frontend(ctx),
         "shard" => shard_fleet(ctx),
+        "fleet" => elastic_fleet(ctx),
         "repcut" => repcut_partitions(ctx),
         _ => return None,
     })

@@ -7,11 +7,15 @@
 //! - [`experiments`]: one function per table/figure, returning formatted
 //!   rows; consumed by the `tables` binary, the shape-check integration
 //!   tests, and `EXPERIMENTS.md`.
+//! - [`openloop`]: the open-loop (Poisson, bursty, mixed-corpus)
+//!   traffic generator and tail-latency reporting used by the serving
+//!   experiments.
 //! - `src/bin/tables.rs`: `cargo run -p rteaal-bench --release --bin
 //!   tables -- <id|all> [--full]`.
 //! - `benches/`: Criterion micro-benchmarks for the wall-clock-sensitive
 //!   subset (kernel throughput, scaling, format/pass ablations).
 
 pub mod experiments;
+pub mod openloop;
 
 pub use experiments::{run_experiment, Ctx, ALL_EXPERIMENTS};

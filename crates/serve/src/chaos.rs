@@ -13,14 +13,22 @@
 //! failure surface a flaky host or network presents, while the server
 //! behind the proxy stays healthy and deterministic.
 //!
+//! Hosts also *recover*: [`revive`](ChaosShard::revive) brings a dead
+//! proxy back (the router's rejoin path needs exactly this), a plan's
+//! [`revive_after`](ChaosPlan::revive_after) models a bounded outage
+//! window, and [`retarget`](ChaosShard::retarget) points the revived
+//! address at a *fresh* upstream — a host that rebooted with empty
+//! state, which is what makes registry-replay testable.
+//!
 //! This is a *test harness*, shipped in the library so the
-//! fault-injection proptests, the `tables -- shard` experiment, and
-//! downstream users hardening their own deployments can all share it.
+//! fault-injection proptests, the `tables -- shard` / `tables -- fleet`
+//! experiments, and downstream users hardening their own deployments
+//! can all share it.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// What misfortunes to inject, counted in forwarded responses.
@@ -32,13 +40,19 @@ pub struct ChaosPlan {
     /// (the "flaky network" fault: the peer must reconnect and
     /// resubmit).
     pub drop_every: Option<u64>,
-    /// Die permanently once N responses have been forwarded in total,
-    /// across all connections (the "host crash" fault).
+    /// Die once N responses have been forwarded in total, across all
+    /// connections (the "host crash" fault). Fires exactly once — a
+    /// revived host does not re-crash on its next response.
     pub kill_after: Option<u64>,
     /// When dying, emit *half* of the final response line with no
     /// newline first — the mid-line EOF that must surface as
     /// [`ProtocolError::TruncatedLine`](crate::ProtocolError::TruncatedLine).
     pub truncate_on_kill: bool,
+    /// The plan-driven down-window: how long after the plan's
+    /// [`kill_after`](Self::kill_after) crash the host stays dead
+    /// before reviving on its own. `None` = dead until someone calls
+    /// [`revive`](ChaosShard::revive).
+    pub revive_after: Option<Duration>,
 }
 
 /// A chaos proxy for one upstream server. Listens on its own loopback
@@ -48,10 +62,12 @@ pub struct ChaosPlan {
 /// Once killed — by plan or by [`kill`](Self::kill) — the proxy severs
 /// every active connection and answers new ones with an immediate
 /// close, which is what a crashed host looks like to a client that
-/// still resolves its address.
+/// still resolves its address. [`revive`](Self::revive) flips it back:
+/// the same address starts answering again, as a rebooted host would.
 #[derive(Debug)]
 pub struct ChaosShard {
     addr: SocketAddr,
+    upstream: Arc<Mutex<SocketAddr>>,
     killed: Arc<AtomicBool>,
     responses: Arc<AtomicU64>,
 }
@@ -66,9 +82,14 @@ impl ChaosShard {
     pub fn spawn(upstream: SocketAddr, plan: ChaosPlan) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
+        let upstream = Arc::new(Mutex::new(upstream));
         let killed = Arc::new(AtomicBool::new(false));
         let responses = Arc::new(AtomicU64::new(0));
-        let (killed_l, responses_l) = (Arc::clone(&killed), Arc::clone(&responses));
+        let (upstream_l, killed_l, responses_l) = (
+            Arc::clone(&upstream),
+            Arc::clone(&killed),
+            Arc::clone(&responses),
+        );
         std::thread::Builder::new()
             .name("rteaal-chaos-accept".to_string())
             .spawn(move || {
@@ -80,17 +101,22 @@ impl ChaosShard {
                         let _ = stream.shutdown(Shutdown::Both);
                         continue;
                     }
+                    // Each connection pins the upstream it was accepted
+                    // under; a retarget applies to connections made
+                    // after it.
+                    let target = *upstream_l.lock().expect("upstream lock");
                     let (killed, responses) = (Arc::clone(&killed_l), Arc::clone(&responses_l));
                     std::thread::Builder::new()
                         .name("rteaal-chaos-pump".to_string())
                         .spawn(move || {
-                            let _ = pump(stream, upstream, plan, &killed, &responses);
+                            let _ = pump(stream, target, plan, killed, &responses);
                         })
                         .expect("pump thread spawns");
                 }
             })?;
         Ok(ChaosShard {
             addr,
+            upstream,
             killed,
             responses,
         })
@@ -106,6 +132,38 @@ impl ChaosShard {
     /// kill switch.
     pub fn kill(&self) {
         self.killed.store(true, Ordering::Release);
+    }
+
+    /// Revives a killed host: new connections flow to the upstream
+    /// again, from the same address a rebooted host would keep.
+    /// Connections severed by the kill stay severed — recovery does
+    /// not resurrect sockets.
+    pub fn revive(&self) {
+        self.killed.store(false, Ordering::Release);
+    }
+
+    /// Kills the host now and revives it after `down` — the manual
+    /// down-window, for experiments that script an outage mid-corpus
+    /// without blocking their own thread.
+    pub fn kill_for(&self, down: Duration) {
+        self.kill();
+        let killed = Arc::clone(&self.killed);
+        std::thread::Builder::new()
+            .name("rteaal-chaos-revive".to_string())
+            .spawn(move || {
+                std::thread::sleep(down);
+                killed.store(false, Ordering::Release);
+            })
+            .expect("revive timer spawns");
+    }
+
+    /// Points future connections at a different upstream. Combined
+    /// with [`revive`](Self::revive), this models the harshest rejoin:
+    /// the host came back with a *fresh, empty* server behind it, so
+    /// anything the client assumed it remembered (registered designs)
+    /// must be replayed.
+    pub fn retarget(&self, upstream: SocketAddr) {
+        *self.upstream.lock().expect("upstream lock") = upstream;
     }
 
     /// Whether the host is dead (by plan or by [`kill`](Self::kill)).
@@ -125,7 +183,7 @@ fn pump(
     client: TcpStream,
     upstream: SocketAddr,
     plan: ChaosPlan,
-    killed: &AtomicBool,
+    killed: Arc<AtomicBool>,
     responses: &AtomicU64,
 ) -> io::Result<()> {
     let up = TcpStream::connect(upstream)?;
@@ -151,10 +209,27 @@ fn pump(
             std::thread::sleep(plan.response_delay);
         }
         let total = responses.fetch_add(1, Ordering::AcqRel) + 1;
-        let killing =
-            killed.load(Ordering::Acquire) || plan.kill_after.is_some_and(|after| total >= after);
+        // `==` makes the plan kill fire exactly once: exactly one pump
+        // observes the crossing count, and a revived host keeps
+        // counting past it without re-crashing.
+        let plan_kill = plan.kill_after.is_some_and(|after| total == after);
+        let killing = killed.load(Ordering::Acquire) || plan_kill;
         if killing {
             killed.store(true, Ordering::Release);
+            if plan_kill {
+                if let Some(down) = plan.revive_after {
+                    // The plan-driven down-window: dead for `down`,
+                    // then back as if rebooted.
+                    let killed = Arc::clone(&killed);
+                    std::thread::Builder::new()
+                        .name("rteaal-chaos-revive".to_string())
+                        .spawn(move || {
+                            std::thread::sleep(down);
+                            killed.store(false, Ordering::Release);
+                        })
+                        .expect("revive timer spawns");
+                }
+            }
             if plan.truncate_on_kill {
                 // Die mid-line: half the response, no newline, gone.
                 let cut = response.trim_end().len() / 2;
@@ -265,5 +340,76 @@ mod tests {
         assert_eq!(call(&mut conn, "pre").unwrap(), "PRE\n");
         chaos.kill();
         assert_eq!(call(&mut conn, "post").unwrap_or_default(), "");
+    }
+
+    #[test]
+    fn revive_brings_a_killed_host_back_without_recrashing() {
+        let plan = ChaosPlan {
+            kill_after: Some(1),
+            ..ChaosPlan::default()
+        };
+        let chaos = ChaosShard::spawn(echo_server(), plan).unwrap();
+        let mut conn = TcpStream::connect(chaos.addr()).unwrap();
+        // First response trips the plan kill (no truncation: the reply
+        // is simply never delivered).
+        assert_eq!(call(&mut conn, "boom").unwrap_or_default(), "");
+        assert!(chaos.is_killed());
+        chaos.revive();
+        assert!(!chaos.is_killed());
+        // Back from the dead — and the once-fired plan kill does not
+        // re-trigger even though the total is now past `kill_after`.
+        let mut fresh = TcpStream::connect(chaos.addr()).unwrap();
+        assert_eq!(call(&mut fresh, "alive").unwrap(), "ALIVE\n");
+        assert_eq!(call(&mut fresh, "still").unwrap(), "STILL\n");
+        assert!(!chaos.is_killed());
+    }
+
+    #[test]
+    fn kill_for_revives_after_the_down_window() {
+        let chaos = ChaosShard::spawn(echo_server(), ChaosPlan::default()).unwrap();
+        let mut conn = TcpStream::connect(chaos.addr()).unwrap();
+        assert_eq!(call(&mut conn, "pre").unwrap(), "PRE\n");
+        chaos.kill_for(Duration::from_millis(50));
+        assert!(chaos.is_killed());
+        assert_eq!(call(&mut conn, "mid").unwrap_or_default(), "");
+        // Wait out the window (generously, for slow CI).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while chaos.is_killed() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!chaos.is_killed(), "down-window never ended");
+        let mut fresh = TcpStream::connect(chaos.addr()).unwrap();
+        assert_eq!(call(&mut fresh, "back").unwrap(), "BACK\n");
+    }
+
+    #[test]
+    fn retarget_points_new_connections_at_a_fresh_upstream() {
+        let chaos = ChaosShard::spawn(echo_server(), ChaosPlan::default()).unwrap();
+        let mut conn = TcpStream::connect(chaos.addr()).unwrap();
+        assert_eq!(call(&mut conn, "old").unwrap(), "OLD\n");
+        // Reverse-echo upstream: proves the swap actually took.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let fresh_addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                std::thread::spawn(move || {
+                    let mut writer = stream.try_clone().unwrap();
+                    let reader = BufReader::new(stream);
+                    for line in reader.lines() {
+                        let Ok(line) = line else { return };
+                        let rev: String = line.chars().rev().collect();
+                        let _ = writer.write_all(rev.as_bytes());
+                        let _ = writer.write_all(b"\n");
+                    }
+                });
+            }
+        });
+        chaos.retarget(fresh_addr);
+        // The old connection still pumps to the old upstream…
+        assert_eq!(call(&mut conn, "still").unwrap(), "STILL\n");
+        // …but new connections reach the fresh one.
+        let mut fresh = TcpStream::connect(chaos.addr()).unwrap();
+        assert_eq!(call(&mut fresh, "abc").unwrap(), "cba\n");
     }
 }

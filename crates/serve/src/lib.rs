@@ -16,20 +16,23 @@
 //!   [`register`](ServerPool::register) grows the design registry at
 //!   runtime; jobs route by design name.
 //! - [`protocol`] — the line-delimited-JSON wire format:
-//!   `submit` / `poll` / `result` / `stats` / `register` / `designs`
-//!   verbs, and the typed [`ProtocolError`] every client exchange can
-//!   surface.
+//!   `submit` / `poll` / `result` / `stats` / `register` / `designs` /
+//!   `ping` verbs, and the typed [`ProtocolError`] every client
+//!   exchange can surface.
 //! - [`SocketServer`] / [`ServeClient`] — a `std::net::TcpListener`
 //!   front end speaking that protocol, one connection per client, and
 //!   its blocking client.
 //! - [`ShardRouter`] — the cross-host supervisor: consistent-hash job
 //!   placement ([`HashRing`]) over a fleet of server processes, with
-//!   per-shard in-flight accounting, health tracking, and automatic
-//!   resubmission of jobs lost to dead shards; results merge into one
+//!   per-shard circuit breakers (exponential backoff, half-open `ping`
+//!   probes, shard rejoin with registry replay), replica hedging of
+//!   stragglers, automatic resubmission of jobs lost to dead shards,
+//!   and a [`FleetStats`] snapshot; results merge into one
 //!   completion-ordered stream.
 //! - [`chaos`] — the fault-injection harness ([`ChaosShard`]): a
-//!   line-level TCP proxy that delays, drops, truncates, and kills, so
-//!   the router's failure paths are testable against real sockets.
+//!   line-level TCP proxy that delays, drops, truncates, kills — and
+//!   revives — so the router's failure *and recovery* paths are
+//!   testable against real sockets.
 //!
 //! The scheduler hardening that makes this safe to put behind a socket
 //! lives in `rteaal-sched`: a job that fails validation becomes a
@@ -87,6 +90,10 @@ pub use chaos::{ChaosPlan, ChaosShard};
 pub use net::{ServeClient, SocketServer};
 pub use pool::{JobHandle, RegisterError, ServeConfig, ServeStats, ServerPool, DEFAULT_DESIGN};
 pub use protocol::{
-    ProtocolError, Request, Response, Verb, WireBinding, WireDesign, WireJob, WireResult, WireStats,
+    designs_digest, ProtocolError, Request, Response, Verb, WireBinding, WireDesign, WireJob,
+    WirePong, WireResult, WireStats,
 };
-pub use shard::{HashRing, Routed, RouterError, RouterStats, ShardConfig, ShardLoad, ShardRouter};
+pub use shard::{
+    FleetShard, FleetStats, HashRing, Routed, RouterError, RouterStats, ShardConfig, ShardLoad,
+    ShardPhase, ShardRouter,
+};

@@ -9,7 +9,8 @@
 
 use crate::pool::{JobHandle, ServerPool};
 use crate::protocol::{
-    ProtocolError, Request, Response, Verb, WireDesign, WireJob, WireResult, WireStats,
+    designs_digest, ProtocolError, Request, Response, Verb, WireDesign, WireJob, WirePong,
+    WireResult, WireStats,
 };
 use rteaal_core::Compiler;
 use rteaal_kernels::{KernelConfig, KernelKind};
@@ -186,6 +187,14 @@ fn respond(pool: &ServerPool, handles: &mut HashMap<u64, JobHandle>, request: Re
                 })
                 .collect(),
         ),
+        Verb::Ping => {
+            let designs = pool.designs();
+            Response::pong(WirePong {
+                uptime_ms: pool.uptime().as_millis() as u64,
+                designs: designs.len() as u64,
+                digest: designs_digest(&designs),
+            })
+        }
     }
 }
 
@@ -371,5 +380,20 @@ impl ServeClient {
         response
             .designs
             .ok_or(ProtocolError::MissingPayload { kind: "designs" })
+    }
+
+    /// Liveness probe: the server's uptime and a digest of its design
+    /// registry. The cheapest full round trip the protocol offers —
+    /// what the [`ShardRouter`](crate::ShardRouter)'s health loop uses
+    /// to decide a host is really back.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn ping(&mut self) -> Result<WirePong, ProtocolError> {
+        let response = self.call(&Request::ping())?;
+        response
+            .pong
+            .ok_or(ProtocolError::MissingPayload { kind: "pong" })
     }
 }

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The name of the design every pool starts with (the compile passed to
 /// [`ServerPool::new`]); jobs that name no design run on it.
@@ -310,6 +311,10 @@ pub struct ServerPool {
     /// `submitted == completed + evicted + rejected` always closes.
     unrouted: AtomicU64,
     config: ServeConfig,
+    /// When the pool was constructed — the `ping` verb's uptime origin,
+    /// which lets a health prober distinguish a host that recovered
+    /// from one that restarted (and so lost its design registry).
+    started: Instant,
 }
 
 /// The registry + submission queues (see [`ServerPool::routing`]).
@@ -433,12 +438,18 @@ impl ServerPool {
             next_id: AtomicU64::new(0),
             unrouted: AtomicU64::new(0),
             config,
+            started: Instant::now(),
         })
     }
 
     /// The pool's sizing knobs.
     pub fn config(&self) -> ServeConfig {
         self.config
+    }
+
+    /// Time since the pool was constructed.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Adds a design to the registry: every worker gains a scheduler

@@ -1,7 +1,7 @@
 //! The line-delimited-JSON wire protocol of the socket front end.
 //!
 //! One request per line, one response per line, one connection per
-//! client. Six verbs:
+//! client. Seven verbs:
 //!
 //! | verb       | request fields | response |
 //! |------------|----------------|----------|
@@ -11,6 +11,7 @@
 //! | `stats`    | —              | `kind:"stats"` with pool counters |
 //! | `register` | `design`, `source`, `halt` | compiles the FIRRTL `source` server-side and adds it to the design registry |
 //! | `designs`  | —              | `kind:"designs"` listing every registered design |
+//! | `ping`     | —              | `kind:"pong"` with server uptime and a digest of the design registry — the health probe |
 //!
 //! A submitted job may name the design it runs on (`"job":{...,
 //! "design":"sha3"}`); with no `design` field it runs on the server's
@@ -50,6 +51,8 @@ pub enum Verb {
     Register,
     /// List the registered designs.
     Designs,
+    /// Liveness probe: uptime plus a digest of the design registry.
+    Ping,
 }
 
 impl Verb {
@@ -61,6 +64,7 @@ impl Verb {
             Verb::Stats => "stats",
             Verb::Register => "register",
             Verb::Designs => "designs",
+            Verb::Ping => "ping",
         }
     }
 }
@@ -81,6 +85,7 @@ impl Deserialize for Verb {
                 "stats" => Ok(Verb::Stats),
                 "register" => Ok(Verb::Register),
                 "designs" => Ok(Verb::Designs),
+                "ping" => Ok(Verb::Ping),
                 other => Err(serde::Error(format!("unknown verb `{other}`"))),
             },
             other => Err(serde::Error::expected("verb string", other)),
@@ -299,6 +304,39 @@ impl From<&ServeStats> for WireStats {
     }
 }
 
+/// The `ping` verb's payload: enough for a router's health probe to
+/// decide whether a host that answers is *the fleet member it expects*
+/// — a freshly restarted process shows a small `uptime_ms`, and a
+/// registry digest mismatch tells the prober its designs still need to
+/// be replayed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WirePong {
+    /// Milliseconds since the server's pool was constructed.
+    pub uptime_ms: u64,
+    /// Registered design count.
+    pub designs: u64,
+    /// Order-sensitive digest of the registry names
+    /// (see [`designs_digest`]).
+    pub digest: u64,
+}
+
+/// Digests a design-name list into one order-sensitive `u64`: each name
+/// is FNV-1a-hashed, then folded through the same `splitmix64`
+/// finalizer the [`HashRing`](crate::HashRing) uses. Client and server
+/// compute it identically, so a rejoining shard's registry can be
+/// compared without shipping the full listing.
+pub fn designs_digest(names: &[String]) -> u64 {
+    let mut acc = 0xcbf2_9ce4_8422_2325u64;
+    for name in names {
+        let mut h = 0x100_0000_01b3u64;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        acc = crate::shard::mix64(acc ^ h);
+    }
+    acc
+}
+
 /// One client request line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
@@ -376,6 +414,11 @@ impl Request {
     pub fn designs() -> Self {
         Self::base(Verb::Designs)
     }
+
+    /// A `ping` request.
+    pub fn ping() -> Self {
+        Self::base(Verb::Ping)
+    }
 }
 
 /// Appends `(key, value)` if the value is present.
@@ -430,7 +473,7 @@ pub struct Response {
     /// `false` only for `kind:"error"`.
     pub ok: bool,
     /// `submitted`, `pending`, `result`, `stats`, `registered`,
-    /// `designs`, or `error`.
+    /// `designs`, `pong`, or `error`.
     pub kind: String,
     /// The id the response refers to (submit/poll/result kinds).
     pub id: Option<u64>,
@@ -438,6 +481,8 @@ pub struct Response {
     pub result: Option<WireResult>,
     /// Pool counters (`kind:"stats"`).
     pub stats: Option<WireStats>,
+    /// Liveness payload (`kind:"pong"`).
+    pub pong: Option<WirePong>,
     /// The design a `register` added (`kind:"registered"`).
     pub design: Option<String>,
     /// The registry listing (`kind:"designs"`).
@@ -454,6 +499,7 @@ impl Response {
             id: None,
             result: None,
             stats: None,
+            pong: None,
             design: None,
             designs: None,
             error: None,
@@ -509,6 +555,14 @@ impl Response {
         }
     }
 
+    /// Answers a liveness probe.
+    pub fn pong(pong: WirePong) -> Self {
+        Response {
+            pong: Some(pong),
+            ..Self::base(true, "pong")
+        }
+    }
+
     /// Reports a per-request failure (the connection stays usable).
     pub fn error(message: impl Into<String>) -> Self {
         Response {
@@ -527,6 +581,7 @@ impl Serialize for Response {
         push_opt(&mut entries, "id", &self.id);
         push_opt(&mut entries, "result", &self.result);
         push_opt(&mut entries, "stats", &self.stats);
+        push_opt(&mut entries, "pong", &self.pong);
         push_opt(&mut entries, "design", &self.design);
         push_opt(&mut entries, "designs", &self.designs);
         push_opt(&mut entries, "error", &self.error);
@@ -547,6 +602,7 @@ impl Deserialize for Response {
             id: opt_field(content, "id")?,
             result: opt_field(content, "result")?,
             stats: opt_field(content, "stats")?,
+            pong: opt_field(content, "pong")?,
             design: opt_field(content, "design")?,
             designs: opt_field(content, "designs")?,
             error: opt_field(content, "error")?,
@@ -675,6 +731,7 @@ mod tests {
             Request::stats(),
             Request::register("sha3", "circuit S :\n  ...", "done"),
             Request::designs(),
+            Request::ping(),
         ] {
             let line = serde_json::to_string(&req).unwrap();
             let back: Request = serde_json::from_str(&line).unwrap();
@@ -725,6 +782,11 @@ mod tests {
                     default: false,
                 },
             ]),
+            Response::pong(WirePong {
+                uptime_ms: 1234,
+                designs: 2,
+                digest: designs_digest(&["default".to_string(), "sha3".to_string()]),
+            }),
             Response::error("unknown id"),
         ] {
             let line = serde_json::to_string(&resp).unwrap();
@@ -734,6 +796,15 @@ mod tests {
         // Compactness: absent options leave no key behind.
         let line = serde_json::to_string(&Response::submitted(4)).unwrap();
         assert_eq!(line, r#"{"ok":true,"kind":"submitted","id":4}"#);
+    }
+
+    #[test]
+    fn designs_digest_is_order_sensitive_and_deterministic() {
+        let a = vec!["default".to_string(), "sha3".to_string()];
+        let b = vec!["sha3".to_string(), "default".to_string()];
+        assert_eq!(designs_digest(&a), designs_digest(&a));
+        assert_ne!(designs_digest(&a), designs_digest(&b));
+        assert_ne!(designs_digest(&a), designs_digest(&a[..1]));
     }
 
     #[test]

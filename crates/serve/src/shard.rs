@@ -5,23 +5,43 @@
 //! partitions submitted jobs with **consistent hashing** keyed by the
 //! router-global job id ([`HashRing`], stable under shard add/remove),
 //! dispatches with per-shard in-flight accounting, merges every shard's
-//! results into a single completion-ordered stream, and tracks
-//! per-host health — a connection that errors, times out, or dies
-//! mid-line gets a bounded reconnect budget, after which the shard is
-//! declared dead, removed from the ring, and its lost jobs are
-//! automatically resubmitted to the survivors.
+//! results into a single completion-ordered stream, and runs the
+//! elastic-fleet loop:
+//!
+//! - **Circuit breaker per shard.** A connection that errors, times
+//!   out, or dies mid-line gets one immediate reconnect (the cheap
+//!   retry for a transient blip); if that fails, the breaker *opens*:
+//!   the shard leaves the ring and is probed on a capped exponential
+//!   backoff with deterministic jitter instead of being hammered. A
+//!   shard whose consecutive failures exceed
+//!   [`ShardConfig::reconnects`] is reported dead — but probing never
+//!   stops, because hosts come back.
+//! - **Rejoin.** The half-open probe is the `ping` verb; when it
+//!   answers, the router replays its design registry to the host
+//!   (registration fan-out — see [`register`](ShardRouter::register))
+//!   and only then re-adds the shard to the ring. The ring's points
+//!   are deterministic, so a rejoiner gets back *exactly* its old
+//!   partition: only the keys the ring math assigns it move, and only
+//!   for placements made after the rejoin — jobs in flight elsewhere
+//!   stay put.
+//! - **Replica hedging.** A pending job whose age passes a latency
+//!   quantile of recent deliveries (times a multiplier, floored) is
+//!   resubmitted to the next distinct shard on the ring. First result
+//!   wins; the loser's copy is drained and discarded through the
+//!   protocol's exactly-once delivery path, which makes the duplicate
+//!   unobservable by construction.
 //!
 //! Delivery is **exactly once** even under at-least-once execution: a
 //! result can only be claimed over the connection that submitted its
 //! job (the serve protocol's per-connection handle scope), so a job
-//! rerun after a shard death can never surface twice — the dead
-//! connection's copy is unreachable by construction, and the server
-//! discards it.
+//! rerun after a shard death — or raced by a hedge — can never surface
+//! twice: the losing copy is either unreachable (its connection died)
+//! or explicitly claimed-and-dropped by the router.
 //!
 //! The router is deliberately synchronous and single-threaded: one
-//! poll sweep across the fleet per [`next_result`](ShardRouter::next_result)
-//! iteration. The concurrency that matters lives server-side (worker
-//! pools and lanes); the router only moves envelopes, which keeps its
+//! poll sweep across the fleet per [`poll_once`](ShardRouter::poll_once)
+//! call. The concurrency that matters lives server-side (worker pools
+//! and lanes); the router only moves envelopes, which keeps its
 //! failure handling — the hard part — sequentially testable under the
 //! [`chaos`](crate::chaos) harness.
 
@@ -30,12 +50,13 @@ use crate::protocol::{ProtocolError, WireResult, WireStats};
 use rteaal_sched::Job;
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Finalizes `splitmix64`: a deterministic, well-mixed 64-bit hash.
-/// Used for both ring points and key placement so the partition is
-/// reproducible across processes and runs (no `RandomState`).
-fn mix64(x: u64) -> u64 {
+/// Used for ring points, key placement, and backoff jitter so the
+/// partition is reproducible across processes and runs (no
+/// `RandomState`).
+pub(crate) fn mix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -49,7 +70,9 @@ fn mix64(x: u64) -> u64 {
 /// after the key's hash, wrapping. Removing a shard removes only its
 /// points, so every key it did *not* own keeps its owner — the
 /// stability property that makes mid-corpus shard loss cheap: only the
-/// dead shard's jobs move.
+/// dead shard's jobs move. Because the points are pure hashes of the
+/// slot, re-adding a shard restores its old partition *exactly* — the
+/// rejoin path's bounded-movement guarantee.
 #[derive(Debug, Clone)]
 pub struct HashRing {
     replicas: usize,
@@ -105,6 +128,23 @@ impl HashRing {
         Some(self.points[idx % self.points.len()].1)
     }
 
+    /// The first shard at or after `key`'s hash that is *not*
+    /// `exclude`: where the key would live if `exclude` were removed.
+    /// This is the hedge target — the replica the consistent-hash
+    /// topology itself nominates — and `None` when `exclude` is the
+    /// only live shard.
+    pub fn shard_for_excluding(&self, key: u64, exclude: usize) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = mix64(key);
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let n = self.points.len();
+        (0..n)
+            .map(|i| self.points[(start + i) % n].1)
+            .find(|&s| s != exclude)
+    }
+
     /// The live shard slots, sorted.
     pub fn live(&self) -> &[usize] {
         &self.live
@@ -129,17 +169,35 @@ pub struct ShardConfig {
     /// How long any single exchange may wait for a shard's response
     /// before the host counts as hung (a fatal fault).
     pub read_timeout: Duration,
-    /// Fresh connections a shard is granted after transport faults
-    /// before it is declared dead. A reconnect orphans the old
-    /// connection's in-flight jobs (handles are per-connection), so
-    /// each one resubmits them — on the same shard if it recovers.
+    /// Consecutive failures (transport faults and failed probes) a
+    /// shard is allowed before it is *reported* dead. Delivering a
+    /// result resets the count — a host must prove it can finish work,
+    /// not merely accept connections — and probing continues past
+    /// death: a dead shard that answers a probe rejoins.
     pub reconnects: usize,
     /// Sleep between poll sweeps that found nothing finished.
     pub poll_interval: Duration,
-    /// Times one job may be (re)placed before the router gives up on
-    /// it — a backstop against a corpus whose every host rejects the
-    /// connection.
+    /// *Consecutive failed* placements one job may burn before the
+    /// router gives up on it — a backstop against a job no host will
+    /// take. A successful placement resets the count, so honest
+    /// resubmission churn under flapping shards never exhausts a job.
     pub max_attempts: usize,
+    /// First open-breaker probe delay; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Ceiling on the probe delay, whatever the failure count.
+    pub backoff_cap: Duration,
+    /// Master switch for replica hedging.
+    pub hedge: bool,
+    /// The delivery-latency quantile (0..=1) that defines a straggler.
+    pub hedge_quantile: f64,
+    /// Straggler threshold = quantile latency × this multiplier.
+    pub hedge_multiplier: f64,
+    /// Deliveries observed before hedging activates (the quantile
+    /// needs a sample).
+    pub hedge_min_samples: usize,
+    /// Minimum straggler threshold — keeps a fast fleet from hedging
+    /// its entire corpus on microsecond noise.
+    pub hedge_floor: Duration,
 }
 
 impl Default for ShardConfig {
@@ -150,24 +208,51 @@ impl Default for ShardConfig {
             reconnects: 2,
             poll_interval: Duration::from_micros(200),
             max_attempts: 16,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+            hedge: true,
+            hedge_quantile: 0.9,
+            hedge_multiplier: 2.0,
+            hedge_min_samples: 16,
+            hedge_floor: Duration::from_millis(10),
         }
     }
 }
 
-/// One shard's connection and accounting.
+/// The longest latency history the hedging quantile is computed over.
+const LATENCY_WINDOW: usize = 4096;
+
+/// One shard's connection, breaker, and accounting.
 #[derive(Debug)]
 struct ShardState {
     addr: SocketAddr,
-    /// `None` once the shard is declared dead.
+    /// `Some` iff the shard is in the ring (breaker closed).
     client: Option<ServeClient>,
-    /// Remaining reconnect budget.
-    reconnects_left: usize,
-    /// Router ids currently awaiting results on this shard.
+    /// Consecutive failures since the last successful exchange.
+    failures: u32,
+    /// Whether `failures` has crossed the death threshold (reported in
+    /// stats; probing continues regardless).
+    dead: bool,
+    /// When the breaker next half-opens for a probe (down shards only).
+    retry_at: Option<Instant>,
+    /// Router ids currently awaiting results on this shard (as primary
+    /// or as hedge).
     inflight: Vec<u64>,
-    /// Jobs ever dispatched here (including resubmissions).
+    /// Remote ids of hedge losers still to be claimed-and-discarded on
+    /// this connection — the exactly-once cleanup of the duplicate.
+    zombies: Vec<u64>,
+    /// Jobs ever dispatched here (including resubmissions and hedges).
     dispatched: u64,
     /// Results this shard delivered.
     delivered: u64,
+    /// Times this shard re-entered the ring after being down.
+    rejoins: u64,
+}
+
+impl ShardState {
+    fn live(&self) -> bool {
+        self.client.is_some()
+    }
 }
 
 /// One job awaiting its result.
@@ -175,12 +260,24 @@ struct ShardState {
 struct PendingJob {
     /// Kept for resubmission after a shard death.
     job: Job,
+    /// Registered design the job targets (`None` = each shard's
+    /// default).
+    design: Option<String>,
     /// The id the owning shard's pool assigned.
     remote_id: u64,
-    /// The shard currently running it.
+    /// The shard currently running it (`usize::MAX` while unplaced).
     shard: usize,
     /// Placements so far.
     attempts: usize,
+    /// When the router first accepted the job — the latency origin for
+    /// hedging decisions and delivery accounting, preserved across
+    /// resubmissions.
+    submitted_at: Instant,
+    /// An outstanding hedge copy, as `(shard, remote id)`.
+    hedge: Option<(usize, u64)>,
+    /// Whether this job *is* a surviving hedge copy (its primary's
+    /// shard died and the hedge was promoted in place).
+    promoted: bool,
 }
 
 /// A result delivered by the router's merged stream.
@@ -197,11 +294,12 @@ pub struct Routed {
 /// Why the router could not make progress.
 #[derive(Debug)]
 pub enum RouterError {
-    /// Every shard is dead; `stranded` jobs can no longer be placed.
-    /// The jobs stay pending, and every later router call reports this
-    /// error again for them.
+    /// Every shard is down; `stranded` jobs cannot currently be
+    /// placed. The jobs stay pending, and every later router call
+    /// reports this error again for them — but probing continues, so
+    /// a host that comes back can still unblock the fleet.
     NoLiveShards {
-        /// Jobs that were pending when the last shard died.
+        /// Jobs that were pending when the last shard went down.
         stranded: usize,
     },
     /// One job exhausted [`ShardConfig::max_attempts`] placements and
@@ -230,7 +328,7 @@ impl std::fmt::Display for RouterError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RouterError::NoLiveShards { stranded } => {
-                write!(f, "every shard is dead ({stranded} jobs stranded)")
+                write!(f, "every shard is down ({stranded} jobs stranded)")
             }
             RouterError::JobLost { id, attempts } => {
                 write!(f, "job {id} abandoned after {attempts} placements")
@@ -255,7 +353,8 @@ pub struct RouterStats {
     /// Job placements repeated because their shard's connection was
     /// lost (each orphaned job counts once per loss).
     pub resubmitted: u64,
-    /// Shards declared dead.
+    /// Down episodes: times a shard's breaker opened and it left the
+    /// ring (a later rejoin starts a fresh episode).
     pub shard_deaths: u64,
     /// Per-shard accounting, by slot.
     pub per_shard: Vec<ShardLoad>,
@@ -266,7 +365,7 @@ pub struct RouterStats {
 pub struct ShardLoad {
     /// The shard's address.
     pub addr: SocketAddr,
-    /// Whether the shard is still in the ring.
+    /// Whether the shard is in the ring.
     pub alive: bool,
     /// Jobs ever dispatched to it (including resubmissions).
     pub dispatched: u64,
@@ -276,8 +375,74 @@ pub struct ShardLoad {
     pub in_flight: usize,
 }
 
+/// Where one shard's circuit breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPhase {
+    /// Breaker closed: connected and in the ring.
+    Live,
+    /// Breaker open: out of the ring, awaiting its next half-open
+    /// probe.
+    Open {
+        /// Consecutive failures so far.
+        failures: u32,
+    },
+    /// Failures crossed [`ShardConfig::reconnects`]; still probed (a
+    /// dead host that answers rejoins), but reported as dead.
+    Dead {
+        /// Consecutive failures so far.
+        failures: u32,
+    },
+}
+
+/// One shard's slice of a [`FleetStats`] snapshot.
+#[derive(Debug, Clone)]
+pub struct FleetShard {
+    /// The shard's address.
+    pub addr: SocketAddr,
+    /// Breaker phase.
+    pub phase: ShardPhase,
+    /// Jobs currently awaiting results on it (primary or hedge).
+    pub in_flight: usize,
+    /// Jobs ever dispatched to it (including resubmissions and
+    /// hedges).
+    pub dispatched: u64,
+    /// Results it delivered.
+    pub delivered: u64,
+    /// Times it re-entered the ring after being down.
+    pub rejoins: u64,
+}
+
+/// The elastic-fleet snapshot: everything [`RouterStats`] counts, plus
+/// breaker phases, rejoins, and the hedging ledger.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Jobs accepted by [`ShardRouter::submit`].
+    pub submitted: u64,
+    /// Results delivered through the merged stream.
+    pub delivered: u64,
+    /// Job placements repeated because their shard's connection was
+    /// lost.
+    pub resubmitted: u64,
+    /// Down episodes: times a shard's breaker opened and it left the
+    /// ring.
+    pub shard_deaths: u64,
+    /// Shards that re-entered the ring after being down, fleet-wide.
+    pub rejoins: u64,
+    /// Hedge copies submitted.
+    pub hedges: u64,
+    /// Jobs whose hedge copy delivered the result (including promoted
+    /// hedges that outlived their primary's shard).
+    pub hedges_won: u64,
+    /// Hedge copies that lost the race to their primary and were
+    /// discarded.
+    pub hedges_lost: u64,
+    /// Per-shard accounting, by slot.
+    pub per_shard: Vec<FleetShard>,
+}
+
 /// The cross-host supervisor: consistent-hash job placement over a
-/// fleet of serve processes, with health tracking and automatic
+/// fleet of serve processes, with circuit-breaker health tracking,
+/// shard rejoin, registration fan-out, replica hedging, and automatic
 /// resubmission. See the [module docs](self) for the design.
 ///
 /// ```no_run
@@ -302,10 +467,21 @@ pub struct ShardRouter {
     ring: HashRing,
     /// Router id -> its pending job, across all shards.
     pending: HashMap<u64, PendingJob>,
+    /// Designs registered through the router, in order — replayed to
+    /// every rejoiner before it re-enters the ring.
+    registry: Vec<(String, String, String)>,
+    /// Recent delivery latencies (ring buffer of `LATENCY_WINDOW`), the
+    /// hedging quantile's sample.
+    latencies: Vec<Duration>,
+    latency_cursor: usize,
     next_id: u64,
     delivered: u64,
     resubmitted: u64,
     shard_deaths: u64,
+    rejoins: u64,
+    hedges: u64,
+    hedges_won: u64,
+    hedges_lost: u64,
 }
 
 impl ShardRouter {
@@ -331,10 +507,14 @@ impl ShardRouter {
             shards.push(ShardState {
                 addr,
                 client: Some(client),
-                reconnects_left: config.reconnects,
+                failures: 0,
+                dead: false,
+                retry_at: None,
                 inflight: Vec::new(),
+                zombies: Vec::new(),
                 dispatched: 0,
                 delivered: 0,
+                rejoins: 0,
             });
         }
         Ok(ShardRouter {
@@ -342,10 +522,17 @@ impl ShardRouter {
             shards,
             ring,
             pending: HashMap::new(),
+            registry: Vec::new(),
+            latencies: Vec::new(),
+            latency_cursor: 0,
             next_id: 0,
             delivered: 0,
             resubmitted: 0,
             shard_deaths: 0,
+            rejoins: 0,
+            hedges: 0,
+            hedges_won: 0,
+            hedges_lost: 0,
         })
     }
 
@@ -356,29 +543,101 @@ impl ShardRouter {
         Ok(client)
     }
 
-    /// Submits a job: assigns a router-global id, places it on the
-    /// shard the ring maps that id to, and returns the id. Placement
-    /// failures cascade through the failure path (reconnect, then
-    /// rehash to survivors) before this returns.
+    /// The backoff before failure number `failures`' next probe:
+    /// exponential in the failure count, capped, with deterministic
+    /// jitter in `[0.5, 1.0)` of the nominal delay so a fleet of
+    /// routers probing the same revived host decorrelate.
+    fn backoff_for(config: &ShardConfig, shard: usize, failures: u32) -> Duration {
+        let exp = failures.saturating_sub(1).min(12);
+        let mut delay = config.backoff_base.saturating_mul(1u32 << exp);
+        if delay > config.backoff_cap {
+            delay = config.backoff_cap;
+        }
+        let jitter = mix64(((shard as u64) << 32) ^ u64::from(failures)) as f64 / u64::MAX as f64;
+        delay.mul_f64(0.5 + 0.5 * jitter)
+    }
+
+    /// Submits a job to every shard's default design: assigns a
+    /// router-global id, places it on the shard the ring maps that id
+    /// to, and returns the id. Placement failures cascade through the
+    /// failure path (reconnect, then rehash to survivors) before this
+    /// returns.
     ///
     /// # Errors
     ///
     /// [`RouterError::NoLiveShards`] / [`RouterError::JobLost`] when
     /// the fleet cannot take the job at all.
     pub fn submit(&mut self, job: Job) -> Result<u64, RouterError> {
+        self.submit_on(None, job)
+    }
+
+    /// Submits a job to a named registered design (`None` = each
+    /// shard's default design). The design should have been registered
+    /// through [`register`](Self::register) so every shard — including
+    /// future rejoiners — can run it.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoLiveShards`] / [`RouterError::JobLost`] when
+    /// the fleet cannot take the job at all.
+    pub fn submit_on(&mut self, design: Option<&str>, job: Job) -> Result<u64, RouterError> {
         let id = self.next_id;
         self.next_id += 1;
         self.pending.insert(
             id,
             PendingJob {
                 job,
+                design: design.map(str::to_string),
                 remote_id: 0,
                 shard: usize::MAX,
                 attempts: 0,
+                submitted_at: Instant::now(),
+                hedge: None,
+                promoted: false,
             },
         );
         self.dispatch(vec![id])?;
         Ok(id)
+    }
+
+    /// Registers a design fleet-wide: records it in the router's
+    /// registry (replayed to every future rejoiner before it takes
+    /// jobs) and broadcasts it to every live shard. A shard whose
+    /// connection fails mid-broadcast takes the usual failure path and
+    /// will receive the design when it rejoins.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Shard`] on the first server-side refusal (compile
+    /// failure, duplicate name) — the design is then dropped from the
+    /// registry, since replaying a design no server accepts would wedge
+    /// every rejoin. Fleet-exhaustion errors propagate from the failure
+    /// path.
+    pub fn register(&mut self, design: &str, source: &str, halt: &str) -> Result<(), RouterError> {
+        self.registry
+            .push((design.to_string(), source.to_string(), halt.to_string()));
+        for shard in 0..self.shards.len() {
+            if !self.shards[shard].live() {
+                continue;
+            }
+            let outcome = self.shards[shard]
+                .client
+                .as_mut()
+                .expect("live shards have clients")
+                .register(design, source, halt);
+            match outcome {
+                Ok(()) => {}
+                Err(error) if error.is_fatal() => {
+                    let orphans = self.shard_failed(shard);
+                    self.dispatch(orphans)?;
+                }
+                Err(error) => {
+                    self.registry.pop();
+                    return Err(RouterError::Shard { shard, error });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Places every job in `work` on the shard its id hashes to,
@@ -399,6 +658,11 @@ impl ShardRouter {
         while let Some(id) = work.pop() {
             loop {
                 if self.ring.is_empty() {
+                    // Give due probes one chance to revive the fleet
+                    // before declaring it exhausted.
+                    self.run_probes();
+                }
+                if self.ring.is_empty() {
                     return Err(RouterError::NoLiveShards {
                         stranded: self.pending.len(),
                     });
@@ -415,18 +679,26 @@ impl ShardRouter {
                     break;
                 }
                 let outcome = {
-                    let job = &self.pending[&id].job;
-                    self.shards[shard]
+                    let p = &self.pending[&id];
+                    let client = self.shards[shard]
                         .client
                         .as_mut()
-                        .expect("ring only maps live shards")
-                        .submit(job)
+                        .expect("ring only maps live shards");
+                    match &p.design {
+                        Some(d) => client.submit_to(d, &p.job),
+                        None => client.submit(&p.job),
+                    }
                 };
                 match outcome {
                     Ok(remote_id) => {
                         let p = self.pending.get_mut(&id).expect("dispatching a known job");
                         p.remote_id = remote_id;
                         p.shard = shard;
+                        // A successful placement clears the job's
+                        // failure streak: `max_attempts` guards against
+                        // a job no host will *take*, not against honest
+                        // resubmission churn when shards flap.
+                        p.attempts = 0;
                         let st = &mut self.shards[shard];
                         st.dispatched += 1;
                         st.inflight.push(id);
@@ -435,8 +707,8 @@ impl ShardRouter {
                     Err(error) if error.is_fatal() => {
                         // The shard's orphans (and this job) go back on
                         // the worklist; the ring may or may not still
-                        // contain the shard depending on its reconnect
-                        // budget.
+                        // contain the shard depending on whether the
+                        // immediate reconnect lands.
                         work.extend(self.shard_failed(shard));
                         continue;
                     }
@@ -454,34 +726,334 @@ impl ShardRouter {
         }
     }
 
-    /// Handles a fatal transport fault on one shard: burn a reconnect
-    /// if any remain (the shard stays in the ring with a fresh
-    /// connection), otherwise declare it dead and remove it. Either
-    /// way the shard's in-flight jobs are orphaned — their handles
-    /// lived on the broken connection — and are returned for
+    /// Handles a fatal transport fault on one shard: the breaker's
+    /// closed→open edge. The shard gets one immediate reconnect (if
+    /// its consecutive-failure count is still within budget); if that
+    /// fails it leaves the ring (one counted down episode) and is
+    /// probed on capped exponential backoff with jitter by
+    /// [`run_probes`](Self::run_probes). Crossing the failure budget
+    /// additionally reports it dead — probing continues regardless.
+    ///
+    /// Either way the shard's in-flight jobs are orphaned — their
+    /// handles lived on the broken connection. A job whose *hedge*
+    /// lives on a healthy shard is rescued in place (the hedge is
+    /// promoted to primary, no resubmission); jobs that were only
+    /// hedged *here* simply lose the hedge; the rest are returned for
     /// redispatch.
     fn shard_failed(&mut self, shard: usize) -> Vec<u64> {
         let st = &mut self.shards[shard];
         st.client = None;
-        while st.reconnects_left > 0 {
-            st.reconnects_left -= 1;
+        // Zombie claims die with the connection; the server's tombstone
+        // path discards their results.
+        st.zombies.clear();
+        st.failures += 1;
+        let failures = st.failures;
+        let was_inflight = std::mem::take(&mut st.inflight);
+        if failures <= self.config.reconnects as u32 {
             if let Ok(client) = Self::open(st.addr, self.config.read_timeout) {
                 st.client = Some(client);
-                break;
             }
         }
-        if st.client.is_none() {
+        if self.shards[shard].client.is_none() {
             self.ring.remove(shard);
+            // One down episode = one death, counted at the moment the
+            // shard leaves the ring (probe failures while it stays out
+            // are the same episode).
             self.shard_deaths += 1;
+            let retry_at = Instant::now() + Self::backoff_for(&self.config, shard, failures);
+            let st = &mut self.shards[shard];
+            st.retry_at = Some(retry_at);
+            if failures > self.config.reconnects as u32 {
+                st.dead = true;
+            }
         }
-        let orphans = std::mem::take(&mut self.shards[shard].inflight);
-        self.resubmitted += orphans.len() as u64;
-        for &id in &orphans {
-            let p = self.pending.get_mut(&id).expect("orphans are pending");
-            p.shard = usize::MAX;
-            p.remote_id = 0;
+        let mut orphans = Vec::new();
+        for id in was_inflight {
+            let Some(p) = self.pending.get_mut(&id) else {
+                continue;
+            };
+            if p.shard == shard {
+                match p.hedge.take() {
+                    Some((h, rid)) if h != shard && self.shards[h].live() => {
+                        // The hedge copy survives: promote it instead of
+                        // replaying the job. It is already in shard h's
+                        // inflight list.
+                        p.shard = h;
+                        p.remote_id = rid;
+                        p.promoted = true;
+                    }
+                    _ => {
+                        p.shard = usize::MAX;
+                        p.remote_id = 0;
+                        orphans.push(id);
+                        self.resubmitted += 1;
+                    }
+                }
+            } else if p.hedge.is_some_and(|(h, _)| h == shard) {
+                // Only the hedge copy lived here; the primary is fine.
+                p.hedge = None;
+            }
         }
         orphans
+    }
+
+    /// Half-open probes for every down shard whose backoff has lapsed:
+    /// connect, `ping`, replay the design registry, and only then
+    /// re-add the shard to the ring (the rejoin). A failed probe
+    /// doubles the backoff; crossing the failure budget marks the
+    /// shard dead, but probing never stops.
+    fn run_probes(&mut self) {
+        let now = Instant::now();
+        for shard in 0..self.shards.len() {
+            if self.shards[shard].live() {
+                continue;
+            }
+            if self.shards[shard].retry_at.is_some_and(|t| t > now) {
+                continue;
+            }
+            let addr = self.shards[shard].addr;
+            let probe = Self::open(addr, self.config.read_timeout).and_then(|mut client| {
+                client.ping()?;
+                for (design, source, halt) in &self.registry {
+                    match client.register(design, source, halt) {
+                        Ok(()) => {}
+                        // Non-fatal refusal: the host kept its registry
+                        // through the outage (duplicate design).
+                        Err(error) if !error.is_fatal() => {}
+                        Err(error) => return Err(error),
+                    }
+                }
+                Ok(client)
+            });
+            match probe {
+                Ok(client) => {
+                    let st = &mut self.shards[shard];
+                    st.client = Some(client);
+                    st.failures = 0;
+                    st.dead = false;
+                    st.retry_at = None;
+                    st.rejoins += 1;
+                    self.rejoins += 1;
+                    self.ring.add(shard);
+                }
+                Err(_) => {
+                    let st = &mut self.shards[shard];
+                    st.failures += 1;
+                    let failures = st.failures;
+                    st.retry_at = Some(now + Self::backoff_for(&self.config, shard, failures));
+                    if failures > self.config.reconnects as u32 {
+                        self.shards[shard].dead = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current straggler threshold, or `None` while the latency
+    /// sample is too small to trust.
+    fn hedge_threshold(&self) -> Option<Duration> {
+        if self.latencies.len() < self.config.hedge_min_samples.max(1) {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let q = self.config.hedge_quantile.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q) as usize;
+        let threshold = sorted[idx].mul_f64(self.config.hedge_multiplier.max(1.0));
+        Some(threshold.max(self.config.hedge_floor))
+    }
+
+    /// Hedges every straggler: a pending job older than the quantile
+    /// threshold is resubmitted to the next distinct shard on the ring
+    /// (first result will win; the loser is discarded through the
+    /// exactly-once path).
+    fn maybe_hedge(&mut self) -> Result<(), RouterError> {
+        if !self.config.hedge || self.ring.len() < 2 {
+            return Ok(());
+        }
+        let Some(threshold) = self.hedge_threshold() else {
+            return Ok(());
+        };
+        let ids: Vec<u64> = self.pending.keys().copied().collect();
+        for id in ids {
+            let primary = {
+                let Some(p) = self.pending.get(&id) else {
+                    continue;
+                };
+                if p.hedge.is_some()
+                    || p.promoted
+                    || p.shard == usize::MAX
+                    || p.submitted_at.elapsed() < threshold
+                {
+                    continue;
+                }
+                p.shard
+            };
+            let Some(target) = self.ring.shard_for_excluding(id, primary) else {
+                continue;
+            };
+            if target == primary || !self.shards[target].live() {
+                continue;
+            }
+            let outcome = {
+                let p = &self.pending[&id];
+                let client = self.shards[target]
+                    .client
+                    .as_mut()
+                    .expect("hedge targets are live");
+                match &p.design {
+                    Some(d) => client.submit_to(d, &p.job),
+                    None => client.submit(&p.job),
+                }
+            };
+            match outcome {
+                Ok(remote_id) => {
+                    let st = &mut self.shards[target];
+                    st.dispatched += 1;
+                    st.inflight.push(id);
+                    if let Some(p) = self.pending.get_mut(&id) {
+                        p.hedge = Some((target, remote_id));
+                    }
+                    self.hedges += 1;
+                }
+                Err(error) if error.is_fatal() => {
+                    let orphans = self.shard_failed(target);
+                    self.dispatch(orphans)?;
+                }
+                // A server-side refusal of the duplicate is harmless:
+                // the primary carries on alone.
+                Err(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Records one delivery and settles the hedge race for `id`.
+    fn deliver(&mut self, id: u64, shard: usize, result: WireResult) -> Routed {
+        let p = self.pending.remove(&id).expect("delivering a pending job");
+        {
+            let st = &mut self.shards[shard];
+            st.inflight.retain(|&i| i != id);
+            st.delivered += 1;
+            st.failures = 0;
+        }
+        self.delivered += 1;
+        if p.shard == shard {
+            if let Some((h, rid)) = p.hedge {
+                // Primary won the race: the hedge copy becomes a zombie
+                // claim, drained and discarded on its own connection.
+                self.hedges_lost += 1;
+                let hs = &mut self.shards[h];
+                hs.inflight.retain(|&i| i != id);
+                if hs.live() {
+                    hs.zombies.push(rid);
+                }
+            } else if p.promoted {
+                self.hedges_won += 1;
+            }
+        } else {
+            // The hedge copy won: retire the primary's claim.
+            self.hedges_won += 1;
+            let ps = &mut self.shards[p.shard];
+            ps.inflight.retain(|&i| i != id);
+            if ps.live() {
+                ps.zombies.push(p.remote_id);
+            }
+        }
+        let latency = p.submitted_at.elapsed();
+        if self.latencies.len() < LATENCY_WINDOW {
+            self.latencies.push(latency);
+        } else {
+            self.latencies[self.latency_cursor % LATENCY_WINDOW] = latency;
+            self.latency_cursor = self.latency_cursor.wrapping_add(1);
+        }
+        Routed { id, shard, result }
+    }
+
+    /// One non-blocking pass over the fleet: run due probes (rejoins
+    /// happen here), hedge stragglers, drain zombie claims, and poll
+    /// every in-flight job once. Returns the first finished job found,
+    /// `Ok(None)` if nothing finished — including when nothing is
+    /// pending, which makes this the idle-safe pump for open-loop
+    /// drivers that interleave submission with collection.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoLiveShards`] / [`RouterError::JobLost`] when a
+    /// failure cascade exhausts the fleet;
+    /// [`RouterError::Shard`] on a protocol violation.
+    pub fn poll_once(&mut self) -> Result<Option<Routed>, RouterError> {
+        self.run_probes();
+        self.maybe_hedge()?;
+        for shard in self.ring.live().to_vec() {
+            // Re-check against the *current* ring: an earlier failure
+            // in this sweep can cascade (via resubmission) into the
+            // death of a shard later in the snapshot.
+            if !self.shards[shard].live() {
+                continue;
+            }
+            // Drain zombie claims first: hedge losers whose results
+            // must be claimed-and-discarded to stay exactly-once.
+            let zombies = std::mem::take(&mut self.shards[shard].zombies);
+            let mut kept = Vec::new();
+            let mut shard_ok = true;
+            for rid in zombies {
+                let polled = self.shards[shard]
+                    .client
+                    .as_mut()
+                    .expect("live shards have clients")
+                    .poll(rid);
+                match polled {
+                    Ok(Some(_)) => {} // claimed and dropped
+                    Ok(None) => kept.push(rid),
+                    Err(error) if error.is_fatal() => {
+                        let orphans = self.shard_failed(shard);
+                        self.dispatch(orphans)?;
+                        shard_ok = false;
+                        break;
+                    }
+                    // The claim outlived its connection's scope; the
+                    // server already tombstoned it.
+                    Err(_) => {}
+                }
+            }
+            if !shard_ok {
+                continue;
+            }
+            self.shards[shard].zombies = kept;
+            // Snapshot: the sweep mutates inflight on delivery.
+            let ids = self.shards[shard].inflight.clone();
+            for id in ids {
+                let remote_id = match self.pending.get(&id) {
+                    Some(p) if p.shard == shard => p.remote_id,
+                    Some(p) if p.hedge.is_some_and(|(h, _)| h == shard) => {
+                        p.hedge.expect("just matched").1
+                    }
+                    // Stale entry: delivered via the other copy, or
+                    // rehashed away.
+                    _ => {
+                        self.shards[shard].inflight.retain(|&i| i != id);
+                        continue;
+                    }
+                };
+                let polled = self.shards[shard]
+                    .client
+                    .as_mut()
+                    .expect("live shards have clients")
+                    .poll(remote_id);
+                match polled {
+                    Ok(Some(result)) => return Ok(Some(self.deliver(id, shard, result))),
+                    Ok(None) => {}
+                    Err(error) if error.is_fatal() => {
+                        let orphans = self.shard_failed(shard);
+                        self.dispatch(orphans)?;
+                        break; // this shard's snapshot is stale
+                    }
+                    Err(error) => return Err(RouterError::Shard { shard, error }),
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Blocks until the next job — from any shard — finishes, and
@@ -499,47 +1071,19 @@ impl ShardRouter {
             if self.pending.is_empty() {
                 return Err(RouterError::Idle);
             }
-            // Pending jobs with no fleet left can never complete: report
-            // that instead of sleeping on a ring nobody will rejoin.
+            // Pending jobs with no fleet left can never complete *now*:
+            // report that instead of sleeping (probes still got their
+            // chance through the dispatch/poll paths).
+            if self.ring.is_empty() {
+                self.run_probes();
+            }
             if self.ring.is_empty() {
                 return Err(RouterError::NoLiveShards {
                     stranded: self.pending.len(),
                 });
             }
-            for shard in self.ring.live().to_vec() {
-                // Re-check against the *current* ring: an earlier
-                // failure in this sweep can cascade (via resubmission)
-                // into the death of a shard later in the snapshot.
-                if !self.ring.live().contains(&shard) {
-                    continue;
-                }
-                // Snapshot: the sweep mutates inflight on delivery.
-                let ids = self.shards[shard].inflight.clone();
-                for id in ids {
-                    let remote_id = self.pending[&id].remote_id;
-                    let polled = self.shards[shard]
-                        .client
-                        .as_mut()
-                        .expect("ring only maps live shards")
-                        .poll(remote_id);
-                    match polled {
-                        Ok(Some(result)) => {
-                            self.pending.remove(&id);
-                            let st = &mut self.shards[shard];
-                            st.inflight.retain(|&i| i != id);
-                            st.delivered += 1;
-                            self.delivered += 1;
-                            return Ok(Routed { id, shard, result });
-                        }
-                        Ok(None) => {}
-                        Err(error) if error.is_fatal() => {
-                            let orphans = self.shard_failed(shard);
-                            self.dispatch(orphans)?;
-                            break; // this shard's snapshot is stale
-                        }
-                        Err(error) => return Err(RouterError::Shard { shard, error }),
-                    }
-                }
+            if let Some(routed) = self.poll_once()? {
+                return Ok(routed);
             }
             std::thread::sleep(self.config.poll_interval);
         }
@@ -578,10 +1122,9 @@ impl ShardRouter {
             per_shard: self
                 .shards
                 .iter()
-                .enumerate()
-                .map(|(slot, st)| ShardLoad {
+                .map(|st| ShardLoad {
                     addr: st.addr,
-                    alive: self.ring.live().contains(&slot),
+                    alive: st.live(),
                     dispatched: st.dispatched,
                     delivered: st.delivered,
                     in_flight: st.inflight.len(),
@@ -590,10 +1133,48 @@ impl ShardRouter {
         }
     }
 
-    /// Polls every live shard's `stats` verb: the health probe. A
-    /// shard that fails the probe takes the usual failure path
-    /// (reconnect, then death + resubmission) and reports `None`, as
-    /// do shards already dead.
+    /// The elastic-fleet snapshot: breaker phases, rejoins, and the
+    /// hedging ledger, on top of everything [`stats`](Self::stats)
+    /// counts.
+    pub fn fleet_stats(&self) -> FleetStats {
+        FleetStats {
+            submitted: self.next_id,
+            delivered: self.delivered,
+            resubmitted: self.resubmitted,
+            shard_deaths: self.shard_deaths,
+            rejoins: self.rejoins,
+            hedges: self.hedges,
+            hedges_won: self.hedges_won,
+            hedges_lost: self.hedges_lost,
+            per_shard: self
+                .shards
+                .iter()
+                .map(|st| FleetShard {
+                    addr: st.addr,
+                    phase: if st.live() {
+                        ShardPhase::Live
+                    } else if st.dead {
+                        ShardPhase::Dead {
+                            failures: st.failures,
+                        }
+                    } else {
+                        ShardPhase::Open {
+                            failures: st.failures,
+                        }
+                    },
+                    in_flight: st.inflight.len(),
+                    dispatched: st.dispatched,
+                    delivered: st.delivered,
+                    rejoins: st.rejoins,
+                })
+                .collect(),
+        }
+    }
+
+    /// Polls every live shard's `stats` verb: the load probe. A shard
+    /// that fails the probe takes the usual failure path (breaker
+    /// opens, jobs resubmitted) and reports `None`, as do shards
+    /// currently down.
     ///
     /// # Errors
     ///
@@ -602,14 +1183,14 @@ impl ShardRouter {
     pub fn poll_health(&mut self) -> Result<Vec<Option<WireStats>>, RouterError> {
         let mut out = Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
-            if !self.ring.live().contains(&shard) {
+            if !self.shards[shard].live() {
                 out.push(None);
                 continue;
             }
             let polled = self.shards[shard]
                 .client
                 .as_mut()
-                .expect("ring only maps live shards")
+                .expect("live shards have clients")
                 .stats();
             match polled {
                 Ok(stats) => out.push(Some(stats)),
@@ -674,6 +1255,30 @@ mod tests {
     }
 
     #[test]
+    fn excluding_owner_matches_removal_without_mutating() {
+        let mut ring = HashRing::new(64);
+        for s in 0..3 {
+            ring.add(s);
+        }
+        // The hedge target for a key is exactly where the key would go
+        // if its owner were removed.
+        for k in 0..200u64 {
+            let owner = ring.shard_for(k).unwrap();
+            let hedge = ring.shard_for_excluding(k, owner).unwrap();
+            assert_ne!(hedge, owner);
+            let mut without = ring.clone();
+            without.remove(owner);
+            assert_eq!(without.shard_for(k), Some(hedge), "key {k}");
+        }
+        // Excluding a non-owner changes nothing.
+        for k in 0..50u64 {
+            let owner = ring.shard_for(k).unwrap();
+            let other = (0..3).find(|&s| s != owner).unwrap();
+            assert_eq!(ring.shard_for_excluding(k, other), Some(owner));
+        }
+    }
+
+    #[test]
     fn empty_and_single_shard_rings() {
         let mut ring = HashRing::new(8);
         assert!(ring.is_empty());
@@ -683,7 +1288,37 @@ mod tests {
         for k in 0..32 {
             assert_eq!(ring.shard_for(k), Some(5));
         }
+        // The only shard excluded: nowhere to hedge.
+        assert_eq!(ring.shard_for_excluding(7, 5), None);
         ring.remove(5);
         assert_eq!(ring.shard_for(7), None);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_deterministically() {
+        let config = ShardConfig::default();
+        let mut prev = Duration::ZERO;
+        for failures in 1..6 {
+            let d = ShardRouter::backoff_for(&config, 0, failures);
+            // Jitter keeps it within [0.5, 1.0) of the nominal delay.
+            let nominal = config.backoff_base * (1 << (failures - 1));
+            assert!(d >= nominal.mul_f64(0.5), "failure {failures}: {d:?}");
+            assert!(d < nominal, "failure {failures}: {d:?} >= {nominal:?}");
+            assert!(d > prev, "backoff must grow");
+            prev = d;
+        }
+        // Capped however high the failure count climbs.
+        let huge = ShardRouter::backoff_for(&config, 0, 1000);
+        assert!(huge <= config.backoff_cap);
+        // Deterministic per (shard, failures).
+        assert_eq!(
+            ShardRouter::backoff_for(&config, 3, 4),
+            ShardRouter::backoff_for(&config, 3, 4)
+        );
+        // Different shards decorrelate.
+        assert_ne!(
+            ShardRouter::backoff_for(&config, 0, 4),
+            ShardRouter::backoff_for(&config, 1, 4)
+        );
     }
 }

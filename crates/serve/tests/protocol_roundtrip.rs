@@ -7,8 +7,8 @@
 
 use rteaal_sched::Job;
 use rteaal_serve::{
-    ProtocolError, Request, Response, ServeClient, ServeConfig, ServerPool, SocketServer, Verb,
-    WireBinding, WireDesign, WireJob, WireResult, WireStats,
+    designs_digest, ProtocolError, Request, Response, ServeClient, ServeConfig, ServerPool,
+    SocketServer, Verb, WireBinding, WireDesign, WireJob, WirePong, WireResult, WireStats,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +66,7 @@ fn every_verb_round_trips_through_the_envelope() {
         Request::stats(),
         Request::register("sha3", COUNTER_SRC, "done"),
         Request::designs(),
+        Request::ping(),
     ];
     for request in requests {
         let line = serde_json::to_string(&request).expect("serializes");
@@ -115,6 +116,11 @@ fn every_verb_round_trips_through_the_envelope() {
                 default: false,
             },
         ]),
+        Response::pong(WirePong {
+            uptime_ms: 12_345,
+            designs: 2,
+            digest: designs_digest(&["default".to_string(), "sha3".to_string()]),
+        }),
         Response::error("no such job"),
     ];
     for response in responses {
@@ -155,6 +161,23 @@ fn malformed_envelopes_are_refused_at_parse_time() {
         serde_json::from_str::<Response>(r#"{"ok":true,"kind":"result","result":{"id":1}}"#)
             .is_err(),
         "truncated result payloads must not parse"
+    );
+    // Pong payloads are validated field-by-field like every other kind.
+    assert!(
+        serde_json::from_str::<Response>(r#"{"ok":true,"kind":"pong","pong":{}}"#).is_err(),
+        "empty pong payloads must not parse"
+    );
+    assert!(
+        serde_json::from_str::<Response>(r#"{"ok":true,"kind":"pong","pong":{"uptime_ms":1}}"#)
+            .is_err(),
+        "pong missing designs/digest must not parse"
+    );
+    assert!(
+        serde_json::from_str::<Response>(
+            r#"{"ok":true,"kind":"pong","pong":{"uptime_ms":-5,"designs":1,"digest":2}}"#
+        )
+        .is_err(),
+        "negative uptime must not parse"
     );
 }
 
@@ -263,6 +286,32 @@ fn register_and_designs_flow_over_a_live_socket() {
     assert_eq!(stats.designs, 2);
 }
 
+#[test]
+fn ping_reports_uptime_and_a_registry_sensitive_digest() {
+    let addr = spawn_server();
+    let mut client = ServeClient::connect(addr).expect("connects");
+    let first = client.ping().expect("ping answers");
+    assert_eq!(first.designs, 1, "only the default design exists");
+    assert_eq!(
+        first.digest,
+        designs_digest(&["default".to_string()]),
+        "digest covers the registry in order"
+    );
+    // Registering a design changes the digest — the rejoin probe's
+    // cheap way to notice a host with different state.
+    client
+        .register("twin", COUNTER_SRC, "done")
+        .expect("registers");
+    let second = client.ping().expect("ping answers");
+    assert_eq!(second.designs, 2);
+    assert_eq!(
+        second.digest,
+        designs_digest(&["default".to_string(), "twin".to_string()])
+    );
+    assert_ne!(first.digest, second.digest);
+    assert!(second.uptime_ms >= first.uptime_ms, "uptime is monotonic");
+}
+
 /// A fake server for client-side fault coverage: accepts one
 /// connection, reads one request line, then answers with `reply` —
 /// verbatim, no newline added — and closes.
@@ -341,6 +390,7 @@ fn verb_constructors_match_their_wire_names() {
         (Verb::Stats, "stats"),
         (Verb::Register, "register"),
         (Verb::Designs, "designs"),
+        (Verb::Ping, "ping"),
     ] {
         let line = serde_json::to_string(&verb).expect("serializes");
         assert_eq!(line, format!("\"{name}\""));
