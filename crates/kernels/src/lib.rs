@@ -50,7 +50,7 @@ pub mod rolled;
 pub mod state;
 pub mod unrolled;
 
-pub use batch::{BatchKernel, BatchLiState, LanePoker};
+pub use batch::{BatchKernel, BatchLiState, LanePoker, LayerSample};
 pub use config::{KernelConfig, KernelKind, OptLevel, ALL_KERNELS};
 pub use kernel::{CompileReport, Kernel};
 pub use rteaal_dfg::lane_kernel::{BatchEngine, LaneWindow};

@@ -19,6 +19,9 @@
 
 use crate::job::{Job, JobId, JobOutcome, JobQueue, JobResult};
 use rteaal_core::{BatchSimulation, Compiled, Partitioning, UnknownSignal};
+use rteaal_telemetry::{Counter, Gauge, JobStage, MetricsRegistry};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// When freed lanes accept new jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +97,24 @@ struct Running {
     admitted_at: u64,
 }
 
+/// Interned telemetry handles: looked up once at attach time so the
+/// scheduler's hot path pays one relaxed atomic op per update.
+#[derive(Debug)]
+struct SchedTelemetry {
+    registry: Arc<MetricsRegistry>,
+    /// Worker index stamped onto every event this scheduler records.
+    worker: u64,
+    /// `sched.queue_depth.w{worker}` — additive, shared by every design
+    /// this worker serves.
+    queue_depth: Arc<Gauge>,
+    /// `sched.busy_cycles.{design}` — per-design useful work.
+    busy_cycles: Arc<Counter>,
+    admitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    evicted: Arc<Counter>,
+    rejected: Arc<Counter>,
+}
+
 /// A continuously-fed batched simulation of one compiled design.
 ///
 /// Construction parks every lane (zero lanes evaluated); admission
@@ -109,6 +130,12 @@ pub struct Scheduler {
     stats: SchedStats,
     /// Lanes admitted since the last harvest-check (scratch, reused).
     newly_admitted: Vec<usize>,
+    /// Optional metrics/event sink (see [`attach_telemetry`](Self::attach_telemetry)).
+    telemetry: Option<SchedTelemetry>,
+    /// External trace id per queued-or-running job, for event
+    /// attribution across layers (the serve pool keys events by its
+    /// pool-global id; standalone schedulers default to the local id).
+    trace_ids: HashMap<u64, u64>,
 }
 
 impl Scheduler {
@@ -168,7 +195,34 @@ impl Scheduler {
             results: Vec::new(),
             stats: SchedStats::default(),
             newly_admitted: Vec::new(),
+            telemetry: None,
+            trace_ids: HashMap::new(),
         })
+    }
+
+    /// Connects this scheduler to a [`MetricsRegistry`]: lifecycle
+    /// events (queued/admitted/halted) flow into the registry's event
+    /// ring keyed by trace id, the queue-depth gauge
+    /// (`sched.queue_depth.w{worker}`) tracks this worker's backlog, and
+    /// admit/complete/evict/reject counters plus the per-design
+    /// busy-cycle counter (`sched.busy_cycles.{design}`) mirror
+    /// [`SchedStats`] live.
+    pub fn attach_telemetry(
+        &mut self,
+        registry: Arc<MetricsRegistry>,
+        worker: usize,
+        design: &str,
+    ) {
+        self.telemetry = Some(SchedTelemetry {
+            queue_depth: registry.gauge(&format!("sched.queue_depth.w{worker}")),
+            busy_cycles: registry.counter(&format!("sched.busy_cycles.{design}")),
+            admitted: registry.counter("sched.admitted"),
+            completed: registry.counter("sched.completed"),
+            evicted: registry.counter("sched.evicted"),
+            rejected: registry.counter("sched.rejected"),
+            worker: worker as u64,
+            registry,
+        });
     }
 
     /// Selects the admission policy (defaults to
@@ -189,7 +243,35 @@ impl Scheduler {
     /// Enqueues a job; it is admitted the next time a lane frees up
     /// under the active policy.
     pub fn submit(&mut self, job: Job) -> JobId {
-        self.queue.push(job)
+        let id = self.queue.push(job);
+        if let Some(t) = &self.telemetry {
+            // Standalone schedulers trace under the local id; the serve
+            // pool overrides this via `submit_traced`.
+            self.trace_ids.insert(id.0, id.0);
+            t.queue_depth.add(1);
+            t.registry
+                .record_event(id.0, JobStage::Queued, Some(t.worker), None, None);
+        }
+        id
+    }
+
+    /// Enqueues a job under an external trace id (the serve pool's
+    /// global id), so its timeline events join the ones other layers
+    /// record for the same job.
+    pub fn submit_traced(&mut self, job: Job, trace: u64) -> JobId {
+        let id = self.queue.push(job);
+        if let Some(t) = &self.telemetry {
+            self.trace_ids.insert(id.0, trace);
+            t.queue_depth.add(1);
+            t.registry
+                .record_event(trace, JobStage::Queued, Some(t.worker), None, None);
+        }
+        id
+    }
+
+    /// Total jobs ever submitted to this scheduler.
+    pub fn submitted(&self) -> u64 {
+        self.queue.submitted()
     }
 
     /// Lane capacity.
@@ -271,6 +353,7 @@ impl Scheduler {
     /// mid-run submissions — [`submit`](Self::submit) between chunks
     /// feeds lanes exactly like submissions made before the run.
     pub fn run_for(&mut self, cycles: u64) -> u64 {
+        let busy0 = self.stats.busy_lane_cycles;
         let mut stepped = 0;
         loop {
             let admitted = self.admit_free();
@@ -315,7 +398,38 @@ impl Scheduler {
             stepped += 1;
             self.harvest();
         }
+        if let Some(t) = &self.telemetry {
+            t.busy_cycles.add(self.stats.busy_lane_cycles - busy0);
+        }
+        self.debug_assert_accounting();
         stepped
+    }
+
+    /// Ledger identity: every job ever submitted is in exactly one
+    /// place — still queued, occupying a lane, or finished under one of
+    /// the three outcomes. Holds at every quiescent point, not just at
+    /// shutdown; `run_for` checks it after every chunk in debug builds.
+    pub fn accounting_balanced(&self) -> bool {
+        self.queue.submitted() as usize
+            == self.queue.len()
+                + self.running()
+                + self.stats.completed
+                + self.stats.evicted
+                + self.stats.rejected
+    }
+
+    fn debug_assert_accounting(&self) {
+        debug_assert!(
+            self.accounting_balanced(),
+            "sched ledger broken: submitted {} != queued {} + running {} + \
+             completed {} + evicted {} + rejected {}",
+            self.queue.submitted(),
+            self.queue.len(),
+            self.running(),
+            self.stats.completed,
+            self.stats.evicted,
+            self.stats.rejected,
+        );
     }
 
     /// Fills freed lanes from the queue under the active policy,
@@ -358,6 +472,18 @@ impl Scheduler {
             }
             self.stats.admitted += 1;
             admitted += 1;
+            if let Some(t) = &self.telemetry {
+                t.queue_depth.sub(1);
+                t.admitted.inc();
+                let trace = self.trace_ids.get(&id.0).copied().unwrap_or(id.0);
+                t.registry.record_event(
+                    trace,
+                    JobStage::Admitted,
+                    Some(t.worker),
+                    Some(lane as u64),
+                    None,
+                );
+            }
             self.newly_admitted.push(lane);
             self.running[lane] = Some(Running {
                 id,
@@ -372,6 +498,11 @@ impl Scheduler {
     fn reject(&mut self, id: JobId, job: Job, unknown: &str) {
         let now = self.sim.cycle();
         self.stats.rejected += 1;
+        if let Some(t) = &self.telemetry {
+            t.queue_depth.sub(1);
+            t.rejected.inc();
+            self.trace_ids.remove(&id.0);
+        }
         self.results.push(JobResult {
             id,
             name: job.name,
@@ -452,6 +583,21 @@ impl Scheduler {
                 self.stats.evicted += 1;
                 JobOutcome::Evicted
             };
+            if let Some(t) = &self.telemetry {
+                if outcome == JobOutcome::Completed {
+                    t.completed.inc();
+                } else {
+                    t.evicted.inc();
+                }
+                let trace = self.trace_ids.remove(&id.0).unwrap_or(id.0);
+                t.registry.record_event(
+                    trace,
+                    JobStage::Halted,
+                    Some(t.worker),
+                    Some(lane as u64),
+                    None,
+                );
+            }
             self.results.push(JobResult {
                 id,
                 name: job.name,
@@ -891,5 +1037,73 @@ circuit H :
         // take_results drains.
         assert_eq!(sched.take_results().len(), 1);
         assert!(sched.results().is_empty());
+    }
+
+    #[test]
+    fn accounting_closes_at_every_snapshot() {
+        // The ledger identity must hold mid-run — after every chunk, at
+        // every queue depth — not just once the scheduler drains.
+        let c = compiled();
+        let mut sched = Scheduler::new(&c, 2, "done").unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        sched.attach_telemetry(Arc::clone(&registry), 0, "count");
+        for limit in [3u64, 9, 1, 14, 6, 2, 11, 5] {
+            sched.submit(count_job(limit));
+            assert!(sched.accounting_balanced(), "after submit {limit}");
+        }
+        // A poison job in the middle exercises the rejected leg.
+        sched.submit(Job::new("poison", 8).with_input("nope", 1));
+        // A zero-budget job exercises the evicted leg.
+        sched.submit(Job::new("starved", 0).with_input("limit", 200));
+        while sched.has_work() {
+            sched.run_for(1);
+            assert!(
+                sched.accounting_balanced(),
+                "mid-run: submitted {} queued {} running {} stats {:?}",
+                sched.submitted(),
+                sched.pending(),
+                sched.running(),
+                sched.stats(),
+            );
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.evicted, 1);
+        // Telemetry counters mirror SchedStats exactly.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sched.completed"), 8);
+        assert_eq!(snap.counter("sched.rejected"), 1);
+        assert_eq!(snap.counter("sched.evicted"), 1);
+        assert_eq!(snap.counter("sched.admitted"), stats.admitted as u64);
+        assert_eq!(
+            snap.counter("sched.busy_cycles.count"),
+            stats.busy_lane_cycles
+        );
+        assert_eq!(snap.gauge("sched.queue_depth.w0"), 0);
+    }
+
+    #[test]
+    fn timelines_record_queued_admitted_halted_with_lane_attribution() {
+        let c = compiled();
+        let mut sched = Scheduler::new(&c, 2, "done").unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        sched.attach_telemetry(Arc::clone(&registry), 3, "count");
+        // Trace under external ids, as the serve pool does.
+        sched.submit_traced(count_job(5), 100);
+        sched.submit_traced(count_job(2), 101);
+        sched.run(100);
+        for trace in [100u64, 101] {
+            let t = registry.timeline(trace);
+            let stages: Vec<_> = t.iter().map(|e| e.stage).collect();
+            use rteaal_telemetry::JobStage::*;
+            assert_eq!(stages, vec![Queued, Admitted, Halted], "job {trace}");
+            assert!(t.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+            assert!(t.iter().all(|e| e.worker == Some(3)));
+            // Queued has no lane; admitted/halted agree on one.
+            assert_eq!(t[0].lane, None);
+            assert!(t[1].lane.is_some());
+            assert_eq!(t[1].lane, t[2].lane);
+        }
     }
 }

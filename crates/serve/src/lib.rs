@@ -17,8 +17,11 @@
 //!   runtime; jobs route by design name.
 //! - [`protocol`] — the line-delimited-JSON wire format:
 //!   `submit` / `poll` / `result` / `stats` / `register` / `designs` /
-//!   `ping` verbs, and the typed [`ProtocolError`] every client
-//!   exchange can surface.
+//!   `ping` / `metrics` / `timeline` verbs, and the typed
+//!   [`ProtocolError`] every client exchange can surface. The last two
+//!   expose the pool's `rteaal-telemetry` registry: a full counters /
+//!   gauges / histograms snapshot (JSON plus Prometheus text), and one
+//!   job's six-stage lifecycle timeline.
 //! - [`SocketServer`] / [`ServeClient`] — a `std::net::TcpListener`
 //!   front end speaking that protocol, one connection per client, and
 //!   its blocking client.

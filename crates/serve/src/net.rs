@@ -14,6 +14,7 @@ use crate::protocol::{
 };
 use rteaal_core::Compiler;
 use rteaal_kernels::{KernelConfig, KernelKind};
+use rteaal_telemetry::{JobEvent, MetricsSnapshot};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -194,6 +195,17 @@ fn respond(pool: &ServerPool, handles: &mut HashMap<u64, JobHandle>, request: Re
                 designs: designs.len() as u64,
                 digest: designs_digest(&designs),
             })
+        }
+        Verb::Metrics => {
+            let snapshot = pool.metrics().snapshot();
+            let exposition = snapshot.prometheus();
+            Response::metrics(snapshot, exposition)
+        }
+        Verb::Timeline => {
+            let Some(id) = request.id else {
+                return Response::error("timeline needs an `id`");
+            };
+            Response::timeline(id, pool.timeline(id))
         }
     }
 }
@@ -395,5 +407,33 @@ impl ServeClient {
         response
             .pong
             .ok_or(ProtocolError::MissingPayload { kind: "pong" })
+    }
+
+    /// Fetches the server's full metrics snapshot plus its
+    /// Prometheus-style text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn metrics(&mut self) -> Result<(MetricsSnapshot, String), ProtocolError> {
+        let response = self.call(&Request::metrics())?;
+        match (response.metrics, response.exposition) {
+            (Some(snapshot), Some(exposition)) => Ok((snapshot, exposition)),
+            _ => Err(ProtocolError::MissingPayload { kind: "metrics" }),
+        }
+    }
+
+    /// Fetches one job's retained lifecycle events, oldest first. An
+    /// empty vector means the server no longer retains (or never saw)
+    /// events for that id.
+    ///
+    /// # Errors
+    ///
+    /// Transport faults and server-side errors, as [`ProtocolError`].
+    pub fn timeline(&mut self, id: u64) -> Result<Vec<JobEvent>, ProtocolError> {
+        let response = self.call(&Request::timeline(id))?;
+        response
+            .timeline
+            .ok_or(ProtocolError::MissingPayload { kind: "timeline" })
     }
 }

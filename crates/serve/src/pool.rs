@@ -28,6 +28,7 @@
 
 use rteaal_core::{Compiled, PartitionedPlan, Partitioning, UnknownSignal};
 use rteaal_sched::{Job, JobId, JobOutcome, JobResult, SchedStats, Scheduler};
+use rteaal_telemetry::{Gauge, JobStage, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
@@ -110,7 +111,18 @@ struct Shared {
     /// Signalled whenever new results land.
     done: Condvar,
     /// Per-worker scheduler counters, refreshed after every chunk.
+    ///
+    /// This mutex doubles as the pool's *ledger lock*: id assignment +
+    /// load increments (submission) and stats refresh + load decrements
+    /// (publication) each happen inside one critical section on it, so
+    /// any reader holding it sees every job in exactly one ledger state
+    /// — the accounting-closure invariant `stats()` asserts.
     stats: Mutex<Vec<SchedStats>>,
+    /// The pool-wide metrics registry and per-job event ring.
+    telemetry: Arc<MetricsRegistry>,
+    /// Per-worker occupancy gauges (`serve.worker_inflight.w{n}`),
+    /// mirroring `loads` into the registry.
+    occupancy: Vec<Arc<Gauge>>,
 }
 
 /// Aggregate pool statistics (the `stats` verb's payload).
@@ -126,6 +138,12 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Results finished but not yet claimed by a handle.
     pub unclaimed: usize,
+    /// Jobs dispatched to workers but not yet finished.
+    pub in_flight: usize,
+    /// Jobs sitting in worker queues, not yet admitted into lanes.
+    pub queue_depth: usize,
+    /// Milliseconds since the pool was constructed.
+    pub uptime_ms: u64,
     /// All workers' counters merged.
     pub merged: SchedStats,
     /// Each worker's own counters.
@@ -138,6 +156,15 @@ impl ServeStats {
     /// the lane width here is per-worker).
     pub fn utilization(&self) -> f64 {
         self.merged.utilization_of(self.lanes)
+    }
+
+    /// The pool ledger identity: every submitted job is exactly one of
+    /// finished (completed / evicted / rejected) or still in flight.
+    /// Because `stats()` samples every term inside one ledger critical
+    /// section, this closes at *every* snapshot, not just at shutdown.
+    pub fn accounting_balanced(&self) -> bool {
+        self.submitted as usize
+            == self.merged.completed + self.merged.evicted + self.merged.rejected + self.in_flight
     }
 }
 
@@ -198,6 +225,7 @@ impl JobHandle {
         let r = self.shared.results.lock().unwrap().ready.remove(&self.id);
         if r.is_some() {
             self.mark_claimed();
+            self.record_delivered();
         }
         r
     }
@@ -208,10 +236,18 @@ impl JobHandle {
         loop {
             if let Some(r) = table.ready.remove(&self.id) {
                 self.mark_claimed();
+                drop(table);
+                self.record_delivered();
                 return r;
             }
             table = self.shared.done.wait(table).unwrap();
         }
+    }
+
+    fn record_delivered(&self) {
+        self.shared
+            .telemetry
+            .record_event(self.id, JobStage::Delivered, None, None, None);
     }
 
     /// Blocks until *any* of the given handles' jobs finishes and takes
@@ -230,6 +266,8 @@ impl JobHandle {
             for (i, h) in handles.iter().enumerate() {
                 if let Some(r) = table.ready.remove(&h.id) {
                     h.mark_claimed();
+                    drop(table);
+                    h.record_delivered();
                     return Some((i, r));
                 }
             }
@@ -337,6 +375,9 @@ enum WorkerMsg {
         design: String,
         /// The job itself.
         job: Job,
+        /// Registry timestamp at submission, for the dispatch-latency
+        /// histogram (time from front-end submit to worker pickup).
+        submitted_at_us: u64,
     },
     /// Add a design: build a scheduler for it.
     Register {
@@ -392,10 +433,16 @@ impl ServerPool {
         if compiled.plan.signal_slot(halt_signal).is_none() {
             return Err(UnknownSignal(halt_signal.to_string()));
         }
+        let telemetry = Arc::new(MetricsRegistry::new());
+        let occupancy = (0..config.workers)
+            .map(|w| telemetry.gauge(&format!("serve.worker_inflight.w{w}")))
+            .collect();
         let shared = Arc::new(Shared {
             results: Mutex::new(ResultsTable::default()),
             done: Condvar::new(),
             stats: Mutex::new(vec![SchedStats::default(); config.workers]),
+            telemetry,
+            occupancy,
         });
         let loads: Arc<Vec<AtomicUsize>> =
             Arc::new((0..config.workers).map(|_| AtomicUsize::new(0)).collect());
@@ -532,12 +579,22 @@ impl ServerPool {
     /// never fails.
     pub fn submit_named(&self, design: Option<&str>, mut job: Job) -> JobHandle {
         job.budget = job.budget.min(self.config.max_budget);
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let design = design.unwrap_or(DEFAULT_DESIGN);
         let routing = self.routing.lock().unwrap();
         let Some(&(_, partition_parallel)) = routing.designs.iter().find(|(d, _)| d == design)
         else {
+            // Ledger section: the id exists and is already accounted
+            // rejected before any stats() reader can observe it.
+            let id = {
+                let _ledger = self.shared.stats.lock().unwrap();
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                self.unrouted.fetch_add(1, Ordering::Relaxed);
+                id
+            };
             drop(routing);
+            self.shared
+                .telemetry
+                .record_event(id, JobStage::Submitted, None, None, None);
             self.publish_unrouted(id, job.name, format!("unknown design `{design}`"));
             return self.handle(id);
         };
@@ -551,7 +608,20 @@ impl ServerPool {
                 .min_by_key(|&w| self.loads[w].load(Ordering::Acquire))
                 .expect("at least one worker")
         };
-        self.loads[w].fetch_add(1, Ordering::AcqRel);
+        // Ledger section: id assignment and the in-flight increment are
+        // atomic with respect to stats(), so `submitted` and `in_flight`
+        // can never disagree about this job.
+        let id = {
+            let _ledger = self.shared.stats.lock().unwrap();
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.loads[w].fetch_add(1, Ordering::AcqRel);
+            id
+        };
+        self.shared.occupancy[w].add(1);
+        let submitted_at_us = self.shared.telemetry.now_us();
+        self.shared
+            .telemetry
+            .record_event(id, JobStage::Submitted, Some(w as u64), None, None);
         // Sent under the routing lock, after the membership check: the
         // design's `Register` broadcast is already in this worker's
         // queue, so the job can never outrun its scheduler.
@@ -560,6 +630,7 @@ impl ServerPool {
                 id,
                 design: design.to_string(),
                 job,
+                submitted_at_us,
             })
             .expect("workers outlive the pool");
         drop(routing);
@@ -576,9 +647,12 @@ impl ServerPool {
     }
 
     /// Publishes a rejected result for a job that never reached a
-    /// worker (e.g. an unknown design name).
+    /// worker (e.g. an unknown design name). The caller has already
+    /// counted it in `unrouted` inside a ledger section.
     fn publish_unrouted(&self, id: u64, name: String, error: String) {
-        self.unrouted.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .telemetry
+            .record_event(id, JobStage::Published, None, None, None);
         let mut table = self.shared.results.lock().unwrap();
         table.ready.insert(
             id,
@@ -608,9 +682,33 @@ impl ServerPool {
         self.loads.iter().map(|l| l.load(Ordering::Acquire)).sum()
     }
 
+    /// The pool's metrics registry: counters, gauges, latency
+    /// histograms, and the per-job event ring every layer records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.shared.telemetry
+    }
+
+    /// One job's retained event timeline (the `timeline` verb payload).
+    pub fn timeline(&self, id: u64) -> Vec<rteaal_telemetry::JobEvent> {
+        self.shared.telemetry.timeline(id)
+    }
+
     /// A snapshot of the pool's counters.
+    ///
+    /// Every term of the ledger identity (`submitted`, `in_flight`, the
+    /// finished counters) is sampled inside one critical section on the
+    /// ledger lock, so [`ServeStats::accounting_balanced`] holds for
+    /// every snapshot — debug builds assert it here.
     pub fn stats(&self) -> ServeStats {
-        let per_worker = self.shared.stats.lock().unwrap().clone();
+        // Lock order is routing → stats everywhere (submission takes
+        // routing first), so read the registry size before the ledger.
+        let designs = self.routing.lock().unwrap().designs.len();
+        let ledger = self.shared.stats.lock().unwrap();
+        let per_worker = ledger.clone();
+        let submitted = self.submitted();
+        let in_flight: usize = self.loads.iter().map(|l| l.load(Ordering::Acquire)).sum();
+        let unrouted = self.unrouted.load(Ordering::Relaxed) as usize;
+        drop(ledger);
         let mut merged = SchedStats::default();
         for s in &per_worker {
             merged.merge(s);
@@ -618,16 +716,39 @@ impl ServerPool {
         // Pool-side rejections (unknown design) never touch a worker's
         // scheduler; fold them in so the finished counters account for
         // every submission.
-        merged.rejected += self.unrouted.load(Ordering::Relaxed) as usize;
-        ServeStats {
+        merged.rejected += unrouted;
+        let queue_depth = (0..self.config.workers)
+            .map(|w| {
+                self.shared
+                    .telemetry
+                    .gauge(&format!("sched.queue_depth.w{w}"))
+                    .get()
+                    .max(0) as usize
+            })
+            .sum();
+        let stats = ServeStats {
             workers: self.config.workers,
             lanes: self.config.lanes,
-            designs: self.routing.lock().unwrap().designs.len(),
-            submitted: self.submitted(),
+            designs,
+            submitted,
             unclaimed: self.shared.results.lock().unwrap().ready.len(),
+            in_flight,
+            queue_depth,
+            uptime_ms: self.uptime().as_millis() as u64,
             merged,
             per_worker,
-        }
+        };
+        debug_assert!(
+            stats.accounting_balanced(),
+            "pool ledger broken: submitted {} != completed {} + evicted {} + \
+             rejected {} + in_flight {}",
+            stats.submitted,
+            stats.merged.completed,
+            stats.merged.evicted,
+            stats.merged.rejected,
+            stats.in_flight,
+        );
+        stats
     }
 
     /// Stops accepting submissions, lets every worker drain its
@@ -699,13 +820,21 @@ fn worker_loop(
     loads: &[AtomicUsize],
     w: usize,
 ) {
+    let attach = |sched: &mut Scheduler, design: &str| {
+        sched.attach_telemetry(Arc::clone(&shared.telemetry), w, design);
+    };
     // A Vec, not a map: designs stay in registration order (determinism
     // for the multiplexed drive below) and the registry is small.
     let mut designs: Vec<DesignRun> = vec![DesignRun {
         name: DEFAULT_DESIGN.to_string(),
-        sched: build_scheduler(compiled, halt, config, w, default_parallel),
+        sched: {
+            let mut sched = build_scheduler(compiled, halt, config, w, default_parallel);
+            attach(&mut sched, DEFAULT_DESIGN);
+            sched
+        },
         global: HashMap::new(),
     }];
+    let dispatch_latency = shared.telemetry.histogram("serve.dispatch_latency_us");
     let apply = |designs: &mut Vec<DesignRun>, msg: WorkerMsg| match msg {
         WorkerMsg::Register {
             design,
@@ -713,18 +842,29 @@ fn worker_loop(
             halt,
             partition_parallel,
         } => {
+            let mut sched = build_scheduler(&compiled, &halt, config, w, partition_parallel);
+            attach(&mut sched, &design);
             designs.push(DesignRun {
                 name: design,
-                sched: build_scheduler(&compiled, &halt, config, w, partition_parallel),
+                sched,
                 global: HashMap::new(),
             });
         }
-        WorkerMsg::Job { id, design, job } => {
+        WorkerMsg::Job {
+            id,
+            design,
+            job,
+            submitted_at_us,
+        } => {
+            dispatch_latency.record(shared.telemetry.now_us().saturating_sub(submitted_at_us));
             let run = designs
                 .iter_mut()
                 .find(|d| d.name == design)
                 .expect("registration broadcast precedes any job naming it");
-            let local = run.sched.submit(job);
+            // Trace under the pool-global id: the scheduler's queued /
+            // admitted / halted events join the pool's submitted /
+            // published / delivered ones on one timeline.
+            let local = run.sched.submit_traced(job, id);
             run.global.insert(local, id);
         }
     };
@@ -773,9 +913,25 @@ fn publish(designs: &mut [DesignRun], shared: &Shared, loads: &[AtomicUsize], w:
             harvested.push((id, r));
         }
     }
-    shared.stats.lock().unwrap()[w] = merged;
+    // Ledger section: the refreshed finished counters and the in-flight
+    // decrements land atomically with respect to stats() readers, so a
+    // finishing job is never double-counted or dropped mid-snapshot.
+    {
+        let mut ledger = shared.stats.lock().unwrap();
+        ledger[w] = merged;
+        for _ in 0..harvested.len() {
+            loads[w].fetch_sub(1, Ordering::AcqRel);
+        }
+    }
     if harvested.is_empty() {
         return;
+    }
+    shared.occupancy[w].sub(harvested.len() as i64);
+    for (id, r) in &harvested {
+        let lane = (r.lane != usize::MAX).then_some(r.lane as u64);
+        shared
+            .telemetry
+            .record_event(*id, JobStage::Published, Some(w as u64), lane, None);
     }
     let mut table = shared.results.lock().unwrap();
     for (id, mut r) in harvested {
@@ -785,7 +941,6 @@ fn publish(designs: &mut [DesignRun], shared: &Shared, loads: &[AtomicUsize], w:
             r.id = JobId(id);
             table.ready.insert(id, r);
         }
-        loads[w].fetch_sub(1, Ordering::AcqRel);
     }
     drop(table);
     shared.done.notify_all();
@@ -1051,6 +1206,104 @@ circuit D :
         let r = h.wait();
         assert_eq!(r.outcome, JobOutcome::Evicted);
         assert_eq!(r.cycles, 6);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn accounting_closes_at_every_snapshot_under_concurrent_polling() {
+        // Hammer stats() from another thread while jobs flow: every
+        // snapshot must satisfy the ledger identity (stats() itself
+        // debug-asserts it; this test also checks from outside).
+        let c = compiled();
+        let mut cfg = ServeConfig::with_workers(2);
+        cfg.lanes = 2;
+        cfg.chunk_cycles = 4;
+        let pool = Arc::new(ServerPool::new(&c, cfg, "done").unwrap());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let poller = {
+            let (pool, stop) = (Arc::clone(&pool), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                let mut snapshots = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = pool.stats();
+                    assert!(
+                        s.accounting_balanced(),
+                        "submitted {} != {} + {} + {} + in_flight {}",
+                        s.submitted,
+                        s.merged.completed,
+                        s.merged.evicted,
+                        s.merged.rejected,
+                        s.in_flight
+                    );
+                    snapshots += 1;
+                }
+                snapshots
+            })
+        };
+        let handles: Vec<JobHandle> = (0..40)
+            .map(|i| {
+                if i % 10 == 9 {
+                    // Unknown designs exercise the unrouted leg.
+                    pool.submit_named(Some("ghost"), count_job(3))
+                } else {
+                    pool.submit(count_job(2 + (i * 7) % 23))
+                }
+            })
+            .collect();
+        for h in &handles {
+            h.wait();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snapshots = poller.join().unwrap();
+        assert!(snapshots > 0, "the poller actually observed snapshots");
+        let final_stats = pool.stats();
+        assert!(final_stats.accounting_balanced());
+        assert_eq!(final_stats.submitted, 40);
+        assert_eq!(final_stats.merged.rejected, 4);
+    }
+
+    #[test]
+    fn timelines_and_metrics_cover_the_whole_job_lifecycle() {
+        let c = compiled();
+        let mut cfg = ServeConfig::with_workers(2);
+        cfg.lanes = 2;
+        cfg.chunk_cycles = 8;
+        let pool = ServerPool::new(&c, cfg, "done").unwrap();
+        let handles: Vec<JobHandle> = (1u64..=6).map(|k| pool.submit(count_job(k))).collect();
+        for h in &handles {
+            assert!(h.wait().completed());
+        }
+        // Every job's timeline has all six stages, in order, with
+        // non-decreasing timestamps and consistent attribution.
+        use rteaal_telemetry::ALL_STAGES;
+        for h in &handles {
+            let t = pool.timeline(h.id());
+            let stages: Vec<_> = t.iter().map(|e| e.stage).collect();
+            assert_eq!(stages, ALL_STAGES.to_vec(), "job {}", h.id());
+            assert!(t.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+            let worker = t[0].worker.expect("submit records the worker");
+            // Queued/admitted/halted/published all happened on the
+            // worker submit dispatched to.
+            assert!(t[1..5].iter().all(|e| e.worker == Some(worker)));
+            // Admitted, halted, and published agree on the lane.
+            assert!(t[2].lane.is_some());
+            assert_eq!(t[2].lane, t[3].lane);
+            assert_eq!(t[3].lane, t[4].lane);
+        }
+        let snap = pool.metrics().snapshot();
+        assert_eq!(snap.counter("sched.completed"), 6);
+        assert_eq!(snap.counter("sched.admitted"), 6);
+        assert_eq!(
+            snap.counter("sched.busy_cycles.default"),
+            pool.stats().merged.busy_lane_cycles
+        );
+        let dispatch = snap.histogram("serve.dispatch_latency_us").unwrap();
+        assert_eq!(dispatch.hist.count, 6);
+        // Quiescent: occupancy gauges and queue depths are back to zero.
+        assert_eq!(snap.gauge("serve.worker_inflight.w0"), 0);
+        assert_eq!(snap.gauge("serve.worker_inflight.w1"), 0);
+        assert_eq!(pool.stats().queue_depth, 0);
+        assert_eq!(pool.stats().in_flight, 0);
         pool.shutdown();
     }
 }

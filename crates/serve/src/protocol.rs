@@ -1,7 +1,7 @@
 //! The line-delimited-JSON wire protocol of the socket front end.
 //!
 //! One request per line, one response per line, one connection per
-//! client. Seven verbs:
+//! client. Nine verbs:
 //!
 //! | verb       | request fields | response |
 //! |------------|----------------|----------|
@@ -12,6 +12,8 @@
 //! | `register` | `design`, `source`, `halt` | compiles the FIRRTL `source` server-side and adds it to the design registry |
 //! | `designs`  | —              | `kind:"designs"` listing every registered design |
 //! | `ping`     | —              | `kind:"pong"` with server uptime and a digest of the design registry — the health probe |
+//! | `metrics`  | —              | `kind:"metrics"`: the full registry snapshot (counters, gauges, histograms) plus a Prometheus-style text exposition |
+//! | `timeline` | `id`           | `kind:"timeline"`: one job's retained lifecycle events (submitted → ... → delivered) |
 //!
 //! A submitted job may name the design it runs on (`"job":{...,
 //! "design":"sha3"}`); with no `design` field it runs on the server's
@@ -32,6 +34,7 @@
 //! structs use the derive.
 
 use rteaal_sched::{Job, JobOutcome, JobResult};
+use rteaal_telemetry::{JobEvent, MetricsSnapshot};
 use serde::{Content, Deserialize, Serialize};
 
 use crate::pool::ServeStats;
@@ -53,6 +56,10 @@ pub enum Verb {
     Designs,
     /// Liveness probe: uptime plus a digest of the design registry.
     Ping,
+    /// Full metrics-registry snapshot plus Prometheus text exposition.
+    Metrics,
+    /// One job's retained lifecycle event timeline.
+    Timeline,
 }
 
 impl Verb {
@@ -65,6 +72,8 @@ impl Verb {
             Verb::Register => "register",
             Verb::Designs => "designs",
             Verb::Ping => "ping",
+            Verb::Metrics => "metrics",
+            Verb::Timeline => "timeline",
         }
     }
 }
@@ -86,6 +95,8 @@ impl Deserialize for Verb {
                 "register" => Ok(Verb::Register),
                 "designs" => Ok(Verb::Designs),
                 "ping" => Ok(Verb::Ping),
+                "metrics" => Ok(Verb::Metrics),
+                "timeline" => Ok(Verb::Timeline),
                 other => Err(serde::Error(format!("unknown verb `{other}`"))),
             },
             other => Err(serde::Error::expected("verb string", other)),
@@ -284,6 +295,10 @@ pub struct WireStats {
     pub rejected: u64,
     /// Occupied-lane cycles over total lane cycles.
     pub utilization: f64,
+    /// Milliseconds since the server's pool was constructed.
+    pub uptime_ms: u64,
+    /// Jobs sitting in scheduler queues, not yet admitted to a lane.
+    pub queue_depth: u64,
 }
 
 impl From<&ServeStats> for WireStats {
@@ -300,6 +315,8 @@ impl From<&ServeStats> for WireStats {
             evicted: s.merged.evicted as u64,
             rejected: s.merged.rejected as u64,
             utilization: s.utilization(),
+            uptime_ms: s.uptime_ms,
+            queue_depth: s.queue_depth as u64,
         }
     }
 }
@@ -419,6 +436,19 @@ impl Request {
     pub fn ping() -> Self {
         Self::base(Verb::Ping)
     }
+
+    /// A `metrics` request.
+    pub fn metrics() -> Self {
+        Self::base(Verb::Metrics)
+    }
+
+    /// A `timeline` request for one job's lifecycle events.
+    pub fn timeline(id: u64) -> Self {
+        Request {
+            id: Some(id),
+            ..Self::base(Verb::Timeline)
+        }
+    }
 }
 
 /// Appends `(key, value)` if the value is present.
@@ -473,7 +503,7 @@ pub struct Response {
     /// `false` only for `kind:"error"`.
     pub ok: bool,
     /// `submitted`, `pending`, `result`, `stats`, `registered`,
-    /// `designs`, `pong`, or `error`.
+    /// `designs`, `pong`, `metrics`, `timeline`, or `error`.
     pub kind: String,
     /// The id the response refers to (submit/poll/result kinds).
     pub id: Option<u64>,
@@ -487,6 +517,13 @@ pub struct Response {
     pub design: Option<String>,
     /// The registry listing (`kind:"designs"`).
     pub designs: Option<Vec<WireDesign>>,
+    /// The full metrics-registry snapshot (`kind:"metrics"`).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Prometheus-style text exposition of the same snapshot
+    /// (`kind:"metrics"`).
+    pub exposition: Option<String>,
+    /// One job's lifecycle events, oldest first (`kind:"timeline"`).
+    pub timeline: Option<Vec<JobEvent>>,
     /// What went wrong (`kind:"error"`).
     pub error: Option<String>,
 }
@@ -502,6 +539,9 @@ impl Response {
             pong: None,
             design: None,
             designs: None,
+            metrics: None,
+            exposition: None,
+            timeline: None,
             error: None,
         }
     }
@@ -563,6 +603,24 @@ impl Response {
         }
     }
 
+    /// Delivers a metrics snapshot plus its Prometheus rendering.
+    pub fn metrics(snapshot: MetricsSnapshot, exposition: impl Into<String>) -> Self {
+        Response {
+            metrics: Some(snapshot),
+            exposition: Some(exposition.into()),
+            ..Self::base(true, "metrics")
+        }
+    }
+
+    /// Delivers one job's retained lifecycle events.
+    pub fn timeline(id: u64, events: Vec<JobEvent>) -> Self {
+        Response {
+            id: Some(id),
+            timeline: Some(events),
+            ..Self::base(true, "timeline")
+        }
+    }
+
     /// Reports a per-request failure (the connection stays usable).
     pub fn error(message: impl Into<String>) -> Self {
         Response {
@@ -584,6 +642,9 @@ impl Serialize for Response {
         push_opt(&mut entries, "pong", &self.pong);
         push_opt(&mut entries, "design", &self.design);
         push_opt(&mut entries, "designs", &self.designs);
+        push_opt(&mut entries, "metrics", &self.metrics);
+        push_opt(&mut entries, "exposition", &self.exposition);
+        push_opt(&mut entries, "timeline", &self.timeline);
         push_opt(&mut entries, "error", &self.error);
         Content::Map(entries)
     }
@@ -605,6 +666,9 @@ impl Deserialize for Response {
             pong: opt_field(content, "pong")?,
             design: opt_field(content, "design")?,
             designs: opt_field(content, "designs")?,
+            metrics: opt_field(content, "metrics")?,
+            exposition: opt_field(content, "exposition")?,
+            timeline: opt_field(content, "timeline")?,
             error: opt_field(content, "error")?,
         })
     }
@@ -732,6 +796,8 @@ mod tests {
             Request::register("sha3", "circuit S :\n  ...", "done"),
             Request::designs(),
             Request::ping(),
+            Request::metrics(),
+            Request::timeline(12),
         ] {
             let line = serde_json::to_string(&req).unwrap();
             let back: Request = serde_json::from_str(&line).unwrap();
@@ -787,6 +853,36 @@ mod tests {
                 designs: 2,
                 digest: designs_digest(&["default".to_string(), "sha3".to_string()]),
             }),
+            {
+                let reg = rteaal_telemetry::MetricsRegistry::new();
+                reg.counter("sched.admitted").add(3);
+                reg.gauge("sched.queue_depth.w0").set(2);
+                reg.histogram("serve.dispatch_latency_us").record(17);
+                let snap = reg.snapshot();
+                let text = snap.prometheus();
+                Response::metrics(snap, text)
+            },
+            Response::timeline(
+                9,
+                vec![
+                    JobEvent {
+                        job: 9,
+                        stage: rteaal_telemetry::JobStage::Submitted,
+                        at_us: 10,
+                        worker: Some(0),
+                        lane: None,
+                        shard: None,
+                    },
+                    JobEvent {
+                        job: 9,
+                        stage: rteaal_telemetry::JobStage::Delivered,
+                        at_us: 80,
+                        worker: None,
+                        lane: None,
+                        shard: Some(1),
+                    },
+                ],
+            ),
             Response::error("unknown id"),
         ] {
             let line = serde_json::to_string(&resp).unwrap();

@@ -48,8 +48,10 @@
 use crate::net::ServeClient;
 use crate::protocol::{ProtocolError, WireResult, WireStats};
 use rteaal_sched::Job;
+use rteaal_telemetry::{Counter, JobStage, MetricsRegistry};
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Finalizes `splitmix64`: a deterministic, well-mixed 64-bit hash.
@@ -475,13 +477,58 @@ pub struct ShardRouter {
     latencies: Vec<Duration>,
     latency_cursor: usize,
     next_id: u64,
-    delivered: u64,
-    resubmitted: u64,
-    shard_deaths: u64,
-    rejoins: u64,
-    hedges: u64,
-    hedges_won: u64,
-    hedges_lost: u64,
+    telemetry: RouterTelemetry,
+}
+
+/// The router's slice of the metrics registry: every fleet-level
+/// counter lives in the registry (so [`FleetStats`] and
+/// [`RouterStats`] are *views* over it, and the `tables` experiments
+/// read one coherent snapshot), with the hot-path handles interned
+/// once here.
+#[derive(Debug)]
+struct RouterTelemetry {
+    registry: Arc<MetricsRegistry>,
+    /// Jobs accepted by `submit` / `submit_on`.
+    submitted: Arc<Counter>,
+    /// Results delivered through the merged stream.
+    delivered: Arc<Counter>,
+    /// Jobs abandoned (placement budget exhausted, or a protocol
+    /// violation on submit) — the third leg of the accounting identity
+    /// `submitted == delivered + pending + lost`.
+    lost: Arc<Counter>,
+    /// Placements repeated after a shard's connection was lost.
+    resubmitted: Arc<Counter>,
+    /// Breaker closed→open edges (shard left the ring).
+    shard_deaths: Arc<Counter>,
+    /// Breaker open→closed edges (probe answered; registry replayed).
+    rejoins: Arc<Counter>,
+    /// Half-open probe attempts, answered or not.
+    probes: Arc<Counter>,
+    /// Hedge copies submitted.
+    hedges: Arc<Counter>,
+    /// Races the hedge copy won (including promoted hedges).
+    hedges_won: Arc<Counter>,
+    /// Hedge copies that lost to their primary and were discarded.
+    hedges_lost: Arc<Counter>,
+}
+
+impl RouterTelemetry {
+    fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        RouterTelemetry {
+            submitted: registry.counter("router.submitted"),
+            delivered: registry.counter("router.delivered"),
+            lost: registry.counter("router.jobs_lost"),
+            resubmitted: registry.counter("router.resubmitted"),
+            shard_deaths: registry.counter("router.shard_deaths"),
+            rejoins: registry.counter("router.rejoins"),
+            probes: registry.counter("router.probe_attempts"),
+            hedges: registry.counter("router.hedges"),
+            hedges_won: registry.counter("router.hedges_won"),
+            hedges_lost: registry.counter("router.hedges_lost"),
+            registry,
+        }
+    }
 }
 
 impl ShardRouter {
@@ -526,14 +573,25 @@ impl ShardRouter {
             latencies: Vec::new(),
             latency_cursor: 0,
             next_id: 0,
-            delivered: 0,
-            resubmitted: 0,
-            shard_deaths: 0,
-            rejoins: 0,
-            hedges: 0,
-            hedges_won: 0,
-            hedges_lost: 0,
+            telemetry: RouterTelemetry::new(),
         })
+    }
+
+    /// The router's metrics registry: fleet counters, the delivery
+    /// latency histogram, and router-side job events (submitted /
+    /// delivered, with shard attribution).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry.registry
+    }
+
+    /// The accounting identity every snapshot must satisfy: each
+    /// accepted job is delivered, still pending, or counted lost —
+    /// never silently dropped.
+    pub fn accounting_balanced(&self) -> bool {
+        self.next_id
+            == self.telemetry.delivered.get()
+                + self.pending.len() as u64
+                + self.telemetry.lost.get()
     }
 
     /// Connects to one shard with the router's read deadline applied.
@@ -583,6 +641,10 @@ impl ShardRouter {
     pub fn submit_on(&mut self, design: Option<&str>, job: Job) -> Result<u64, RouterError> {
         let id = self.next_id;
         self.next_id += 1;
+        self.telemetry.submitted.inc();
+        self.telemetry
+            .registry
+            .record_event(id, JobStage::Submitted, None, None, None);
         self.pending.insert(
             id,
             PendingJob {
@@ -675,6 +737,7 @@ impl ShardRouter {
                 };
                 if attempts > self.config.max_attempts {
                     self.pending.remove(&id);
+                    self.telemetry.lost.inc();
                     first_failure.get_or_insert(RouterError::JobLost { id, attempts });
                     break;
                 }
@@ -714,6 +777,7 @@ impl ShardRouter {
                     }
                     Err(error) => {
                         self.pending.remove(&id);
+                        self.telemetry.lost.inc();
                         first_failure.get_or_insert(RouterError::Shard { shard, error });
                         break;
                     }
@@ -759,7 +823,7 @@ impl ShardRouter {
             // One down episode = one death, counted at the moment the
             // shard leaves the ring (probe failures while it stays out
             // are the same episode).
-            self.shard_deaths += 1;
+            self.telemetry.shard_deaths.inc();
             let retry_at = Instant::now() + Self::backoff_for(&self.config, shard, failures);
             let st = &mut self.shards[shard];
             st.retry_at = Some(retry_at);
@@ -786,7 +850,7 @@ impl ShardRouter {
                         p.shard = usize::MAX;
                         p.remote_id = 0;
                         orphans.push(id);
-                        self.resubmitted += 1;
+                        self.telemetry.resubmitted.inc();
                     }
                 }
             } else if p.hedge.is_some_and(|(h, _)| h == shard) {
@@ -812,6 +876,7 @@ impl ShardRouter {
                 continue;
             }
             let addr = self.shards[shard].addr;
+            self.telemetry.probes.inc();
             let probe = Self::open(addr, self.config.read_timeout).and_then(|mut client| {
                 client.ping()?;
                 for (design, source, halt) in &self.registry {
@@ -833,7 +898,7 @@ impl ShardRouter {
                     st.dead = false;
                     st.retry_at = None;
                     st.rejoins += 1;
-                    self.rejoins += 1;
+                    self.telemetry.rejoins.inc();
                     self.ring.add(shard);
                 }
                 Err(_) => {
@@ -914,7 +979,7 @@ impl ShardRouter {
                     if let Some(p) = self.pending.get_mut(&id) {
                         p.hedge = Some((target, remote_id));
                     }
-                    self.hedges += 1;
+                    self.telemetry.hedges.inc();
                 }
                 Err(error) if error.is_fatal() => {
                     let orphans = self.shard_failed(target);
@@ -937,23 +1002,30 @@ impl ShardRouter {
             st.delivered += 1;
             st.failures = 0;
         }
-        self.delivered += 1;
+        self.telemetry.delivered.inc();
+        self.telemetry.registry.record_event(
+            id,
+            JobStage::Delivered,
+            None,
+            None,
+            Some(shard as u64),
+        );
         if p.shard == shard {
             if let Some((h, rid)) = p.hedge {
                 // Primary won the race: the hedge copy becomes a zombie
                 // claim, drained and discarded on its own connection.
-                self.hedges_lost += 1;
+                self.telemetry.hedges_lost.inc();
                 let hs = &mut self.shards[h];
                 hs.inflight.retain(|&i| i != id);
                 if hs.live() {
                     hs.zombies.push(rid);
                 }
             } else if p.promoted {
-                self.hedges_won += 1;
+                self.telemetry.hedges_won.inc();
             }
         } else {
             // The hedge copy won: retire the primary's claim.
-            self.hedges_won += 1;
+            self.telemetry.hedges_won.inc();
             let ps = &mut self.shards[p.shard];
             ps.inflight.retain(|&i| i != id);
             if ps.live() {
@@ -961,6 +1033,10 @@ impl ShardRouter {
             }
         }
         let latency = p.submitted_at.elapsed();
+        self.telemetry
+            .registry
+            .histogram("router.delivery_latency_us")
+            .record(latency.as_micros() as u64);
         if self.latencies.len() < LATENCY_WINDOW {
             self.latencies.push(latency);
         } else {
@@ -1112,13 +1188,22 @@ impl ShardRouter {
         self.ring.len()
     }
 
-    /// A snapshot of the router's counters.
+    /// A snapshot of the router's counters — a view over the metrics
+    /// registry.
     pub fn stats(&self) -> RouterStats {
+        debug_assert!(
+            self.accounting_balanced(),
+            "router accounting leak: submitted {} != delivered {} + pending {} + lost {}",
+            self.next_id,
+            self.telemetry.delivered.get(),
+            self.pending.len(),
+            self.telemetry.lost.get(),
+        );
         RouterStats {
             submitted: self.next_id,
-            delivered: self.delivered,
-            resubmitted: self.resubmitted,
-            shard_deaths: self.shard_deaths,
+            delivered: self.telemetry.delivered.get(),
+            resubmitted: self.telemetry.resubmitted.get(),
+            shard_deaths: self.telemetry.shard_deaths.get(),
             per_shard: self
                 .shards
                 .iter()
@@ -1137,15 +1222,16 @@ impl ShardRouter {
     /// hedging ledger, on top of everything [`stats`](Self::stats)
     /// counts.
     pub fn fleet_stats(&self) -> FleetStats {
+        debug_assert!(self.accounting_balanced(), "router accounting leak");
         FleetStats {
             submitted: self.next_id,
-            delivered: self.delivered,
-            resubmitted: self.resubmitted,
-            shard_deaths: self.shard_deaths,
-            rejoins: self.rejoins,
-            hedges: self.hedges,
-            hedges_won: self.hedges_won,
-            hedges_lost: self.hedges_lost,
+            delivered: self.telemetry.delivered.get(),
+            resubmitted: self.telemetry.resubmitted.get(),
+            shard_deaths: self.telemetry.shard_deaths.get(),
+            rejoins: self.telemetry.rejoins.get(),
+            hedges: self.telemetry.hedges.get(),
+            hedges_won: self.telemetry.hedges_won.get(),
+            hedges_lost: self.telemetry.hedges_lost.get(),
             per_shard: self
                 .shards
                 .iter()

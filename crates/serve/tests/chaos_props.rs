@@ -126,9 +126,16 @@ proptest! {
         let mut results = Vec::new();
         for _ in 0..jobs / 3 {
             results.push(router.next_result().expect("stream survives chaos"));
+            // The accounting identity must close at *every* snapshot,
+            // not just at shutdown — mid-chaos included.
+            prop_assert!(
+                router.accounting_balanced(),
+                "router accounting leaked mid-drain"
+            );
         }
         doomed.kill();
         results.extend(router.drain().expect("drain survives chaos"));
+        prop_assert!(router.accounting_balanced());
 
         // Exactly once: every submitted id appears exactly one time.
         prop_assert_eq!(results.len(), jobs);
@@ -171,6 +178,42 @@ proptest! {
             stats.per_shard.iter().any(|s| !s.alive),
             "{:?}", stats.per_shard
         );
+
+        // The stats structs are views over the metrics registry: the
+        // registry snapshot must agree counter for counter.
+        let snap = router.metrics().snapshot();
+        let fleet = router.fleet_stats();
+        prop_assert_eq!(snap.counter("router.submitted"), fleet.submitted);
+        prop_assert_eq!(snap.counter("router.delivered"), fleet.delivered);
+        prop_assert_eq!(snap.counter("router.resubmitted"), fleet.resubmitted);
+        prop_assert_eq!(snap.counter("router.shard_deaths"), fleet.shard_deaths);
+        prop_assert_eq!(snap.counter("router.rejoins"), fleet.rejoins);
+        prop_assert_eq!(snap.counter("router.hedges"), fleet.hedges);
+        prop_assert_eq!(
+            snap.histogram("router.delivery_latency_us")
+                .map_or(0, |h| h.hist.count),
+            fleet.delivered,
+            "every delivery was timed"
+        );
+        // Router-side timelines: each delivered job has a Submitted and
+        // a Delivered breadcrumb (the ring retains this corpus whole).
+        for routed in &results {
+            let timeline = router.metrics().timeline(routed.id);
+            let stages: Vec<_> = timeline.iter().map(|e| e.stage).collect();
+            prop_assert_eq!(
+                stages,
+                vec![
+                    rteaal_telemetry::JobStage::Submitted,
+                    rteaal_telemetry::JobStage::Delivered
+                ],
+                "job {}", routed.id
+            );
+            prop_assert_eq!(
+                timeline[1].shard,
+                Some(routed.shard as u64),
+                "delivery attributes its shard"
+            );
+        }
     }
 }
 

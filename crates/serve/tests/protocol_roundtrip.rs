@@ -67,6 +67,8 @@ fn every_verb_round_trips_through_the_envelope() {
         Request::register("sha3", COUNTER_SRC, "done"),
         Request::designs(),
         Request::ping(),
+        Request::metrics(),
+        Request::timeline(7),
     ];
     for request in requests {
         let line = serde_json::to_string(&request).expect("serializes");
@@ -99,6 +101,8 @@ fn every_verb_round_trips_through_the_envelope() {
         evicted: 1,
         rejected: 0,
         utilization: 0.8,
+        uptime_ms: 42,
+        queue_depth: 1,
     };
     let responses = [
         Response::submitted(4),
@@ -312,6 +316,53 @@ fn ping_reports_uptime_and_a_registry_sensitive_digest() {
     assert!(second.uptime_ms >= first.uptime_ms, "uptime is monotonic");
 }
 
+#[test]
+fn metrics_and_timeline_flow_over_a_live_socket() {
+    let addr = spawn_server();
+    let mut client = ServeClient::connect(addr).expect("connects");
+
+    // Run one job end to end so every lifecycle stage gets recorded.
+    let id = client
+        .submit(
+            &Job::new("count-5", 32)
+                .with_input("limit", 5)
+                .with_probe("cnt"),
+        )
+        .expect("submits");
+    let result = client.result(id).expect("finishes");
+    assert!(result.completed());
+
+    let (snapshot, exposition) = client.metrics().expect("metrics verb answers");
+    assert_eq!(snapshot.counter("sched.completed"), 1);
+    assert_eq!(snapshot.counter("sched.admitted"), 1);
+    assert!(
+        snapshot
+            .histogram("serve.dispatch_latency_us")
+            .is_some_and(|h| h.hist.count == 1),
+        "dispatch latency was sampled"
+    );
+    assert!(snapshot.uptime_ms <= client.stats().expect("stats").uptime_ms);
+    // The Prometheus rendering names the same instruments.
+    assert!(exposition.contains("# TYPE sched_completed counter"));
+    assert!(exposition.contains("serve_dispatch_latency_us_bucket"));
+
+    let timeline = client.timeline(id).expect("timeline verb answers");
+    let stages: Vec<_> = timeline.iter().map(|e| e.stage).collect();
+    assert_eq!(
+        stages,
+        rteaal_telemetry::ALL_STAGES.to_vec(),
+        "all six stages present in pipeline order"
+    );
+    assert!(
+        timeline.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+        "timestamps are non-decreasing"
+    );
+
+    // An id the server never saw answers with an empty timeline, not
+    // an error — absence of history is a valid observation.
+    assert!(client.timeline(10_000).expect("answers").is_empty());
+}
+
 /// A fake server for client-side fault coverage: accepts one
 /// connection, reads one request line, then answers with `reply` —
 /// verbatim, no newline added — and closes.
@@ -391,6 +442,8 @@ fn verb_constructors_match_their_wire_names() {
         (Verb::Register, "register"),
         (Verb::Designs, "designs"),
         (Verb::Ping, "ping"),
+        (Verb::Metrics, "metrics"),
+        (Verb::Timeline, "timeline"),
     ] {
         let line = serde_json::to_string(&verb).expect("serializes");
         assert_eq!(line, format!("\"{name}\""));
