@@ -1894,6 +1894,171 @@ pub fn repcut_partitions(ctx: &Ctx) -> Vec<String> {
     out
 }
 
+/// `lint`: the static plan verifier ([`rteaal_dfg::analyze`]) across the
+/// design corpus — graph, plan, kernel tables, and RepCut decompositions
+/// at 2 and 4 partitions must all come back with zero Error-level
+/// diagnostics — plus seeded-violation mutants proving each corruption
+/// class is caught with the right diagnostic kind (the no-false-negative
+/// gate CI runs as "Lint smoke").
+pub fn lint_corpus(ctx: &Ctx) -> Vec<String> {
+    use rteaal_designs::{gemmini, pipeline, sha3};
+    use rteaal_dfg::analyze::{
+        analyze_design, analyze_graph, analyze_partitioned, analyze_plan, DiagKind,
+    };
+    use rteaal_dfg::op::DfgOp;
+    use rteaal_dfg::partition::PartitionedPlan;
+
+    let mut out = header("Plan verifier: corpus lint + seeded-violation mutants");
+    let corpus: Vec<(&str, rteaal_firrtl::Circuit)> = vec![
+        (
+            "rocket-1c",
+            rocket(ChipConfig::new(1).with_scale(ctx.scale)),
+        ),
+        (
+            "boom-1c",
+            small_boom(ChipConfig::new(1).with_scale(ctx.scale)),
+        ),
+        ("sha3", sha3()),
+        ("gemmini-2", gemmini(2)),
+        ("pipeline-3", pipeline(3, 16)),
+    ];
+    out.push(format!(
+        "{:<12} {:>8} {:>8} {:>7} {:>6} {:>10} {:>10} {:>7}",
+        "design", "ops", "slots", "layers", "dead", "nontoggle", "activity", "status"
+    ));
+    let mut all_clean = true;
+    let mut plans = Vec::new();
+    for (name, circuit) in &corpus {
+        let mut report = analyze_graph(&raw_graph_of(circuit));
+        let p = plan_of(circuit);
+        report.merge(analyze_design(&p));
+        for parts in [2usize, 4] {
+            report.merge(analyze_partitioned(&p, &PartitionedPlan::new(&p, parts)));
+        }
+        let clean = report.is_clean();
+        all_clean &= clean;
+        out.push(format!(
+            "{name:<12} {:>8} {:>8} {:>7} {:>6} {:>10} {:>10.0} {:>7}",
+            report.stats.ops,
+            report.stats.slots,
+            report.stats.layers,
+            report.stats.dead_ops,
+            report.stats.never_toggling,
+            report.stats.total_activity,
+            if clean { "clean" } else { "ERROR" },
+        ));
+        if !clean {
+            for d in report.errors().take(5) {
+                out.push(format!("  {d}"));
+            }
+        }
+        plans.push(p);
+    }
+    assert!(all_clean, "corpus lint found Error-level diagnostics");
+
+    // Seeded-violation mutants: each corruption class a buggy pass (or a
+    // hostile plan) could introduce must be caught, with the right kind.
+    out.push(String::new());
+    out.push("seeded mutants (each must be caught):".to_string());
+    let base = &plans[0];
+    let mut caught = 0usize;
+
+    // 1. Shuffled layer order — a later layer's results consumed before
+    //    they exist.
+    let mut shuffled = base.clone();
+    shuffled.layers.reverse();
+    let report = analyze_plan(&shuffled);
+    assert!(
+        report.has(DiagKind::UseBeforeDef),
+        "reversed layers must be use-before-def: {report}"
+    );
+    caught += 1;
+    out.push("  shuffled-layers      -> use-before-def".to_string());
+
+    // 2. Out-of-bounds operand offset — caught in the plan *and* in the
+    //    compiled kernel table (the bound the unsafe kernels rely on).
+    let mut oob = base.clone();
+    let (l, o) = oob
+        .layers
+        .iter()
+        .enumerate()
+        .find_map(|(l, layer)| {
+            layer
+                .iter()
+                .position(|op| !op.ins.is_empty())
+                .map(|o| (l, o))
+        })
+        .expect("corpus plans have ops with operands");
+    oob.layers[l][o].ins[0] = oob.num_slots as u32 + 7;
+    let report = analyze_design(&oob);
+    assert!(
+        report.has(DiagKind::SlotOutOfBounds) && report.has(DiagKind::KernelOutOfBounds),
+        "oob operand must be caught in plan and kernel table: {report}"
+    );
+    caught += 1;
+    out.push("  oob-operand          -> slot-out-of-bounds + kernel-out-of-bounds".to_string());
+
+    // 3. Corrupted RUM ownership — a partition now commits a register it
+    //    does not own.
+    let mut pp = PartitionedPlan::new(base, 2);
+    if let Some(entry) = pp.rum.first_mut() {
+        entry.owner = (entry.owner + 1) % 2;
+    }
+    let report = analyze_partitioned(base, &pp);
+    assert!(
+        report.has(DiagKind::ForeignCommit) || report.has(DiagKind::RumOwnerMismatch),
+        "corrupted rum owner must be caught: {report}"
+    );
+    caught += 1;
+    out.push("  corrupt-rum-owner    -> foreign-commit".to_string());
+
+    // 4. Dropped RUM reader — a cross-partition consumer loses its
+    //    replica updates.
+    let mut pp = PartitionedPlan::new(base, 2);
+    if let Some(entry) = pp.rum.iter_mut().find(|e| !e.readers.is_empty()) {
+        entry.readers.clear();
+        let report = analyze_partitioned(base, &pp);
+        assert!(
+            report.has(DiagKind::MissingRumReader),
+            "dropped rum reader must be caught: {report}"
+        );
+        caught += 1;
+        out.push("  dropped-rum-reader   -> missing-rum-reader".to_string());
+    }
+
+    // 5. Injected combinational cycle — the corruption that used to
+    //    panic deep in levelization, now a named-signal trace.
+    let mut g = Graph::new("cyclic");
+    let x = g.add_source(DfgOp::Input, 8, false, "x".into());
+    g.inputs.push(x);
+    let a = g.add_op(DfgOp::Add, vec![], vec![x, x], 8, false);
+    let b = g.add_op(DfgOp::Not, vec![], vec![a], 8, false);
+    g.set_name(a, "sig_a");
+    g.set_name(b, "sig_b");
+    g.outputs.push(("y".into(), b));
+    g.node_mut(a).operands[0] = b;
+    let report = analyze_graph(&g);
+    let diag = report
+        .diagnostics
+        .iter()
+        .find(|d| d.kind == DiagKind::CombCycle)
+        .expect("injected cycle must be caught");
+    assert!(
+        diag.message.contains("sig_a") && diag.message.contains("sig_b"),
+        "cycle trace names its signals: {}",
+        diag.message
+    );
+    caught += 1;
+    out.push("  injected-comb-cycle  -> comb-cycle (named trace)".to_string());
+
+    out.push(String::new());
+    out.push(format!(
+        "gate: {} designs clean at 1/2/4 partitions; {caught} seeded mutants caught",
+        corpus.len()
+    ));
+    out
+}
+
 /// All experiment ids in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "table1",
@@ -1921,6 +2086,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fleet",
     "telemetry",
     "repcut",
+    "lint",
 ];
 
 /// Dispatches one experiment by id.
@@ -1951,6 +2117,7 @@ pub fn run_experiment(id: &str, ctx: &Ctx) -> Option<Vec<String>> {
         "fleet" => elastic_fleet(ctx),
         "telemetry" => telemetry_stack(ctx),
         "repcut" => repcut_partitions(ctx),
+        "lint" => lint_corpus(ctx),
         _ => return None,
     })
 }

@@ -30,6 +30,7 @@
 use crate::compiler::Compiled;
 use crate::simulation::UnknownSignal;
 use crate::waveform::VcdWriter;
+use rteaal_dfg::analyze::{analyze_partitioned, AnalysisReport};
 use rteaal_dfg::partition::PartitionedPlan;
 use rteaal_dfg::plan::SimPlan;
 use rteaal_kernels::{BatchKernel, BatchLiState, LanePoker};
@@ -166,8 +167,35 @@ impl BatchSimulation {
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    /// Panics if `lanes` is zero, on `Partitioning::Fixed(0)`, or if the
+    /// static verifier rejects the RepCut decomposition (see
+    /// [`try_new_with`](Self::try_new_with) for the non-panicking form).
     pub fn new_with(compiled: &Compiled, lanes: usize, partitioning: Partitioning) -> Self {
+        match Self::try_new_with(compiled, lanes, partitioning) {
+            Ok(sim) => sim,
+            Err(report) => panic!("partitioned plan failed verification: {report}"),
+        }
+    }
+
+    /// Builds a `lanes`-wide simulation with an explicit RepCut
+    /// decomposition, running the static verifier
+    /// ([`rteaal_dfg::analyze`]) over the partitioned schedule first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's [`AnalysisReport`] if the decomposition
+    /// violates a structural invariant (foreign commit, missing RUM
+    /// reader, uncovered op, …) — the engine is never constructed over an
+    /// unverified partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    pub fn try_new_with(
+        compiled: &Compiled,
+        lanes: usize,
+        partitioning: Partitioning,
+    ) -> Result<Self, AnalysisReport> {
         let plan = compiled.plan.clone();
         let parts = match partitioning {
             Partitioning::None => 1,
@@ -179,6 +207,10 @@ impl BatchSimulation {
         };
         let (kernel, state, replication) = if parts > 1 {
             let pp = PartitionedPlan::new(&plan, parts);
+            let report = analyze_partitioned(&plan, &pp);
+            if !report.is_clean() {
+                return Err(report);
+            }
             let kernel = BatchKernel::compile_partitioned(&pp, compiled.kernel.config());
             let state = BatchLiState::new_partitioned(&plan, lanes, &pp);
             (kernel, state, pp.replication_factor())
@@ -197,7 +229,7 @@ impl BatchSimulation {
             .iter()
             .map(|(n, s, w)| (n.clone(), (*s, *w)))
             .collect();
-        BatchSimulation {
+        Ok(BatchSimulation {
             kernel,
             state,
             plan,
@@ -207,7 +239,7 @@ impl BatchSimulation {
             liveness: None,
             vcd: None,
             replication,
-        }
+        })
     }
 
     /// Number of RepCut partitions this simulation executes (1 =

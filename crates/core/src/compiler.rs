@@ -7,6 +7,7 @@
 //! report (code/data footprint, peak memory) comes from
 //! [`rteaal_kernels::Kernel::compile`].
 
+use rteaal_dfg::analyze::{analyze_design, analyze_graph, AnalysisReport};
 use rteaal_dfg::passes::{optimize, PassOptions, PassStats};
 use rteaal_dfg::plan::{plan, PlanStats, SimPlan};
 use rteaal_firrtl::ast::Circuit;
@@ -22,6 +23,10 @@ pub enum CompileError {
     Firrtl(rteaal_firrtl::FirrtlError),
     /// Graph-construction failure (combinational cycle etc.).
     Dfg(rteaal_dfg::DfgError),
+    /// The static plan verifier found Error-level diagnostics — the
+    /// transformed graph or plan violates a structural invariant the
+    /// execution engines assume.
+    Verify(AnalysisReport),
 }
 
 impl std::fmt::Display for CompileError {
@@ -29,6 +34,7 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::Firrtl(e) => write!(f, "firrtl: {e}"),
             CompileError::Dfg(e) => write!(f, "dfg: {e}"),
+            CompileError::Verify(report) => write!(f, "verify: {report}"),
         }
     }
 }
@@ -58,6 +64,8 @@ pub struct StageTimings {
     pub optimize: f64,
     /// Levelization + coordinate assignment + OIM generation.
     pub plan: f64,
+    /// Static plan verification (schedule legality, kernel bounds, …).
+    pub verify: f64,
     /// Kernel generation.
     pub kernel: f64,
 }
@@ -65,7 +73,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Total front-end + kernel time.
     pub fn total(&self) -> f64 {
-        self.lower + self.graph + self.optimize + self.plan + self.kernel
+        self.lower + self.graph + self.optimize + self.plan + self.verify + self.kernel
     }
 }
 
@@ -134,9 +142,26 @@ impl Compiler {
         let (graph, pass_stats) = optimize(&graph, &self.passes);
         t.optimize = t0.elapsed().as_secs_f64();
 
+        // The builder already rejects combinational cycles, but a buggy
+        // pass could reintroduce one and `topo_order` would panic deep in
+        // levelization — verify before planning so corruption surfaces as
+        // a typed diagnostic instead.
         let t0 = Instant::now();
+        let graph_report = analyze_graph(&graph);
+        if !graph_report.is_clean() {
+            return Err(CompileError::Verify(graph_report));
+        }
+
         let sim_plan = plan(&graph);
         t.plan = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let mut analysis = graph_report;
+        analysis.merge(analyze_design(&sim_plan));
+        if !analysis.is_clean() {
+            return Err(CompileError::Verify(analysis));
+        }
+        t.verify = t0.elapsed().as_secs_f64();
 
         let t0 = Instant::now();
         let kernel = Kernel::compile(&sim_plan, self.kernel);
@@ -147,6 +172,7 @@ impl Compiler {
             kernel,
             timings: t,
             pass_stats,
+            analysis,
         })
     }
 }
@@ -163,6 +189,11 @@ pub struct Compiled {
     pub timings: StageTimings,
     /// What the optimizer did.
     pub pass_stats: PassStats,
+    /// The static verifier's report (clean by construction — a compile
+    /// that produced Error-level diagnostics returns
+    /// [`CompileError::Verify`] instead). Carries the dataflow stats
+    /// (activity, dead ops, never-toggling signals) downstream.
+    pub analysis: AnalysisReport,
 }
 
 impl Compiled {

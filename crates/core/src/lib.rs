@@ -52,6 +52,10 @@ pub mod waveform;
 pub use batch::{BatchSimulation, Partitioning};
 pub use clock::{clock_domains, is_single_clock, ClockDomain};
 pub use compiler::{CompileError, Compiled, Compiler, StageTimings};
+pub use rteaal_dfg::analyze::{
+    analyze_design, analyze_graph, analyze_partitioned, analyze_plan, AnalysisReport,
+    AnalysisStats, DiagKind, Diagnostic, Severity,
+};
 pub use rteaal_dfg::partition::PartitionedPlan;
 pub use simulation::{DebugModule, Simulation, UnknownSignal};
 pub use waveform::VcdWriter;

@@ -20,6 +20,19 @@
 //! a proptest sweep in `tests/lane_kernel_props.rs`, and the whole-design
 //! equivalence suite in the workspace `tests/`). The interpreted walk is
 //! retained as the golden model — see [`BatchEngine`].
+//!
+//! ## Unsafe audit
+//!
+//! Every kernel here is an `unsafe fn` over a raw `*mut u64` matrix; the
+//! single safety contract is documented on [`CompiledOp::eval_lanes_ptr`]
+//! and threaded through [`KernelFn`], `run{1,2,3}`, and each generated
+//! body as explicit `// SAFETY:` blocks (`unsafe_op_in_unsafe_fn` is
+//! denied). The bounds side of the contract — every folded slot offset
+//! `< num_slots` — is *proven statically* per design by
+//! [`crate::analyze::analyze_compiled`] and mirrored dynamically by
+//! `debug_assert!`s on the safe entry points.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use crate::op::{canonicalize, eval_raw, DfgOp};
 use crate::plan::{OpInst, SimPlan};
@@ -85,6 +98,10 @@ pub struct KernelArgs {
     /// Variable-arity payload — allocated only for ops the generic
     /// fallback serves (mux chains); specialized kernels never read it.
     var: Option<Box<VarArgs>>,
+    /// Highest `LI` slot this op references (output or any operand) —
+    /// the bound the static verifier proves and the safe entry points
+    /// `debug_assert!`.
+    max_slot: u32,
 }
 
 /// Full operand slot and parameter lists for the generic fallback
@@ -102,7 +119,19 @@ struct VarArgs {
 ///
 /// # Safety
 ///
-/// Callers must uphold the contract of [`CompiledOp::eval_lanes_ptr`].
+/// The contract every `KernelFn` body relies on (identical to
+/// [`CompiledOp::eval_lanes_ptr`]; callers must uphold all three):
+///
+/// 1. the pointer addresses a live slot-major matrix of `w.stride` lanes
+///    per slot with at least `KernelArgs::max_slot + 1` rows, so every
+///    folded offset `slot * w.stride + lane` is in bounds;
+/// 2. `w.active <= w.stride`, so the evaluated lane prefix never leaves
+///    its row;
+/// 3. no other thread concurrently accesses the output row or mutates an
+///    operand row for the duration of the call.
+///
+/// (1) is exactly what [`crate::analyze::analyze_compiled`] proves per
+/// design against the plan's `num_slots`.
 pub type KernelFn = unsafe fn(*mut u64, &KernelArgs, LaneWindow, &mut Vec<u64>);
 
 /// Unsigned canonicalization folded into a kernel body.
@@ -126,24 +155,32 @@ fn cs(raw: u64, args: &KernelArgs) -> u64 {
 /// As [`CompiledOp::eval_lanes_ptr`].
 #[inline(always)]
 unsafe fn run1(li: *mut u64, args: &KernelArgs, w: LaneWindow, f: impl Fn(u64) -> u64) {
-    let out = li.add(args.out as usize * w.stride);
-    let pa = li.add(args.a as usize * w.stride);
-    let n = w.active;
-    let mut lane = 0;
-    while lane + 4 <= n {
-        let r0 = f(*pa.add(lane));
-        let r1 = f(*pa.add(lane + 1));
-        let r2 = f(*pa.add(lane + 2));
-        let r3 = f(*pa.add(lane + 3));
-        *out.add(lane) = r0;
-        *out.add(lane + 1) = r1;
-        *out.add(lane + 2) = r2;
-        *out.add(lane + 3) = r3;
-        lane += 4;
-    }
-    while lane < n {
-        *out.add(lane) = f(*pa.add(lane));
-        lane += 1;
+    debug_assert!(w.active <= w.stride, "lane window outgrew its stride");
+    debug_assert!(args.a <= args.max_slot && args.out <= args.max_slot);
+    // SAFETY: per the `KernelFn` contract, `li` spans `>= max_slot + 1`
+    // rows of `w.stride` lanes and `out`/`a` are `<= max_slot`, so every
+    // `row + lane` offset below (`lane < w.active <= w.stride`) stays in
+    // bounds; the output row is exclusively ours for the call.
+    unsafe {
+        let out = li.add(args.out as usize * w.stride);
+        let pa = li.add(args.a as usize * w.stride);
+        let n = w.active;
+        let mut lane = 0;
+        while lane + 4 <= n {
+            let r0 = f(*pa.add(lane));
+            let r1 = f(*pa.add(lane + 1));
+            let r2 = f(*pa.add(lane + 2));
+            let r3 = f(*pa.add(lane + 3));
+            *out.add(lane) = r0;
+            *out.add(lane + 1) = r1;
+            *out.add(lane + 2) = r2;
+            *out.add(lane + 3) = r3;
+            lane += 4;
+        }
+        while lane < n {
+            *out.add(lane) = f(*pa.add(lane));
+            lane += 1;
+        }
     }
 }
 
@@ -154,25 +191,31 @@ unsafe fn run1(li: *mut u64, args: &KernelArgs, w: LaneWindow, f: impl Fn(u64) -
 /// As [`CompiledOp::eval_lanes_ptr`].
 #[inline(always)]
 unsafe fn run2(li: *mut u64, args: &KernelArgs, w: LaneWindow, f: impl Fn(u64, u64) -> u64) {
-    let out = li.add(args.out as usize * w.stride);
-    let pa = li.add(args.a as usize * w.stride);
-    let pb = li.add(args.b as usize * w.stride);
-    let n = w.active;
-    let mut lane = 0;
-    while lane + 4 <= n {
-        let r0 = f(*pa.add(lane), *pb.add(lane));
-        let r1 = f(*pa.add(lane + 1), *pb.add(lane + 1));
-        let r2 = f(*pa.add(lane + 2), *pb.add(lane + 2));
-        let r3 = f(*pa.add(lane + 3), *pb.add(lane + 3));
-        *out.add(lane) = r0;
-        *out.add(lane + 1) = r1;
-        *out.add(lane + 2) = r2;
-        *out.add(lane + 3) = r3;
-        lane += 4;
-    }
-    while lane < n {
-        *out.add(lane) = f(*pa.add(lane), *pb.add(lane));
-        lane += 1;
+    debug_assert!(w.active <= w.stride, "lane window outgrew its stride");
+    debug_assert!(args.a.max(args.b) <= args.max_slot && args.out <= args.max_slot);
+    // SAFETY: as `run1` — all three rows are `<= max_slot`, lanes stay
+    // below `w.stride`, and the output row is exclusively ours.
+    unsafe {
+        let out = li.add(args.out as usize * w.stride);
+        let pa = li.add(args.a as usize * w.stride);
+        let pb = li.add(args.b as usize * w.stride);
+        let n = w.active;
+        let mut lane = 0;
+        while lane + 4 <= n {
+            let r0 = f(*pa.add(lane), *pb.add(lane));
+            let r1 = f(*pa.add(lane + 1), *pb.add(lane + 1));
+            let r2 = f(*pa.add(lane + 2), *pb.add(lane + 2));
+            let r3 = f(*pa.add(lane + 3), *pb.add(lane + 3));
+            *out.add(lane) = r0;
+            *out.add(lane + 1) = r1;
+            *out.add(lane + 2) = r2;
+            *out.add(lane + 3) = r3;
+            lane += 4;
+        }
+        while lane < n {
+            *out.add(lane) = f(*pa.add(lane), *pb.add(lane));
+            lane += 1;
+        }
     }
 }
 
@@ -183,26 +226,32 @@ unsafe fn run2(li: *mut u64, args: &KernelArgs, w: LaneWindow, f: impl Fn(u64, u
 /// As [`CompiledOp::eval_lanes_ptr`].
 #[inline(always)]
 unsafe fn run3(li: *mut u64, args: &KernelArgs, w: LaneWindow, f: impl Fn(u64, u64, u64) -> u64) {
-    let out = li.add(args.out as usize * w.stride);
-    let pa = li.add(args.a as usize * w.stride);
-    let pb = li.add(args.b as usize * w.stride);
-    let pc = li.add(args.c as usize * w.stride);
-    let n = w.active;
-    let mut lane = 0;
-    while lane + 4 <= n {
-        let r0 = f(*pa.add(lane), *pb.add(lane), *pc.add(lane));
-        let r1 = f(*pa.add(lane + 1), *pb.add(lane + 1), *pc.add(lane + 1));
-        let r2 = f(*pa.add(lane + 2), *pb.add(lane + 2), *pc.add(lane + 2));
-        let r3 = f(*pa.add(lane + 3), *pb.add(lane + 3), *pc.add(lane + 3));
-        *out.add(lane) = r0;
-        *out.add(lane + 1) = r1;
-        *out.add(lane + 2) = r2;
-        *out.add(lane + 3) = r3;
-        lane += 4;
-    }
-    while lane < n {
-        *out.add(lane) = f(*pa.add(lane), *pb.add(lane), *pc.add(lane));
-        lane += 1;
+    debug_assert!(w.active <= w.stride, "lane window outgrew its stride");
+    debug_assert!(args.a.max(args.b).max(args.c) <= args.max_slot && args.out <= args.max_slot);
+    // SAFETY: as `run1` — all four rows are `<= max_slot`, lanes stay
+    // below `w.stride`, and the output row is exclusively ours.
+    unsafe {
+        let out = li.add(args.out as usize * w.stride);
+        let pa = li.add(args.a as usize * w.stride);
+        let pb = li.add(args.b as usize * w.stride);
+        let pc = li.add(args.c as usize * w.stride);
+        let n = w.active;
+        let mut lane = 0;
+        while lane + 4 <= n {
+            let r0 = f(*pa.add(lane), *pb.add(lane), *pc.add(lane));
+            let r1 = f(*pa.add(lane + 1), *pb.add(lane + 1), *pc.add(lane + 1));
+            let r2 = f(*pa.add(lane + 2), *pb.add(lane + 2), *pc.add(lane + 2));
+            let r3 = f(*pa.add(lane + 3), *pb.add(lane + 3), *pc.add(lane + 3));
+            *out.add(lane) = r0;
+            *out.add(lane + 1) = r1;
+            *out.add(lane + 2) = r2;
+            *out.add(lane + 3) = r3;
+            lane += 4;
+        }
+        while lane < n {
+            *out.add(lane) = f(*pa.add(lane), *pb.add(lane), *pc.add(lane));
+            lane += 1;
+        }
     }
 }
 
@@ -213,13 +262,15 @@ macro_rules! unary_kernels {
         /// As [`CompiledOp::eval_lanes_ptr`].
         unsafe fn $un(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
             let $g = args;
-            run1(li, args, w, |$a| cu($body, $g));
+            // SAFETY: forwarding the caller's `KernelFn` contract intact.
+            unsafe { run1(li, args, w, |$a| cu($body, $g)) };
         }
         /// # Safety
         /// As [`CompiledOp::eval_lanes_ptr`].
         unsafe fn $sn(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
             let $g = args;
-            run1(li, args, w, |$a| cs($body, $g));
+            // SAFETY: forwarding the caller's `KernelFn` contract intact.
+            unsafe { run1(li, args, w, |$a| cs($body, $g)) };
         }
     )*};
 }
@@ -231,13 +282,15 @@ macro_rules! binary_kernels {
         /// As [`CompiledOp::eval_lanes_ptr`].
         unsafe fn $un(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
             let $g = args;
-            run2(li, args, w, |$a, $b| cu($body, $g));
+            // SAFETY: forwarding the caller's `KernelFn` contract intact.
+            unsafe { run2(li, args, w, |$a, $b| cu($body, $g)) };
         }
         /// # Safety
         /// As [`CompiledOp::eval_lanes_ptr`].
         unsafe fn $sn(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
             let $g = args;
-            run2(li, args, w, |$a, $b| cs($body, $g));
+            // SAFETY: forwarding the caller's `KernelFn` contract intact.
+            unsafe { run2(li, args, w, |$a, $b| cs($body, $g)) };
         }
     )*};
 }
@@ -317,13 +370,15 @@ unary_kernels! {
 ///
 /// As [`CompiledOp::eval_lanes_ptr`].
 unsafe fn k_mux_u(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
-    run3(li, args, w, |c, t, f| cu(if c != 0 { t } else { f }, args));
+    // SAFETY: forwarding the caller's `KernelFn` contract intact.
+    unsafe { run3(li, args, w, |c, t, f| cu(if c != 0 { t } else { f }, args)) };
 }
 
 /// # Safety
 /// As [`CompiledOp::eval_lanes_ptr`].
 unsafe fn k_mux_s(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
-    run3(li, args, w, |c, t, f| cs(if c != 0 { t } else { f }, args));
+    // SAFETY: forwarding the caller's `KernelFn` contract intact.
+    unsafe { run3(li, args, w, |c, t, f| cs(if c != 0 { t } else { f }, args)) };
 }
 
 /// Constant kernel: `p0` already holds the canonical value, so the row is
@@ -333,9 +388,15 @@ unsafe fn k_mux_s(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut
 ///
 /// As [`CompiledOp::eval_lanes_ptr`].
 unsafe fn k_const(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut Vec<u64>) {
-    let out = li.add(args.out as usize * w.stride);
-    for lane in 0..w.active {
-        *out.add(lane) = args.p0;
+    debug_assert!(w.active <= w.stride, "lane window outgrew its stride");
+    // SAFETY: per the `KernelFn` contract the output row `args.out <=
+    // max_slot` is in bounds and exclusively ours; `lane < w.active <=
+    // w.stride` keeps the fill inside the row.
+    unsafe {
+        let out = li.add(args.out as usize * w.stride);
+        for lane in 0..w.active {
+            *out.add(lane) = args.p0;
+        }
     }
 }
 
@@ -349,22 +410,30 @@ unsafe fn k_const(li: *mut u64, args: &KernelArgs, w: LaneWindow, _scratch: &mut
 ///
 /// As [`CompiledOp::eval_lanes_ptr`].
 unsafe fn k_generic(li: *mut u64, args: &KernelArgs, w: LaneWindow, scratch: &mut Vec<u64>) {
+    debug_assert!(w.active <= w.stride, "lane window outgrew its stride");
     let op = DfgOp::from_n_coord(args.n).expect("valid opcode");
     let var = args.var.as_deref().expect("generic kernel has var payload");
-    let out = li.add(args.out as usize * w.stride);
-    for lane in 0..w.active {
-        scratch.clear();
-        scratch.extend(
-            var.ins
-                .iter()
-                .map(|&r| *li.add(r as usize * w.stride + lane)),
-        );
-        let raw = eval_raw(op, &var.params, scratch);
-        *out.add(lane) = if args.signed {
-            cs(raw, args)
-        } else {
-            cu(raw, args)
-        };
+    debug_assert!(var.ins.iter().all(|&r| r <= args.max_slot));
+    // SAFETY: per the `KernelFn` contract every slot in `var.ins` and
+    // `args.out` is `<= max_slot`, so each `slot * w.stride + lane`
+    // offset (`lane < w.active <= w.stride`) is in bounds; the output
+    // row is exclusively ours for the call.
+    unsafe {
+        let out = li.add(args.out as usize * w.stride);
+        for lane in 0..w.active {
+            scratch.clear();
+            scratch.extend(
+                var.ins
+                    .iter()
+                    .map(|&r| *li.add(r as usize * w.stride + lane)),
+            );
+            let raw = eval_raw(op, &var.params, scratch);
+            *out.add(lane) = if args.signed {
+                cs(raw, args)
+            } else {
+                cu(raw, args)
+            };
+        }
     }
 }
 
@@ -445,6 +514,13 @@ impl CompiledOp {
         let width = (op.width as u32).clamp(1, 64);
         let p0 = op.params.first().copied().unwrap_or(0);
         let specialized = kernel_table(d, op.ins.len(), op.signed);
+        let max_slot = op
+            .ins
+            .iter()
+            .copied()
+            .chain(std::iter::once(op.out))
+            .max()
+            .expect("chain is non-empty");
         let args = KernelArgs {
             out: op.out,
             a: op.ins.first().copied().unwrap_or(0),
@@ -460,6 +536,7 @@ impl CompiledOp {
             sh: 64 - width,
             n: op.n,
             signed: op.signed,
+            max_slot,
             var: if specialized.is_some() {
                 None
             } else {
@@ -478,6 +555,40 @@ impl CompiledOp {
         self.args.out
     }
 
+    /// Decoded opcode, or `None` if the folded coordinate is corrupt.
+    pub fn opcode(&self) -> Option<DfgOp> {
+        DfgOp::from_n_coord(self.args.n)
+    }
+
+    /// Operand slots this kernel reads, in operand order.
+    pub fn operand_slots(&self) -> Vec<u32> {
+        if let Some(var) = self.args.var.as_deref() {
+            return var.ins.to_vec();
+        }
+        let arity = self.opcode().and_then(|d| d.arity()).unwrap_or(0).min(3);
+        [self.args.a, self.args.b, self.args.c][..arity].to_vec()
+    }
+
+    /// Folded canonicalization mask.
+    pub fn mask(&self) -> u64 {
+        self.args.msk
+    }
+
+    /// Folded sign-extension shift (`64 - width`).
+    pub fn shift(&self) -> u32 {
+        self.args.sh
+    }
+
+    /// Whether the op canonicalizes as a signed value.
+    pub fn is_signed(&self) -> bool {
+        self.args.signed
+    }
+
+    /// Highest LI slot this kernel reads or writes.
+    pub fn max_slot(&self) -> u32 {
+        self.args.max_slot
+    }
+
     /// Evaluates over the active window of a slot-major `LI` matrix
     /// through a raw pointer — the layer-parallel engine's entry point.
     ///
@@ -492,7 +603,10 @@ impl CompiledOp {
     /// workers satisfy this.)
     #[inline]
     pub unsafe fn eval_lanes_ptr(&self, li: *mut u64, w: LaneWindow, scratch: &mut Vec<u64>) {
-        (self.kernel)(li, &self.args, w, scratch);
+        debug_assert!(w.active <= w.stride, "lane window outgrew its stride");
+        // SAFETY: the caller upholds this method's contract, which is
+        // exactly the `KernelFn` contract the folded kernel requires.
+        unsafe { (self.kernel)(li, &self.args, w, scratch) };
     }
 
     /// Evaluates over the active window of an exclusively borrowed `LI`
@@ -500,7 +614,14 @@ impl CompiledOp {
     #[inline]
     pub fn eval_lanes(&self, li: &mut [u64], w: LaneWindow, scratch: &mut Vec<u64>) {
         debug_assert!(w.active <= w.stride);
-        // Safety: an exclusive borrow covers the whole matrix.
+        debug_assert!(
+            li.len() >= (self.args.max_slot as usize + 1) * w.stride,
+            "LI matrix does not cover slot {}",
+            self.args.max_slot
+        );
+        // SAFETY: an exclusive borrow covers the whole matrix, and the
+        // debug-checked length bound is what `analyze_compiled` proves
+        // statically for verifier-clean plans.
         unsafe { self.eval_lanes_ptr(li.as_mut_ptr(), w, scratch) }
     }
 }

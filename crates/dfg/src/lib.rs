@@ -28,6 +28,10 @@
 //!   [`plan::SimPlan`] and execution — every operation lowered once into
 //!   a specialized, autovectorizable lane kernel with dispatch, operand
 //!   offsets, and canonicalization folded in.
+//! - [`analyze`]: the static plan verifier — schedule legality,
+//!   combinational-cycle traces, RUM ownership/coverage, kernel-table
+//!   bounds, and dataflow statistics as typed [`analyze::Diagnostic`]s
+//!   instead of panics.
 //!
 //! ## Example
 //!
@@ -52,6 +56,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analyze;
 pub mod batch;
 pub mod build;
 pub mod error;
@@ -64,6 +69,10 @@ pub mod partition;
 pub mod passes;
 pub mod plan;
 
+pub use analyze::{
+    analyze_design, analyze_graph, analyze_partitioned, analyze_plan, AnalysisReport,
+    AnalysisStats, DiagKind, Diagnostic, Severity,
+};
 pub use batch::BatchPlanSim;
 pub use build::build;
 pub use error::{DfgError, Result};

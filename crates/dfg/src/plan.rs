@@ -66,7 +66,7 @@ impl OpInst {
     /// tested against.
     #[inline]
     pub fn eval_lanes(&self, li: &mut [u64], w: LaneWindow, buf: &mut Vec<u64>) {
-        // Safety: an exclusive borrow covers the whole matrix.
+        // SAFETY: an exclusive borrow covers the whole matrix.
         unsafe { self.eval_lanes_ptr(li.as_mut_ptr(), w, buf) }
     }
 

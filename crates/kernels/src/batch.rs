@@ -377,9 +377,11 @@ impl BatchLiState {
 #[derive(Clone, Copy)]
 struct SharedLi(*mut u64);
 
-// Safety: workers only touch disjoint rows between barriers (see
+// SAFETY: workers only touch disjoint rows between barriers (see
 // `CompiledOp::eval_lanes_ptr`); the pointer itself is plain data.
 unsafe impl Send for SharedLi {}
+// SAFETY: as for `Send` — row disjointness between barriers makes shared
+// references to the wrapper harmless.
 unsafe impl Sync for SharedLi {}
 
 /// A sense-reversing spin barrier.
@@ -500,10 +502,10 @@ impl LanePoker<'_> {
         let (w, signed) = self.input_types[idx];
         let v = canonicalize(value, w as u32, signed);
         let off = self.input_slots[idx] as usize * self.lanes + lane;
-        // Safety: input slots are source rows no layer op ever writes,
-        // and the callback runs in the single-threaded window between the
-        // commit barrier and the next layer-0 barrier.
         for p in 0..self.parts {
+            // SAFETY: input slots are source rows no layer op ever writes,
+            // and the callback runs in the single-threaded window between
+            // the commit barrier and the next layer-0 barrier.
             unsafe {
                 *self.li.0.add(p * self.span + off) = v;
             }
@@ -937,7 +939,7 @@ impl BatchKernel {
                         barrier.wait(); // stimulus window closed
                         for segment in segments {
                             if let Segment::Parallel(i) = *segment {
-                                // Safety: disjoint output rows within the
+                                // SAFETY: disjoint output rows within the
                                 // layer; operand rows sealed by the
                                 // previous barrier.
                                 unsafe {
@@ -968,14 +970,14 @@ impl BatchKernel {
                 for segment in &segments {
                     match *segment {
                         Segment::Parallel(i) => {
-                            // Safety: as above.
+                            // SAFETY: as above.
                             unsafe {
                                 self.eval_layer_chunk(i, shared, span, w, 0, threads, &mut buf)
                             };
                         }
                         Segment::Serial(from, to) => {
                             for i in from..to {
-                                // Safety: workers never touch serial
+                                // SAFETY: workers never touch serial
                                 // layers; operand rows are sealed.
                                 unsafe {
                                     self.eval_layer_chunk(i, shared, span, w, 0, 1, &mut buf)
@@ -1017,13 +1019,13 @@ fn commit_shared(
         let base = p * span;
         for (k, &(_, src)) in staged.iter().enumerate() {
             for lane in 0..n {
-                // Safety: single-threaded window; rows are in bounds.
+                // SAFETY: single-threaded window; rows are in bounds.
                 buf[k * lanes + lane] = unsafe { *li.0.add(base + src as usize * lanes + lane) };
             }
         }
         for &(dst, src) in direct {
             for lane in 0..n {
-                // Safety: as above; dst is outside the commit source set.
+                // SAFETY: as above; dst is outside the commit source set.
                 unsafe {
                     *li.0.add(base + dst as usize * lanes + lane) =
                         *li.0.add(base + src as usize * lanes + lane);
@@ -1032,7 +1034,7 @@ fn commit_shared(
         }
         for (k, &(dst, _)) in staged.iter().enumerate() {
             for lane in 0..n {
-                // Safety: as above.
+                // SAFETY: as above.
                 unsafe { *li.0.add(base + dst as usize * lanes + lane) = buf[k * lanes + lane] };
             }
         }
@@ -1043,7 +1045,7 @@ fn commit_shared(
         for &q in readers {
             let d0 = q as usize * span + row;
             for lane in 0..n {
-                // Safety: single-threaded window; replica rows are in
+                // SAFETY: single-threaded window; replica rows are in
                 // bounds and owner != reader.
                 unsafe { *li.0.add(d0 + lane) = *li.0.add(s0 + lane) };
             }

@@ -28,6 +28,7 @@ pub struct CountingAlloc;
 // SAFETY: delegates all allocation to `System`; only bookkeeping is added.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract; forwarded as-is.
         let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
@@ -37,11 +38,13 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract; forwarded as-is.
         unsafe { System.dealloc(ptr, layout) };
         LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract; forwarded as-is.
         let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             let old = layout.size();

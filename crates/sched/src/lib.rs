@@ -66,4 +66,4 @@ pub mod job;
 pub mod scheduler;
 
 pub use job::{Job, JobId, JobOutcome, JobQueue, JobResult};
-pub use scheduler::{AdmitPolicy, SchedStats, Scheduler};
+pub use scheduler::{AdmitPolicy, SchedBuildError, SchedStats, Scheduler};

@@ -18,10 +18,39 @@
 //! mixed-length rv32i corpus.
 
 use crate::job::{Job, JobId, JobOutcome, JobQueue, JobResult};
-use rteaal_core::{BatchSimulation, Compiled, Partitioning, UnknownSignal};
+use rteaal_core::{AnalysisReport, BatchSimulation, Compiled, Partitioning, UnknownSignal};
 use rteaal_telemetry::{Counter, Gauge, JobStage, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Why a scheduler could not be built (see
+/// [`Scheduler::try_new_with`]).
+#[derive(Debug)]
+pub enum SchedBuildError {
+    /// `halt_signal` names neither a probe nor an output port.
+    UnknownSignal(UnknownSignal),
+    /// The static verifier rejected the RepCut decomposition.
+    Rejected(AnalysisReport),
+}
+
+impl std::fmt::Display for SchedBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedBuildError::UnknownSignal(e) => write!(f, "{e}"),
+            SchedBuildError::Rejected(report) => {
+                write!(f, "partitioned plan failed verification: {report}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedBuildError {}
+
+impl From<UnknownSignal> for SchedBuildError {
+    fn from(e: UnknownSignal) -> Self {
+        SchedBuildError::UnknownSignal(e)
+    }
+}
 
 /// When freed lanes accept new jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,14 +202,44 @@ impl Scheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    /// Panics if `lanes` is zero, on `Partitioning::Fixed(0)`, or if the
+    /// static verifier rejects the RepCut decomposition (see
+    /// [`try_new_with`](Self::try_new_with) for the non-panicking form).
     pub fn new_with(
         compiled: &Compiled,
         lanes: usize,
         halt_signal: &str,
         partitioning: Partitioning,
     ) -> Result<Self, UnknownSignal> {
-        let mut sim = BatchSimulation::new_with(compiled, lanes, partitioning);
+        match Self::try_new_with(compiled, lanes, halt_signal, partitioning) {
+            Ok(sched) => Ok(sched),
+            Err(SchedBuildError::UnknownSignal(e)) => Err(e),
+            Err(SchedBuildError::Rejected(report)) => {
+                panic!("partitioned plan failed verification: {report}")
+            }
+        }
+    }
+
+    /// Builds a partitioned scheduler with both failure modes surfaced
+    /// as structured errors: an unresolvable halt signal *and* a RepCut
+    /// decomposition the static verifier rejects.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedBuildError`] for either failure; nothing panics on
+    /// malformed input past the zero-lane / zero-partition asserts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    pub fn try_new_with(
+        compiled: &Compiled,
+        lanes: usize,
+        halt_signal: &str,
+        partitioning: Partitioning,
+    ) -> Result<Self, SchedBuildError> {
+        let mut sim = BatchSimulation::try_new_with(compiled, lanes, partitioning)
+            .map_err(SchedBuildError::Rejected)?;
         sim.watch_halt(halt_signal)?;
         // Park every lane out of the evaluated window until a job claims
         // it (retired-at-cycle-0 records are cleared on admission).

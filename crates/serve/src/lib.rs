@@ -91,10 +91,12 @@ pub mod shard;
 
 pub use chaos::{ChaosPlan, ChaosShard};
 pub use net::{ServeClient, SocketServer};
-pub use pool::{JobHandle, RegisterError, ServeConfig, ServeStats, ServerPool, DEFAULT_DESIGN};
+pub use pool::{
+    DesignInfo, JobHandle, RegisterError, ServeConfig, ServeStats, ServerPool, DEFAULT_DESIGN,
+};
 pub use protocol::{
-    designs_digest, ProtocolError, Request, Response, Verb, WireBinding, WireDesign, WireJob,
-    WirePong, WireResult, WireStats,
+    designs_digest, ProtocolError, Request, Response, Verb, WireAnalysis, WireBinding, WireDesign,
+    WireJob, WirePong, WireResult, WireStats,
 };
 pub use shard::{
     FleetShard, FleetStats, HashRing, Routed, RouterError, RouterStats, ShardConfig, ShardLoad,

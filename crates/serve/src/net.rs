@@ -9,8 +9,8 @@
 
 use crate::pool::{JobHandle, ServerPool};
 use crate::protocol::{
-    designs_digest, ProtocolError, Request, Response, Verb, WireDesign, WireJob, WirePong,
-    WireResult, WireStats,
+    designs_digest, ProtocolError, Request, Response, Verb, WireAnalysis, WireDesign, WireJob,
+    WirePong, WireResult, WireStats,
 };
 use rteaal_core::Compiler;
 use rteaal_kernels::{KernelConfig, KernelKind};
@@ -166,25 +166,42 @@ fn respond(pool: &ServerPool, handles: &mut HashMap<u64, JobHandle>, request: Re
             };
             // Compiling in the connection thread keeps workers serving;
             // the design becomes routable the moment `register` returns.
-            let compiled =
-                match Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(&source) {
-                    Ok(compiled) => compiled,
-                    Err(e) => {
-                        return Response::error(format!("design `{design}` failed to compile: {e}"))
-                    }
-                };
+            // The compiler's own failure modes (including the static
+            // verifier's) are typed errors, but a malformed design that
+            // trips an assert anywhere in the flow must also come back
+            // as a structured refusal instead of tearing the session
+            // down, so the whole stage is unwind-guarded.
+            let compiled = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Compiler::new(KernelConfig::new(KernelKind::Psu)).compile_str(&source)
+            })) {
+                Ok(Ok(compiled)) => compiled,
+                Ok(Err(e)) => {
+                    return Response::error(format!("design `{design}` failed to compile: {e}"))
+                }
+                Err(panic) => {
+                    let what = panic
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| panic.downcast_ref::<&str>().copied())
+                        .unwrap_or("unknown panic");
+                    return Response::error(format!(
+                        "design `{design}` failed to compile: internal error: {what}"
+                    ));
+                }
+            };
             match pool.register(&design, &compiled, &halt) {
                 Ok(()) => Response::registered(design),
                 Err(e) => Response::error(e.to_string()),
             }
         }
         Verb::Designs => Response::designs(
-            pool.designs()
+            pool.design_infos()
                 .into_iter()
                 .enumerate()
-                .map(|(i, name)| WireDesign {
-                    name,
+                .map(|(i, info)| WireDesign {
+                    name: info.name,
                     default: i == 0,
+                    analysis: WireAnalysis::from(&info.analysis),
                 })
                 .collect(),
         ),

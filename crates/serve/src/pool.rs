@@ -26,7 +26,10 @@
 //! multi-design shape a cross-host [`ShardRouter`](crate::ShardRouter)
 //! fleet is built from.
 
-use rteaal_core::{Compiled, PartitionedPlan, Partitioning, UnknownSignal};
+use rteaal_core::{
+    analyze_design, analyze_partitioned, AnalysisReport, AnalysisStats, Compiled, PartitionedPlan,
+    Partitioning, UnknownSignal,
+};
 use rteaal_sched::{Job, JobId, JobOutcome, JobResult, SchedStats, Scheduler};
 use rteaal_telemetry::{Gauge, JobStage, MetricsRegistry};
 use std::collections::HashMap;
@@ -169,7 +172,7 @@ impl ServeStats {
 }
 
 /// Why a design registration was refused.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RegisterError {
     /// The halt signal names neither a probe nor an output port of the
     /// design being registered.
@@ -177,6 +180,10 @@ pub enum RegisterError {
     /// The name is already taken. Replacing a design in place would
     /// strand its in-flight jobs, so re-registration is refused.
     DuplicateDesign(String),
+    /// The static plan verifier found Error-level diagnostics — the
+    /// design's plan or kernel table violates a structural invariant and
+    /// must never reach a worker's engine.
+    Rejected(AnalysisReport),
 }
 
 impl std::fmt::Display for RegisterError {
@@ -187,6 +194,9 @@ impl std::fmt::Display for RegisterError {
             }
             RegisterError::DuplicateDesign(name) => {
                 write!(f, "design `{name}` is already registered")
+            }
+            RegisterError::Rejected(report) => {
+                write!(f, "design failed verification: {report}")
             }
         }
     }
@@ -355,12 +365,25 @@ pub struct ServerPool {
     started: Instant,
 }
 
+/// One registered design's registry entry: routing mode plus the static
+/// verifier's per-design statistics (what the `designs` verb reports).
+#[derive(Debug, Clone)]
+pub struct DesignInfo {
+    /// Registry name.
+    pub name: String,
+    /// Whether worker 0 runs this design partition-parallel.
+    pub partition_parallel: bool,
+    /// The verifier's dataflow statistics for the design (activity,
+    /// dead ops, never-toggling signals, shape counts).
+    pub analysis: AnalysisStats,
+}
+
 /// The registry + submission queues (see [`ServerPool::routing`]).
 #[derive(Debug)]
 struct Routing {
     /// Registered designs in registration order (`[0]` is
-    /// [`DEFAULT_DESIGN`]), each with its partition-parallel flag.
-    designs: Vec<(String, bool)>,
+    /// [`DEFAULT_DESIGN`]).
+    designs: Vec<DesignInfo>,
     /// Per-worker submission queues (cleared to signal shutdown).
     senders: Vec<Sender<WorkerMsg>>,
 }
@@ -393,15 +416,18 @@ enum WorkerMsg {
 }
 
 /// Decides whether a design runs partition-parallel under a config: the
-/// mode must be on (`partitions > 1`) and the design's RepCut
-/// replication factor at that partition count must stay within the
-/// configured ceiling.
+/// mode must be on (`partitions > 1`), the design's RepCut replication
+/// factor at that partition count must stay within the configured
+/// ceiling, and the decomposition must pass the static verifier — a
+/// rejected decomposition silently opts the design back into
+/// single-schedule execution rather than letting an engine panic on it.
 fn partition_parallel_mode(config: &ServeConfig, compiled: &Compiled) -> bool {
     if config.partitions <= 1 {
         return false;
     }
     let pp = PartitionedPlan::new(&compiled.plan, config.partitions);
     pp.replication_factor() <= config.max_replication
+        && analyze_partitioned(&compiled.plan, &pp).is_clean()
 }
 
 impl ServerPool {
@@ -477,7 +503,11 @@ impl ServerPool {
         Ok(ServerPool {
             shared,
             routing: Mutex::new(Routing {
-                designs: vec![(DEFAULT_DESIGN.to_string(), default_parallel)],
+                designs: vec![DesignInfo {
+                    name: DEFAULT_DESIGN.to_string(),
+                    partition_parallel: default_parallel,
+                    analysis: compiled.analysis.stats.clone(),
+                }],
                 senders,
             }),
             loads,
@@ -508,7 +538,9 @@ impl ServerPool {
     ///
     /// [`RegisterError::UnknownHalt`] if `halt_signal` resolves on
     /// neither a probe nor an output port of `compiled`;
-    /// [`RegisterError::DuplicateDesign`] if the name is taken.
+    /// [`RegisterError::DuplicateDesign`] if the name is taken;
+    /// [`RegisterError::Rejected`] if the static plan verifier finds
+    /// Error-level diagnostics (the plan never reaches a worker engine).
     pub fn register(
         &self,
         name: &str,
@@ -520,12 +552,24 @@ impl ServerPool {
                 halt_signal.to_string(),
             )));
         }
+        // Re-verify at the trust boundary: `Compiled` values from the
+        // compiler are clean by construction, but `register` accepts any
+        // caller-built plan and workers would otherwise panic on a
+        // corrupt one mid-run.
+        let report = analyze_design(&compiled.plan);
+        if !report.is_clean() {
+            return Err(RegisterError::Rejected(report));
+        }
         let partition_parallel = partition_parallel_mode(&self.config, compiled);
         let mut routing = self.routing.lock().unwrap();
-        if routing.designs.iter().any(|(d, _)| d == name) {
+        if routing.designs.iter().any(|d| d.name == name) {
             return Err(RegisterError::DuplicateDesign(name.to_string()));
         }
-        routing.designs.push((name.to_string(), partition_parallel));
+        routing.designs.push(DesignInfo {
+            name: name.to_string(),
+            partition_parallel,
+            analysis: report.stats,
+        });
         // Broadcast under the lock: no job naming this design can be
         // sent until we release it, so every worker sees the
         // registration first.
@@ -550,8 +594,26 @@ impl ServerPool {
             .unwrap()
             .designs
             .iter()
-            .map(|(d, _)| d.clone())
+            .map(|d| d.name.clone())
             .collect()
+    }
+
+    /// The full registry entries — name, routing mode, and the static
+    /// verifier's per-design statistics — in registration order.
+    pub fn design_infos(&self) -> Vec<DesignInfo> {
+        self.routing.lock().unwrap().designs.clone()
+    }
+
+    /// The static verifier's statistics for a registered design, or
+    /// `None` for an unregistered name.
+    pub fn analysis_stats(&self, name: &str) -> Option<AnalysisStats> {
+        self.routing
+            .lock()
+            .unwrap()
+            .designs
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.analysis.clone())
     }
 
     /// Whether a registered design runs partition-parallel (its jobs'
@@ -563,8 +625,8 @@ impl ServerPool {
             .unwrap()
             .designs
             .iter()
-            .find(|(d, _)| d == name)
-            .map(|&(_, pp)| pp)
+            .find(|d| d.name == name)
+            .map(|d| d.partition_parallel)
     }
 
     /// Enqueues a job onto the least-loaded worker and returns a handle
@@ -581,7 +643,11 @@ impl ServerPool {
         job.budget = job.budget.min(self.config.max_budget);
         let design = design.unwrap_or(DEFAULT_DESIGN);
         let routing = self.routing.lock().unwrap();
-        let Some(&(_, partition_parallel)) = routing.designs.iter().find(|(d, _)| d == design)
+        let Some(partition_parallel) = routing
+            .designs
+            .iter()
+            .find(|d| d.name == design)
+            .map(|d| d.partition_parallel)
         else {
             // Ledger section: the id exists and is already accounted
             // rejected before any stats() reader can observe it.

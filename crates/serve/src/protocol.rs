@@ -261,13 +261,53 @@ impl From<&JobResult> for WireResult {
 }
 
 /// One registry entry as reported by the `designs` verb.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireDesign {
     /// Registered design name.
     pub name: String,
     /// Whether this is the server's default design (the one jobs with
     /// no `design` field run on).
     pub default: bool,
+    /// The static plan verifier's statistics for the design.
+    pub analysis: WireAnalysis,
+}
+
+/// The static verifier's per-design statistics as reported by the
+/// `designs` verb (a flat wire projection of
+/// [`rteaal_core::AnalysisStats`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WireAnalysis {
+    /// Scheduled operations.
+    pub ops: u64,
+    /// Schedule layers.
+    pub layers: u64,
+    /// `LI` slots.
+    pub slots: u64,
+    /// Registers (commits).
+    pub registers: u64,
+    /// Ops whose result reaches no output, probe, or commit.
+    pub dead_ops: u64,
+    /// Ops constant-propagation proves never toggle.
+    pub never_toggling: u64,
+    /// Warn-level diagnostics the verifier reported at registration.
+    pub warnings: u64,
+    /// Fan-in-weighted static activity estimate, summed over layers.
+    pub activity: f64,
+}
+
+impl From<&rteaal_core::AnalysisStats> for WireAnalysis {
+    fn from(s: &rteaal_core::AnalysisStats) -> Self {
+        WireAnalysis {
+            ops: s.ops as u64,
+            layers: s.layers as u64,
+            slots: s.slots as u64,
+            registers: s.registers as u64,
+            dead_ops: s.dead_ops as u64,
+            never_toggling: s.never_toggling as u64,
+            warnings: s.warnings as u64,
+            activity: s.total_activity,
+        }
+    }
 }
 
 /// Pool counters as reported by the `stats` verb.
@@ -842,10 +882,21 @@ mod tests {
                 WireDesign {
                     name: "default".to_string(),
                     default: true,
+                    analysis: WireAnalysis {
+                        ops: 12,
+                        layers: 3,
+                        slots: 20,
+                        registers: 2,
+                        dead_ops: 0,
+                        never_toggling: 1,
+                        warnings: 0,
+                        activity: 31.0,
+                    },
                 },
                 WireDesign {
                     name: "sha3".to_string(),
                     default: false,
+                    analysis: WireAnalysis::default(),
                 },
             ]),
             Response::pong(WirePong {

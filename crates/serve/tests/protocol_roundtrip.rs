@@ -8,7 +8,8 @@
 use rteaal_sched::Job;
 use rteaal_serve::{
     designs_digest, ProtocolError, Request, Response, ServeClient, ServeConfig, ServerPool,
-    SocketServer, Verb, WireBinding, WireDesign, WireJob, WirePong, WireResult, WireStats,
+    SocketServer, Verb, WireAnalysis, WireBinding, WireDesign, WireJob, WirePong, WireResult,
+    WireStats,
 };
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -114,10 +115,21 @@ fn every_verb_round_trips_through_the_envelope() {
             WireDesign {
                 name: "default".to_string(),
                 default: true,
+                analysis: WireAnalysis {
+                    ops: 5,
+                    layers: 2,
+                    slots: 9,
+                    registers: 1,
+                    dead_ops: 0,
+                    never_toggling: 0,
+                    warnings: 0,
+                    activity: 12.0,
+                },
             },
             WireDesign {
                 name: "sha3".to_string(),
                 default: false,
+                analysis: WireAnalysis::default(),
             },
         ]),
         Response::pong(WirePong {
@@ -223,6 +235,49 @@ fn bad_requests_get_error_responses_and_the_connection_survives() {
     let response = raw_call(&mut writer, &mut reader, r#"{"verb":"stats"}"#);
     assert!(response.ok);
     assert_eq!(response.stats.expect("stats payload").designs, 1);
+}
+
+/// A combinationally cyclic design: `a` and `b` feed each other with no
+/// register in the loop.
+const CYCLIC_SRC: &str = "\
+circuit Loop :
+  module Loop :
+    input clock : Clock
+    input x : UInt<1>
+    output y : UInt<1>
+    node a = not(b)
+    node b = not(a)
+    y <= and(a, x)
+";
+
+#[test]
+fn cyclic_design_register_is_a_structured_error_and_the_connection_survives() {
+    // Regression for the `register` hardening: a malformed/cyclic design
+    // must come back as a per-request server error — never a panic that
+    // tears down the connection thread mid-session.
+    let addr = spawn_server();
+    let stream = TcpStream::connect(addr).expect("connects");
+    let mut writer = stream.try_clone().expect("clones");
+    let mut reader = BufReader::new(stream);
+
+    let request = serde_json::to_string(&Request::register("loopy", CYCLIC_SRC, "y"))
+        .expect("request serializes");
+    let response = raw_call(&mut writer, &mut reader, &request);
+    assert!(!response.ok, "cyclic designs must be refused");
+    assert_eq!(response.kind, "error");
+    let error = response.error.expect("refusals carry a message");
+    assert!(error.contains("failed to compile"), "{error}");
+
+    // The refusal never entered the registry, and the same connection
+    // keeps serving requests.
+    let response = raw_call(&mut writer, &mut reader, r#"{"verb":"designs"}"#);
+    assert!(response.ok);
+    let designs = response.designs.expect("designs payload");
+    assert_eq!(designs.len(), 1, "only the default design is registered");
+    // The registry exposes the verifier's per-design statistics.
+    assert!(designs[0].analysis.ops > 0);
+    assert!(designs[0].analysis.activity > 0.0);
+    assert_eq!(designs[0].analysis.registers, 1);
 }
 
 #[test]
