@@ -33,6 +33,7 @@ use crate::waveform::VcdWriter;
 use rteaal_dfg::analyze::{analyze_partitioned, AnalysisReport};
 use rteaal_dfg::partition::PartitionedPlan;
 use rteaal_dfg::plan::SimPlan;
+use rteaal_dfg::specialize::{specialize, SpecStats, Specialization};
 use rteaal_kernels::{BatchKernel, BatchLiState, LanePoker};
 use std::collections::HashMap;
 
@@ -96,6 +97,9 @@ pub struct BatchSimulation {
     /// RepCut replication factor of the decomposition (1.0 when
     /// unpartitioned).
     replication: f64,
+    /// What the specialization transform removed (`None` when built
+    /// with [`Specialization::Off`]).
+    spec_stats: Option<SpecStats>,
 }
 
 /// Single-lane VCD capture state: the chosen user-facing lane and the
@@ -196,7 +200,66 @@ impl BatchSimulation {
         lanes: usize,
         partitioning: Partitioning,
     ) -> Result<Self, AnalysisReport> {
-        let plan = compiled.plan.clone();
+        Self::try_new_full(compiled, lanes, partitioning, Specialization::Off)
+    }
+
+    /// Builds a `lanes`-wide simulation with an explicit RepCut
+    /// decomposition and specialization tier, panicking on a verifier
+    /// rejection (see [`try_new_full`](Self::try_new_full)).
+    ///
+    /// # Panics
+    ///
+    /// As [`new_with`](Self::new_with).
+    pub fn new_full(
+        compiled: &Compiled,
+        lanes: usize,
+        partitioning: Partitioning,
+        spec: Specialization,
+    ) -> Self {
+        match Self::try_new_full(compiled, lanes, partitioning, spec) {
+            Ok(sim) => sim,
+            Err(report) => panic!("plan failed verification: {report}"),
+        }
+    }
+
+    /// The full-control constructor: RepCut decomposition *and* the
+    /// whole-design specialization tier.
+    ///
+    /// [`Specialization::Auto`] first applies the plan transform
+    /// ([`rteaal_dfg::specialize`]) — constant folding of
+    /// never-toggling cones, value-numbering dedup, dead-code
+    /// elimination over the observable roots — and then decides the
+    /// execution form: unpartitioned simulations get the superblock
+    /// program with bit-packed 64-lanes-per-word bodies when `lanes >=
+    /// 32` (below that the pack/unpack boundary costs more than packing
+    /// saves), while partitioned simulations execute the transformed
+    /// plan through the classic RepCut walk (packing needs
+    /// whole-schedule consumer analysis, which replicated fan-in cones
+    /// invalidate). Observables — outputs, probes, registers, halt
+    /// conditions, DMI pokes — stay bit-identical to
+    /// [`Specialization::Off`] in every combination.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_new_with`](Self::try_new_with); a partitioned
+    /// specialized plan is re-verified after the transform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    pub fn try_new_full(
+        compiled: &Compiled,
+        lanes: usize,
+        partitioning: Partitioning,
+        spec: Specialization,
+    ) -> Result<Self, AnalysisReport> {
+        let (plan, spec_stats) = match spec {
+            Specialization::Off => (compiled.plan.clone(), None),
+            Specialization::Auto => {
+                let sp = specialize(&compiled.plan);
+                (sp.plan, Some(sp.stats))
+            }
+        };
         let parts = match partitioning {
             Partitioning::None => 1,
             Partitioning::Fixed(p) => {
@@ -214,6 +277,14 @@ impl BatchSimulation {
             let kernel = BatchKernel::compile_partitioned(&pp, compiled.kernel.config());
             let state = BatchLiState::new_partitioned(&plan, lanes, &pp);
             (kernel, state, pp.replication_factor())
+        } else if let Some(stats) = spec_stats {
+            let sp = rteaal_dfg::specialize::SpecializedPlan {
+                plan: plan.clone(),
+                stats,
+            };
+            let pack = lanes >= 32;
+            let kernel = BatchKernel::compile_specialized(&sp, compiled.kernel.config(), pack);
+            (kernel, BatchLiState::new(&plan, lanes), 1.0)
         } else {
             let kernel = BatchKernel::compile(&plan, compiled.kernel.config());
             (kernel, BatchLiState::new(&plan, lanes), 1.0)
@@ -239,7 +310,14 @@ impl BatchSimulation {
             liveness: None,
             vcd: None,
             replication,
+            spec_stats,
         })
+    }
+
+    /// What the specialization transform removed, when this simulation
+    /// was built with [`Specialization::Auto`].
+    pub fn specialization_stats(&self) -> Option<SpecStats> {
+        self.spec_stats
     }
 
     /// Number of RepCut partitions this simulation executes (1 =

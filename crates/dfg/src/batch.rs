@@ -73,6 +73,19 @@ impl<'p> BatchPlanSim<'p> {
         Self::with_engine(plan, lanes, BatchEngine::Interpreted)
     }
 
+    /// Creates a simulator over a specialized plan
+    /// ([`crate::specialize::specialize`]): the folded/deduped/DCE'd
+    /// layer schedule executed through compiled lane kernels. Observable
+    /// slots (outputs, probes, registers) are bit-identical to the
+    /// original plan's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn specialized(spec: &'p crate::specialize::SpecializedPlan, lanes: usize) -> Self {
+        Self::with_engine(&spec.plan, lanes, BatchEngine::Compiled)
+    }
+
     /// Creates a simulator with an explicit executor choice.
     ///
     /// # Panics

@@ -68,6 +68,7 @@ pub mod op;
 pub mod partition;
 pub mod passes;
 pub mod plan;
+pub mod specialize;
 
 pub use analyze::{
     analyze_design, analyze_graph, analyze_partitioned, analyze_plan, AnalysisReport,
@@ -81,3 +82,4 @@ pub use lane_kernel::{BatchEngine, CompiledLayer, CompiledOp, KernelArgs, LaneWi
 pub use op::{DfgOp, OpClass};
 pub use partition::{PartitionSchedule, PartitionedPlan, RumEntry};
 pub use plan::{OpInst, PlanSim, SimPlan};
+pub use specialize::{specialize, SpecProgram, SpecStats, Specialization, SpecializedPlan};

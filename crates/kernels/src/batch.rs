@@ -40,6 +40,7 @@ use rteaal_dfg::lane_kernel::{compile_layer, BatchEngine, CompiledLayer, LaneWin
 use rteaal_dfg::op::canonicalize;
 use rteaal_dfg::partition::PartitionedPlan;
 use rteaal_dfg::plan::split_commits;
+use rteaal_dfg::specialize::{SpecProgram, SpecializedPlan};
 use rteaal_dfg::{OpInst, SimPlan};
 use rteaal_perfmodel::cache::MemSim;
 use rteaal_perfmodel::ExecProfile;
@@ -90,6 +91,20 @@ pub struct BatchLiState {
     /// in replica 0).
     home: Vec<u32>,
     cycle: u64,
+    /// Sidecar bit-plane matrix for a specialized kernel's packed rows
+    /// (`SpecProgram::bits_len` words, grown lazily on the first
+    /// specialized step). Input-cone rows persist across cycles — that
+    /// persistence is what the cone skip reuses.
+    bits: Vec<u64>,
+    /// An input, poke, reset, window change, or lane permutation
+    /// happened since the last full layer walk — the specialized
+    /// walk's input-cone skip is unsound until it re-evaluates once.
+    inputs_dirty: bool,
+    /// The last specialized step reached a register fixed point: the
+    /// commit changed no live-lane value and inputs were unchanged, so
+    /// `LI` is its own image under walk + commit. While this holds (and
+    /// `inputs_dirty` stays false) whole steps are activity-skipped.
+    settled: bool,
 }
 
 impl BatchLiState {
@@ -118,6 +133,9 @@ impl BatchLiState {
             rum: Vec::new(),
             home: Vec::new(),
             cycle: 0,
+            bits: Vec::new(),
+            inputs_dirty: true,
+            settled: false,
         }
     }
 
@@ -167,6 +185,9 @@ impl BatchLiState {
                 Vec::new()
             },
             cycle: 0,
+            bits: Vec::new(),
+            inputs_dirty: true,
+            settled: false,
         }
     }
 
@@ -208,6 +229,7 @@ impl BatchLiState {
             self.lanes
         );
         self.live = live;
+        self.inputs_dirty = true;
     }
 
     /// The active evaluation window.
@@ -229,6 +251,7 @@ impl BatchLiState {
         for s0 in (0..self.li.len()).step_by(lanes) {
             self.li.swap(s0 + a, s0 + b);
         }
+        self.inputs_dirty = true;
     }
 
     /// Number of input ports.
@@ -241,6 +264,7 @@ impl BatchLiState {
         self.li.copy_from_slice(&self.init);
         self.live = self.lanes;
         self.cycle = 0;
+        self.inputs_dirty = true;
     }
 
     /// Resets one physical lane column to the power-on state — register
@@ -263,6 +287,7 @@ impl BatchLiState {
         for s0 in (0..self.li.len()).step_by(self.lanes) {
             self.li[s0 + phys] = self.init[s0 + phys];
         }
+        self.inputs_dirty = true;
     }
 
     /// Drives input port `idx` on one lane (canonicalized to the port
@@ -275,6 +300,7 @@ impl BatchLiState {
         for p in 0..self.parts {
             self.li[p * self.span + off] = v;
         }
+        self.inputs_dirty = true;
     }
 
     /// Drives input port `idx` identically on every lane: canonicalizes
@@ -287,6 +313,7 @@ impl BatchLiState {
             let r0 = p * self.span + s0;
             self.li[r0..r0 + self.lanes].fill(v);
         }
+        self.inputs_dirty = true;
     }
 
     /// Drives input port `idx` identically on every *live* lane; frozen
@@ -299,6 +326,7 @@ impl BatchLiState {
             let r0 = p * self.span + s0;
             self.li[r0..r0 + self.live].fill(v);
         }
+        self.inputs_dirty = true;
     }
 
     /// Output value of one lane, by port index.
@@ -330,6 +358,7 @@ impl BatchLiState {
         for p in 0..self.parts {
             self.li[p * self.span + off] = value;
         }
+        self.inputs_dirty = true;
     }
 
     /// Cycles completed.
@@ -345,15 +374,31 @@ impl BatchLiState {
     /// replica to its reader replicas (the Cascade 2 `LI_{c+1} =
     /// LI_{c,I} · RUM` Einsum). Frozen lanes keep their state.
     fn commit_lanes(&mut self) {
+        self.commit_lanes_tracked();
+    }
+
+    /// As [`Self::commit_lanes`], additionally reporting whether any
+    /// commit (or replica reconciliation) changed a live-lane value.
+    /// `false` means the state is a register fixed point: with inputs
+    /// unchanged, the next walk + commit would reproduce `LI` exactly —
+    /// the activity skip's enabling condition. The pre-write compares
+    /// are sound because staged sources are buffered before any
+    /// destination write and direct commits are alias-free by
+    /// construction.
+    fn commit_lanes_tracked(&mut self) -> bool {
         let (lanes, n) = (self.lanes, self.live);
+        let mut changed = false;
         for (p, (direct, staged)) in self.commits.iter().enumerate() {
             let base = p * self.span;
-            for (k, &(_, src)) in staged.iter().enumerate() {
+            for (k, &(dst, src)) in staged.iter().enumerate() {
                 let s0 = base + src as usize * lanes;
+                let d0 = base + dst as usize * lanes;
+                changed |= self.li[d0..d0 + n] != self.li[s0..s0 + n];
                 self.commit_buf[k * lanes..k * lanes + n].copy_from_slice(&self.li[s0..s0 + n]);
             }
             for &(dst, src) in direct {
                 let (d0, s0) = (base + dst as usize * lanes, base + src as usize * lanes);
+                changed |= self.li[d0..d0 + n] != self.li[s0..s0 + n];
                 self.li.copy_within(s0..s0 + n, d0);
             }
             for (k, &(dst, _)) in staged.iter().enumerate() {
@@ -366,10 +411,19 @@ impl BatchLiState {
             let s0 = *owner as usize * self.span + row;
             for &q in readers {
                 let d0 = q as usize * self.span + row;
+                changed |= self.li[d0..d0 + n] != self.li[s0..s0 + n];
                 self.li.copy_within(s0..s0 + n, d0);
             }
         }
         self.cycle += 1;
+        changed
+    }
+
+    /// Whether the activity skip is armed: the last specialized step hit
+    /// a register fixed point and nothing external has touched the state
+    /// since.
+    pub fn settled(&self) -> bool {
+        self.settled && !self.inputs_dirty
     }
 }
 
@@ -482,6 +536,10 @@ pub struct LanePoker<'a> {
     lanes: usize,
     input_slots: &'a [u32],
     input_types: &'a [(u8, bool)],
+    /// The state's `inputs_dirty`: any poke through this driver makes
+    /// the specialized walk's input-cone skip unsound until the next
+    /// full evaluation.
+    dirty: &'a mut bool,
 }
 
 impl LanePoker<'_> {
@@ -510,6 +568,7 @@ impl LanePoker<'_> {
                 *self.li.0.add(p * self.span + off) = v;
             }
         }
+        *self.dirty = true;
     }
 }
 
@@ -567,6 +626,10 @@ pub struct BatchKernel {
     /// entries) — maps a flattened work range back to per-partition
     /// slices.
     offsets: Vec<Vec<usize>>,
+    /// Superblock/bit-packing program for a specialized kernel
+    /// ([`BatchKernel::compile_specialized`]); `None` runs the classic
+    /// per-op walk.
+    spec: Option<SpecProgram>,
 }
 
 impl BatchKernel {
@@ -653,7 +716,23 @@ impl BatchKernel {
             num_layers,
             layer_totals,
             offsets,
+            spec: None,
         }
+    }
+
+    /// Compiles a specialized plan ([`rteaal_dfg::specialize`]) into a
+    /// superblock kernel. The transformed plan's layers are
+    /// kernel-compiled as usual — the interpreted and profiled walks
+    /// keep working against them — and the layer walk additionally
+    /// carries the flat [`SpecProgram`] bytecode: straight-line
+    /// superblocks per layer, bit-packed 64-lanes-per-word bodies when
+    /// `pack`, and the input-cone skip. Specialized kernels are
+    /// unpartitioned; a RepCut decomposition consumes the transformed
+    /// plan instead (fold/dedup/DCE still apply, packing does not).
+    pub fn compile_specialized(sp: &SpecializedPlan, config: KernelConfig, pack: bool) -> Self {
+        let mut kernel = Self::compile(&sp.plan, config);
+        kernel.spec = Some(SpecProgram::build(&sp.plan, pack));
+        kernel
     }
 
     /// The configuration this kernel was compiled under.
@@ -664,6 +743,11 @@ impl BatchKernel {
     /// The executor this kernel walks its layers with.
     pub fn engine(&self) -> BatchEngine {
         self.engine
+    }
+
+    /// The superblock program of a specialized kernel, if any.
+    pub fn specialized(&self) -> Option<&SpecProgram> {
+        self.spec.as_ref()
     }
 
     /// Number of partitions this kernel was compiled for (1 =
@@ -758,12 +842,49 @@ impl BatchKernel {
             st.parts,
             "kernel/state partition mismatch"
         );
-        let mut buf = Vec::with_capacity(8);
-        let w = st.window();
-        for i in 0..self.num_layers {
-            self.eval_layer(i, &mut st.li, st.span, w, &mut buf);
+        if st.inputs_dirty {
+            st.settled = false;
         }
-        st.commit_lanes();
+        if self.spec.is_some() && st.settled {
+            // Activity skip: the state is a register fixed point and no
+            // input/poke/window change arrived — walk and commit would
+            // both be identities, so the cycle only advances the clock.
+            st.cycle += 1;
+            return;
+        }
+        let mut buf = Vec::with_capacity(8);
+        self.eval_all(st, &mut buf);
+        if self.spec.is_some() {
+            st.settled = !st.commit_lanes_tracked();
+        } else {
+            st.commit_lanes();
+        }
+    }
+
+    /// Full combinational walk over the active lanes: the specialized
+    /// superblock program when this kernel carries one (input-cone
+    /// prefixes skipped while the state's inputs are unchanged),
+    /// otherwise the classic per-op layer walk.
+    fn eval_all(&self, st: &mut BatchLiState, buf: &mut Vec<u64>) {
+        let w = st.window();
+        if let Some(prog) = &self.spec {
+            let need = prog.bits_len(st.lanes);
+            if st.bits.len() < need {
+                st.bits.resize(need, 0);
+            }
+            let skip_cone = !st.inputs_dirty;
+            for i in 0..prog.num_layers() {
+                prog.eval_layer(i, &mut st.li, w, &mut st.bits, skip_cone, buf);
+            }
+            // The cone (wide slots in `li`, packed rows in `bits`) now
+            // reflects the current inputs; register commits cannot
+            // invalidate it.
+            st.inputs_dirty = false;
+            return;
+        }
+        for i in 0..self.num_layers {
+            self.eval_layer(i, &mut st.li, st.span, w, buf);
+        }
     }
 
     /// One cycle with per-layer instrumentation: the real (bit-exact)
@@ -865,10 +986,7 @@ impl BatchKernel {
             "kernel/state partition mismatch"
         );
         let mut buf = Vec::with_capacity(8);
-        let w = st.window();
-        for i in 0..self.num_layers {
-            self.eval_layer(i, &mut st.li, st.span, w, &mut buf);
-        }
+        self.eval_all(st, &mut buf);
     }
 
     /// `cycles` cycles on the active lanes, single-threaded.
@@ -904,17 +1022,29 @@ impl BatchKernel {
         let threads = threads.max(1);
         if threads == 1 {
             for c in 0..cycles {
-                let mut poker = LanePoker {
-                    li: SharedLi(st.li.as_mut_ptr()),
-                    parts: st.parts,
-                    span: st.span,
-                    lanes: st.lanes,
-                    input_slots: &st.input_slots,
-                    input_types: &st.input_types,
-                };
-                stimulus(start_cycle + c, &mut poker);
+                {
+                    let li = SharedLi(st.li.as_mut_ptr());
+                    let mut poker = LanePoker {
+                        li,
+                        parts: st.parts,
+                        span: st.span,
+                        lanes: st.lanes,
+                        input_slots: &st.input_slots,
+                        input_types: &st.input_types,
+                        dirty: &mut st.inputs_dirty,
+                    };
+                    stimulus(start_cycle + c, &mut poker);
+                }
                 self.step(st);
             }
+            return;
+        }
+        // Threaded commits are untracked: any settledness established by
+        // a serial run cannot survive a run whose commits aren't
+        // compared (and whose stimulus may poke mid-run).
+        st.settled = false;
+        if let Some(prog) = &self.spec {
+            self.run_spec_parallel(prog, st, cycles, threads, &mut stimulus);
             return;
         }
         let w = st.window();
@@ -957,15 +1087,18 @@ impl BatchKernel {
             }
             let mut buf = Vec::with_capacity(8);
             for c in 0..cycles {
-                let mut poker = LanePoker {
-                    li: shared,
-                    parts: st.parts,
-                    span: st.span,
-                    lanes: st.lanes,
-                    input_slots: &st.input_slots,
-                    input_types: &st.input_types,
-                };
-                stimulus(start_cycle + c, &mut poker);
+                {
+                    let mut poker = LanePoker {
+                        li: shared,
+                        parts: st.parts,
+                        span: st.span,
+                        lanes: st.lanes,
+                        input_slots: &st.input_slots,
+                        input_types: &st.input_types,
+                        dirty: &mut st.inputs_dirty,
+                    };
+                    stimulus(start_cycle + c, &mut poker);
+                }
                 barrier.wait(); // open the compute phase
                 for segment in &segments {
                     match *segment {
@@ -992,6 +1125,91 @@ impl BatchKernel {
                 commit_shared(shared, span, w, &st.commits, &mut st.commit_buf, &st.rum);
             }
         });
+        st.cycle += cycles;
+    }
+
+    /// The threaded walk of a specialized kernel: each layer runs as
+    /// phase A (boundary pack/unpack moves) and phase B (wide + packed
+    /// bodies), each phase chunked across workers and sealed by a
+    /// barrier — one extra rendezvous per layer versus the classic
+    /// walk, bought back by the packed bodies. The threaded walk never
+    /// skips the input cone (the skip flag is a single-threaded
+    /// optimization); it leaves the cone freshly evaluated, so it
+    /// clears `inputs_dirty` for a subsequent serial walk.
+    fn run_spec_parallel(
+        &self,
+        prog: &SpecProgram,
+        st: &mut BatchLiState,
+        cycles: u64,
+        threads: usize,
+        stimulus: &mut impl FnMut(u64, &mut LanePoker<'_>),
+    ) {
+        let start_cycle = st.cycle;
+        let need = prog.bits_len(st.lanes);
+        if st.bits.len() < need {
+            st.bits.resize(need, 0);
+        }
+        let w = st.window();
+        let shared = SharedLi(st.li.as_mut_ptr());
+        let shared_bits = SharedLi(st.bits.as_mut_ptr());
+        let barrier = SpinBarrier::new(threads);
+        std::thread::scope(|scope| {
+            for worker in 1..threads {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let (shared, shared_bits) = (shared, shared_bits);
+                    let mut buf = Vec::with_capacity(8);
+                    for _ in 0..cycles {
+                        barrier.wait(); // stimulus window closed
+                        for i in 0..prog.num_layers() {
+                            let (lo, hi) = chunk(prog.phase_a_len(i), worker, threads);
+                            // SAFETY: phase-A instructions write disjoint
+                            // rows; operand rows sealed by the previous
+                            // barrier.
+                            unsafe { prog.eval_phase_a(i, shared.0, w, shared_bits.0, lo, hi) };
+                            barrier.wait();
+                            let (lo, hi) = chunk(prog.phase_b_len(i), worker, threads);
+                            // SAFETY: as above, per phase B's contract.
+                            unsafe {
+                                prog.eval_phase_b(i, shared.0, w, shared_bits.0, lo, hi, &mut buf)
+                            };
+                            barrier.wait();
+                        }
+                        // Worker 0 commits and applies stimulus next.
+                    }
+                });
+            }
+            let mut buf = Vec::with_capacity(8);
+            for c in 0..cycles {
+                {
+                    let mut poker = LanePoker {
+                        li: shared,
+                        parts: st.parts,
+                        span: st.span,
+                        lanes: st.lanes,
+                        input_slots: &st.input_slots,
+                        input_types: &st.input_types,
+                        dirty: &mut st.inputs_dirty,
+                    };
+                    stimulus(start_cycle + c, &mut poker);
+                }
+                barrier.wait(); // open the compute phase
+                for i in 0..prog.num_layers() {
+                    let (lo, hi) = chunk(prog.phase_a_len(i), 0, threads);
+                    // SAFETY: as the worker side.
+                    unsafe { prog.eval_phase_a(i, shared.0, w, shared_bits.0, lo, hi) };
+                    barrier.wait();
+                    let (lo, hi) = chunk(prog.phase_b_len(i), 0, threads);
+                    // SAFETY: as the worker side.
+                    unsafe { prog.eval_phase_b(i, shared.0, w, shared_bits.0, lo, hi, &mut buf) };
+                    barrier.wait();
+                }
+                // Single-threaded window: every worker is parked at the
+                // next cycle's opening barrier.
+                commit_shared(shared, st.span, w, &st.commits, &mut st.commit_buf, &st.rum);
+            }
+        });
+        st.inputs_dirty = false;
         st.cycle += cycles;
     }
 }
@@ -1228,6 +1446,142 @@ circuit Wide :
             assert_eq!(par.cycle(), seq.cycle());
             for lane in 0..LANES {
                 for s in 0..p.num_slots as u32 {
+                    assert_eq!(
+                        par.slot(s, lane),
+                        seq.slot(s, lane),
+                        "threads={threads} slot {s} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Strips interior-node probes, keeping inputs and registers — the
+    /// FIRRTL test designs name every interior wire (which probes it),
+    /// while real lowered designs are mostly anonymous subexpressions;
+    /// this gives the specializer the interior it exists to attack.
+    fn anonymized(mut p: SimPlan) -> SimPlan {
+        let keep: std::collections::HashSet<u32> = p
+            .input_slots
+            .iter()
+            .copied()
+            .chain(p.commits.iter().map(|&(d, _)| d))
+            .collect();
+        p.probes.retain(|&(_, s, _)| keep.contains(&s));
+        p
+    }
+
+    #[test]
+    fn specialized_kernel_matches_golden_with_freeze_recycle_and_pokes() {
+        let p = anonymized(plan_of(DESIGN));
+        let sp = rteaal_dfg::specialize(&p);
+        assert!(sp.stats.ops_after <= sp.stats.ops_before);
+        const LANES: usize = 6;
+        let golden_kernel = BatchKernel::compile_with_engine(
+            &p,
+            KernelConfig::new(KernelKind::Psu),
+            BatchEngine::Interpreted,
+        );
+        for pack in [false, true] {
+            let kernel =
+                BatchKernel::compile_specialized(&sp, KernelConfig::new(KernelKind::Psu), pack);
+            assert!(kernel.specialized().is_some());
+            // The specialized state materializes folded constants via the
+            // transformed plan's init image; observables share numbering.
+            let mut st = BatchLiState::new(&sp.plan, LANES);
+            let mut gold = BatchLiState::new(&p, LANES);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0DE + pack as u64);
+            for cycle in 0..160u64 {
+                // Drive inputs only every third cycle: held-input cycles
+                // exercise the input-cone skip against a walk that never
+                // skips.
+                if cycle % 3 == 0 {
+                    for lane in 0..LANES {
+                        let (x, sel) = (rng.gen(), rng.gen());
+                        st.set_input(0, lane, x);
+                        st.set_input(1, lane, sel);
+                        gold.set_input(0, lane, x);
+                        gold.set_input(1, lane, sel);
+                    }
+                }
+                match cycle {
+                    40 => {
+                        st.set_live(3);
+                        gold.set_live(3);
+                    }
+                    80 => {
+                        // Recycle a frozen column back into the window.
+                        st.swap_lanes(1, 4);
+                        gold.swap_lanes(1, 4);
+                        st.reset_lane(1);
+                        gold.reset_lane(1);
+                        st.set_live(5);
+                        gold.set_live(5);
+                    }
+                    120 => {
+                        // A DMI poke into a probed register slot.
+                        let reg = p.commits[0].0;
+                        st.poke_slot(reg, 0, 0x5a5a);
+                        gold.poke_slot(reg, 0, 0x5a5a);
+                    }
+                    _ => {}
+                }
+                kernel.step(&mut st);
+                golden_kernel.step(&mut gold);
+                for lane in 0..LANES {
+                    for s in 0..p.num_slots as u32 {
+                        if p.probes.iter().any(|&(_, ps, _)| ps == s)
+                            || p.output_slots.iter().any(|&(_, os)| os == s)
+                        {
+                            assert_eq!(
+                                st.slot(s, lane),
+                                gold.slot(s, lane),
+                                "pack={pack} slot {s} lane {lane} @ {cycle}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_parallel_run_is_bit_identical_to_serial() {
+        let p = anonymized(plan_of(&wide_design()));
+        let sp = rteaal_dfg::specialize(&p);
+        const LANES: usize = 8;
+        const CYCLES: u64 = 50;
+        let kernel =
+            BatchKernel::compile_specialized(&sp, KernelConfig::new(KernelKind::Psu), true);
+        let golden_kernel = BatchKernel::compile(&p, KernelConfig::new(KernelKind::Psu));
+        let drive = |poker: &mut LanePoker<'_>, cycle: u64| {
+            for lane in 0..LANES {
+                poker.set_input(0, lane, cycle.wrapping_mul(0x9e37) ^ lane as u64);
+            }
+        };
+        let mut gold = BatchLiState::new(&p, LANES);
+        golden_kernel.run_with_stimulus(&mut gold, CYCLES, 1, |c, poker| drive(poker, c));
+        let mut seq = BatchLiState::new(&sp.plan, LANES);
+        kernel.run_with_stimulus(&mut seq, CYCLES, 1, |c, poker| drive(poker, c));
+        let observable = |s: u32| {
+            p.probes.iter().any(|&(_, ps, _)| ps == s)
+                || p.output_slots.iter().any(|&(_, os)| os == s)
+        };
+        for lane in 0..LANES {
+            for s in (0..p.num_slots as u32).filter(|&s| observable(s)) {
+                assert_eq!(
+                    seq.slot(s, lane),
+                    gold.slot(s, lane),
+                    "serial spec vs golden"
+                );
+            }
+        }
+        for threads in [2, 3, 4] {
+            let mut par = BatchLiState::new(&sp.plan, LANES);
+            kernel.run_with_stimulus(&mut par, CYCLES, threads, |c, poker| drive(poker, c));
+            assert_eq!(par.cycle(), seq.cycle());
+            for lane in 0..LANES {
+                for s in 0..sp.plan.num_slots as u32 {
                     assert_eq!(
                         par.slot(s, lane),
                         seq.slot(s, lane),

@@ -1,0 +1,337 @@
+//! Property-based bit-exactness proof for the whole-design
+//! specialization tier: for random register networks rich in 1-bit
+//! control signals, the specialized engine — with and without
+//! bit-packed lanes, flat and RepCut-partitioned {1, 2} — must be
+//! bit-identical to the interpreted golden model on every observable
+//! slot of every lane of every cycle, across live-window shrinks and
+//! DMI-style architectural pokes.
+
+use proptest::prelude::*;
+use rteaal_dfg::partition::PartitionedPlan;
+use rteaal_dfg::plan::plan;
+use rteaal_dfg::{specialize, BatchPlanSim, SimPlan};
+use rteaal_firrtl::{lower::lower_typed, parser::parse};
+use rteaal_kernels::{BatchKernel, BatchLiState, KernelConfig, KernelKind};
+
+/// splitmix64 — dependent random values derived from one generated seed.
+fn mix(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *seed;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random control-heavy network: wide registers cross-coupled through
+/// arithmetic, plus 1-bit flag registers fed by *inline* comparison and
+/// boolean expressions — the anonymous 1-bit intermediates those create
+/// are exactly what the bit-packing pass hunts for.
+fn random_design(seed: u64, regs: usize, flags: usize) -> String {
+    let mut s = seed;
+    let mut src = String::from(
+        "\
+circuit S :
+  module S :
+    input clock : Clock
+    input x : UInt<16>
+    input en : UInt<1>
+    output out : UInt<16>
+    output flag : UInt<1>
+",
+    );
+    for i in 0..regs {
+        src.push_str(&format!("    reg r{i} : UInt<16>, clock\n"));
+    }
+    for i in 0..flags {
+        src.push_str(&format!("    reg b{i} : UInt<1>, clock\n"));
+    }
+    for i in 0..regs {
+        let a = mix(&mut s) as usize % regs;
+        let b = mix(&mut s) as usize % regs;
+        match mix(&mut s) % 4 {
+            0 => src.push_str(&format!("    r{i} <= xor(r{a}, x)\n")),
+            1 => src.push_str(&format!("    r{i} <= and(r{a}, not(r{b}))\n")),
+            2 => src.push_str(&format!("    r{i} <= mux(en, or(r{a}, x), r{b})\n")),
+            _ => src.push_str(&format!("    r{i} <= tail(add(r{a}, r{b}), 1)\n")),
+        }
+    }
+    for i in 0..flags {
+        let a = mix(&mut s) as usize % regs;
+        let b = mix(&mut s) as usize % regs;
+        let c = mix(&mut s) as usize % flags;
+        match mix(&mut s) % 4 {
+            0 => src.push_str(&format!("    b{i} <= and(eq(r{a}, r{b}), en)\n")),
+            1 => src.push_str(&format!("    b{i} <= or(neq(r{a}, r{b}), b{c})\n")),
+            2 => src.push_str(&format!("    b{i} <= xor(lt(r{a}, r{b}), not(b{c}))\n")),
+            _ => src.push_str(&format!("    b{i} <= mux(en, geq(r{a}, r{b}), b{c})\n")),
+        }
+    }
+    // Fold everything into the outputs so no register is trivially dead.
+    src.push_str("    node f0 = r0\n");
+    for i in 1..regs {
+        src.push_str(&format!("    node f{i} = xor(f{}, r{i})\n", i - 1));
+    }
+    src.push_str(&format!("    out <= f{}\n", regs - 1));
+    src.push_str("    node g0 = b0\n");
+    for i in 1..flags {
+        src.push_str(&format!("    node g{i} = xor(g{}, b{i})\n", i - 1));
+    }
+    src.push_str(&format!("    flag <= g{}\n", flags - 1));
+    src
+}
+
+fn plan_of(src: &str) -> SimPlan {
+    plan(&rteaal_dfg::build(&lower_typed(&parse(src).unwrap()).unwrap()).unwrap())
+}
+
+/// Strips probes down to inputs and register slots. `plan()` probes
+/// every named node, and probed slots are pokeable — so observable —
+/// which would leave the specializer nothing to fold, dedup, or pack.
+fn anonymized(mut p: SimPlan) -> SimPlan {
+    let keep: std::collections::HashSet<u32> = p
+        .input_slots
+        .iter()
+        .copied()
+        .chain(p.commits.iter().map(|&(d, _)| d))
+        .collect();
+    p.probes.retain(|&(_, s, _)| keep.contains(&s));
+    p
+}
+
+/// Every slot whose value survives specialization with its meaning
+/// intact: inputs, probes, outputs, and both ends of register commits.
+fn observables(p: &SimPlan) -> Vec<u32> {
+    let mut seen = std::collections::HashSet::new();
+    p.input_slots
+        .iter()
+        .copied()
+        .chain(p.probes.iter().map(|&(_, s, _)| s))
+        .chain(p.output_slots.iter().map(|&(_, s)| s))
+        .chain(p.commits.iter().flat_map(|&(d, s)| [d, s]))
+        .filter(|&s| seen.insert(s))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn specialized_engines_match_the_interpreted_golden_model(
+        seed in any::<u64>(),
+        regs in 2usize..10,
+        flags in 2usize..8,
+        lanes in 1usize..7,
+    ) {
+        let src = random_design(seed, regs, flags);
+        let p = anonymized(plan_of(&src));
+        let sp = specialize(&p);
+        prop_assert!(sp.stats.ops_after <= sp.stats.ops_before);
+        let cfg = KernelConfig::new(KernelKind::Psu);
+
+        // The interpreted walk of the *original* plan is the golden
+        // model; observables share slot numbering across the transform.
+        let mut golden = BatchPlanSim::interpreted(&p, lanes);
+        let obs = observables(&p);
+
+        // Engines under test: specialization off (the plain compiled
+        // walk), on without packing, on with packing, and the
+        // specialized plan through RepCut partitions {1, 2}.
+        let plain_kernel = BatchKernel::compile(&p, cfg);
+        let mut plain = BatchLiState::new(&p, lanes);
+        let mut spec: Vec<(String, BatchKernel, BatchLiState)> = [false, true]
+            .iter()
+            .map(|&pack| {
+                (
+                    format!("spec pack={pack}"),
+                    BatchKernel::compile_specialized(&sp, cfg, pack),
+                    BatchLiState::new(&sp.plan, lanes),
+                )
+            })
+            .collect();
+        for parts in [1usize, 2] {
+            let pp = PartitionedPlan::new(&sp.plan, parts);
+            spec.push((
+                format!("spec parts={parts}"),
+                BatchKernel::compile_partitioned(&pp, cfg),
+                BatchLiState::new_partitioned(&sp.plan, lanes, &pp),
+            ));
+        }
+
+        let mut s = seed ^ 0xd1b5_4a32_d192_ed03;
+        let (x_slot, en_slot) = (0usize, 1usize);
+
+        // Phase 1: full window, fresh stimulus every cycle.
+        for cycle in 0..10u64 {
+            for lane in 0..lanes {
+                let x = mix(&mut s);
+                let en = mix(&mut s) & 1;
+                golden.set_input(x_slot, lane, x);
+                golden.set_input(en_slot, lane, en);
+                plain.set_input(x_slot, lane, x);
+                plain.set_input(en_slot, lane, en);
+                for (_, _, st) in &mut spec {
+                    st.set_input(x_slot, lane, x);
+                    st.set_input(en_slot, lane, en);
+                }
+            }
+            golden.step();
+            plain_kernel.step(&mut plain);
+            for (label, k, st) in &mut spec {
+                k.step(st);
+                for lane in 0..lanes {
+                    for &slot in &obs {
+                        prop_assert_eq!(
+                            st.slot(slot, lane),
+                            golden.slot_lanes(slot)[lane],
+                            "{} vs golden: slot {} lane {} cycle {}",
+                            label, slot, lane, cycle
+                        );
+                        prop_assert_eq!(
+                            st.slot(slot, lane),
+                            plain.slot(slot, lane),
+                            "{} vs plain: slot {} lane {} cycle {}",
+                            label, slot, lane, cycle
+                        );
+                    }
+                }
+            }
+        }
+
+        // Phase 2: shrink the live window (halt-compaction's engine
+        // face) and poke architectural state mid-flight (the DMI path).
+        // The interpreted model has no partial-window mode, so the
+        // plain compiled walk is the reference.
+        let live = 1 + mix(&mut s) as usize % lanes;
+        plain.set_live(live);
+        for (_, _, st) in &mut spec {
+            st.set_live(live);
+        }
+        let poke_reg = p.commits[mix(&mut s) as usize % p.commits.len()].0;
+        for cycle in 0..10u64 {
+            let x = mix(&mut s);
+            plain.set_input_live(x_slot, x);
+            for (_, _, st) in &mut spec {
+                st.set_input_live(x_slot, x);
+            }
+            if cycle == 4 {
+                let v = mix(&mut s) & 0xffff;
+                plain.poke_slot(poke_reg, 0, v);
+                for (_, _, st) in &mut spec {
+                    st.poke_slot(poke_reg, 0, v);
+                }
+            }
+            plain_kernel.step(&mut plain);
+            for (label, k, st) in &mut spec {
+                k.step(st);
+                for lane in 0..lanes {
+                    for &slot in &obs {
+                        prop_assert_eq!(
+                            st.slot(slot, lane),
+                            plain.slot(slot, lane),
+                            "partial window {}: slot {} lane {} cycle {}",
+                            label, slot, lane, cycle
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic regression for the activity gate: a design whose
+/// registers freeze when `en` drops must arm the whole-step skip, stay
+/// bit-exact against the golden model that keeps walking (and keep its
+/// cycle counter advancing), and disarm the moment a DMI poke lands.
+#[test]
+fn activity_skip_settles_and_stays_bit_exact() {
+    const SRC: &str = "\
+circuit S :
+  module S :
+    input clock : Clock
+    input x : UInt<16>
+    input en : UInt<1>
+    output out : UInt<16>
+    reg acc : UInt<16>, clock
+    acc <= mux(en, tail(add(acc, x), 1), acc)
+    out <= acc
+";
+    let p = anonymized(plan_of(SRC));
+    let sp = specialize(&p);
+    let cfg = KernelConfig::new(KernelKind::Psu);
+    let k = BatchKernel::compile_specialized(&sp, cfg, true);
+    let plain_kernel = BatchKernel::compile(&p, cfg);
+    let lanes = 4usize;
+    let mut st = BatchLiState::new(&sp.plan, lanes);
+    let mut plain = BatchLiState::new(&p, lanes);
+    let mut golden = BatchPlanSim::interpreted(&p, lanes);
+    let obs = observables(&p);
+    let drive = |st: &mut BatchLiState,
+                 plain: &mut BatchLiState,
+                 golden: &mut BatchPlanSim,
+                 x: u64,
+                 en: u64| {
+        for lane in 0..lanes {
+            for (idx, v) in [(0usize, x), (1, en)] {
+                st.set_input(idx, lane, v);
+                plain.set_input(idx, lane, v);
+                golden.set_input(idx, lane, v);
+            }
+        }
+    };
+
+    // Accumulating phase: registers toggle every cycle, no settling.
+    drive(&mut st, &mut plain, &mut golden, 7, 1);
+    for _ in 0..5 {
+        k.step(&mut st);
+        plain_kernel.step(&mut plain);
+        golden.step();
+    }
+    assert!(!st.settled(), "toggling registers must not settle");
+
+    // Freeze: one tracked commit sees no change and arms the gate; the
+    // skipped steps stay bit-exact while the golden model keeps walking,
+    // and the clock keeps counting.
+    drive(&mut st, &mut plain, &mut golden, 7, 0);
+    k.step(&mut st);
+    plain_kernel.step(&mut plain);
+    golden.step();
+    assert!(st.settled(), "frozen registers arm the activity gate");
+    for cycle in 0..8u64 {
+        k.step(&mut st);
+        plain_kernel.step(&mut plain);
+        golden.step();
+        assert!(st.settled(), "no external event: the gate stays armed");
+        for lane in 0..lanes {
+            for &slot in &obs {
+                assert_eq!(
+                    st.slot(slot, lane),
+                    golden.slot_lanes(slot)[lane],
+                    "settled slot {slot} lane {lane} skip-cycle {cycle}"
+                );
+            }
+        }
+    }
+    assert_eq!(st.cycle(), golden.cycle(), "skipped steps still count");
+
+    // A DMI poke disarms the gate; the re-walked state must track the
+    // plain compiled reference poked identically.
+    let acc = p.commits[0].0;
+    st.poke_slot(acc, 2, 99);
+    plain.poke_slot(acc, 2, 99);
+    assert!(!st.settled(), "a poke disarms the gate");
+    for cycle in 0..4u64 {
+        k.step(&mut st);
+        plain_kernel.step(&mut plain);
+        for lane in 0..lanes {
+            for &slot in &obs {
+                assert_eq!(
+                    st.slot(slot, lane),
+                    plain.slot(slot, lane),
+                    "post-poke slot {slot} lane {lane} cycle {cycle}"
+                );
+            }
+        }
+    }
+    // `acc <= acc` holds again, so the gate re-arms after one commit.
+    assert!(st.settled(), "the gate re-arms at the new fixed point");
+}

@@ -18,7 +18,9 @@
 //! mixed-length rv32i corpus.
 
 use crate::job::{Job, JobId, JobOutcome, JobQueue, JobResult};
-use rteaal_core::{AnalysisReport, BatchSimulation, Compiled, Partitioning, UnknownSignal};
+use rteaal_core::{
+    AnalysisReport, BatchSimulation, Compiled, Partitioning, Specialization, UnknownSignal,
+};
 use rteaal_telemetry::{Counter, Gauge, JobStage, MetricsRegistry};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,19 +92,23 @@ impl SchedStats {
     /// multi-worker aggregation the serve layer reports). Partition
     /// counters merge element-wise, widening to the longer vector.
     pub fn merge(&mut self, other: &SchedStats) {
-        self.cycles += other.cycles;
-        self.busy_lane_cycles += other.busy_lane_cycles;
+        // Saturating throughout: counters merged across many long-lived
+        // workers can approach `u64::MAX`, and a wrapped counter turns
+        // every downstream ratio into garbage — a pegged one stays an
+        // upper bound.
+        self.cycles = self.cycles.saturating_add(other.cycles);
+        self.busy_lane_cycles = self.busy_lane_cycles.saturating_add(other.busy_lane_cycles);
         if self.partition_busy_cycles.len() < other.partition_busy_cycles.len() {
             self.partition_busy_cycles
                 .resize(other.partition_busy_cycles.len(), 0);
         }
         for (p, &c) in other.partition_busy_cycles.iter().enumerate() {
-            self.partition_busy_cycles[p] += c;
+            self.partition_busy_cycles[p] = self.partition_busy_cycles[p].saturating_add(c);
         }
-        self.admitted += other.admitted;
-        self.completed += other.completed;
-        self.evicted += other.evicted;
-        self.rejected += other.rejected;
+        self.admitted = self.admitted.saturating_add(other.admitted);
+        self.completed = self.completed.saturating_add(other.completed);
+        self.evicted = self.evicted.saturating_add(other.evicted);
+        self.rejected = self.rejected.saturating_add(other.rejected);
     }
 
     /// Occupied-lane cycles over total lane cycles stepped across
@@ -110,11 +116,16 @@ impl SchedStats {
     /// step). The one utilization formula the scheduler, the serving
     /// pool, and the shard router's health reports all share.
     pub fn utilization_of(&self, lanes: usize) -> f64 {
+        // `lanes == 0` or `cycles == 0` short-circuits to 0.0 (a pool
+        // that stepped nothing did no useful work), and the saturating
+        // product keeps near-`u64::MAX` merged counters from wrapping
+        // into a bogus denominator — at worst the ratio is clamped, it
+        // can never be NaN, infinite, or a division by zero.
         let total = self.cycles.saturating_mul(lanes as u64);
         if total == 0 {
             return 0.0;
         }
-        self.busy_lane_cycles as f64 / total as f64
+        (self.busy_lane_cycles as f64 / total as f64).min(1.0)
     }
 }
 
@@ -238,7 +249,38 @@ impl Scheduler {
         halt_signal: &str,
         partitioning: Partitioning,
     ) -> Result<Self, SchedBuildError> {
-        let mut sim = BatchSimulation::try_new_with(compiled, lanes, partitioning)
+        Self::try_new_full(
+            compiled,
+            lanes,
+            halt_signal,
+            partitioning,
+            Specialization::Off,
+        )
+    }
+
+    /// The full-control constructor: RepCut decomposition *and* the
+    /// whole-design specialization tier
+    /// ([`rteaal_core::Specialization`]). With [`Specialization::Auto`]
+    /// the engine executes the folded/deduplicated plan — as superblock
+    /// bytecode with bit-packed lanes when unpartitioned — while every
+    /// scheduling observable (halt detection, peeks, pokes, recycling)
+    /// stays bit-identical to `Off`.
+    ///
+    /// # Errors
+    ///
+    /// As [`try_new_with`](Self::try_new_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero, or on `Partitioning::Fixed(0)`.
+    pub fn try_new_full(
+        compiled: &Compiled,
+        lanes: usize,
+        halt_signal: &str,
+        partitioning: Partitioning,
+        spec: Specialization,
+    ) -> Result<Self, SchedBuildError> {
+        let mut sim = BatchSimulation::try_new_full(compiled, lanes, partitioning, spec)
             .map_err(SchedBuildError::Rejected)?;
         sim.watch_halt(halt_signal)?;
         // Park every lane out of the evaluated window until a job claims
@@ -704,6 +746,80 @@ circuit H :
             .with_input("limit", limit)
             .with_probe("cnt")
             .with_probe("done")
+    }
+
+    #[test]
+    fn sched_stats_utilization_survives_every_edge() {
+        // cycles == 0: no work stepped, utilization is exactly 0.0.
+        let mut s = SchedStats::default();
+        assert_eq!(s.utilization_of(8), 0.0);
+        // lanes == 0: a lane-less pool did no useful work per lane;
+        // 0.0, never a division by zero.
+        s.cycles = 100;
+        s.busy_lane_cycles = 500;
+        assert_eq!(s.utilization_of(0), 0.0);
+        assert!((s.utilization_of(8) - 500.0 / 800.0).abs() < 1e-12);
+
+        // Near-MAX merged counters saturate instead of wrapping.
+        let mut a = SchedStats {
+            cycles: u64::MAX - 5,
+            busy_lane_cycles: u64::MAX - 5,
+            admitted: usize::MAX - 1,
+            ..SchedStats::default()
+        };
+        let b = SchedStats {
+            cycles: 100,
+            busy_lane_cycles: 200,
+            partition_busy_cycles: vec![u64::MAX, 7],
+            admitted: 5,
+            completed: 3,
+            ..SchedStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.cycles, u64::MAX, "cycles pegged, not wrapped");
+        assert_eq!(a.busy_lane_cycles, u64::MAX);
+        assert_eq!(a.admitted, usize::MAX);
+        assert_eq!(a.completed, 3);
+        assert_eq!(
+            a.partition_busy_cycles,
+            vec![u64::MAX, 7],
+            "widened element-wise"
+        );
+        // And the pegged counters can never produce NaN/inf/out-of-range
+        // utilization, whatever the lane count.
+        for lanes in [0usize, 1, 3, 64, usize::MAX] {
+            let u = a.utilization_of(lanes);
+            assert!(
+                u.is_finite() && (0.0..=1.0).contains(&u),
+                "lanes={lanes}: {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn specialized_scheduler_matches_plain_on_a_corpus() {
+        let c = compiled();
+        let limits = [5u64, 20, 3, 4, 9, 2, 11];
+        let run = |spec: Specialization| {
+            let mut sched =
+                Scheduler::try_new_full(&c, 2, "done", Partitioning::None, spec).unwrap();
+            let mut ids: Vec<JobId> = limits.iter().map(|&l| sched.submit(count_job(l))).collect();
+            sched.run(10_000);
+            ids.sort_unstable();
+            let mut results = sched.results().to_vec();
+            results.sort_by_key(|r| r.id);
+            (ids, results)
+        };
+        let (ids_off, off) = run(Specialization::Off);
+        let (ids_auto, auto) = run(Specialization::Auto);
+        assert_eq!(ids_off, ids_auto);
+        assert_eq!(off.len(), auto.len());
+        for (a, b) in off.iter().zip(&auto) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.outputs, b.outputs, "job {}", a.name);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.outcome, b.outcome);
+        }
     }
 
     #[test]

@@ -28,16 +28,28 @@
 
 use rteaal_core::{
     analyze_design, analyze_partitioned, AnalysisReport, AnalysisStats, Compiled, PartitionedPlan,
-    Partitioning, UnknownSignal,
+    Partitioning, Specialization, UnknownSignal,
 };
 use rteaal_sched::{Job, JobId, JobOutcome, JobResult, SchedStats, Scheduler};
 use rteaal_telemetry::{Gauge, JobStage, MetricsRegistry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a mutex, recovering from poison instead of propagating it.
+///
+/// Every critical section in this module leaves its table in a
+/// consistent state at any panic point (inserts/removes on std
+/// collections are atomic operations), so data behind a poisoned lock
+/// is still serviceable. Refusing to serve results because one worker
+/// panicked would turn a single lost worker into a wedged pool — every
+/// blocked `wait` would panic instead of draining.
+fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The name of the design every pool starts with (the compile passed to
 /// [`ServerPool::new`]); jobs that name no design run on it.
@@ -70,6 +82,12 @@ pub struct ServeConfig {
     /// partition-parallel execution (replicated fan-in cones would cost
     /// more than the parallelism wins).
     pub max_replication: f64,
+    /// Whole-design specialization tier for every worker's engine:
+    /// `Off` runs plans as compiled, `Auto` folds/dedups/fuses them and
+    /// bit-packs 1-bit slots when the lane count pays for it. Results
+    /// are bit-identical either way — the specialized plan is
+    /// re-verified against the same analyzer the compiler runs.
+    pub specialization: Specialization,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +99,7 @@ impl Default for ServeConfig {
             max_budget: 1 << 20,
             partitions: 1,
             max_replication: 1.5,
+            specialization: Specialization::Off,
         }
     }
 }
@@ -121,6 +140,22 @@ struct Shared {
     /// any reader holding it sees every job in exactly one ledger state
     /// — the accounting-closure invariant `stats()` asserts.
     stats: Mutex<Vec<SchedStats>>,
+    /// Dispatched-but-unfinished jobs by pool-global id: which worker
+    /// owns each and the job's name. Maintained inside ledger sections
+    /// (insert at submission, remove at publication) so a dying
+    /// worker's unwind guard can fail exactly the jobs that will never
+    /// publish — the "handles must not wedge" invariant.
+    assigned: Mutex<HashMap<u64, (usize, String)>>,
+    /// Jobs rejected pool-side without a worker scheduler ever counting
+    /// them (unknown design, dead worker, stranded by a worker panic) —
+    /// folded into the merged `rejected` counter so
+    /// `submitted == completed + evicted + rejected + in_flight`
+    /// always closes.
+    unrouted: AtomicU64,
+    /// Per-worker death flags: set when a worker thread panics (by its
+    /// unwind guard) or its queue is found disconnected. Dead workers
+    /// are excluded from dispatch.
+    dead: Vec<AtomicBool>,
     /// The pool-wide metrics registry and per-job event ring.
     telemetry: Arc<MetricsRegistry>,
     /// Per-worker occupancy gauges (`serve.worker_inflight.w{n}`),
@@ -232,7 +267,7 @@ impl JobHandle {
 
     /// Takes the result if the job has finished, without blocking.
     pub fn poll(&self) -> Option<JobResult> {
-        let r = self.shared.results.lock().unwrap().ready.remove(&self.id);
+        let r = lock_or_recover(&self.shared.results).ready.remove(&self.id);
         if r.is_some() {
             self.mark_claimed();
             self.record_delivered();
@@ -240,9 +275,11 @@ impl JobHandle {
         r
     }
 
-    /// Blocks until the job finishes and takes its result.
+    /// Blocks until the job finishes and takes its result. Never wedges
+    /// on a dead worker: a panicking worker's unwind guard publishes
+    /// [`JobOutcome::Rejected`] results for every job it strands.
     pub fn wait(&self) -> JobResult {
-        let mut table = self.shared.results.lock().unwrap();
+        let mut table = lock_or_recover(&self.shared.results);
         loop {
             if let Some(r) = table.ready.remove(&self.id) {
                 self.mark_claimed();
@@ -250,7 +287,11 @@ impl JobHandle {
                 self.record_delivered();
                 return r;
             }
-            table = self.shared.done.wait(table).unwrap();
+            table = self
+                .shared
+                .done
+                .wait(table)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -271,7 +312,7 @@ impl JobHandle {
             handles.iter().all(|h| Arc::ptr_eq(&h.shared, shared)),
             "wait_any handles must share one pool"
         );
-        let mut table = shared.results.lock().unwrap();
+        let mut table = lock_or_recover(&shared.results);
         loop {
             for (i, h) in handles.iter().enumerate() {
                 if let Some(r) = table.ready.remove(&h.id) {
@@ -281,7 +322,10 @@ impl JobHandle {
                     return Some((i, r));
                 }
             }
-            table = shared.done.wait(table).unwrap();
+            table = shared
+                .done
+                .wait(table)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -294,7 +338,7 @@ impl Drop for JobHandle {
         // Abandoned before claiming: free the result slot now if the
         // job already finished, or leave a tombstone so the publisher
         // discards it on arrival (consumed there — neither side grows).
-        let mut table = self.shared.results.lock().unwrap();
+        let mut table = lock_or_recover(&self.shared.results);
         if table.ready.remove(&self.id).is_none() {
             table.abandoned.insert(self.id);
         }
@@ -354,10 +398,6 @@ pub struct ServerPool {
     loads: Arc<Vec<AtomicUsize>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
-    /// Jobs rejected pool-side (unknown design) without ever reaching a
-    /// worker — folded into the merged `rejected` counter so
-    /// `submitted == completed + evicted + rejected` always closes.
-    unrouted: AtomicU64,
     config: ServeConfig,
     /// When the pool was constructed — the `ping` verb's uptime origin,
     /// which lets a health prober distinguish a host that recovered
@@ -413,6 +453,12 @@ enum WorkerMsg {
         /// Whether worker 0 runs this design partition-parallel.
         partition_parallel: bool,
     },
+    /// Test-only: panic the worker thread while it holds the ledger
+    /// lock — the worst-case stand-in for an engine bug killing a
+    /// worker mid-corpus (poisons the lock *and* strands every job the
+    /// worker owns).
+    #[cfg(test)]
+    Die,
 }
 
 /// Decides whether a design runs partition-parallel under a config: the
@@ -467,6 +513,11 @@ impl ServerPool {
             results: Mutex::new(ResultsTable::default()),
             done: Condvar::new(),
             stats: Mutex::new(vec![SchedStats::default(); config.workers]),
+            assigned: Mutex::new(HashMap::new()),
+            unrouted: AtomicU64::new(0),
+            dead: (0..config.workers)
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             telemetry,
             occupancy,
         });
@@ -513,7 +564,6 @@ impl ServerPool {
             loads,
             workers,
             next_id: AtomicU64::new(0),
-            unrouted: AtomicU64::new(0),
             config,
             started: Instant::now(),
         })
@@ -561,7 +611,7 @@ impl ServerPool {
             return Err(RegisterError::Rejected(report));
         }
         let partition_parallel = partition_parallel_mode(&self.config, compiled);
-        let mut routing = self.routing.lock().unwrap();
+        let mut routing = lock_or_recover(&self.routing);
         if routing.designs.iter().any(|d| d.name == name) {
             return Err(RegisterError::DuplicateDesign(name.to_string()));
         }
@@ -574,14 +624,21 @@ impl ServerPool {
         // sent until we release it, so every worker sees the
         // registration first.
         let compiled = Arc::new(compiled.clone());
-        for tx in &routing.senders {
-            tx.send(WorkerMsg::Register {
-                design: name.to_string(),
-                compiled: Arc::clone(&compiled),
-                halt: halt_signal.to_string(),
-                partition_parallel,
-            })
-            .expect("workers outlive the pool");
+        for (w, tx) in routing.senders.iter().enumerate() {
+            // A dead worker's receiver is gone; the design still
+            // registers on every survivor, and jobs that would have
+            // landed on the dead worker are rejected at dispatch.
+            if tx
+                .send(WorkerMsg::Register {
+                    design: name.to_string(),
+                    compiled: Arc::clone(&compiled),
+                    halt: halt_signal.to_string(),
+                    partition_parallel,
+                })
+                .is_err()
+            {
+                self.shared.dead[w].store(true, Ordering::Release);
+            }
         }
         Ok(())
     }
@@ -589,9 +646,7 @@ impl ServerPool {
     /// The registered design names, in registration order (`[0]` is the
     /// default).
     pub fn designs(&self) -> Vec<String> {
-        self.routing
-            .lock()
-            .unwrap()
+        lock_or_recover(&self.routing)
             .designs
             .iter()
             .map(|d| d.name.clone())
@@ -601,15 +656,13 @@ impl ServerPool {
     /// The full registry entries — name, routing mode, and the static
     /// verifier's per-design statistics — in registration order.
     pub fn design_infos(&self) -> Vec<DesignInfo> {
-        self.routing.lock().unwrap().designs.clone()
+        lock_or_recover(&self.routing).designs.clone()
     }
 
     /// The static verifier's statistics for a registered design, or
     /// `None` for an unregistered name.
     pub fn analysis_stats(&self, name: &str) -> Option<AnalysisStats> {
-        self.routing
-            .lock()
-            .unwrap()
+        lock_or_recover(&self.routing)
             .designs
             .iter()
             .find(|d| d.name == name)
@@ -620,9 +673,7 @@ impl ServerPool {
     /// cycles span `config.partitions` engine threads on worker 0), or
     /// `None` for an unregistered name.
     pub fn partition_parallel(&self, name: &str) -> Option<bool> {
-        self.routing
-            .lock()
-            .unwrap()
+        lock_or_recover(&self.routing)
             .designs
             .iter()
             .find(|d| d.name == name)
@@ -642,45 +693,43 @@ impl ServerPool {
     pub fn submit_named(&self, design: Option<&str>, mut job: Job) -> JobHandle {
         job.budget = job.budget.min(self.config.max_budget);
         let design = design.unwrap_or(DEFAULT_DESIGN);
-        let routing = self.routing.lock().unwrap();
+        let routing = lock_or_recover(&self.routing);
         let Some(partition_parallel) = routing
             .designs
             .iter()
             .find(|d| d.name == design)
             .map(|d| d.partition_parallel)
         else {
-            // Ledger section: the id exists and is already accounted
-            // rejected before any stats() reader can observe it.
-            let id = {
-                let _ledger = self.shared.stats.lock().unwrap();
-                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                self.unrouted.fetch_add(1, Ordering::Relaxed);
-                id
-            };
             drop(routing);
-            self.shared
-                .telemetry
-                .record_event(id, JobStage::Submitted, None, None, None);
-            self.publish_unrouted(id, job.name, format!("unknown design `{design}`"));
-            return self.handle(id);
+            return self.reject_unrouted(job.name, format!("unknown design `{design}`"));
         };
         // Partition-parallel designs live on worker 0, whose scheduler
         // spreads each cycle across the partition threads; everything
-        // else gets least-loaded dispatch (ties go to the lowest index).
-        let w = if partition_parallel {
-            0
+        // else gets least-loaded dispatch over the *live* workers (ties
+        // go to the lowest index). Dead workers never receive jobs.
+        let target = if partition_parallel {
+            (!self.shared.dead[0].load(Ordering::Acquire)).then_some(0)
         } else {
             (0..self.loads.len())
+                .filter(|&w| !self.shared.dead[w].load(Ordering::Acquire))
                 .min_by_key(|&w| self.loads[w].load(Ordering::Acquire))
-                .expect("at least one worker")
         };
-        // Ledger section: id assignment and the in-flight increment are
-        // atomic with respect to stats(), so `submitted` and `in_flight`
+        let Some(w) = target else {
+            drop(routing);
+            return self.reject_unrouted(
+                job.name,
+                format!("no live worker can run design `{design}`"),
+            );
+        };
+        // Ledger section: id assignment, the in-flight increment, and
+        // the assignment record are atomic with respect to stats() and
+        // to any worker's unwind guard, so `submitted` and `in_flight`
         // can never disagree about this job.
         let id = {
-            let _ledger = self.shared.stats.lock().unwrap();
+            let _ledger = lock_or_recover(&self.shared.stats);
             let id = self.next_id.fetch_add(1, Ordering::Relaxed);
             self.loads[w].fetch_add(1, Ordering::AcqRel);
+            lock_or_recover(&self.shared.assigned).insert(id, (w, job.name.clone()));
             id
         };
         self.shared.occupancy[w].add(1);
@@ -691,15 +740,53 @@ impl ServerPool {
         // Sent under the routing lock, after the membership check: the
         // design's `Register` broadcast is already in this worker's
         // queue, so the job can never outrun its scheduler.
-        routing.senders[w]
-            .send(WorkerMsg::Job {
-                id,
-                design: design.to_string(),
-                job,
-                submitted_at_us,
-            })
-            .expect("workers outlive the pool");
+        let name = job.name.clone();
+        let sent = routing.senders[w].send(WorkerMsg::Job {
+            id,
+            design: design.to_string(),
+            job,
+            submitted_at_us,
+        });
         drop(routing);
+        if sent.is_err() {
+            // The worker died between the liveness check and the send.
+            // Roll the dispatch back and reject — unless the worker's
+            // unwind guard swept the assignment first (it then already
+            // published a rejection for this id).
+            self.shared.dead[w].store(true, Ordering::Release);
+            let ours = {
+                let _ledger = lock_or_recover(&self.shared.stats);
+                let removed = lock_or_recover(&self.shared.assigned).remove(&id).is_some();
+                if removed {
+                    self.loads[w].fetch_sub(1, Ordering::AcqRel);
+                    self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
+                }
+                removed
+            };
+            if ours {
+                self.shared.occupancy[w].sub(1);
+                self.publish_unrouted(id, name, format!("worker {w} is no longer running"));
+            }
+        }
+        self.handle(id)
+    }
+
+    /// Rejects a job that cannot be dispatched at all (unknown design,
+    /// no live worker): assigns an id, accounts it rejected inside a
+    /// ledger section, and publishes the structured result.
+    fn reject_unrouted(&self, name: String, error: String) -> JobHandle {
+        // Ledger section: the id exists and is already accounted
+        // rejected before any stats() reader can observe it.
+        let id = {
+            let _ledger = lock_or_recover(&self.shared.stats);
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
+            id
+        };
+        self.shared
+            .telemetry
+            .record_event(id, JobStage::Submitted, None, None, None);
+        self.publish_unrouted(id, name, error);
         self.handle(id)
     }
 
@@ -716,26 +803,7 @@ impl ServerPool {
     /// worker (e.g. an unknown design name). The caller has already
     /// counted it in `unrouted` inside a ledger section.
     fn publish_unrouted(&self, id: u64, name: String, error: String) {
-        self.shared
-            .telemetry
-            .record_event(id, JobStage::Published, None, None, None);
-        let mut table = self.shared.results.lock().unwrap();
-        table.ready.insert(
-            id,
-            JobResult {
-                id: JobId(id),
-                name,
-                outputs: Vec::new(),
-                outcome: JobOutcome::Rejected,
-                error: Some(error),
-                cycles: 0,
-                admitted_at: 0,
-                finished_at: 0,
-                lane: usize::MAX,
-            },
-        );
-        drop(table);
-        self.shared.done.notify_all();
+        publish_rejected(&self.shared, id, name, error);
     }
 
     /// Jobs submitted so far.
@@ -768,12 +836,12 @@ impl ServerPool {
     pub fn stats(&self) -> ServeStats {
         // Lock order is routing → stats everywhere (submission takes
         // routing first), so read the registry size before the ledger.
-        let designs = self.routing.lock().unwrap().designs.len();
-        let ledger = self.shared.stats.lock().unwrap();
+        let designs = lock_or_recover(&self.routing).designs.len();
+        let ledger = lock_or_recover(&self.shared.stats);
         let per_worker = ledger.clone();
         let submitted = self.submitted();
         let in_flight: usize = self.loads.iter().map(|l| l.load(Ordering::Acquire)).sum();
-        let unrouted = self.unrouted.load(Ordering::Relaxed) as usize;
+        let unrouted = self.shared.unrouted.load(Ordering::Relaxed) as usize;
         drop(ledger);
         let mut merged = SchedStats::default();
         for s in &per_worker {
@@ -797,7 +865,7 @@ impl ServerPool {
             lanes: self.config.lanes,
             designs,
             submitted,
-            unclaimed: self.shared.results.lock().unwrap().ready.len(),
+            unclaimed: lock_or_recover(&self.shared.results).ready.len(),
             in_flight,
             queue_depth,
             uptime_ms: self.uptime().as_millis() as u64,
@@ -822,9 +890,14 @@ impl ServerPool {
     /// counters. Already-issued [`JobHandle`]s stay valid — results
     /// published during the drain remain claimable.
     pub fn shutdown(mut self) -> ServeStats {
-        self.routing.lock().unwrap().senders.clear();
-        for handle in self.workers.drain(..) {
-            handle.join().expect("worker exits cleanly");
+        lock_or_recover(&self.routing).senders.clear();
+        for (w, handle) in self.workers.drain(..).enumerate() {
+            // A worker that panicked mid-run already failed its jobs
+            // through its unwind guard; the drain must not turn one
+            // lost worker into a pool-wide panic.
+            if handle.join().is_err() {
+                self.shared.dead[w].store(true, Ordering::Release);
+            }
         }
         self.stats()
     }
@@ -832,7 +905,7 @@ impl ServerPool {
 
 impl Drop for ServerPool {
     fn drop(&mut self) {
-        self.routing.lock().unwrap().senders.clear();
+        lock_or_recover(&self.routing).senders.clear();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -859,16 +932,24 @@ fn build_scheduler(
     partition_parallel: bool,
 ) -> Scheduler {
     if partition_parallel && w == 0 {
-        Scheduler::new_with(
+        Scheduler::try_new_full(
             compiled,
             config.lanes,
             halt,
             Partitioning::Fixed(config.partitions),
+            config.specialization,
         )
-        .expect("halt validated by the pool")
+        .expect("halt and decomposition validated by the pool")
         .with_threads(config.partitions)
     } else {
-        Scheduler::new(compiled, config.lanes, halt).expect("halt validated by the pool")
+        Scheduler::try_new_full(
+            compiled,
+            config.lanes,
+            halt,
+            Partitioning::None,
+            config.specialization,
+        )
+        .expect("halt validated by the pool")
     }
 }
 
@@ -886,6 +967,16 @@ fn worker_loop(
     loads: &[AtomicUsize],
     w: usize,
 ) {
+    // Armed first and owning the queue: if anything below panics, the
+    // guard's Drop runs during unwind, disconnects the queue, and fails
+    // every job this worker owns, so no handle ever wedges on a dead
+    // worker.
+    let watch = Deathwatch {
+        shared,
+        loads,
+        w,
+        rx,
+    };
     let attach = |sched: &mut Scheduler, design: &str| {
         sched.attach_telemetry(Arc::clone(&shared.telemetry), w, design);
     };
@@ -923,29 +1014,41 @@ fn worker_loop(
             submitted_at_us,
         } => {
             dispatch_latency.record(shared.telemetry.now_us().saturating_sub(submitted_at_us));
-            let run = designs
-                .iter_mut()
-                .find(|d| d.name == design)
-                .expect("registration broadcast precedes any job naming it");
+            let Some(run) = designs.iter_mut().find(|d| d.name == design) else {
+                // Unreachable through the public API (registration is
+                // broadcast under the routing lock before any job can
+                // name the design), but a broken invariant must fail
+                // one job, not the worker.
+                debug_assert!(false, "job for unregistered design `{design}`");
+                reject_on_worker(shared, loads, w, id, job.name, {
+                    format!("design `{design}` is not registered on worker {w}")
+                });
+                return;
+            };
             // Trace under the pool-global id: the scheduler's queued /
             // admitted / halted events join the pool's submitted /
             // published / delivered ones on one timeline.
             let local = run.sched.submit_traced(job, id);
             run.global.insert(local, id);
         }
+        #[cfg(test)]
+        WorkerMsg::Die => {
+            let _poison = shared.stats.lock();
+            panic!("worker {w} killed by test");
+        }
     };
     loop {
         // Idle workers block on their queue instead of spinning; a
         // disconnected queue with no work left means shutdown.
         if !designs.iter().any(|d| d.sched.has_work()) {
-            match rx.recv() {
+            match watch.rx.recv() {
                 Ok(msg) => apply(&mut designs, msg),
                 Err(_) => break,
             }
         }
         // Opportunistically drain whatever else has queued up — mid-run
         // admission packs new jobs into lanes freed this chunk.
-        while let Ok(msg) = rx.try_recv() {
+        while let Ok(msg) = watch.rx.try_recv() {
             apply(&mut designs, msg);
         }
         // Multiplex: each design with work gets one chunk in turn.
@@ -972,21 +1075,28 @@ fn publish(designs: &mut [DesignRun], shared: &Shared, loads: &[AtomicUsize], w:
     for run in designs.iter_mut() {
         merged.merge(&run.sched.stats());
         for r in run.sched.take_results() {
-            let id = run
-                .global
-                .remove(&r.id)
-                .expect("every scheduled job is mapped");
+            let Some(id) = run.global.remove(&r.id) else {
+                // Unreachable (every scheduled job is mapped at
+                // submission), but an unmapped result must be dropped,
+                // not panic the worker.
+                debug_assert!(false, "unmapped result {:?} on worker {w}", r.id);
+                continue;
+            };
             harvested.push((id, r));
         }
     }
-    // Ledger section: the refreshed finished counters and the in-flight
-    // decrements land atomically with respect to stats() readers, so a
-    // finishing job is never double-counted or dropped mid-snapshot.
+    // Ledger section: the refreshed finished counters, the in-flight
+    // decrements, and the assignment-record removals land atomically
+    // with respect to stats() readers and unwind guards, so a finishing
+    // job is never double-counted, dropped mid-snapshot, or re-failed
+    // by a later worker death.
     {
-        let mut ledger = shared.stats.lock().unwrap();
+        let mut ledger = lock_or_recover(&shared.stats);
         ledger[w] = merged;
-        for _ in 0..harvested.len() {
+        let mut assigned = lock_or_recover(&shared.assigned);
+        for (id, _) in &harvested {
             loads[w].fetch_sub(1, Ordering::AcqRel);
+            assigned.remove(id);
         }
     }
     if harvested.is_empty() {
@@ -999,7 +1109,7 @@ fn publish(designs: &mut [DesignRun], shared: &Shared, loads: &[AtomicUsize], w:
             .telemetry
             .record_event(*id, JobStage::Published, Some(w as u64), lane, None);
     }
-    let mut table = shared.results.lock().unwrap();
+    let mut table = lock_or_recover(&shared.results);
     for (id, mut r) in harvested {
         // A tombstone means the handle was dropped unclaimed: discard
         // instead of parking the result forever.
@@ -1010,6 +1120,123 @@ fn publish(designs: &mut [DesignRun], shared: &Shared, loads: &[AtomicUsize], w:
     }
     drop(table);
     shared.done.notify_all();
+}
+
+/// Publishes a structured [`JobOutcome::Rejected`] result for a job
+/// that will never run (unknown design, dead worker, stranded by a
+/// worker panic), honoring abandoned-handle tombstones like any other
+/// publication.
+fn publish_rejected(shared: &Shared, id: u64, name: String, error: String) {
+    shared
+        .telemetry
+        .record_event(id, JobStage::Published, None, None, None);
+    let mut table = lock_or_recover(&shared.results);
+    if !table.abandoned.remove(&id) {
+        table.ready.insert(
+            id,
+            JobResult {
+                id: JobId(id),
+                name,
+                outputs: Vec::new(),
+                outcome: JobOutcome::Rejected,
+                error: Some(error),
+                cycles: 0,
+                admitted_at: 0,
+                finished_at: 0,
+                lane: usize::MAX,
+            },
+        );
+    }
+    drop(table);
+    shared.done.notify_all();
+}
+
+/// Fails one dispatched job from its owning worker: undoes the
+/// dispatch accounting inside a ledger section and publishes a
+/// rejection so the job's handle resolves.
+fn reject_on_worker(
+    shared: &Shared,
+    loads: &[AtomicUsize],
+    w: usize,
+    id: u64,
+    name: String,
+    error: String,
+) {
+    {
+        let _ledger = lock_or_recover(&shared.stats);
+        if lock_or_recover(&shared.assigned).remove(&id).is_some() {
+            loads[w].fetch_sub(1, Ordering::AcqRel);
+            shared.unrouted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    shared.occupancy[w].sub(1);
+    publish_rejected(shared, id, name, error);
+}
+
+/// The unwind guard armed at the top of every worker thread, owning
+/// the worker's submission queue. If the worker panics (an engine bug,
+/// a poisoned invariant), the guard runs during unwind and (a) marks
+/// the worker dead so dispatch skips it, (b) disconnects the queue so
+/// racing submissions fail their sends instead of landing messages
+/// nobody will read, then (c) fails every job the worker still owns —
+/// queued or mid-run — with a structured rejection, keeping blocked
+/// `wait` calls and the pool ledger
+/// (`submitted == finished + in_flight`) intact. The (b) → (c) order
+/// is load-bearing: a submission is recorded in `assigned` *before*
+/// its send, so any job that slips past the disconnect is already
+/// visible to the sweep.
+struct Deathwatch<'a> {
+    shared: &'a Shared,
+    loads: &'a [AtomicUsize],
+    w: usize,
+    rx: Receiver<WorkerMsg>,
+}
+
+impl Drop for Deathwatch<'_> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let w = self.w;
+        self.shared.dead[w].store(true, Ordering::Release);
+        // Disconnect the queue *now* — struct fields would only drop
+        // after this function returns, which would be after the sweep.
+        let (_tx, dummy) = mpsc::channel();
+        drop(std::mem::replace(&mut self.rx, dummy));
+        // Ledger section: strand-sweeping is atomic with respect to
+        // stats() readers and racing submissions — a job is failed here
+        // exactly when its assignment record is still present.
+        let stranded: Vec<(u64, String)> = {
+            let _ledger = lock_or_recover(&self.shared.stats);
+            let mut assigned = lock_or_recover(&self.shared.assigned);
+            let ids: Vec<u64> = assigned
+                .iter()
+                .filter(|(_, (owner, _))| *owner == w)
+                .map(|(&id, _)| id)
+                .collect();
+            let stranded: Vec<(u64, String)> = ids
+                .into_iter()
+                .filter_map(|id| assigned.remove(&id).map(|(_, name)| (id, name)))
+                .collect();
+            for _ in 0..stranded.len() {
+                self.loads[w].fetch_sub(1, Ordering::AcqRel);
+                self.shared.unrouted.fetch_add(1, Ordering::Relaxed);
+            }
+            stranded
+        };
+        if stranded.is_empty() {
+            return;
+        }
+        self.shared.occupancy[w].sub(stranded.len() as i64);
+        for (id, name) in stranded {
+            publish_rejected(
+                self.shared,
+                id,
+                name,
+                format!("worker {w} died before the job could finish"),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1326,6 +1553,114 @@ circuit D :
         assert!(final_stats.accounting_balanced());
         assert_eq!(final_stats.submitted, 40);
         assert_eq!(final_stats.merged.rejected, 4);
+    }
+
+    #[test]
+    fn a_killed_worker_fails_its_jobs_and_the_pool_stays_drainable() {
+        // Satellite regression: a worker panicking mid-corpus (here:
+        // while holding the ledger lock, the worst case — the lock is
+        // poisoned *and* every job it owns is stranded) must neither
+        // wedge `wait` nor panic the pool front end.
+        let c = compiled();
+        let mut cfg = ServeConfig::with_workers(1);
+        cfg.lanes = 2;
+        cfg.chunk_cycles = 8;
+        let pool = ServerPool::new(&c, cfg, "done").unwrap();
+        // One job completes normally first, so the corpus provably
+        // spans the death.
+        assert!(pool.submit(count_job(3)).wait().completed());
+        // Kill the worker, then keep submitting: the Die message
+        // precedes the jobs in its queue, so none of them can run.
+        lock_or_recover(&pool.routing).senders[0]
+            .send(WorkerMsg::Die)
+            .unwrap();
+        let doomed: Vec<JobHandle> = (0..6).map(|i| pool.submit(count_job(4 + i))).collect();
+        for h in &doomed {
+            // Every handle resolves — no wedge — with a structured
+            // rejection, whichever race it lost (dead-flag dispatch,
+            // failed send, or the unwind guard's strand sweep).
+            let r = h.wait();
+            assert_eq!(r.outcome, JobOutcome::Rejected, "{}", r.name);
+            let err = r.error.expect("rejections carry a reason");
+            assert!(
+                err.contains("worker") || err.contains("no live worker"),
+                "unexpected reason: {err}"
+            );
+        }
+        // The front end still works over the poisoned ledger lock, and
+        // the accounting identity still closes: 1 completed + 6
+        // rejected + 0 in flight.
+        let stats = pool.stats();
+        assert!(stats.accounting_balanced());
+        assert_eq!(stats.submitted, 7);
+        assert_eq!(stats.merged.completed, 1);
+        assert_eq!(stats.merged.rejected, 6);
+        assert_eq!(stats.in_flight, 0);
+        // Shutdown joins the panicked worker without panicking itself.
+        let final_stats = pool.shutdown();
+        assert_eq!(final_stats.merged.rejected, 6);
+    }
+
+    #[test]
+    fn surviving_workers_keep_serving_after_one_dies() {
+        let c = compiled();
+        let mut cfg = ServeConfig::with_workers(2);
+        cfg.lanes = 2;
+        cfg.chunk_cycles = 8;
+        let pool = ServerPool::new(&c, cfg, "done").unwrap();
+        lock_or_recover(&pool.routing).senders[0]
+            .send(WorkerMsg::Die)
+            .unwrap();
+        // Wait for the unwind guard to mark the worker dead so the
+        // whole corpus provably dispatches against a one-worker pool.
+        while !pool.shared.dead[0].load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        let handles: Vec<JobHandle> = (0..10).map(|i| pool.submit(count_job(2 + i))).collect();
+        for (i, h) in handles.iter().enumerate() {
+            let r = h.wait();
+            assert!(r.completed(), "{}", r.name);
+            assert_eq!(r.outputs[0].1, 2 + i as u64 + 1);
+        }
+        // Registration also survives: the design lands on worker 1 and
+        // serves jobs, while the dead worker's send is skipped.
+        pool.register("again", &c, "done").unwrap();
+        assert!(pool
+            .submit_named(Some("again"), count_job(5))
+            .wait()
+            .completed());
+        let stats = pool.shutdown();
+        assert!(stats.accounting_balanced());
+        assert_eq!(stats.merged.completed, 11);
+        assert_eq!(stats.per_worker[1].admitted, 11, "all work moved to w1");
+    }
+
+    #[test]
+    fn specialized_pools_serve_bit_identical_results() {
+        // The serve-layer opt-in for the specialization tier: an Auto
+        // pool (lanes >= 32, so 1-bit slots bit-pack) must be
+        // indistinguishable from an Off pool on a whole corpus.
+        let c = compiled();
+        let limits: Vec<u64> = (0..12).map(|i| 2 + (i * 7) % 23).collect();
+        let run = |spec: Specialization| -> Vec<JobResult> {
+            let mut cfg = ServeConfig::with_workers(2);
+            cfg.lanes = 64;
+            cfg.chunk_cycles = 8;
+            cfg.specialization = spec;
+            let pool = ServerPool::new(&c, cfg, "done").unwrap();
+            let handles: Vec<JobHandle> =
+                limits.iter().map(|&l| pool.submit(count_job(l))).collect();
+            let results = handles.iter().map(|h| h.wait()).collect();
+            pool.shutdown();
+            results
+        };
+        let plain = run(Specialization::Off);
+        let spec = run(Specialization::Auto);
+        for (p, s) in plain.iter().zip(&spec) {
+            assert_eq!(p.outcome, s.outcome, "{}", p.name);
+            assert_eq!(p.outputs, s.outputs, "{}", p.name);
+            assert_eq!(p.cycles, s.cycles, "{}", p.name);
+        }
     }
 
     #[test]

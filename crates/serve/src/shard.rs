@@ -914,18 +914,30 @@ impl ShardRouter {
         }
     }
 
-    /// The current straggler threshold, or `None` while the latency
-    /// sample is too small to trust.
-    fn hedge_threshold(&self) -> Option<Duration> {
+    /// The current straggler threshold.
+    ///
+    /// While the delivery-latency window is empty or below
+    /// `hedge_min_samples`, the configured `hedge_floor` stands in:
+    /// returning `None` there would disable hedging until the window
+    /// warms (a cold router never rescues a straggler), and returning
+    /// zero would make *every* dispatch a straggler (a hedge storm).
+    /// The quantile is clamped to `[0, 1]` and the index it produces is
+    /// re-clamped into the sample, so `hedge_quantile` 0.0 / 1.0 (and
+    /// NaN, which casts to index 0) select the min / max sample instead
+    /// of indexing out of bounds — and whatever they select is floored
+    /// too, so a degenerate quantile over a microsecond-fast window
+    /// still can't drive the threshold to zero.
+    fn hedge_threshold(&self) -> Duration {
         if self.latencies.len() < self.config.hedge_min_samples.max(1) {
-            return None;
+            return self.config.hedge_floor;
         }
         let mut sorted = self.latencies.clone();
         sorted.sort_unstable();
         let q = self.config.hedge_quantile.clamp(0.0, 1.0);
-        let idx = ((sorted.len() - 1) as f64 * q) as usize;
-        let threshold = sorted[idx].mul_f64(self.config.hedge_multiplier.max(1.0));
-        Some(threshold.max(self.config.hedge_floor))
+        let idx = (((sorted.len() - 1) as f64 * q) as usize).min(sorted.len() - 1);
+        sorted[idx]
+            .mul_f64(self.config.hedge_multiplier.max(1.0))
+            .max(self.config.hedge_floor)
     }
 
     /// Hedges every straggler: a pending job older than the quantile
@@ -936,9 +948,7 @@ impl ShardRouter {
         if !self.config.hedge || self.ring.len() < 2 {
             return Ok(());
         }
-        let Some(threshold) = self.hedge_threshold() else {
-            return Ok(());
-        };
+        let threshold = self.hedge_threshold();
         let ids: Vec<u64> = self.pending.keys().copied().collect();
         for id in ids {
             let primary = {
@@ -1295,6 +1305,87 @@ impl ShardRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A router with no connections — enough structure to exercise the
+    /// pure threshold math without a live fleet.
+    fn bare_router(config: ShardConfig) -> ShardRouter {
+        ShardRouter {
+            config,
+            shards: Vec::new(),
+            ring: HashRing::new(config.replicas),
+            pending: HashMap::new(),
+            registry: Vec::new(),
+            latencies: Vec::new(),
+            latency_cursor: 0,
+            next_id: 0,
+            telemetry: RouterTelemetry::new(),
+        }
+    }
+
+    #[test]
+    fn hedge_threshold_falls_back_to_the_floor_on_a_cold_window() {
+        // Boundary 1: an empty latency window. The threshold must be
+        // the floor — not `None` (hedging would never activate on a
+        // cold router) and not zero (every job would hedge).
+        let config = ShardConfig::default();
+        let floor = config.hedge_floor;
+        let router = bare_router(config);
+        assert!(router.latencies.is_empty());
+        assert_eq!(router.hedge_threshold(), floor);
+        assert!(router.hedge_threshold() > Duration::ZERO);
+    }
+
+    #[test]
+    fn hedge_threshold_falls_back_to_the_floor_below_min_samples() {
+        // Boundary 2: a warming window, one short of `hedge_min_samples`
+        // — still the floor, untouched by the (tiny) samples, then the
+        // quantile path takes over on the very next delivery.
+        let config = ShardConfig {
+            hedge_min_samples: 4,
+            hedge_multiplier: 2.0,
+            hedge_quantile: 1.0,
+            ..ShardConfig::default()
+        };
+        let floor = config.hedge_floor;
+        let mut router = bare_router(config);
+        for _ in 0..3 {
+            router.latencies.push(Duration::from_micros(5));
+            assert_eq!(router.hedge_threshold(), floor);
+        }
+        router.latencies.push(Duration::from_secs(1));
+        assert_eq!(router.hedge_threshold(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn hedge_threshold_survives_degenerate_quantiles() {
+        // Boundary 3: `hedge_quantile` 0.0 and 1.0 (and beyond) over a
+        // full window. 0.0 selects the fastest sample — which over a
+        // microsecond-fast fleet must still be floored, not turned into
+        // a hedge storm; 1.0 selects the slowest sample without
+        // indexing out of bounds; out-of-range values clamp.
+        let config = ShardConfig {
+            hedge_min_samples: 4,
+            hedge_multiplier: 2.0,
+            hedge_floor: Duration::from_millis(10),
+            ..ShardConfig::default()
+        };
+        let mut router = bare_router(config);
+        router.latencies = vec![
+            Duration::from_micros(1),
+            Duration::from_millis(3),
+            Duration::from_millis(40),
+            Duration::from_millis(100),
+        ];
+        router.config.hedge_quantile = 0.0;
+        // 1 µs × 2 would be a 2 µs threshold — a hedge storm. Floored.
+        assert_eq!(router.hedge_threshold(), Duration::from_millis(10));
+        router.config.hedge_quantile = 1.0;
+        assert_eq!(router.hedge_threshold(), Duration::from_millis(200));
+        router.config.hedge_quantile = 7.5;
+        assert_eq!(router.hedge_threshold(), Duration::from_millis(200));
+        router.config.hedge_quantile = -1.0;
+        assert_eq!(router.hedge_threshold(), Duration::from_millis(10));
+    }
 
     #[test]
     fn ring_is_deterministic_and_covers_all_live_shards() {
